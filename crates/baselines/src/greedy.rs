@@ -1,0 +1,197 @@
+use crate::{BaselineConfig, BaselineResult};
+use snn_faults::{Fault, FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_model::Network;
+use snn_tensor::Tensor;
+use std::time::Instant;
+
+/// Compact functional testing à la \[18\]: one fault-simulation campaign
+/// per candidate dataset sample builds a detection matrix, then greedy
+/// set cover selects the smallest sample set reaching the coverage target.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use snn_baselines::{dataset_greedy, BaselineConfig};
+/// use snn_faults::FaultUniverse;
+/// use snn_model::{LifParams, NetworkBuilder};
+/// use snn_tensor::Shape;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = NetworkBuilder::new(4, LifParams::default()).dense(3).build(&mut rng);
+/// let u = FaultUniverse::standard(&net);
+/// let pool: Vec<_> = (0..4)
+///     .map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(12, 4), 0.5))
+///     .collect();
+/// let cfg = BaselineConfig { max_inputs: 3, ..BaselineConfig::default() };
+/// let r = dataset_greedy(&net, &u, u.faults(), &pool, &cfg);
+/// assert_eq!(r.fault_sim_campaigns, 4); // one campaign per candidate
+/// assert!(r.inputs.len() <= 3);
+/// ```
+pub fn dataset_greedy(
+    net: &Network,
+    universe: &FaultUniverse,
+    faults: &[Fault],
+    pool: &[Tensor],
+    cfg: &BaselineConfig,
+) -> BaselineResult {
+    assert!(!pool.is_empty(), "candidate pool must be non-empty");
+    let started = Instant::now();
+    let sim = FaultSimulator::new(
+        net,
+        FaultSimConfig {
+            threads: cfg.threads,
+            ..FaultSimConfig::default()
+        },
+    );
+
+    // Detection matrix: one campaign per candidate — exactly the
+    // O(M·T_FS) cost structure of the prior art.
+    let detection: Vec<Vec<bool>> = pool
+        .iter()
+        .map(|input| {
+            sim.detect(universe, faults, std::slice::from_ref(input))
+                .per_fault
+                .into_iter()
+                .map(|o| o.detected)
+                .collect()
+        })
+        .collect();
+
+    let (selected, detected, history) =
+        greedy_cover(&detection, cfg.target_coverage, cfg.max_inputs);
+
+    BaselineResult {
+        inputs: selected.iter().map(|&i| pool[i].clone()).collect(),
+        detected,
+        generation_time: started.elapsed(),
+        coverage_history: history,
+        fault_sim_campaigns: pool.len(),
+    }
+}
+
+/// Greedy set cover over a candidate × fault detection matrix. Returns
+/// the chosen candidate indices, the union detection vector, and the
+/// coverage after each pick. Stops when the target is reached, the pick
+/// budget is exhausted, or no candidate adds coverage.
+pub(crate) fn greedy_cover(
+    detection: &[Vec<bool>],
+    target: f64,
+    max_picks: usize,
+) -> (Vec<usize>, Vec<bool>, Vec<f64>) {
+    let num_faults = detection.first().map_or(0, |d| d.len());
+    let mut covered = vec![false; num_faults];
+    let mut chosen = Vec::new();
+    let mut history = Vec::new();
+    let mut used = vec![false; detection.len()];
+
+    while chosen.len() < max_picks {
+        let coverage = covered.iter().filter(|&&c| c).count() as f64 / num_faults.max(1) as f64;
+        if coverage >= target {
+            break;
+        }
+        // Pick the candidate covering the most still-undetected faults.
+        let mut best: Option<(usize, usize)> = None;
+        for (i, row) in detection.iter().enumerate() {
+            if used[i] {
+                continue;
+            }
+            let gain = row
+                .iter()
+                .zip(covered.iter())
+                .filter(|(&d, &c)| d && !c)
+                .count();
+            if gain > 0 && best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        let Some((pick, _)) = best else { break };
+        used[pick] = true;
+        for (c, &d) in covered.iter_mut().zip(detection[pick].iter()) {
+            *c |= d;
+        }
+        chosen.push(pick);
+        history.push(covered.iter().filter(|&&c| c).count() as f64 / num_faults.max(1) as f64);
+    }
+    (chosen, covered, history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_model::{LifParams, NetworkBuilder};
+    use snn_tensor::Shape;
+
+    #[test]
+    fn greedy_cover_picks_highest_gain_first() {
+        let detection = vec![
+            vec![true, true, false, false],  // gain 2
+            vec![true, true, true, false],   // gain 3 — picked first
+            vec![false, false, false, true], // complements
+        ];
+        let (picks, covered, history) = greedy_cover(&detection, 1.0, 10);
+        assert_eq!(picks[0], 1);
+        assert_eq!(picks, vec![1, 2]);
+        assert!(covered.iter().filter(|&&c| c).count() == 4);
+        assert_eq!(history.last().copied(), Some(1.0));
+    }
+
+    #[test]
+    fn greedy_cover_stops_when_no_gain() {
+        let detection = vec![vec![true, false], vec![true, false]];
+        let (picks, covered, _) = greedy_cover(&detection, 1.0, 10);
+        assert_eq!(picks.len(), 1); // second candidate adds nothing
+        assert_eq!(covered, vec![true, false]);
+    }
+
+    #[test]
+    fn greedy_cover_respects_budget_and_target() {
+        let detection = vec![
+            vec![true, false, false],
+            vec![false, true, false],
+            vec![false, false, true],
+        ];
+        let (picks, _, _) = greedy_cover(&detection, 1.0, 2);
+        assert_eq!(picks.len(), 2);
+        let (picks2, _, history) = greedy_cover(&detection, 0.3, 10);
+        assert_eq!(picks2.len(), 1);
+        assert!(history[0] >= 0.3);
+    }
+
+    #[test]
+    fn dataset_greedy_coverage_grows_monotonically() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::new(5, LifParams::default())
+            .dense(8)
+            .dense(3)
+            .build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let pool: Vec<_> = (0..6)
+            .map(|i| {
+                snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 5), 0.2 + 0.1 * i as f32)
+            })
+            .collect();
+        let cfg = BaselineConfig { threads: 1, ..BaselineConfig::default() };
+        let r = dataset_greedy(&net, &u, u.faults(), &pool, &cfg);
+        for w in r.coverage_history.windows(2) {
+            assert!(w[1] >= w[0], "coverage must not decrease");
+        }
+        assert!((r.coverage() - r.coverage_history.last().copied().unwrap_or(0.0)).abs() < 1e-12);
+        assert_eq!(r.fault_sim_campaigns, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn dataset_greedy_requires_pool() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = NetworkBuilder::new(2, LifParams::default()).dense(2).build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let _ = dataset_greedy(&net, &u, u.faults(), &[], &BaselineConfig::default());
+    }
+}

@@ -1,0 +1,57 @@
+//! BPTT backward-pass cost: input-gradient only (test generation) vs
+//! input+weight gradients (training) on the repro-scale benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_bench::{build_dataset, build_network, BenchmarkKind, Scale};
+use snn_model::{InjectedGrads, RecordOptions, Surrogate};
+use snn_tensor::{Shape, Tensor};
+use std::hint::black_box;
+
+fn bench_backward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backward");
+    group.sample_size(10);
+    for kind in BenchmarkKind::ALL {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = build_network(kind, Scale::Repro, &mut rng);
+        let ds = build_dataset(kind, Scale::Repro, 2);
+        let steps = ds.steps();
+        let input =
+            snn_tensor::init::bernoulli(&mut rng, Shape::d2(steps, net.input_features()), 0.1);
+        let trace = net.forward(&input, RecordOptions::full());
+        // Uniform gradient on every spiking layer (the L2/L5 shape).
+        let mut inj = InjectedGrads::none(net.layers().len());
+        for (idx, layer) in net.layers().iter().enumerate() {
+            if layer.is_spiking() {
+                inj.set(idx, Tensor::full(Shape::d2(steps, layer.out_features()), 1.0));
+            }
+        }
+        group.bench_function(format!("{}/input_grad", kind.name()), |b| {
+            b.iter(|| {
+                black_box(net.backward(
+                    black_box(&input),
+                    &trace,
+                    &inj,
+                    Surrogate::default(),
+                    false,
+                ))
+            })
+        });
+        group.bench_function(format!("{}/with_weight_grads", kind.name()), |b| {
+            b.iter(|| {
+                black_box(net.backward(
+                    black_box(&input),
+                    &trace,
+                    &inj,
+                    Surrogate::default(),
+                    true,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backward);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Dense (clocked) vs event-driven simulation engines across input
+//! activity levels.
+//!
+//! On an event-driven accelerator, cost follows spike traffic — which is
+//! why the paper's stage 2 (minimizing hidden activity while preserving
+//! the output) reduces not just information loss but also test energy and
+//! time. This bench quantifies the dense/event crossover on the
+//! NMNIST-like repro network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_bench::{build_dataset, build_network, BenchmarkKind, Scale};
+use snn_model::{event_forward, NeuronFaultMap, RecordOptions};
+use snn_tensor::Shape;
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = build_network(BenchmarkKind::Nmnist, Scale::Repro, &mut rng);
+    let ds = build_dataset(BenchmarkKind::Nmnist, Scale::Repro, 9);
+    let no_faults = NeuronFaultMap::new();
+
+    for density in [0.02f32, 0.1, 0.4] {
+        let input = snn_tensor::init::bernoulli(
+            &mut rng,
+            Shape::d2(ds.steps(), net.input_features()),
+            density,
+        );
+        group.bench_function(format!("dense/density_{density}"), |b| {
+            b.iter(|| black_box(net.forward(black_box(&input), RecordOptions::spikes_only())))
+        });
+        group.bench_function(format!("event/density_{density}"), |b| {
+            b.iter(|| black_box(event_forward(&net, black_box(&input), &no_faults)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Forward-pass throughput of the three repro-scale benchmark networks.
+//!
+//! The test-generation loop is dominated by forward+backward passes, so
+//! these numbers bound the per-iteration cost `M` in the paper's
+//! `O(M + T_FS)` complexity argument.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_bench::{build_dataset, build_network, BenchmarkKind, Scale};
+use snn_model::RecordOptions;
+use snn_tensor::Shape;
+use std::hint::black_box;
+
+fn bench_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward");
+    group.sample_size(10);
+    for kind in BenchmarkKind::ALL {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = build_network(kind, Scale::Repro, &mut rng);
+        let ds = build_dataset(kind, Scale::Repro, 1);
+        let input = snn_tensor::init::bernoulli(
+            &mut rng,
+            Shape::d2(ds.steps(), net.input_features()),
+            0.1,
+        );
+        group.bench_function(format!("{}/spikes_only", kind.name()), |b| {
+            b.iter(|| black_box(net.forward(black_box(&input), RecordOptions::spikes_only())))
+        });
+        group.bench_function(format!("{}/full_record", kind.name()), |b| {
+            b.iter(|| black_box(net.forward(black_box(&input), RecordOptions::full())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward);
+criterion_main!(benches);

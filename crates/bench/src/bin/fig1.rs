@@ -1,0 +1,52 @@
+//! Regenerates **Fig. 1 — LIF neuron model behaviour** as a CSV trace:
+//! membrane potential, input spikes, output spikes and refractory state
+//! of a single LIF neuron driven by a bursty input train.
+//!
+//! Usage: `cargo run -p snn-bench --bin fig1` (CSV on stdout; pipe to a
+//! file and plot with any tool).
+
+use snn_model::{DenseLayer, Layer, LifParams, Network, RecordOptions};
+use snn_tensor::{Shape, Tensor};
+
+fn main() {
+    let lif = LifParams {
+        threshold: 1.0,
+        leak: 0.9,
+        refrac_steps: 3,
+    };
+    let net = Network::new(
+        Shape::d1(1),
+        vec![Layer::Dense(DenseLayer::new(
+            Tensor::from_vec(Shape::d2(1, 1), vec![0.45]).unwrap(),
+            lif,
+        ))],
+    );
+
+    // Bursty drive: dense burst, silence (leak visible), sparse drive.
+    let steps = 40;
+    let mut input = Tensor::zeros(Shape::d2(steps, 1));
+    let pattern: &[usize] = &[0, 1, 2, 3, 4, 5, 12, 13, 20, 22, 24, 26, 28, 30, 32, 34, 36, 38];
+    for &t in pattern {
+        input[[t, 0]] = 1.0;
+    }
+
+    let trace = net.forward(&input, RecordOptions::full());
+    let potential = trace.layers[0].potential.as_ref().expect("full record");
+    let gate = trace.layers[0].gate.as_ref().expect("full record");
+
+    println!("tick,input_spike,membrane_potential,output_spike,refractory");
+    for t in 0..steps {
+        println!(
+            "{t},{},{:.4},{},{}",
+            input[[t, 0]] as u8,
+            potential[[t, 0]],
+            trace.output()[[t, 0]] as u8,
+            u8::from(gate[[t, 0]] == 0.0),
+        );
+    }
+    eprintln!(
+        "# LIF: threshold={}, leak={}, refractory={} ticks — the trace shows \
+         integration, leak decay, threshold firing, reset and the refractory gap.",
+        lif.threshold, lif.leak, lif.refrac_steps
+    );
+}

@@ -1,0 +1,67 @@
+//! Regenerates **Fig. 7 — Snapshots of the optimized test stimulus** for
+//! the IBM-DVS-like benchmark: ASCII rasters of the stimulus at several
+//! timestamps (`+` = ON-polarity spike, `-` = OFF-polarity spike,
+//! `*` = both, `.` = silent), plus per-snapshot event counts.
+//!
+//! Usage: `cargo run -p snn-bench --bin fig7 --release`
+//! (`SNN_MTFC_FAST=1` shrinks the run).
+
+use snn_bench::{Benchmark, BenchmarkKind, PrepConfig, Scale};
+use snn_testgen::{TestGenConfig, TestGenerator};
+
+fn main() {
+    let fast = std::env::var("SNN_MTFC_FAST").is_ok();
+    let prep = if fast { PrepConfig::fast() } else { PrepConfig::repro() };
+
+    eprintln!("[fig7] preparing IBM benchmark…");
+    let b = Benchmark::prepare(BenchmarkKind::Ibm, Scale::Repro, 42, prep);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let cfg = if fast { TestGenConfig::fast() } else { TestGenConfig::repro() };
+    eprintln!("[fig7] generating test…");
+    let test = TestGenerator::new(&b.net, cfg).generate(&mut rng);
+    let stimulus = test.assembled();
+
+    let dims = b.dataset.input_shape();
+    let (c, h, w) = (dims.dim(0), dims.dim(1), dims.dim(2));
+    assert_eq!(c, 2, "fig7 expects a 2-polarity DVS stimulus");
+    let steps = stimulus.shape().dim(0);
+    let features = c * h * w;
+
+    // Evenly spaced snapshots across the stimulus.
+    let snapshots: Vec<usize> = (0..6).map(|k| k * steps.saturating_sub(1) / 5).collect();
+    println!(
+        "Optimized IBM test stimulus: {} ticks x {}x{}x{} ({} chunks)",
+        steps,
+        c,
+        h,
+        w,
+        test.chunks.len()
+    );
+    for &t in &snapshots {
+        let row = &stimulus.as_slice()[t * features..(t + 1) * features];
+        let mut on = 0usize;
+        let mut off = 0usize;
+        println!("\n--- t = {t} ---");
+        for y in 0..h {
+            let mut line = String::with_capacity(w);
+            for x in 0..w {
+                let p_on = row[y * w + x] != 0.0;
+                let p_off = row[h * w + y * w + x] != 0.0;
+                on += p_on as usize;
+                off += p_off as usize;
+                line.push(match (p_on, p_off) {
+                    (true, true) => '*',
+                    (true, false) => '+',
+                    (false, true) => '-',
+                    (false, false) => '.',
+                });
+            }
+            println!("{line}");
+        }
+        println!("events: {on} ON / {off} OFF");
+    }
+    println!(
+        "\n(The paper's Fig. 7 shows the same data as blue/red dot rasters at\n\
+         paper scale; '+' = ON polarity, '-' = OFF polarity, '*' = both.)"
+    );
+}

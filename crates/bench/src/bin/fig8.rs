@@ -1,0 +1,53 @@
+//! Regenerates **Fig. 8 — Neuron activity per layer**: the optimized test
+//! input vs a random dataset sample on the IBM-DVS-like benchmark. For
+//! each spiking layer an ASCII grid shows activated (`#`) vs silent (`.`)
+//! neurons, with the global activation percentages the paper quotes
+//! (82.81% vs 29% at paper scale).
+//!
+//! Usage: `cargo run -p snn-bench --bin fig8 --release`
+//! (`SNN_MTFC_FAST=1` shrinks the run).
+
+use snn_bench::{Benchmark, BenchmarkKind, PrepConfig, Scale};
+use snn_model::RecordOptions;
+use snn_testgen::{activity_map, TestGenConfig, TestGenerator};
+
+fn main() {
+    let fast = std::env::var("SNN_MTFC_FAST").is_ok();
+    let prep = if fast { PrepConfig::fast() } else { PrepConfig::repro() };
+
+    eprintln!("[fig8] preparing IBM benchmark…");
+    let b = Benchmark::prepare(BenchmarkKind::Ibm, Scale::Repro, 42, prep);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+    let cfg = if fast { TestGenConfig::fast() } else { TestGenConfig::repro() };
+    eprintln!("[fig8] generating test…");
+    let test = TestGenerator::new(&b.net, cfg).generate(&mut rng);
+    let stimulus = test.assembled();
+
+    let optimized_trace = b.net.forward(&stimulus, RecordOptions::spikes_only());
+    let optimized = activity_map(&b.net, &optimized_trace, 1.0);
+
+    // A "random" input sample from the dataset (the paper picks one).
+    let (sample, _) = b.dataset.sample(b.test_range.start);
+    let sample_trace = b.net.forward(&sample, RecordOptions::spikes_only());
+    let random = activity_map(&b.net, &sample_trace, 1.0);
+
+    println!("Fig. 8: neuron activity per layer ('#' activated, '.' silent)\n");
+    for (idx, shape) in optimized.shapes.iter().enumerate() {
+        println!("layer {idx} {shape}:");
+        let opt = optimized.render_layer(idx);
+        let rnd = random.render_layer(idx);
+        let o_lines: Vec<&str> = opt.lines().collect();
+        let r_lines: Vec<&str> = rnd.lines().collect();
+        println!("{:<w$}   {}", "(a) optimized", "(b) dataset sample", w = o_lines[0].len().max(14));
+        for (ol, rl) in o_lines.iter().zip(r_lines.iter()) {
+            println!("{ol}   {rl}");
+        }
+        println!();
+    }
+    println!(
+        "activated neurons: optimized {:.2}% vs dataset sample {:.2}%",
+        optimized.fraction() * 100.0,
+        random.fraction() * 100.0
+    );
+    println!("(paper, IBM at paper scale: 82.81% vs 29%)");
+}

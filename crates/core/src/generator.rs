@@ -1,0 +1,429 @@
+use crate::losses::{self, TargetMask};
+use crate::stage::{init_logits, Stage, StageConfig, StageOutcome};
+use crate::testset::{GeneratedTest, IterationStats};
+use rand::Rng;
+use snn_model::{optim::Schedule, InjectedGrads, Network, RecordOptions, Surrogate};
+use std::time::{Duration, Instant};
+
+/// Configuration of the full test-generation algorithm (paper Fig. 2 and
+/// Section V-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestGenConfig {
+    /// Stage-1 optimization steps per iteration (`N¹_steps`; paper: 2000).
+    pub stage1_steps: usize,
+    /// Stage-2 optimization steps (`N²_steps`; paper: `N¹_steps / 2`).
+    pub stage2_steps: usize,
+    /// Learning-rate schedule (paper: Adam from 0.1, annealed).
+    pub lr: Schedule,
+    /// Gumbel temperature schedule (paper: annealed, maximum 0.9).
+    pub tau: Schedule,
+    /// Surrogate spike derivative.
+    pub surrogate: Surrogate,
+    /// Stochastic (`true`, paper) or deterministic relaxation sampling.
+    pub stochastic: bool,
+    /// Initial input duration in ticks. `None` calibrates `T_in,min` by
+    /// minimizing `L1` alone, as in Section V-C.
+    pub t_in_min: Option<usize>,
+    /// `TD_min = T_in / td_min_divisor` (paper: divisor 10).
+    pub td_min_divisor: f32,
+    /// Input-duration increment `β` in ticks (paper: 10 ms; doubles on
+    /// every growth).
+    pub beta: usize,
+    /// Maximum duration growths per iteration before the chunk is accepted
+    /// as-is.
+    pub max_growths: usize,
+    /// Wall-clock budget (`t_limit`; paper: 3 h).
+    pub t_limit: Duration,
+    /// Hard cap on outer iterations (safety net for tiny budgets).
+    pub max_iterations: usize,
+    /// Spike-count threshold for considering a neuron "activated" when
+    /// updating `𝒩_A` (the paper uses `|O^{ℓi}| > 1`).
+    pub activation_min_spikes: f32,
+    /// Output-preservation weight `μ` in stage 2.
+    pub mu: f32,
+    /// Run stage 2 (hidden-activity pruning) — ablation toggle.
+    pub use_stage2: bool,
+    /// Include `L3` (temporal diversity) in stage 1 — ablation toggle.
+    pub use_l3: bool,
+    /// Include `L4` (contribution variance) in stage 1 — ablation toggle.
+    pub use_l4: bool,
+    /// Include the `L6` saturation-margin extension loss (off =
+    /// paper-faithful; see `losses::l6_saturation_margin`).
+    pub use_l6: bool,
+}
+
+impl TestGenConfig {
+    /// Paper-faithful parameters (Section V-C). Intended for paper-scale
+    /// runs; expect hours of wall clock.
+    pub fn paper() -> Self {
+        Self {
+            stage1_steps: 2000,
+            stage2_steps: 1000,
+            lr: Schedule::Cosine { initial: 0.1, min: 0.005, period: 2000 },
+            tau: Schedule::Cosine { initial: 0.9, min: 0.2, period: 2000 },
+            surrogate: Surrogate::default(),
+            stochastic: true,
+            t_in_min: None,
+            td_min_divisor: 10.0,
+            beta: 10,
+            max_growths: 4,
+            t_limit: Duration::from_secs(3 * 3600),
+            max_iterations: 64,
+            activation_min_spikes: 2.0,
+            mu: 4.0,
+            use_stage2: true,
+            use_l3: true,
+            use_l4: true,
+            use_l6: false,
+        }
+    }
+
+    /// Scaled-down parameters for repro-scale benchmarks: same structure,
+    /// two orders of magnitude fewer optimizer steps, and an iteration cap
+    /// keeping the assembled test within the ~10-sample-lengths regime the
+    /// paper reports.
+    pub fn repro() -> Self {
+        Self {
+            stage1_steps: 250,
+            stage2_steps: 125,
+            lr: Schedule::Cosine { initial: 0.1, min: 0.01, period: 250 },
+            tau: Schedule::Cosine { initial: 0.9, min: 0.3, period: 250 },
+            t_limit: Duration::from_secs(900),
+            max_iterations: 10,
+            max_growths: 2,
+            ..Self::paper()
+        }
+    }
+
+    /// Minimal parameters for unit tests and doc examples (seconds).
+    pub fn fast() -> Self {
+        Self {
+            stage1_steps: 60,
+            stage2_steps: 30,
+            lr: Schedule::Constant(0.08),
+            tau: Schedule::Constant(0.7),
+            t_in_min: Some(20),
+            t_limit: Duration::from_secs(30),
+            max_iterations: 4,
+            max_growths: 1,
+            activation_min_spikes: 1.0,
+            ..Self::paper()
+        }
+    }
+}
+
+/// Calibrates the minimum input duration `T_in,min`: the shortest duration
+/// (growing from `start` by doubling) at which optimizing `L1` alone makes
+/// every output neuron fire (Section V-C).
+///
+/// Returns the calibrated duration, capped at `max`.
+pub fn calibrate_t_in_min(
+    net: &Network,
+    rng: &mut impl Rng,
+    cfg: &TestGenConfig,
+    start: usize,
+    max: usize,
+) -> usize {
+    let mut t = start.max(1);
+    let num_layers = net.layers().len();
+    loop {
+        // Short L1-only optimization at duration t.
+        let mut logits = init_logits(rng, t, net.input_features());
+        let mut adam = snn_model::optim::Adam::new(logits.shape().clone());
+        let steps = (cfg.stage1_steps / 4).max(10);
+        let mut satisfied = false;
+        for k in 0..steps {
+            let sample = if cfg.stochastic {
+                snn_model::gumbel::GumbelSample::stochastic(rng, &logits, cfg.tau.at(k))
+            } else {
+                snn_model::gumbel::GumbelSample::deterministic(&logits, cfg.tau.at(k))
+            };
+            let trace = net.forward(&sample.binary, RecordOptions::full());
+            let mut inj = InjectedGrads::none(num_layers);
+            let l1 = losses::l1_output_activation(net, &trace, &mut inj);
+            if l1 == 0.0 {
+                satisfied = true;
+                break;
+            }
+            let grads = net.backward(&sample.binary, &trace, &inj, cfg.surrogate, false);
+            let g = sample.grad_logits(&grads.input);
+            adam.step(&mut logits, &g, cfg.lr.at(k));
+        }
+        if satisfied || t >= max {
+            return t.min(max);
+        }
+        t *= 2;
+    }
+}
+
+/// The outer test-generation loop of the paper's Fig. 2.
+///
+/// Each iteration optimizes one input chunk against the still-unactivated
+/// target set `𝒩_T = 𝒩 \ 𝒩_A` (stage 1), prunes its excess hidden
+/// activity (stage 2), and grows the chunk duration by a doubling `β` if
+/// no new neurons were activated. Generation ends at full activation, the
+/// iteration cap, or the wall-clock limit.
+#[derive(Debug)]
+pub struct TestGenerator<'a> {
+    net: &'a Network,
+    cfg: TestGenConfig,
+}
+
+impl<'a> TestGenerator<'a> {
+    /// Creates a generator over a trained network.
+    pub fn new(net: &'a Network, cfg: TestGenConfig) -> Self {
+        Self { net, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TestGenConfig {
+        &self.cfg
+    }
+
+    /// Runs the full algorithm, producing the compact test stimulus.
+    pub fn generate(&self, rng: &mut impl Rng) -> GeneratedTest {
+        let started = Instant::now();
+        let cfg = &self.cfg;
+        let t_in_min = cfg
+            .t_in_min
+            .unwrap_or_else(|| calibrate_t_in_min(self.net, rng, cfg, 8, 512));
+
+        let layout = self.net.neuron_layout();
+        let num_layers = self.net.layers().len();
+        // Per-layer activation bookkeeping (𝒩_A).
+        let mut activated: Vec<Vec<bool>> = self
+            .net
+            .layers()
+            .iter()
+            .map(|l| {
+                if l.is_spiking() {
+                    vec![false; l.out_features()]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let total_neurons: usize = layout.iter().map(|&(_, n)| n).sum();
+
+        let mut chunks = Vec::new();
+        let mut iterations = Vec::new();
+
+        for _iter in 0..cfg.max_iterations {
+            let active_now: usize = activated
+                .iter()
+                .flat_map(|m| m.iter())
+                .filter(|&&a| a)
+                .count();
+            if active_now == total_neurons || started.elapsed() >= cfg.t_limit {
+                break;
+            }
+
+            // Target set: everything not yet activated.
+            let mask: TargetMask = activated
+                .iter()
+                .enumerate()
+                .map(|(idx, m)| {
+                    if self.net.layers()[idx].is_spiking() {
+                        Some(m.iter().map(|&a| !a).collect())
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+
+            let mut t_cur = t_in_min;
+            let mut beta = cfg.beta;
+            let mut growths = 0usize;
+            let (outcome, newly) = loop {
+                let stage_cfg = StageConfig {
+                    steps: cfg.stage1_steps,
+                    lr: cfg.lr,
+                    tau: cfg.tau,
+                    surrogate: cfg.surrogate,
+                    stochastic: cfg.stochastic,
+                    td_min: (t_cur as f32 / cfg.td_min_divisor).max(1.0),
+                    mu: cfg.mu,
+                    use_l3: cfg.use_l3,
+                    use_l4: cfg.use_l4,
+                    use_l6: cfg.use_l6,
+                    ..StageConfig::default()
+                };
+                let stage = Stage::new(self.net, stage_cfg.clone());
+                let logits = init_logits(rng, t_cur, self.net.input_features());
+                let s1 = stage.run_stage1(rng, logits, &mask);
+                let s2 = if cfg.use_stage2 {
+                    let stage2 = Stage::new(
+                        self.net,
+                        StageConfig { steps: cfg.stage2_steps, ..stage_cfg },
+                    );
+                    stage2.run_stage2(rng, &s1)
+                } else {
+                    s1.clone()
+                };
+
+                let newly = self.count_new_activations(&s2, &activated);
+                if newly > 0 || growths >= cfg.max_growths || started.elapsed() >= cfg.t_limit {
+                    break ((s1, s2), newly);
+                }
+                // No progress: grow the duration (β doubles, Section V-C).
+                t_cur += beta;
+                beta *= 2;
+                growths += 1;
+            };
+            let (s1, s2) = outcome;
+
+            // Commit the chunk and update 𝒩_A from its activity.
+            for (idx, masks) in s2.activation_masks(self.net, cfg.activation_min_spikes)
+                .into_iter()
+                .enumerate()
+            {
+                for (i, hit) in masks.into_iter().enumerate() {
+                    if hit {
+                        activated[idx][i] = true;
+                    }
+                }
+            }
+            iterations.push(IterationStats {
+                steps: s2.best_input.shape().dim(0),
+                stage1_loss: s1.best_loss,
+                stage2_hidden_spikes: s2.best_loss,
+                newly_activated: newly,
+                growths,
+            });
+            chunks.push(s2.best_input);
+
+            // An iteration that made no progress even after max growths
+            // will not make progress next time either — stop.
+            if newly == 0 {
+                break;
+            }
+        }
+
+        // Flatten per-layer activation into global neuron order.
+        let mut global = Vec::with_capacity(total_neurons);
+        for &(layer, count) in &layout {
+            for i in 0..count {
+                global.push(activated[layer][i]);
+            }
+        }
+        debug_assert_eq!(global.len(), total_neurons);
+        let _ = num_layers;
+
+        let mut test = GeneratedTest::from_chunks(chunks, self.net.input_features(), global);
+        test.runtime = started.elapsed();
+        test.iterations = iterations;
+        test
+    }
+
+    /// Neurons activated by `outcome` that are not yet in `activated`.
+    fn count_new_activations(&self, outcome: &StageOutcome, activated: &[Vec<bool>]) -> usize {
+        outcome
+            .activation_masks(self.net, self.cfg.activation_min_spikes)
+            .into_iter()
+            .zip(activated.iter())
+            .map(|(mask, old)| {
+                mask.into_iter()
+                    .zip(old.iter())
+                    .filter(|(new, &old)| *new && !old)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_model::{LifParams, NetworkBuilder};
+
+    fn net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new(6, LifParams { refrac_steps: 1, ..LifParams::default() })
+            .dense(12)
+            .dense(4)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn generate_produces_nonempty_test_within_budget() {
+        let net = net(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let test = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
+        assert!(!test.chunks.is_empty());
+        assert!(test.runtime <= Duration::from_secs(60));
+        assert_eq!(test.activated.len(), net.neuron_count());
+        assert!(test.activated_count() > 0, "test should activate neurons");
+        assert_eq!(test.iterations.len(), test.chunks.len());
+    }
+
+    #[test]
+    fn activation_grows_monotonically_over_iterations() {
+        let net = net(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let test = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
+        // every committed iteration after the first must have added
+        // neurons, except possibly the final stalled one
+        for (i, it) in test.iterations.iter().enumerate() {
+            if i + 1 < test.iterations.len() {
+                assert!(it.newly_activated > 0, "iteration {i} made no progress");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_test_beats_random_input_on_activation() {
+        let net = net(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let test = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
+
+        // A random stimulus of the same total duration.
+        let steps = test.test_steps();
+        let random = snn_tensor::init::bernoulli(&mut rng, snn_tensor::Shape::d2(steps, 6), 0.5);
+        let trace = net.forward(&random, RecordOptions::spikes_only());
+        let random_active: usize = (0..2)
+            .map(|i| {
+                trace.layers[i]
+                    .spike_counts()
+                    .iter()
+                    .filter(|&&c| c >= 1.0)
+                    .count()
+            })
+            .sum();
+        assert!(
+            test.activated_count() >= random_active,
+            "optimized {} < random {random_active}",
+            test.activated_count()
+        );
+    }
+
+    #[test]
+    fn iteration_cap_is_respected() {
+        let net = net(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut cfg = TestGenConfig::fast();
+        cfg.max_iterations = 2;
+        let test = TestGenerator::new(&net, cfg).generate(&mut rng);
+        assert!(test.iterations.len() <= 2);
+    }
+
+    #[test]
+    fn calibration_returns_duration_within_bounds() {
+        let net = net(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let cfg = TestGenConfig::fast();
+        let t = calibrate_t_in_min(&net, &mut rng, &cfg, 4, 64);
+        assert!((4..=64).contains(&t));
+    }
+
+    #[test]
+    fn time_limit_short_circuits() {
+        let net = net(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut cfg = TestGenConfig::fast();
+        cfg.t_limit = Duration::ZERO;
+        let test = TestGenerator::new(&net, cfg).generate(&mut rng);
+        assert!(test.chunks.is_empty());
+    }
+}

@@ -1,0 +1,568 @@
+//! The paper's five loss functions over spike trains, with analytic
+//! (sub)gradients delivered as per-layer [`InjectedGrads`] for BPTT.
+//!
+//! All losses take the full forward [`Trace`] and *add* their gradient
+//! contribution into an `InjectedGrads` accumulator, so a stage can
+//! scalarize any subset with weights `α_i` (Eq. 6) in one backward pass.
+//!
+//! Conventions:
+//!
+//! * Spike counts `‖O^{ℓi}‖₁` are differentiated as sums over time, so a
+//!   count gradient `g` becomes `∂L/∂s[t, i] = g` at every tick.
+//! * Hinges (`max(0, ·)`) use the standard subgradient (0 at the kink).
+//! * `L4` follows Eq. 13's dense formulation and is applied to dense and
+//!   recurrent (input-weight) layers; convolutional layers share kernel
+//!   weights across space, which already equalizes per-synapse
+//!   contributions, and their small fan-in makes masking rare (covered by
+//!   `L2`/`L3`).
+
+use snn_model::{InjectedGrads, Layer, Network, Trace};
+use snn_tensor::{Shape, Tensor};
+
+/// Per-layer boolean masks selecting which neurons a loss targets
+/// (`None` = all neurons of that layer). Aligned with `Network::layers()`.
+pub type TargetMask = Vec<Option<Vec<bool>>>;
+
+/// A mask targeting every neuron of every layer.
+pub fn full_mask(net: &Network) -> TargetMask {
+    vec![None; net.layers().len()]
+}
+
+/// Spike counts per neuron for layer `idx` of the trace.
+fn counts(trace: &Trace, idx: usize) -> Vec<f32> {
+    trace.layers[idx].spike_counts()
+}
+
+fn targeted(mask: &TargetMask, layer: usize, neuron: usize) -> bool {
+    match &mask[layer] {
+        None => true,
+        Some(m) => m[neuron],
+    }
+}
+
+/// `L1` (Eq. 9): every **output** neuron must fire at least once during
+/// the inference window. Returns the loss value and adds `∂L1/∂O^L`.
+pub fn l1_output_activation(net: &Network, trace: &Trace, inj: &mut InjectedGrads) -> f32 {
+    let last = net.layers().len() - 1;
+    let c = counts(trace, last);
+    let steps = trace.steps;
+    let n = c.len();
+    let mut value = 0.0;
+    let mut grad = Tensor::zeros(Shape::d2(steps, n));
+    let gd = grad.as_mut_slice();
+    for (i, &cnt) in c.iter().enumerate() {
+        let deficit = 1.0 - cnt;
+        if deficit > 0.0 {
+            value += deficit;
+            for t in 0..steps {
+                gd[t * n + i] = -1.0;
+            }
+        }
+    }
+    if value > 0.0 {
+        inj.set(last, grad);
+    }
+    value
+}
+
+/// `L2` (Eq. 10): every targeted neuron (all layers) must fire at least
+/// once. The iteration loop passes the not-yet-activated set as `mask`.
+pub fn l2_neuron_activation(
+    net: &Network,
+    trace: &Trace,
+    mask: &TargetMask,
+    inj: &mut InjectedGrads,
+) -> f32 {
+    let steps = trace.steps;
+    let mut value = 0.0;
+    for (idx, layer) in net.layers().iter().enumerate() {
+        if !layer.is_spiking() {
+            continue;
+        }
+        let c = counts(trace, idx);
+        let n = c.len();
+        let mut grad = Tensor::zeros(Shape::d2(steps, n));
+        let mut any = false;
+        {
+            let gd = grad.as_mut_slice();
+            for (i, &cnt) in c.iter().enumerate() {
+                if !targeted(mask, idx, i) {
+                    continue;
+                }
+                let deficit = 1.0 - cnt;
+                if deficit > 0.0 {
+                    value += deficit;
+                    any = true;
+                    for t in 0..steps {
+                        gd[t * n + i] = -1.0;
+                    }
+                }
+            }
+        }
+        if any {
+            inj.set(idx, grad);
+        }
+    }
+    value
+}
+
+/// Temporal diversity of one spike train (Eq. 11): number of state changes.
+pub fn temporal_diversity(train: &[f32]) -> f32 {
+    train.windows(2).map(|w| (w[1] - w[0]).abs()).sum()
+}
+
+/// `L3` (Eq. 12): each targeted neuron's temporal diversity must reach
+/// `td_min`.
+///
+/// For binary trains `|O(j) − O(j−1)| = O(j) + O(j−1) − 2·O(j)·O(j−1)`,
+/// giving the exact subgradient `∂TD/∂O(j) = (1 − 2·O(j−1)) + (1 − 2·O(j+1))`
+/// (boundary terms drop the missing neighbour).
+pub fn l3_temporal_diversity(
+    net: &Network,
+    trace: &Trace,
+    mask: &TargetMask,
+    td_min: f32,
+    inj: &mut InjectedGrads,
+) -> f32 {
+    let steps = trace.steps;
+    let mut value = 0.0;
+    for (idx, layer) in net.layers().iter().enumerate() {
+        if !layer.is_spiking() {
+            continue;
+        }
+        let n = layer.out_features();
+        let out = trace.layers[idx].output.as_slice();
+        let mut grad = Tensor::zeros(Shape::d2(steps, n));
+        let mut any = false;
+        {
+            let gd = grad.as_mut_slice();
+            for i in 0..n {
+                if !targeted(mask, idx, i) {
+                    continue;
+                }
+                let mut td = 0.0f32;
+                for t in 1..steps {
+                    td += (out[t * n + i] - out[(t - 1) * n + i]).abs();
+                }
+                let deficit = td_min - td;
+                if deficit > 0.0 {
+                    value += deficit;
+                    any = true;
+                    // d(−TD)/dO(t): pushing TD up means flipping states.
+                    for t in 0..steps {
+                        let mut d = 0.0f32;
+                        if t > 0 {
+                            d += 1.0 - 2.0 * out[(t - 1) * n + i];
+                        }
+                        if t + 1 < steps {
+                            d += 1.0 - 2.0 * out[(t + 1) * n + i];
+                        }
+                        gd[t * n + i] += -d;
+                    }
+                }
+            }
+        }
+        if any {
+            inj.set(idx, grad);
+        }
+    }
+    value
+}
+
+/// `L4` (Eq. 13): variance of per-synapse contributions
+/// `c_j = w_{j,i} · ‖O^{ℓ−1,j}‖₁` to each post-synaptic neuron, summed
+/// over dense/recurrent layers. Uniform contributions stop strong synapses
+/// from masking weak ones.
+pub fn l4_contribution_variance(net: &Network, trace: &Trace, inj: &mut InjectedGrads) -> f32 {
+    let steps = trace.steps;
+    let mut value = 0.0;
+    for (idx, layer) in net.layers().iter().enumerate() {
+        let weight = match layer {
+            Layer::Dense(l) => &l.weight,
+            Layer::Recurrent(l) => &l.w_in,
+            _ => continue,
+        };
+        if idx == 0 {
+            // Contributions of the *stimulus* itself are what the input
+            // optimization already controls; Eq. 13 starts at ℓ = 2.
+            continue;
+        }
+        let dims = weight.shape().dims();
+        let (rows, cols) = (dims[0], dims[1]);
+        let wd = weight.as_slice();
+        let pre_counts = counts(trace, idx - 1);
+        debug_assert_eq!(pre_counts.len(), cols);
+
+        // dL/d(count_j) accumulated over all post-neurons of this layer.
+        let mut dcount = vec![0.0f32; cols];
+        for r in 0..rows {
+            let row = &wd[r * cols..(r + 1) * cols];
+            let active: Vec<usize> = (0..cols).filter(|&j| row[j] != 0.0).collect();
+            let m = active.len();
+            if m < 2 {
+                continue;
+            }
+            let contrib: Vec<f32> = active.iter().map(|&j| row[j] * pre_counts[j]).collect();
+            let mean = contrib.iter().sum::<f32>() / m as f32;
+            let var = contrib.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / m as f32;
+            value += var;
+            for (k, &j) in active.iter().enumerate() {
+                // ∂Var/∂c_k = 2(c_k − mean)/m ; ∂c_k/∂count_j = w_{j,r}
+                dcount[j] += 2.0 * (contrib[k] - mean) / m as f32 * row[j];
+            }
+        }
+        if dcount.iter().any(|&d| d != 0.0) {
+            let n_pre = cols;
+            let mut grad = Tensor::zeros(Shape::d2(steps, n_pre));
+            let gd = grad.as_mut_slice();
+            for t in 0..steps {
+                gd[t * n_pre..(t + 1) * n_pre].copy_from_slice(&dcount);
+            }
+            inj.set(idx - 1, grad);
+        }
+    }
+    value
+}
+
+/// `L5` (Eq. 16): total hidden spike count — stage 2 minimizes it to keep
+/// fault effects from drowning in refractory periods.
+pub fn l5_hidden_activity(net: &Network, trace: &Trace, inj: &mut InjectedGrads) -> f32 {
+    let steps = trace.steps;
+    let last = net.layers().len() - 1;
+    let mut value = 0.0;
+    for (idx, layer) in net.layers().iter().enumerate() {
+        if idx == last || !layer.is_spiking() {
+            continue;
+        }
+        let n = layer.out_features();
+        value += trace.layers[idx].output.sum();
+        inj.set(idx, Tensor::full(Shape::d2(steps, n), 1.0));
+    }
+    value
+}
+
+/// Output-preservation penalty realizing Eq. 15's constraint
+/// `O^L = const`: `μ·‖O^L − O^L_ref‖₁` with the L1 subgradient.
+///
+/// # Panics
+///
+/// Panics if `reference` does not match the output shape.
+pub fn output_preservation(
+    net: &Network,
+    trace: &Trace,
+    reference: &Tensor,
+    mu: f32,
+    inj: &mut InjectedGrads,
+) -> f32 {
+    let last = net.layers().len() - 1;
+    let out = trace.output();
+    assert_eq!(
+        out.shape(),
+        reference.shape(),
+        "reference output shape mismatch"
+    );
+    let diff = out - reference;
+    let value = mu * diff.l1_norm();
+    if value > 0.0 {
+        let grad = diff.map(|d| mu * d.signum());
+        inj.set(last, grad);
+    }
+    value
+}
+
+/// `L6` (extension, this repo): saturation-margin loss.
+///
+/// The paper's future work asks for new loss functions that further
+/// improve coverage. A neuron that already fires at its maximum nominal
+/// rate (every `refrac + 1` ticks) responds to the stimulus exactly like
+/// its *saturated-fault* counterpart near the output — the fault becomes
+/// undetectable by that stimulus. `L6` therefore penalizes neurons whose
+/// spike count exceeds `margin` of their physical maximum, pushing the
+/// stimulus to keep nominal responses distinguishable from stuck-firing
+/// behaviour:
+///
+/// `L6 = Σ max(0, ‖O^{ℓi}‖₁ − margin·max_count(ℓ))`.
+pub fn l6_saturation_margin(
+    net: &Network,
+    trace: &Trace,
+    margin: f32,
+    inj: &mut InjectedGrads,
+) -> f32 {
+    assert!((0.0..=1.0).contains(&margin), "margin must be in [0, 1]");
+    let steps = trace.steps;
+    let mut value = 0.0;
+    for (idx, layer) in net.layers().iter().enumerate() {
+        let Some(lif) = layer.lif() else { continue };
+        let max_count = steps as f32 / (lif.refrac_steps as f32 + 1.0);
+        let cap = margin * max_count;
+        let c = counts(trace, idx);
+        let n = c.len();
+        let mut grad = Tensor::zeros(Shape::d2(steps, n));
+        let mut any = false;
+        {
+            let gd = grad.as_mut_slice();
+            for (i, &cnt) in c.iter().enumerate() {
+                let excess = cnt - cap;
+                if excess > 0.0 {
+                    value += excess;
+                    any = true;
+                    for t in 0..steps {
+                        gd[t * n + i] = 1.0; // push the count down
+                    }
+                }
+            }
+        }
+        if any {
+            inj.set(idx, grad);
+        }
+    }
+    value
+}
+
+/// Scalarization weights `α_i = 1 / max(L_i, ε)` (Section V-C: inverse of
+/// the expected magnitude, so each term contributes comparably).
+pub fn balance_weights(initial_losses: &[f32]) -> Vec<f32> {
+    initial_losses
+        .iter()
+        .map(|&l| 1.0 / l.max(1e-3))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_model::{LifParams, NetworkBuilder, RecordOptions};
+
+    fn small_net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new(5, LifParams { refrac_steps: 1, ..LifParams::default() })
+            .dense(8)
+            .dense(3)
+            .build(&mut rng)
+    }
+
+    #[test]
+    fn l1_is_zero_when_all_outputs_fire() {
+        let net = small_net(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        // dense all-ones drive fires everything eventually
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(40, 5), 0.9);
+        let trace = net.forward(&input, RecordOptions::full());
+        let mut inj = InjectedGrads::none(2);
+        let v = l1_output_activation(&net, &trace, &mut inj);
+        let out_counts = trace.class_counts();
+        if out_counts.iter().all(|&c| c >= 1.0) {
+            assert_eq!(v, 0.0);
+            assert!(inj.is_empty());
+        } else {
+            assert!(v > 0.0);
+        }
+    }
+
+    #[test]
+    fn l1_counts_silent_output_neurons_on_zero_input() {
+        let net = small_net(0);
+        let input = Tensor::zeros(Shape::d2(10, 5));
+        let trace = net.forward(&input, RecordOptions::full());
+        let mut inj = InjectedGrads::none(2);
+        let v = l1_output_activation(&net, &trace, &mut inj);
+        assert_eq!(v, 3.0); // three silent outputs, deficit 1 each
+        // gradient pushes spikes up (negative, since loss falls as count rises)
+        let g = inj.layer(1).unwrap();
+        assert!(g.as_slice().iter().all(|&x| x <= 0.0));
+        assert!(g.l1_norm() > 0.0);
+    }
+
+    #[test]
+    fn l2_respects_target_mask() {
+        let net = small_net(0);
+        let input = Tensor::zeros(Shape::d2(10, 5));
+        let trace = net.forward(&input, RecordOptions::full());
+        let mut mask = full_mask(&net);
+        // target only neuron 2 of layer 0
+        let mut layer0 = vec![false; 8];
+        layer0[2] = true;
+        mask[0] = Some(layer0);
+        mask[1] = Some(vec![false; 3]);
+        let mut inj = InjectedGrads::none(2);
+        let v = l2_neuron_activation(&net, &trace, &mask, &mut inj);
+        assert_eq!(v, 1.0);
+        let g = inj.layer(0).unwrap();
+        // only column 2 non-zero
+        for t in 0..10 {
+            for i in 0..8 {
+                let expect = if i == 2 { -1.0 } else { 0.0 };
+                assert_eq!(g[[t, i]], expect);
+            }
+        }
+        assert!(inj.layer(1).is_none());
+    }
+
+    #[test]
+    fn temporal_diversity_counts_transitions() {
+        assert_eq!(temporal_diversity(&[0.0, 1.0, 0.0, 0.0, 1.0]), 3.0);
+        assert_eq!(temporal_diversity(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(temporal_diversity(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn l3_penalizes_low_diversity_only() {
+        let net = small_net(0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(30, 5), 0.8);
+        let trace = net.forward(&input, RecordOptions::full());
+        let mask = full_mask(&net);
+        let mut inj = InjectedGrads::none(2);
+        let v_low = l3_temporal_diversity(&net, &trace, &mask, 0.5, &mut inj);
+        let mut inj2 = InjectedGrads::none(2);
+        let v_high = l3_temporal_diversity(&net, &trace, &mask, 100.0, &mut inj2);
+        assert!(v_high > v_low);
+        assert!(v_high > 0.0);
+    }
+
+    #[test]
+    fn l3_gradient_flips_isolated_quiet_train() {
+        // Hand case: one neuron, constant-zero train, td_min = 2.
+        // ∂TD/∂O(t) = 2 for interior ticks (both neighbours are 0), so the
+        // injected gradient must be −2 (increase diversity by spiking).
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = NetworkBuilder::new(1, LifParams::default()).dense(1).build(&mut rng);
+        let input = Tensor::zeros(Shape::d2(5, 1));
+        let trace = net.forward(&input, RecordOptions::full());
+        let mut inj = InjectedGrads::none(1);
+        let v = l3_temporal_diversity(&net, &trace, &full_mask(&net), 2.0, &mut inj);
+        assert_eq!(v, 2.0);
+        let g = inj.layer(0).unwrap();
+        assert_eq!(g[[2, 0]], -2.0);
+        assert_eq!(g[[0, 0]], -1.0); // boundary has one neighbour
+    }
+
+    #[test]
+    fn l4_zero_for_identical_contributions() {
+        // Two inputs with equal weights and equal counts ⇒ zero variance.
+        let lif = LifParams::default();
+        let l0 = snn_model::DenseLayer::new(
+            Tensor::from_vec(Shape::d2(2, 2), vec![0.6, 0.6, 0.6, 0.6]).unwrap(),
+            lif,
+        );
+        let l1 = snn_model::DenseLayer::new(
+            Tensor::from_vec(Shape::d2(1, 2), vec![0.5, 0.5]).unwrap(),
+            lif,
+        );
+        let net = Network::new(
+            Shape::d1(2),
+            vec![Layer::Dense(l0), Layer::Dense(l1)],
+        );
+        let input = Tensor::full(Shape::d2(12, 2), 1.0);
+        let trace = net.forward(&input, RecordOptions::full());
+        let mut inj = InjectedGrads::none(2);
+        let v = l4_contribution_variance(&net, &trace, &mut inj);
+        assert!(v.abs() < 1e-6, "v={v}");
+    }
+
+    #[test]
+    fn l4_penalizes_imbalanced_contributions() {
+        let lif = LifParams::default();
+        let l0 = snn_model::DenseLayer::new(
+            Tensor::from_vec(Shape::d2(2, 2), vec![0.9, 0.0, 0.0, 0.2]).unwrap(),
+            lif,
+        );
+        // second layer with very unequal weights
+        let l1 = snn_model::DenseLayer::new(
+            Tensor::from_vec(Shape::d2(1, 2), vec![1.0, 0.05]).unwrap(),
+            lif,
+        );
+        let net = Network::new(Shape::d1(2), vec![Layer::Dense(l0), Layer::Dense(l1)]);
+        let input = Tensor::full(Shape::d2(20, 2), 1.0);
+        let trace = net.forward(&input, RecordOptions::full());
+        let mut inj = InjectedGrads::none(2);
+        let v = l4_contribution_variance(&net, &trace, &mut inj);
+        assert!(v > 0.0);
+        assert!(inj.layer(0).is_some(), "gradient lands on pre-synaptic spikes");
+    }
+
+    #[test]
+    fn l5_counts_hidden_spikes_and_pushes_down() {
+        let net = small_net(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 5), 0.9);
+        let trace = net.forward(&input, RecordOptions::full());
+        let mut inj = InjectedGrads::none(2);
+        let v = l5_hidden_activity(&net, &trace, &mut inj);
+        assert_eq!(v, trace.layers[0].output.sum());
+        let g = inj.layer(0).unwrap();
+        assert!(g.as_slice().iter().all(|&x| x == 1.0));
+        assert!(inj.layer(1).is_none(), "output layer is exempt from L5");
+    }
+
+    #[test]
+    fn output_preservation_is_zero_on_match() {
+        let net = small_net(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(15, 5), 0.7);
+        let trace = net.forward(&input, RecordOptions::full());
+        let reference = trace.output().clone();
+        let mut inj = InjectedGrads::none(2);
+        let v = output_preservation(&net, &trace, &reference, 5.0, &mut inj);
+        assert_eq!(v, 0.0);
+        assert!(inj.is_empty());
+
+        // Perturb the reference: penalty appears with signed gradient.
+        let mut wrong = reference.clone();
+        wrong[0] = 1.0 - wrong[0];
+        let mut inj2 = InjectedGrads::none(2);
+        let v2 = output_preservation(&net, &trace, &wrong, 5.0, &mut inj2);
+        assert_eq!(v2, 5.0);
+        assert!(inj2.layer(1).is_some());
+    }
+
+    #[test]
+    fn l6_flags_only_max_rate_neurons() {
+        // One neuron with a huge drive fires at its physical maximum
+        // (every refrac+1 ticks); with margin 0.8 it must be penalized.
+        let lif = LifParams { threshold: 0.5, leak: 1.0, refrac_steps: 1 };
+        let net = Network::new(
+            Shape::d1(1),
+            vec![Layer::Dense(snn_model::DenseLayer::new(
+                Tensor::from_vec(Shape::d2(2, 1), vec![5.0, 0.01]).unwrap(),
+                lif,
+            ))],
+        );
+        let input = Tensor::full(Shape::d2(20, 1), 1.0);
+        let trace = net.forward(&input, RecordOptions::full());
+        // neuron 0 fires 10× (max for refrac 1 over 20 ticks), neuron 1 never
+        assert_eq!(trace.layers[0].spike_counts(), vec![10.0, 0.0]);
+
+        let mut inj = InjectedGrads::none(1);
+        let v = l6_saturation_margin(&net, &trace, 0.8, &mut inj);
+        assert!(v > 0.0);
+        let g = inj.layer(0).unwrap();
+        assert_eq!(g[[0, 0]], 1.0, "saturated neuron pushed down");
+        assert_eq!(g[[0, 1]], 0.0, "quiet neuron untouched");
+
+        // With a permissive margin nothing is penalized.
+        let mut inj2 = InjectedGrads::none(1);
+        assert_eq!(l6_saturation_margin(&net, &trace, 1.0, &mut inj2), 0.0);
+        assert!(inj2.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be in")]
+    fn l6_rejects_bad_margin() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = NetworkBuilder::new(1, LifParams::default()).dense(1).build(&mut rng);
+        let trace = net.forward(&Tensor::zeros(Shape::d2(2, 1)), RecordOptions::full());
+        let mut inj = InjectedGrads::none(1);
+        let _ = l6_saturation_margin(&net, &trace, 1.5, &mut inj);
+    }
+
+    #[test]
+    fn balance_weights_inverts_magnitudes() {
+        let w = balance_weights(&[2.0, 0.5, 0.0]);
+        assert_eq!(w[0], 0.5);
+        assert_eq!(w[1], 2.0);
+        assert!((w[2] - 1000.0).abs() < 0.01); // ε-floored
+    }
+}

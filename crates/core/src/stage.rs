@@ -1,0 +1,430 @@
+use crate::losses::{self, TargetMask};
+use rand::Rng;
+use snn_model::{
+    gumbel::GumbelSample,
+    optim::{Adam, Schedule},
+    InjectedGrads, Network, RecordOptions, Surrogate, Trace,
+};
+use snn_tensor::{Shape, Tensor};
+
+/// Hyper-parameters of one input-optimization stage (paper Fig. 3 and
+/// Section V-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageConfig {
+    /// Optimization steps (`N_steps^{stage#}`; paper: 2000 for stage 1,
+    /// half that for stage 2).
+    pub steps: usize,
+    /// Learning-rate annealing (paper: Adam starting at 0.1).
+    pub lr: Schedule,
+    /// Gumbel-Softmax temperature annealing (paper: maximum 0.9).
+    pub tau: Schedule,
+    /// Surrogate spike derivative for BPTT.
+    pub surrogate: Surrogate,
+    /// Sample the binary-concrete relaxation with logistic noise
+    /// (`true`, the paper's setting) or deterministically.
+    pub stochastic: bool,
+    /// Minimum temporal diversity `TD_min` for `L3`.
+    pub td_min: f32,
+    /// Weight `μ` of the output-preservation penalty in stage 2.
+    pub mu: f32,
+    /// Include `L3` (temporal diversity) in stage 1 — ablation toggle.
+    pub use_l3: bool,
+    /// Include `L4` (contribution variance) in stage 1 — ablation toggle.
+    pub use_l4: bool,
+    /// Include the `L6` saturation-margin extension loss (this repo's
+    /// future-work experiment; off by default = paper-faithful).
+    pub use_l6: bool,
+    /// Margin for `L6` (fraction of the physical maximum firing rate).
+    pub l6_margin: f32,
+}
+
+impl Default for StageConfig {
+    fn default() -> Self {
+        Self {
+            steps: 200,
+            lr: Schedule::Cosine { initial: 0.1, min: 0.01, period: 200 },
+            tau: Schedule::Cosine { initial: 0.9, min: 0.3, period: 200 },
+            surrogate: Surrogate::default(),
+            stochastic: true,
+            td_min: 2.0,
+            mu: 4.0,
+            use_l3: true,
+            use_l4: true,
+            use_l6: false,
+            l6_margin: 0.85,
+        }
+    }
+}
+
+/// Result of one optimization stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOutcome {
+    /// Best binary stimulus found (`[T × input_features]`).
+    pub best_input: Tensor,
+    /// Logits (`I_real`) at the best point — the warm start for stage 2.
+    pub best_logits: Tensor,
+    /// Best scalarized loss value.
+    pub best_loss: f32,
+    /// Forward trace of `best_input` (spike trains of every layer).
+    pub best_trace: Trace,
+    /// Scalarized loss per optimization step (for convergence reporting).
+    pub loss_history: Vec<f32>,
+}
+
+impl StageOutcome {
+    /// Per-layer activation masks of the best stimulus: `true` where the
+    /// neuron fired at least `min_spikes` times. Non-spiking layers yield
+    /// empty masks.
+    pub fn activation_masks(&self, net: &Network, min_spikes: f32) -> Vec<Vec<bool>> {
+        net.layers()
+            .iter()
+            .enumerate()
+            .map(|(idx, layer)| {
+                if !layer.is_spiking() {
+                    return Vec::new();
+                }
+                self.best_trace.layers[idx]
+                    .spike_counts()
+                    .into_iter()
+                    .map(|c| c >= min_spikes)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// One gradient-based input-optimization stage over a fixed network.
+///
+/// See the crate-level example; stages are normally driven by
+/// [`TestGenerator`](crate::TestGenerator).
+#[derive(Debug)]
+pub struct Stage<'a> {
+    net: &'a Network,
+    cfg: StageConfig,
+}
+
+impl<'a> Stage<'a> {
+    /// Creates a stage runner for `net`.
+    pub fn new(net: &'a Network, cfg: StageConfig) -> Self {
+        Self { net, cfg }
+    }
+
+    /// The stage configuration.
+    pub fn config(&self) -> &StageConfig {
+        &self.cfg
+    }
+
+    /// Stage 1 (Eq. 14): minimize `Σ αᵢ·Lᵢ` for `i = 1..4` over the input,
+    /// targeting the neurons selected by `mask`.
+    ///
+    /// `logits` is the initial `I_real` (`[T × input_features]`); pass
+    /// fresh uniform noise for a cold start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` feature count mismatches the network.
+    pub fn run_stage1(
+        &self,
+        rng: &mut impl Rng,
+        mut logits: Tensor,
+        mask: &TargetMask,
+    ) -> StageOutcome {
+        assert_eq!(
+            logits.shape().dim(1),
+            self.net.input_features(),
+            "logit feature count mismatch"
+        );
+        let num_layers = self.net.layers().len();
+        let mut adam = Adam::new(logits.shape().clone());
+        let mut alphas: Option<Vec<f32>> = None;
+        let mut best: Option<StageOutcome> = None;
+        let mut history = Vec::with_capacity(self.cfg.steps);
+
+        for k in 0..self.cfg.steps {
+            let tau = self.cfg.tau.at(k);
+            let sample = if self.cfg.stochastic {
+                GumbelSample::stochastic(rng, &logits, tau)
+            } else {
+                GumbelSample::deterministic(&logits, tau)
+            };
+            let trace = self.net.forward(&sample.binary, RecordOptions::full());
+
+            // Evaluate the stage-1 losses (plus the optional L6
+            // extension), each into its own gradient accumulator so they
+            // can be scalarized with α.
+            let mut parts: [(f32, InjectedGrads); 5] = [
+                (0.0, InjectedGrads::none(num_layers)),
+                (0.0, InjectedGrads::none(num_layers)),
+                (0.0, InjectedGrads::none(num_layers)),
+                (0.0, InjectedGrads::none(num_layers)),
+                (0.0, InjectedGrads::none(num_layers)),
+            ];
+            parts[0].0 = losses::l1_output_activation(self.net, &trace, &mut parts[0].1);
+            parts[1].0 = losses::l2_neuron_activation(self.net, &trace, mask, &mut parts[1].1);
+            if self.cfg.use_l3 {
+                parts[2].0 = losses::l3_temporal_diversity(
+                    self.net,
+                    &trace,
+                    mask,
+                    self.cfg.td_min,
+                    &mut parts[2].1,
+                );
+            }
+            if self.cfg.use_l4 {
+                parts[3].0 = losses::l4_contribution_variance(self.net, &trace, &mut parts[3].1);
+            }
+            if self.cfg.use_l6 {
+                parts[4].0 = losses::l6_saturation_margin(
+                    self.net,
+                    &trace,
+                    self.cfg.l6_margin,
+                    &mut parts[4].1,
+                );
+            }
+
+            let a = alphas.get_or_insert_with(|| {
+                losses::balance_weights(&[
+                    parts[0].0, parts[1].0, parts[2].0, parts[3].0, parts[4].0,
+                ])
+            });
+            let total: f32 = parts.iter().zip(a.iter()).map(|((v, _), al)| v * al).sum();
+            history.push(total);
+
+            if best.as_ref().is_none_or(|b| total < b.best_loss) {
+                best = Some(StageOutcome {
+                    best_input: sample.binary.clone(),
+                    best_logits: logits.clone(),
+                    best_loss: total,
+                    best_trace: trace.clone(),
+                    loss_history: Vec::new(),
+                });
+            }
+
+            // Scalarize gradients and take one Adam step.
+            let mut inj = InjectedGrads::none(num_layers);
+            for ((_, grads), &alpha) in parts.iter().zip(a.iter()) {
+                merge_scaled(&mut inj, grads, alpha);
+            }
+            if inj.is_empty() {
+                break; // perfect loss — nothing left to optimize
+            }
+            let grads = self
+                .net
+                .backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
+            let g_logits = sample.grad_logits(&grads.input);
+            adam.step(&mut logits, &g_logits, self.cfg.lr.at(k));
+        }
+
+        let mut out = best.expect("stage ran at least one step");
+        out.loss_history = history;
+        out
+    }
+
+    /// Stage 2 (Eq. 15): starting from the stage-1 optimum, minimize the
+    /// hidden activity `L5` while keeping the output spike trains exactly
+    /// equal to the stage-1 output (enforced as a hard acceptance guard on
+    /// top of the `μ`-weighted penalty).
+    pub fn run_stage2(&self, rng: &mut impl Rng, stage1: &StageOutcome) -> StageOutcome {
+        let num_layers = self.net.layers().len();
+        let reference = stage1.best_trace.output().clone();
+        let mut logits = stage1.best_logits.clone();
+        let mut adam = Adam::new(logits.shape().clone());
+        let mut history = Vec::with_capacity(self.cfg.steps);
+
+        // Baseline: the stage-1 stimulus itself.
+        let mut best = StageOutcome {
+            best_input: stage1.best_input.clone(),
+            best_logits: stage1.best_logits.clone(),
+            best_loss: hidden_spikes(self.net, &stage1.best_trace),
+            best_trace: stage1.best_trace.clone(),
+            loss_history: Vec::new(),
+        };
+        let alpha5 = 1.0 / best.best_loss.max(1e-3);
+
+        for k in 0..self.cfg.steps {
+            let tau = self.cfg.tau.at(k);
+            let sample = if self.cfg.stochastic {
+                GumbelSample::stochastic(rng, &logits, tau)
+            } else {
+                GumbelSample::deterministic(&logits, tau)
+            };
+            let trace = self.net.forward(&sample.binary, RecordOptions::full());
+
+            let mut inj = InjectedGrads::none(num_layers);
+            let l5 = losses::l5_hidden_activity(self.net, &trace, &mut inj);
+            // Scale the L5 gradient; the preservation penalty adds its own.
+            let mut scaled = InjectedGrads::none(num_layers);
+            merge_scaled(&mut scaled, &inj, alpha5);
+            let mut inj = scaled;
+            let penalty =
+                losses::output_preservation(self.net, &trace, &reference, self.cfg.mu, &mut inj);
+            history.push(alpha5 * l5 + penalty);
+
+            // Hard guard: accept only exact output preservation.
+            if penalty == 0.0 && l5 < best.best_loss {
+                best = StageOutcome {
+                    best_input: sample.binary.clone(),
+                    best_logits: logits.clone(),
+                    best_loss: l5,
+                    best_trace: trace.clone(),
+                    loss_history: Vec::new(),
+                };
+            }
+
+            if inj.is_empty() {
+                break;
+            }
+            let grads = self
+                .net
+                .backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
+            let g_logits = sample.grad_logits(&grads.input);
+            adam.step(&mut logits, &g_logits, self.cfg.lr.at(k));
+        }
+
+        best.loss_history = history;
+        best
+    }
+}
+
+/// Total hidden spike count of a trace (the raw `L5` value).
+fn hidden_spikes(net: &Network, trace: &Trace) -> f32 {
+    let last = net.layers().len() - 1;
+    net.layers()
+        .iter()
+        .enumerate()
+        .filter(|(idx, l)| *idx != last && l.is_spiking())
+        .map(|(idx, _)| trace.layers[idx].output.sum())
+        .sum()
+}
+
+/// Adds `alpha · src` into `dst`, layer by layer.
+fn merge_scaled(dst: &mut InjectedGrads, src: &InjectedGrads, alpha: f32) {
+    for layer in 0..src.len() {
+        if let Some(g) = src.layer(layer) {
+            dst.set(layer, g * alpha);
+        }
+    }
+}
+
+/// Fresh uniform logits in `[-1, 1)` for a cold-started stage.
+pub(crate) fn init_logits(rng: &mut impl Rng, steps: usize, features: usize) -> Tensor {
+    snn_tensor::init::uniform(rng, Shape::d2(steps, features), -1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::losses::full_mask;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_model::{LifParams, NetworkBuilder};
+
+    fn net(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new(6, LifParams { refrac_steps: 1, ..LifParams::default() })
+            .dense(12)
+            .dense(4)
+            .build(&mut rng)
+    }
+
+    fn cfg(steps: usize) -> StageConfig {
+        StageConfig {
+            steps,
+            lr: Schedule::Constant(0.08),
+            tau: Schedule::Constant(0.7),
+            ..StageConfig::default()
+        }
+    }
+
+    #[test]
+    fn stage1_reduces_the_scalarized_loss() {
+        let net = net(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let stage = Stage::new(&net, cfg(80));
+        let logits = init_logits(&mut rng, 25, 6);
+        let out = stage.run_stage1(&mut rng, logits, &full_mask(&net));
+        let first = out.loss_history.first().copied().unwrap();
+        assert!(
+            out.best_loss <= first,
+            "best {} should not exceed initial {first}",
+            out.best_loss
+        );
+        assert!(out.best_input.is_binary());
+        assert_eq!(out.best_input.shape().dims(), &[25, 6]);
+    }
+
+    #[test]
+    fn stage1_activates_more_neurons_than_a_random_input() {
+        let net = net(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let stage = Stage::new(&net, cfg(120));
+        let logits = init_logits(&mut rng, 30, 6);
+        let random_input = GumbelSample::deterministic(&logits, 0.9).binary;
+        let random_trace = net.forward(&random_input, RecordOptions::spikes_only());
+        let random_active: usize = (0..2)
+            .map(|i| random_trace.layers[i].activated_count())
+            .sum();
+
+        let out = stage.run_stage1(&mut rng, logits, &full_mask(&net));
+        let opt_active: usize = (0..2)
+            .map(|i| out.best_trace.layers[i].activated_count())
+            .sum();
+        assert!(
+            opt_active >= random_active,
+            "optimized {opt_active} < random {random_active}"
+        );
+        assert!(opt_active > 0);
+    }
+
+    #[test]
+    fn stage2_never_breaks_the_output_and_never_increases_hidden_spikes() {
+        let net = net(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let stage = Stage::new(&net, cfg(60));
+        let logits = init_logits(&mut rng, 25, 6);
+        let s1 = stage.run_stage1(&mut rng, logits, &full_mask(&net));
+        let s1_hidden = hidden_spikes(&net, &s1.best_trace);
+
+        let s2 = stage.run_stage2(&mut rng, &s1);
+        let s2_hidden = hidden_spikes(&net, &s2.best_trace);
+        assert!(s2_hidden <= s1_hidden, "stage 2 increased hidden spikes");
+        assert_eq!(
+            s2.best_trace.output(),
+            s1.best_trace.output(),
+            "stage 2 must preserve O^L exactly"
+        );
+    }
+
+    #[test]
+    fn activation_masks_match_trace_counts() {
+        let net = net(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let stage = Stage::new(&net, cfg(20));
+        let logits = init_logits(&mut rng, 20, 6);
+        let out = stage.run_stage1(&mut rng, logits, &full_mask(&net));
+        let masks = out.activation_masks(&net, 1.0);
+        for (idx, mask) in masks.iter().enumerate() {
+            let counts = out.best_trace.layers[idx].spike_counts();
+            for (m, c) in mask.iter().zip(counts.iter()) {
+                assert_eq!(*m, *c >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_is_reproducible() {
+        let net = net(9);
+        let mut cfg = cfg(15);
+        cfg.stochastic = false;
+        let stage = Stage::new(&net, cfg);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let logits = init_logits(&mut rng, 15, 6);
+            stage.run_stage1(&mut rng, logits, &full_mask(&net))
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.best_input, b.best_input);
+        assert_eq!(a.loss_history, b.loss_history);
+    }
+}

@@ -1,0 +1,272 @@
+use crate::{events_to_tensor, Event, SpikeDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snn_tensor::{Shape, Tensor};
+
+/// 5×7 glyph bitmaps for the digits 0–9 (one `u64` per digit, row-major,
+/// bit 34 = top-left).
+const DIGIT_GLYPHS: [u64; 10] = [
+    0b01110_10001_10011_10101_11001_10001_01110, // 0
+    0b00100_01100_00100_00100_00100_00100_01110, // 1
+    0b01110_10001_00001_00010_00100_01000_11111, // 2
+    0b11111_00010_00100_00010_00001_10001_01110, // 3
+    0b00010_00110_01010_10010_11111_00010_00010, // 4
+    0b11111_10000_11110_00001_00001_10001_01110, // 5
+    0b00110_01000_10000_11110_10001_10001_01110, // 6
+    0b11111_00001_00010_00100_01000_01000_01000, // 7
+    0b01110_10001_10001_01110_10001_10001_01110, // 8
+    0b01110_10001_10001_01111_00001_00010_01100, // 9
+];
+
+/// Synthetic NMNIST: digit glyphs observed through the three-saccade
+/// camera motion of the original recording rig.
+///
+/// Each sample renders one digit glyph (scaled to the sensor), moves it
+/// along a triangular saccade path, and emits ON events (channel 0) where
+/// a pixel lights up and OFF events (channel 1) where it darkens —
+/// exactly the change-detection behaviour of a DVS. A small Poisson
+/// background models sensor noise.
+///
+/// # Example
+///
+/// ```
+/// use snn_datasets::{NmnistLike, SpikeDataset};
+///
+/// let ds = NmnistLike::repro(7);
+/// let (a, label_a) = ds.sample(3);
+/// let (b, _) = ds.sample(3);
+/// assert_eq!(a, b); // procedural generation is deterministic
+/// assert_eq!(label_a, 3 % 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmnistLike {
+    side: usize,
+    steps: usize,
+    samples: usize,
+    seed: u64,
+    /// Per-pixel-per-tick background event probability.
+    noise: f32,
+}
+
+impl NmnistLike {
+    /// Paper-scale geometry: 2×34×34, 300 ticks (300 ms at 1 ms/tick).
+    pub fn paper(seed: u64) -> Self {
+        Self::new(34, 300, 70_000, seed)
+    }
+
+    /// Repro-scale geometry: 2×17×17, 60 ticks — small enough to train and
+    /// fault-simulate in seconds on a CPU.
+    pub fn repro(seed: u64) -> Self {
+        Self::new(17, 60, 2_000, seed)
+    }
+
+    /// Custom geometry: square `side`, `steps` ticks, `samples` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side < 9` (the glyph plus motion does not fit) or
+    /// `steps < 6`.
+    pub fn new(side: usize, steps: usize, samples: usize, seed: u64) -> Self {
+        assert!(side >= 9, "sensor side must be at least 9 pixels");
+        assert!(steps >= 6, "sample needs at least 6 ticks");
+        Self {
+            side,
+            steps,
+            samples,
+            seed,
+            noise: 0.0005,
+        }
+    }
+
+    /// Sets the background noise event rate (events per pixel per tick).
+    pub fn with_noise(mut self, noise: f32) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    fn glyph_pixel(digit: usize, gx: isize, gy: isize) -> bool {
+        if !(0..5).contains(&gx) || !(0..7).contains(&gy) {
+            return false;
+        }
+        let bit = (6 - gy) * 5 + (4 - gx);
+        DIGIT_GLYPHS[digit] >> bit & 1 == 1
+    }
+
+    /// Renders the digit at sub-pixel offset `(ox, oy)` with integer scale
+    /// `scale` into a frame buffer.
+    fn render(&self, digit: usize, ox: f32, oy: f32, scale: usize, frame: &mut [bool]) {
+        frame.iter_mut().for_each(|p| *p = false);
+        let side = self.side as isize;
+        for y in 0..side {
+            for x in 0..side {
+                let gx = ((x as f32 - ox) / scale as f32).floor() as isize;
+                let gy = ((y as f32 - oy) / scale as f32).floor() as isize;
+                if Self::glyph_pixel(digit, gx, gy) {
+                    frame[(y * side + x) as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+impl SpikeDataset for NmnistLike {
+    fn len(&self) -> usize {
+        self.samples
+    }
+
+    fn classes(&self) -> usize {
+        10
+    }
+
+    fn input_shape(&self) -> Shape {
+        Shape::d3(2, self.side, self.side)
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+
+    fn sample(&self, idx: usize) -> (Tensor, usize) {
+        assert!(idx < self.samples, "sample index {idx} out of range");
+        let digit = idx % 10;
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+        let scale = ((self.side as f32) / 10.0).max(1.0) as usize;
+        let extent = (5 * scale) as f32;
+        let margin = (self.side as f32 - extent).max(1.0);
+        // Triangle saccade between *fixed* anchor points: the NMNIST rig
+        // moved the camera along the same three saccades for every sample,
+        // so only a small per-sample jitter (mounting tolerance) is random
+        // — digit identity, not motion, carries the class information.
+        let jx: f32 = rng.gen_range(-1.0..1.0);
+        let jy: f32 = rng.gen_range(-1.0..1.0);
+        let p0 = (margin * 0.15 + jx, margin * 0.10 + jy);
+        let p1 = (p0.0 + margin * 0.35, p0.1 + margin * 0.25);
+        let p2 = (p0.0 + margin * 0.15, p0.1 + margin * 0.5);
+        let waypoints = [p0, p1, p2, p0];
+
+        let mut events = Vec::new();
+        let mut prev = vec![false; self.side * self.side];
+        let mut frame = vec![false; self.side * self.side];
+        for t in 0..self.steps {
+            let phase = t as f32 / self.steps as f32 * 3.0;
+            let seg = (phase as usize).min(2);
+            let f = phase - seg as f32;
+            let (ax, ay) = waypoints[seg];
+            let (bx, by) = waypoints[seg + 1];
+            let ox = ax + (bx - ax) * f;
+            let oy = ay + (by - ay) * f;
+            self.render(digit, ox, oy, scale, &mut frame);
+            for (i, (&now, &before)) in frame.iter().zip(prev.iter()).enumerate() {
+                let (x, y) = ((i % self.side) as u16, (i / self.side) as u16);
+                if now && !before {
+                    events.push(Event { x, y, channel: 0, t: t as u32 });
+                } else if !now && before {
+                    events.push(Event { x, y, channel: 1, t: t as u32 });
+                }
+                if self.noise > 0.0 && rng.gen::<f32>() < self.noise {
+                    events.push(Event {
+                        x,
+                        y,
+                        channel: rng.gen_range(0..2),
+                        t: t as u32,
+                    });
+                }
+            }
+            prev.copy_from_slice(&frame);
+        }
+        (
+            events_to_tensor(&events, 2, self.side, self.side, self.steps),
+            digit,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_binary_and_correctly_shaped() {
+        let ds = NmnistLike::repro(1);
+        let (t, label) = ds.sample(12);
+        assert_eq!(t.shape().dims(), &[ds.steps(), 2 * 17 * 17]);
+        assert!(t.is_binary());
+        assert_eq!(label, 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = NmnistLike::repro(1).sample(5).0;
+        let b = NmnistLike::repro(1).sample(5).0;
+        let c = NmnistLike::repro(2).sample(5).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn motion_produces_events_on_both_polarities() {
+        let ds = NmnistLike::repro(3).with_noise(0.0);
+        let (t, _) = ds.sample(0);
+        let features = 2 * 17 * 17;
+        let half = 17 * 17;
+        let mut on = 0.0;
+        let mut off = 0.0;
+        for step in 0..ds.steps() {
+            for i in 0..half {
+                on += t.as_slice()[step * features + i];
+                off += t.as_slice()[step * features + half + i];
+            }
+        }
+        assert!(on > 0.0, "no ON events generated");
+        assert!(off > 0.0, "no OFF events generated");
+        // Saccade motion conserves glyph area, so ON ≈ OFF over the run.
+        let ratio = on / off;
+        assert!((0.4..2.5).contains(&ratio), "ON/OFF ratio {ratio}");
+    }
+
+    #[test]
+    fn different_digits_produce_different_streams() {
+        let ds = NmnistLike::repro(4).with_noise(0.0);
+        let (zero, _) = ds.sample(0); // digit 0
+        let (one, _) = ds.sample(1); // digit 1
+        assert_ne!(zero, one);
+    }
+
+    #[test]
+    fn event_rate_is_sparse() {
+        let ds = NmnistLike::repro(5);
+        let (t, _) = ds.sample(7);
+        let density = t.sum() / t.len() as f32;
+        assert!(density < 0.2, "event density {density} too high for DVS data");
+        assert!(density > 0.0005, "event density {density} suspiciously low");
+    }
+
+    #[test]
+    fn glyph_bitmaps_are_plausible() {
+        // every digit glyph has between 10 and 25 lit pixels of 35
+        for d in 0..10 {
+            let lit = (0..7)
+                .flat_map(|y| (0..5).map(move |x| (x, y)))
+                .filter(|&(x, y)| NmnistLike::glyph_pixel(d, x, y))
+                .count();
+            assert!((10..=25).contains(&lit), "digit {d} has {lit} lit pixels");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sample_bounds_checked() {
+        let ds = NmnistLike::new(17, 20, 10, 0);
+        let _ = ds.sample(10);
+    }
+
+    #[test]
+    fn paper_scale_geometry() {
+        let ds = NmnistLike::paper(0);
+        assert_eq!(ds.input_shape().dims(), &[2, 34, 34]);
+        assert_eq!(ds.steps(), 300);
+        assert_eq!(ds.classes(), 10);
+    }
+}

@@ -1,0 +1,226 @@
+use crate::{events_to_tensor, Event, SpikeDataset};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use snn_tensor::{Shape, Tensor};
+
+/// Synthetic Spiking Heidelberg Digits: 20 spoken-digit classes
+/// (10 digits × 2 languages) as formant-sweep spike patterns over a bank
+/// of frequency channels.
+///
+/// Each digit is characterized by two formant trajectories (start/end
+/// positions in the channel bank derived from the digit index); the second
+/// "language" shifts the formant bank upward and time-compresses the
+/// utterance — a caricature of German vs English vowel spaces that keeps
+/// the 20 classes mutually separable. Channels near a formant fire with a
+/// Gaussian-profiled Bernoulli rate, like the cochlear model used to build
+/// the real SHD.
+///
+/// # Example
+///
+/// ```
+/// use snn_datasets::{ShdLike, SpikeDataset};
+///
+/// let ds = ShdLike::repro(0);
+/// assert_eq!(ds.classes(), 20);
+/// let (t, label) = ds.sample(13);
+/// assert_eq!(label, 13);
+/// assert!(t.is_binary());
+/// assert_eq!(t.shape().dim(1), ds.input_shape().len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShdLike {
+    channels: usize,
+    steps: usize,
+    samples: usize,
+    seed: u64,
+    /// Peak firing probability at the formant centre.
+    peak_rate: f32,
+    /// Gaussian width of a formant in channels.
+    sigma: f32,
+}
+
+impl ShdLike {
+    /// Paper-scale geometry: 700 channels, 100 ticks (1 s at 10 ms/tick).
+    pub fn paper(seed: u64) -> Self {
+        Self::new(700, 100, 10_420, seed)
+    }
+
+    /// Repro-scale geometry: 140 channels, 50 ticks.
+    pub fn repro(seed: u64) -> Self {
+        Self::new(140, 50, 2_000, seed)
+    }
+
+    /// Custom geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels < 20` or `steps < 10`.
+    pub fn new(channels: usize, steps: usize, samples: usize, seed: u64) -> Self {
+        assert!(channels >= 20, "need at least 20 frequency channels");
+        assert!(steps >= 10, "sample needs at least 10 ticks");
+        Self {
+            channels,
+            steps,
+            samples,
+            seed,
+            peak_rate: 0.7,
+            sigma: channels as f32 / 45.0,
+        }
+    }
+
+    /// Formant trajectories (two per digit) in normalized channel
+    /// coordinates, for `digit ∈ 0..10` and `language ∈ {0, 1}`.
+    fn formants(digit: usize, language: usize) -> [(f32, f32); 2] {
+        // Distinct start→end pairs per digit, spread over the bank.
+        let d = digit as f32;
+        let f1 = (0.08 + 0.06 * d, 0.10 + 0.05 * ((d * 3.0) % 7.0));
+        let f2 = (0.92 - 0.05 * d, 0.55 + 0.04 * ((d * 5.0) % 8.0));
+        let shift = if language == 0 { 0.0 } else { 0.13 };
+        [
+            (f1.0 * 0.8 + shift, f1.1 * 0.8 + shift),
+            (f2.0 * 0.8 + shift, f2.1 * 0.8 + shift),
+        ]
+    }
+}
+
+impl SpikeDataset for ShdLike {
+    fn len(&self) -> usize {
+        self.samples
+    }
+
+    fn classes(&self) -> usize {
+        20
+    }
+
+    fn input_shape(&self) -> Shape {
+        Shape::d1(self.channels)
+    }
+
+    fn steps(&self) -> usize {
+        self.steps
+    }
+
+    fn sample(&self, idx: usize) -> (Tensor, usize) {
+        assert!(idx < self.samples, "sample index {idx} out of range");
+        let label = idx % 20;
+        let (digit, language) = (label % 10, label / 10);
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+
+        // Language 1 utterances are ~20% shorter (time-compressed).
+        let active_steps = if language == 0 {
+            self.steps
+        } else {
+            (self.steps as f32 * 0.8) as usize
+        };
+        let speaker_shift: f32 = rng.gen_range(-0.02..0.02);
+        let tempo: f32 = rng.gen_range(0.9..1.1);
+
+        let mut events = Vec::new();
+        let formants = Self::formants(digit, language);
+        for t in 0..active_steps {
+            let f = ((t as f32 * tempo) / active_steps as f32).min(1.0);
+            for &(start, end) in &formants {
+                let centre = ((start + (end - start) * f + speaker_shift)
+                    * self.channels as f32)
+                    .clamp(0.0, (self.channels - 1) as f32);
+                let lo = (centre - 3.0 * self.sigma).max(0.0) as usize;
+                let hi = ((centre + 3.0 * self.sigma) as usize).min(self.channels - 1);
+                for ch in lo..=hi {
+                    let d = (ch as f32 - centre) / self.sigma;
+                    let p = self.peak_rate * (-0.5 * d * d).exp();
+                    if rng.gen::<f32>() < p {
+                        events.push(Event {
+                            x: ch as u16,
+                            y: 0,
+                            channel: 0,
+                            t: t as u32,
+                        });
+                    }
+                }
+            }
+        }
+        // Rasterize as a 1-channel, 1-row, `channels`-wide volume, then
+        // flatten: feature index == frequency channel.
+        (
+            events_to_tensor(&events, 1, 1, self.channels, self.steps),
+            label,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_balanced_classes() {
+        let ds = ShdLike::repro(0);
+        for idx in 0..40 {
+            assert_eq!(ds.sample(idx).1, idx % 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(ShdLike::repro(3).sample(8), ShdLike::repro(3).sample(8));
+        assert_ne!(ShdLike::repro(3).sample(8).0, ShdLike::repro(4).sample(8).0);
+    }
+
+    #[test]
+    fn language_compresses_duration() {
+        let ds = ShdLike::repro(1);
+        // class 3 (language 0) vs class 13 (language 1, same digit)
+        let (german, _) = ds.sample(3);
+        let (english, _) = ds.sample(13);
+        let last_active = |t: &Tensor| {
+            let dims = t.shape().dims();
+            let (steps, ch) = (dims[0], dims[1]);
+            (0..steps)
+                .rev()
+                .find(|&s| t.as_slice()[s * ch..(s + 1) * ch].iter().any(|&v| v > 0.0))
+                .unwrap_or(0)
+        };
+        assert!(last_active(&english) < last_active(&german));
+    }
+
+    #[test]
+    fn spikes_track_formant_centres() {
+        let ds = ShdLike::repro(2);
+        let (t, _) = ds.sample(0);
+        // average channel of spikes in the first few ticks should be near
+        // the digit-0 formant starts, i.e. not uniform across the bank
+        let dims = t.shape().dims();
+        let ch = dims[1];
+        let mut sum = 0.0f32;
+        let mut count = 0.0f32;
+        for step in 0..5 {
+            for c in 0..ch {
+                if t.as_slice()[step * ch + c] > 0.0 {
+                    sum += c as f32;
+                    count += 1.0;
+                }
+            }
+        }
+        assert!(count > 0.0);
+        let mean = sum / count / ch as f32;
+        // digit-0 formants start near 0.064 and 0.736 (scaled by 0.8)
+        assert!(mean > 0.1 && mean < 0.7, "mean normalized channel {mean}");
+    }
+
+    #[test]
+    fn all_classes_produce_activity() {
+        let ds = ShdLike::repro(5);
+        for class in 0..20 {
+            assert!(ds.sample(class).0.sum() > 20.0, "class {class} silent");
+        }
+    }
+
+    #[test]
+    fn paper_scale_geometry() {
+        let ds = ShdLike::paper(0);
+        assert_eq!(ds.input_shape().dims(), &[700]);
+        assert_eq!(ds.steps(), 100);
+        assert_eq!(ds.classes(), 20);
+    }
+}

@@ -1,0 +1,123 @@
+//! Class-separability checks for the three synthetic datasets.
+//!
+//! The reproduction's fault-criticality labelling only makes sense if the
+//! benchmark SNNs can actually learn these datasets, which requires the
+//! classes to be statistically separable. A training-free proxy validates
+//! this fast: nearest-centroid classification on per-feature spike-count
+//! vectors must beat chance by a wide margin.
+
+use snn_datasets::{GestureLike, NmnistLike, ShdLike, SpikeDataset};
+
+/// Per-feature spike counts of a sample (its "rate signature").
+fn signature(ds: &dyn SpikeDataset, idx: usize) -> (Vec<f32>, usize) {
+    let (t, label) = ds.sample(idx);
+    let dims = t.shape().dims();
+    let (steps, n) = (dims[0], dims[1]);
+    let mut sig = vec![0.0f32; n];
+    let data = t.as_slice();
+    for s in 0..steps {
+        for (acc, v) in sig.iter_mut().zip(data[s * n..(s + 1) * n].iter()) {
+            *acc += v;
+        }
+    }
+    (sig, label)
+}
+
+/// Nearest-centroid accuracy: centroids from `train` samples, evaluated
+/// on the following `test` samples.
+fn nearest_centroid_accuracy(ds: &dyn SpikeDataset, train: usize, test: usize) -> f64 {
+    let classes = ds.classes();
+    let features = ds.input_shape().len();
+    let mut centroids = vec![vec![0.0f32; features]; classes];
+    let mut counts = vec![0usize; classes];
+    for idx in 0..train {
+        let (sig, label) = signature(ds, idx);
+        for (c, v) in centroids[label].iter_mut().zip(sig.iter()) {
+            *c += v;
+        }
+        counts[label] += 1;
+    }
+    for (centroid, &cnt) in centroids.iter_mut().zip(counts.iter()) {
+        if cnt > 0 {
+            centroid.iter_mut().for_each(|v| *v /= cnt as f32);
+        }
+    }
+    let mut correct = 0usize;
+    for idx in train..train + test {
+        let (sig, label) = signature(ds, idx);
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for (k, centroid) in centroids.iter().enumerate() {
+            let d: f32 = centroid
+                .iter()
+                .zip(sig.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if d < best_d {
+                best_d = d;
+                best = k;
+            }
+        }
+        if best == label {
+            correct += 1;
+        }
+    }
+    correct as f64 / test as f64
+}
+
+#[test]
+fn nmnist_like_classes_are_separable() {
+    let ds = NmnistLike::new(14, 30, 400, 11);
+    let acc = nearest_centroid_accuracy(&ds, 100, 60);
+    let chance = 1.0 / ds.classes() as f64;
+    assert!(acc > 3.0 * chance, "accuracy {acc:.2} barely beats chance {chance:.2}");
+}
+
+#[test]
+fn gesture_like_classes_are_separable() {
+    let ds = GestureLike::new(20, 30, 400, 12);
+    let acc = nearest_centroid_accuracy(&ds, 110, 55);
+    let chance = 1.0 / ds.classes() as f64;
+    assert!(acc > 3.0 * chance, "accuracy {acc:.2} barely beats chance {chance:.2}");
+}
+
+#[test]
+fn shd_like_classes_are_separable() {
+    let ds = ShdLike::new(100, 30, 400, 13);
+    let acc = nearest_centroid_accuracy(&ds, 120, 60);
+    let chance = 1.0 / ds.classes() as f64;
+    assert!(acc > 3.0 * chance, "accuracy {acc:.2} barely beats chance {chance:.2}");
+}
+
+#[test]
+fn within_class_similarity_exceeds_between_class() {
+    // Same-class samples must be closer (on average) than cross-class
+    // samples — a distributional check complementing the accuracy one.
+    let ds = NmnistLike::new(14, 30, 400, 14).with_noise(0.0);
+    let sig = |i| signature(&ds, i).0;
+    let dist = |a: &[f32], b: &[f32]| -> f32 {
+        a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    };
+    // indices 0 and 10 are the same digit; 0 and 1..10 are different.
+    let mut within = 0.0;
+    let mut between = 0.0;
+    let mut wn = 0;
+    let mut bn = 0;
+    for base in 0..5 {
+        let s0 = sig(base);
+        within += dist(&s0, &sig(base + 10)) + dist(&s0, &sig(base + 20));
+        wn += 2;
+        for other in 0..5 {
+            if other != base {
+                between += dist(&s0, &sig(other));
+                bn += 1;
+            }
+        }
+    }
+    let within = within / wn as f32;
+    let between = between / bn as f32;
+    assert!(
+        within < between,
+        "within-class distance {within} ≥ between-class {between}"
+    );
+}

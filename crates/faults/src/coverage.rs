@@ -1,0 +1,260 @@
+use crate::{parallel, Fault, FaultOutcome, FaultUniverse, Injection};
+use serde::{Deserialize, Serialize};
+use snn_model::{Network, RecordOptions};
+use snn_tensor::Tensor;
+
+/// Detected/total accounting for one fault class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassCoverage {
+    /// Faults of this class detected by the test.
+    pub detected: usize,
+    /// Faults of this class in the campaign.
+    pub total: usize,
+}
+
+impl ClassCoverage {
+    /// Fault coverage in `[0, 1]`; defined as 1 for an empty class so that
+    /// "nothing to detect" reads as full coverage in reports.
+    pub fn fc(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+
+    /// Fault coverage as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.fc() * 100.0
+    }
+}
+
+impl std::fmt::Display for ClassCoverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} ({:.2}%)", self.detected, self.total, self.percent())
+    }
+}
+
+/// Fault coverage split the way the paper's Table III reports it:
+/// critical/benign × neuron/synapse.
+///
+/// # Example
+///
+/// ```
+/// use snn_faults::CoverageReport;
+///
+/// let r = CoverageReport::default();
+/// assert_eq!(r.critical_neuron.fc(), 1.0); // empty classes read as covered
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Coverage of critical neuron faults.
+    pub critical_neuron: ClassCoverage,
+    /// Coverage of benign neuron faults.
+    pub benign_neuron: ClassCoverage,
+    /// Coverage of critical synapse faults.
+    pub critical_synapse: ClassCoverage,
+    /// Coverage of benign synapse faults.
+    pub benign_synapse: ClassCoverage,
+}
+
+impl CoverageReport {
+    /// Builds the report from a fault list, its criticality labels, and
+    /// the detection outcomes of a campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three slices have different lengths or are misaligned
+    /// by fault id.
+    pub fn compute(faults: &[Fault], critical: &[bool], outcomes: &[FaultOutcome]) -> Self {
+        assert_eq!(faults.len(), critical.len(), "labels/faults length mismatch");
+        assert_eq!(faults.len(), outcomes.len(), "outcomes/faults length mismatch");
+        let mut report = CoverageReport::default();
+        for ((f, &crit), o) in faults.iter().zip(critical.iter()).zip(outcomes.iter()) {
+            assert_eq!(f.id, o.fault_id, "outcome order must match fault order");
+            let slot = match (f.kind.is_neuron(), crit) {
+                (true, true) => &mut report.critical_neuron,
+                (true, false) => &mut report.benign_neuron,
+                (false, true) => &mut report.critical_synapse,
+                (false, false) => &mut report.benign_synapse,
+            };
+            slot.total += 1;
+            if o.detected {
+                slot.detected += 1;
+            }
+        }
+        report
+    }
+
+    /// Overall coverage across all four classes.
+    pub fn overall(&self) -> ClassCoverage {
+        ClassCoverage {
+            detected: self.critical_neuron.detected
+                + self.benign_neuron.detected
+                + self.critical_synapse.detected
+                + self.benign_synapse.detected,
+            total: self.critical_neuron.total
+                + self.benign_neuron.total
+                + self.critical_synapse.total
+                + self.benign_synapse.total,
+        }
+    }
+}
+
+/// Worst-case consequence of a *test escape*: over the given undetected
+/// critical faults, the maximum drop in top-1 accuracy on `dataset`
+/// relative to the fault-free network — the paper's Table III last row.
+///
+/// Returns `(max_drop, fault_id_of_worst)` or `None` when `escapes` is
+/// empty (perfect coverage).
+///
+/// # Panics
+///
+/// Panics if `dataset` is empty.
+pub fn escape_max_accuracy_drop(
+    net: &Network,
+    universe: &FaultUniverse,
+    escapes: &[Fault],
+    dataset: &[(Tensor, usize)],
+    threads: usize,
+) -> Option<(f64, usize)> {
+    assert!(!dataset.is_empty(), "escape analysis needs a dataset");
+    if escapes.is_empty() {
+        return None;
+    }
+    let baseline_acc = accuracy(net, dataset);
+    let drops = parallel::map_indexed(
+        escapes.len(),
+        threads,
+        || net.clone(),
+        |worker, i| {
+            let injection = Injection::for_fault(net, universe, &escapes[i]);
+            let restore = match &injection {
+                Injection::Weight { at, value } => Some((*at, worker.set_weight(*at, *value))),
+                Injection::Neuron(_) => None,
+            };
+            let acc = match &injection {
+                Injection::Weight { .. } => accuracy(worker, dataset),
+                Injection::Neuron(map) => dataset
+                    .iter()
+                    .filter(|(input, label)| {
+                        worker
+                            .forward_faulty(input, RecordOptions::spikes_only(), map)
+                            .predict()
+                            == *label
+                    })
+                    .count() as f64
+                    / dataset.len() as f64,
+            };
+            if let Some((at, old)) = restore {
+                worker.set_weight(at, old);
+            }
+            baseline_acc - acc
+        },
+    );
+    drops
+        .into_iter()
+        .enumerate()
+        .map(|(i, d)| (d, escapes[i].id))
+        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("accuracy drops are finite"))
+}
+
+fn accuracy(net: &Network, dataset: &[(Tensor, usize)]) -> f64 {
+    dataset
+        .iter()
+        .filter(|(input, label)| {
+            net.forward(input, RecordOptions::spikes_only()).predict() == *label
+        })
+        .count() as f64
+        / dataset.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultKind, FaultSimConfig, FaultSimulator, FaultUniverse};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_model::{LifParams, NetworkBuilder};
+    use snn_tensor::Shape;
+
+    #[test]
+    fn class_coverage_math() {
+        let c = ClassCoverage { detected: 3, total: 4 };
+        assert!((c.fc() - 0.75).abs() < 1e-12);
+        assert_eq!(format!("{c}"), "3/4 (75.00%)");
+        assert_eq!(ClassCoverage::default().fc(), 1.0);
+    }
+
+    #[test]
+    fn compute_partitions_faults_into_four_classes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = NetworkBuilder::new(4, LifParams::default())
+            .dense(5)
+            .dense(2)
+            .build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 4), 0.5);
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let campaign = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
+        // Alternate labels deterministically.
+        let critical: Vec<bool> = u.faults().iter().map(|f| f.id % 2 == 0).collect();
+        let report = CoverageReport::compute(u.faults(), &critical, &campaign.per_fault);
+        assert_eq!(report.overall().total, u.len());
+        assert_eq!(
+            report.critical_neuron.total + report.benign_neuron.total,
+            u.neuron_fault_count()
+        );
+        assert_eq!(
+            report.critical_synapse.total + report.benign_synapse.total,
+            u.synapse_fault_count()
+        );
+        assert_eq!(report.overall().detected, campaign.detected_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn compute_rejects_misaligned_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = NetworkBuilder::new(2, LifParams::default()).dense(2).build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let _ = CoverageReport::compute(u.faults(), &[true], &[]);
+    }
+
+    #[test]
+    fn escape_analysis_reports_nonnegative_drop_for_harmful_fault() {
+        // Train-free hand net where output 1 wins; killing it drops accuracy.
+        let lif = LifParams { threshold: 0.5, leak: 1.0, refrac_steps: 0 };
+        let net = Network::new(
+            Shape::d1(1),
+            vec![snn_model::Layer::Dense(snn_model::DenseLayer::new(
+                Tensor::from_vec(Shape::d2(2, 1), vec![0.3, 0.9]).unwrap(),
+                lif,
+            ))],
+        );
+        let u = FaultUniverse::standard(&net);
+        let dead_out1 = u
+            .faults()
+            .iter()
+            .copied()
+            .find(|f| {
+                f.kind == FaultKind::NeuronDead
+                    && matches!(f.site, crate::FaultSite::Neuron { index: 1, .. })
+            })
+            .unwrap();
+        let dataset = vec![(Tensor::full(Shape::d2(10, 1), 1.0), 1usize)];
+        let (drop, id) =
+            escape_max_accuracy_drop(&net, &u, &[dead_out1], &dataset, 1).unwrap();
+        assert_eq!(id, dead_out1.id);
+        assert!(drop > 0.0, "killing the winning class must cost accuracy");
+    }
+
+    #[test]
+    fn no_escapes_means_no_drop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::new(2, LifParams::default()).dense(2).build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let dataset = vec![(Tensor::zeros(Shape::d2(4, 2)), 0usize)];
+        assert!(escape_max_accuracy_drop(&net, &u, &[], &dataset, 1).is_none());
+    }
+}

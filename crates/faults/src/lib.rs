@@ -1,0 +1,69 @@
+//! Behavioural fault models, fault injection and parallel fault simulation
+//! for spiking neural networks.
+//!
+//! Implements Section III of *"Minimum Time Maximum Fault Coverage Testing
+//! of Spiking Neural Networks"* (DATE 2025):
+//!
+//! * [`FaultUniverse`] — enumeration of the behavioural fault space. The
+//!   paper's campaign uses exactly **2 faults per neuron** (saturated,
+//!   dead) and **3 faults per synapse** (dead, positively saturated,
+//!   negatively saturated) — recoverable from its Table II, where fault
+//!   totals are exactly 2× the neuron count and 3× the synapse count.
+//!   Timing-variation neuron faults and memory bit-flip synapse faults are
+//!   available as extensions.
+//! * [`Injection`] — how a [`Fault`] is realized on a network: weight
+//!   faults patch the weight tensor; neuron faults use the simulator's
+//!   behavioural hooks.
+//! * [`FaultSimulator`] — the detection campaign of Eq. (3)/(4): a fault is
+//!   detected by a test input if it changes the output spike trains. The
+//!   simulator exploits the feedforward structure (*prefix caching*: a
+//!   fault in layer ℓ cannot alter activity before ℓ) and *early exit*
+//!   (identical layer activity ⇒ identical suffix), and fans the fault list
+//!   out over a crossbeam thread pool.
+//! * [`criticality`] — labels each fault critical (alters a top-1
+//!   prediction on at least one dataset sample) or benign.
+//! * [`CoverageReport`] — fault-coverage accounting in the four classes the
+//!   paper reports (critical/benign × neuron/synapse), plus escape
+//!   (undetected-critical) accuracy-drop analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use snn_faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
+//! use snn_model::{LifParams, NetworkBuilder};
+//! use snn_tensor::{Shape, Tensor};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = NetworkBuilder::new(4, LifParams::default())
+//!     .dense(6)
+//!     .dense(2)
+//!     .build(&mut rng);
+//! let universe = FaultUniverse::standard(&net);
+//! assert_eq!(universe.len(), 2 * net.neuron_count() + 3 * net.synapse_count());
+//!
+//! let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 4), 0.5);
+//! let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+//! let outcome = sim.detect(&universe, universe.faults(), std::slice::from_ref(&test));
+//! assert_eq!(outcome.per_fault.len(), universe.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coverage;
+mod dictionary;
+mod estimate;
+mod inject;
+mod sim;
+mod universe;
+
+pub mod criticality;
+pub mod parallel;
+
+pub use coverage::{escape_max_accuracy_drop, ClassCoverage, CoverageReport};
+pub use dictionary::{Diagnosis, FaultDictionary};
+pub use estimate::{estimate_coverage, CoverageEstimate};
+pub use inject::Injection;
+pub use sim::{CampaignOutcome, FaultOutcome, FaultSimConfig, FaultSimulator};
+pub use universe::{Fault, FaultKind, FaultModelConfig, FaultSite, FaultUniverse};

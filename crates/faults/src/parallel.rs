@@ -1,0 +1,122 @@
+//! Minimal crossbeam-based data parallelism for fault campaigns.
+//!
+//! A fault-simulation campaign is embarrassingly parallel over faults, but
+//! each worker needs mutable scratch state (its own network clone for
+//! weight patching). [`map_indexed`] provides exactly that shape: the
+//! caller supplies a per-worker state factory and a per-item function.
+
+use crossbeam::thread;
+
+/// Number of worker threads to use given a requested count (0 = all
+/// available cores).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Applies `f(state, index)` to every index in `0..n`, in parallel over
+/// `threads` workers (0 = all cores), returning results in index order.
+///
+/// `make_state` is called once per worker to create its scratch state.
+///
+/// # Example
+///
+/// ```
+/// let squares = snn_faults::parallel::map_indexed(8, 2, || (), |_, i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn map_indexed<S, T, F, M>(n: usize, threads: usize, make_state: M, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+    M: Fn() -> S + Sync,
+{
+    let workers = effective_threads(threads).min(n.max(1));
+    if workers <= 1 || n == 0 {
+        let mut state = make_state();
+        return (0..n).map(|i| f(&mut state, i)).collect();
+    }
+    // Contiguous chunking keeps faults of the same layer together, which
+    // maximizes prefix-cache hit locality.
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Vec<T>> = Vec::new();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(n);
+            if lo >= hi {
+                break;
+            }
+            let f = &f;
+            let make_state = &make_state;
+            handles.push(scope.spawn(move |_| {
+                let mut state = make_state();
+                (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_index_order() {
+        let out = map_indexed(100, 4, || (), |_, i| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path_works() {
+        let out = map_indexed(5, 1, || 10usize, |s, i| *s + i);
+        assert_eq!(out, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<usize> = map_indexed(0, 4, || (), |_, i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn state_factory_called_once_per_worker() {
+        let calls = AtomicUsize::new(0);
+        let _ = map_indexed(
+            16,
+            4,
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+            },
+            |_, i| i,
+        );
+        let c = calls.load(Ordering::SeqCst);
+        assert!(c >= 1 && c <= 4, "factory calls = {c}");
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = map_indexed(3, 64, || (), |_, i| i * 2);
+        assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn effective_threads_passthrough_and_detect() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+}

@@ -1,0 +1,518 @@
+use crate::{parallel, Fault, FaultKind, FaultSite, FaultUniverse, Injection};
+use serde::{Deserialize, Serialize};
+use snn_model::{Layer, Network, NeuronFaultMap, RecordOptions, Trace};
+use snn_tensor::Tensor;
+use std::time::{Duration, Instant};
+
+/// Configuration of a fault-simulation campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSimConfig {
+    /// Worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Re-simulate only from the faulty layer onward, reusing the cached
+    /// fault-free activity of earlier layers. Sound for the feedforward
+    /// (and layer-local recurrent) networks this workspace builds.
+    pub prefix_cache: bool,
+    /// Stop re-simulation as soon as a layer's faulty activity matches the
+    /// fault-free baseline (the remaining suffix is then provably
+    /// identical).
+    pub early_exit: bool,
+    /// Skip simulation entirely for faults that provably cannot change
+    /// any activity under a given test input: weight faults whose source
+    /// neuron/input never spikes (the synapse carries no traffic, so its
+    /// value is unobservable), and dead faults on neurons that never fire
+    /// anyway. Sound for all fault kinds in the standard universe.
+    pub activity_filter: bool,
+    /// Record the per-class output spike-count difference of each detected
+    /// fault (needed to regenerate the paper's Fig. 9; costs memory).
+    pub record_class_diffs: bool,
+}
+
+impl Default for FaultSimConfig {
+    fn default() -> Self {
+        Self {
+            threads: 0,
+            prefix_cache: true,
+            early_exit: true,
+            activity_filter: true,
+            record_class_diffs: false,
+        }
+    }
+}
+
+/// Detection outcome for one fault, aggregated over all test inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultOutcome {
+    /// Id of the fault in its universe.
+    pub fault_id: usize,
+    /// `true` if any test input changed the output spike trains (Eq. 3).
+    pub detected: bool,
+    /// Largest L1 output-spike-train distance over the test inputs.
+    pub distance: f32,
+    /// Signed per-class spike-count difference (faulty − fault-free) of
+    /// the test input realizing `distance`, when recording was requested.
+    pub class_diff: Option<Vec<f32>>,
+}
+
+/// Result of a detection campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    /// Per-fault outcomes, in the order the faults were supplied.
+    pub per_fault: Vec<FaultOutcome>,
+    /// Wall-clock duration of the campaign.
+    pub elapsed: Duration,
+}
+
+impl CampaignOutcome {
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.per_fault.iter().filter(|o| o.detected).count()
+    }
+
+    /// Fault coverage over the supplied fault list (Eq. 4).
+    pub fn fault_coverage(&self) -> f64 {
+        if self.per_fault.is_empty() {
+            return 0.0;
+        }
+        self.detected_count() as f64 / self.per_fault.len() as f64
+    }
+}
+
+/// Parallel, prefix-cached fault simulator over a fixed fault-free network.
+///
+/// See the crate-level example for usage.
+#[derive(Debug)]
+pub struct FaultSimulator<'a> {
+    net: &'a Network,
+    cfg: FaultSimConfig,
+}
+
+impl<'a> FaultSimulator<'a> {
+    /// Creates a simulator for `net`.
+    pub fn new(net: &'a Network, cfg: FaultSimConfig) -> Self {
+        Self { net, cfg }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FaultSimConfig {
+        &self.cfg
+    }
+
+    /// Runs the detection campaign of Eq. (3): each fault is applied in
+    /// turn and simulated against every test input until one detects it.
+    ///
+    /// `universe` supplies the fault magnitudes; `faults` may be the whole
+    /// universe or any subset (e.g. a statistical sample); `tests` are
+    /// `[T × input_features]` spike tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tests` is empty.
+    pub fn detect(
+        &self,
+        universe: &FaultUniverse,
+        faults: &[Fault],
+        tests: &[Tensor],
+    ) -> CampaignOutcome {
+        assert!(!tests.is_empty(), "detection campaign needs at least one test input");
+        let start = Instant::now();
+        let baselines: Vec<Trace> = tests
+            .iter()
+            .map(|t| self.net.forward(t, RecordOptions::spikes_only()))
+            .collect();
+        let baseline_counts: Vec<Vec<f32>> =
+            baselines.iter().map(|b| b.class_counts()).collect();
+        let activity: Vec<ActivitySummary> = if self.cfg.activity_filter {
+            tests
+                .iter()
+                .zip(baselines.iter())
+                .map(|(t, b)| ActivitySummary::new(self.net, t, b))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let cfg = self.cfg;
+        let net = self.net;
+        let per_fault = parallel::map_indexed(
+            faults.len(),
+            cfg.threads,
+            || net.clone(),
+            |worker, i| {
+                let fault = &faults[i];
+                let injection = Injection::for_fault(net, universe, fault);
+                let mut detected = false;
+                let mut best_distance = 0.0f32;
+                let mut best_diff: Option<Vec<f32>> = None;
+                for (k, (input, baseline)) in tests.iter().zip(baselines.iter()).enumerate() {
+                    if cfg.activity_filter && provably_undetectable(net, &activity[k], fault) {
+                        continue;
+                    }
+                    let out =
+                        faulty_output(worker, baseline, input, &injection, cfg);
+                    let Some(output) = out else { continue };
+                    let distance = (&output - baseline.output()).l1_norm();
+                    if distance > 0.0 {
+                        detected = true;
+                        if distance > best_distance {
+                            best_distance = distance;
+                            if cfg.record_class_diffs {
+                                let classes = net.output_features();
+                                let steps = output.shape().dim(0);
+                                let mut counts = vec![0.0f32; classes];
+                                let od = output.as_slice();
+                                for t in 0..steps {
+                                    for (c, v) in counts
+                                        .iter_mut()
+                                        .zip(od[t * classes..(t + 1) * classes].iter())
+                                    {
+                                        *c += v;
+                                    }
+                                }
+                                let bc = &baseline_counts[k];
+                                best_diff = Some(
+                                    counts
+                                        .iter()
+                                        .zip(bc.iter())
+                                        .map(|(f, b)| f - b)
+                                        .collect(),
+                                );
+                            }
+                        }
+                    }
+                }
+                FaultOutcome {
+                    fault_id: fault.id,
+                    detected,
+                    distance: best_distance,
+                    class_diff: best_diff,
+                }
+            },
+        );
+
+        CampaignOutcome {
+            per_fault,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Per-test-input activity summary backing the activity filter: spike
+/// totals of every layer's input features and of every layer's own
+/// output neurons under the fault-free baseline.
+pub(crate) struct ActivitySummary {
+    input_counts: Vec<Vec<f32>>,
+    output_counts: Vec<Vec<f32>>,
+}
+
+impl ActivitySummary {
+    pub(crate) fn new(net: &Network, input: &Tensor, baseline: &Trace) -> Self {
+        let mut input_counts = Vec::with_capacity(net.layers().len());
+        let mut output_counts = Vec::with_capacity(net.layers().len());
+        for (idx, _) in net.layers().iter().enumerate() {
+            let src: &Tensor = if idx == 0 {
+                input
+            } else {
+                &baseline.layers[idx - 1].output
+            };
+            let dims = src.shape().dims();
+            let (steps, n) = (dims[0], dims[1]);
+            let mut counts = vec![0.0f32; n];
+            let data = src.as_slice();
+            for t in 0..steps {
+                for (c, v) in counts.iter_mut().zip(data[t * n..(t + 1) * n].iter()) {
+                    *c += v;
+                }
+            }
+            input_counts.push(counts);
+            output_counts.push(baseline.layers[idx].spike_counts());
+        }
+        Self {
+            input_counts,
+            output_counts,
+        }
+    }
+}
+
+/// `true` when the fault provably cannot alter any activity under the
+/// summarized test input:
+///
+/// * any synapse-value fault whose source feature never spikes — the
+///   synapse carries zero traffic, so its weight is unobservable;
+/// * a dead fault on a neuron that never fires anyway.
+///
+/// Saturated and timing neuron faults are never filtered (they can create
+/// activity out of silence).
+pub(crate) fn provably_undetectable(net: &Network, acts: &ActivitySummary, fault: &Fault) -> bool {
+    match (fault.site, fault.kind) {
+        (FaultSite::Neuron { layer, index }, FaultKind::NeuronDead) => {
+            acts.output_counts[layer][index] == 0.0
+        }
+        (
+            FaultSite::Synapse(r),
+            FaultKind::SynapseDead
+            | FaultKind::SynapseSatPos
+            | FaultKind::SynapseSatNeg
+            | FaultKind::SynapseBitFlip { .. },
+        ) => match &net.layers()[r.layer] {
+            Layer::Dense(l) => {
+                let cols = l.weight.shape().dim(1);
+                acts.input_counts[r.layer][r.offset % cols] == 0.0
+            }
+            Layer::Conv(l) => {
+                let k = l.spec.kernel;
+                let ic = (r.offset / (k * k)) % l.spec.in_channels;
+                let (h, w) = l.in_hw;
+                let channel = &acts.input_counts[r.layer][ic * h * w..(ic + 1) * h * w];
+                channel.iter().all(|&c| c == 0.0)
+            }
+            Layer::Recurrent(l) => {
+                if r.tensor == 0 {
+                    let cols = l.w_in.shape().dim(1);
+                    acts.input_counts[r.layer][r.offset % cols] == 0.0
+                } else {
+                    let units = l.w_rec.shape().dim(1);
+                    acts.output_counts[r.layer][r.offset % units] == 0.0
+                }
+            }
+            Layer::Pool(_) => false,
+        },
+        _ => false,
+    }
+}
+
+/// Simulates `injection` against one test input, returning the faulty
+/// final-layer spike trains, or `None` when early exit proved the output
+/// identical to the baseline.
+///
+/// `worker` is a scratch clone of the fault-free network that weight
+/// injections may patch (always restored before returning).
+pub(crate) fn faulty_output(
+    worker: &mut Network,
+    baseline: &Trace,
+    input: &Tensor,
+    injection: &Injection,
+    cfg: FaultSimConfig,
+) -> Option<Tensor> {
+    let num_layers = worker.layers().len();
+    let start = if cfg.prefix_cache {
+        injection.start_layer()
+    } else {
+        0
+    };
+
+    // Apply the weight patch (neuron faults ride on the override map).
+    let (fault_map, restore) = match injection {
+        Injection::Weight { at, value } => {
+            let old = worker.set_weight(*at, *value);
+            (NeuronFaultMap::new(), Some((*at, old)))
+        }
+        Injection::Neuron(map) => (map.clone(), None),
+    };
+
+    let mut current: Option<Tensor> = None;
+    let mut identical = false;
+    for idx in start..num_layers {
+        let stage_input: &Tensor = match &current {
+            Some(t) => t,
+            None => {
+                if idx == 0 {
+                    input
+                } else {
+                    &baseline.layers[idx - 1].output
+                }
+            }
+        };
+        let lt = worker.forward_layer(idx, stage_input, RecordOptions::spikes_only(), &fault_map);
+        if cfg.early_exit && lt.output == baseline.layers[idx].output {
+            identical = true;
+            break;
+        }
+        current = Some(lt.output);
+    }
+
+    if let Some((at, old)) = restore {
+        worker.set_weight(at, old);
+    }
+
+    if identical {
+        None
+    } else {
+        Some(current.unwrap_or_else(|| baseline.output().clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultKind, FaultSite};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_model::{LifParams, NetworkBuilder};
+    use snn_tensor::Shape;
+
+    fn setup() -> (Network, FaultUniverse, Tensor) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = NetworkBuilder::new(6, LifParams { refrac_steps: 1, ..LifParams::default() })
+            .dense(10)
+            .dense(4)
+            .build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(30, 6), 0.5);
+        (net, u, test)
+    }
+
+    #[test]
+    fn saturated_output_neuron_is_always_detected() {
+        let (net, u, test) = setup();
+        // Output-layer saturated neuron changes O^L by construction
+        // (unless it already fires every tick, which it does not here).
+        let fault = u
+            .faults()
+            .iter()
+            .find(|f| {
+                f.kind == FaultKind::NeuronSaturated
+                    && matches!(f.site, FaultSite::Neuron { layer: 1, .. })
+            })
+            .unwrap();
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let out = sim.detect(&u, std::slice::from_ref(fault), std::slice::from_ref(&test));
+        assert!(out.per_fault[0].detected);
+        assert!(out.per_fault[0].distance > 0.0);
+    }
+
+    #[test]
+    fn prefix_cache_and_full_simulation_agree() {
+        let (net, u, test) = setup();
+        let faults = u.faults();
+        let fast = FaultSimulator::new(
+            &net,
+            FaultSimConfig { threads: 2, ..FaultSimConfig::default() },
+        )
+        .detect(&u, faults, std::slice::from_ref(&test));
+        let slow = FaultSimulator::new(
+            &net,
+            FaultSimConfig {
+                threads: 1,
+                prefix_cache: false,
+                early_exit: false,
+                activity_filter: false,
+                record_class_diffs: false,
+            },
+        )
+        .detect(&u, faults, std::slice::from_ref(&test));
+        for (a, b) in fast.per_fault.iter().zip(slow.per_fault.iter()) {
+            assert_eq!(a.detected, b.detected, "fault {}", a.fault_id);
+            assert!((a.distance - b.distance).abs() < 1e-4, "fault {}", a.fault_id);
+        }
+    }
+
+    /// The activity filter is an optimization, not an approximation: a
+    /// sparse stimulus (many silent inputs) yields identical verdicts
+    /// with the filter on and off.
+    #[test]
+    fn activity_filter_is_exact() {
+        let (net, u, _) = setup();
+        let mut rng = StdRng::seed_from_u64(77);
+        // Very sparse input: most columns silent ⇒ the filter fires often.
+        let sparse = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 6), 0.08);
+        let with = FaultSimulator::new(
+            &net,
+            FaultSimConfig { threads: 1, ..FaultSimConfig::default() },
+        )
+        .detect(&u, u.faults(), std::slice::from_ref(&sparse));
+        let without = FaultSimulator::new(
+            &net,
+            FaultSimConfig { threads: 1, activity_filter: false, ..FaultSimConfig::default() },
+        )
+        .detect(&u, u.faults(), std::slice::from_ref(&sparse));
+        for (a, b) in with.per_fault.iter().zip(without.per_fault.iter()) {
+            assert_eq!(a.detected, b.detected, "fault {}", a.fault_id);
+        }
+    }
+
+    #[test]
+    fn zero_input_detects_saturated_but_not_dead() {
+        let (net, u, _) = setup();
+        let zero = Tensor::zeros(Shape::d2(20, 6));
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let out = sim.detect(&u, u.faults(), std::slice::from_ref(&zero));
+        for (f, o) in u.faults().iter().zip(out.per_fault.iter()) {
+            match f.kind {
+                // With zero input nothing fires, so a dead neuron or dead
+                // synapse is invisible…
+                FaultKind::NeuronDead | FaultKind::SynapseDead => {
+                    assert!(!o.detected, "fault {} should escape on zero input", f.id)
+                }
+                // …but saturated neurons self-activate. In the output
+                // layer that directly corrupts O^L; a hidden saturated
+                // neuron may still be masked by weak outgoing synapses.
+                FaultKind::NeuronSaturated => {
+                    if matches!(f.site, FaultSite::Neuron { layer: 1, .. }) {
+                        assert!(o.detected, "fault {} should be caught on zero input", f.id)
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_inputs_only_improve_coverage() {
+        let (net, u, test) = setup();
+        let mut rng = StdRng::seed_from_u64(9);
+        let test2 = snn_tensor::init::bernoulli(&mut rng, Shape::d2(30, 6), 0.3);
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let one = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
+        let two = sim.detect(&u, u.faults(), &[test.clone(), test2]);
+        assert!(two.detected_count() >= one.detected_count());
+        for (a, b) in one.per_fault.iter().zip(two.per_fault.iter()) {
+            if a.detected {
+                assert!(b.detected, "adding inputs must not lose detections");
+            }
+        }
+    }
+
+    #[test]
+    fn class_diff_recording_matches_distance() {
+        let (net, u, test) = setup();
+        let sim = FaultSimulator::new(
+            &net,
+            FaultSimConfig { record_class_diffs: true, ..FaultSimConfig::default() },
+        );
+        let out = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
+        for o in &out.per_fault {
+            if o.detected {
+                let diff = o.class_diff.as_ref().expect("recorded for detected faults");
+                assert_eq!(diff.len(), net.output_features());
+                // |Σ per-class count diff| cannot exceed the L1 spike-train
+                // distance.
+                let total: f32 = diff.iter().map(|d| d.abs()).sum();
+                assert!(total <= o.distance + 1e-4);
+            } else {
+                assert!(o.class_diff.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let (net, u, test) = setup();
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let out = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
+        let fc = out.fault_coverage();
+        assert!((0.0..=1.0).contains(&fc));
+        assert_eq!(
+            out.detected_count(),
+            out.per_fault.iter().filter(|o| o.detected).count()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one test input")]
+    fn detect_requires_inputs() {
+        let (net, u, _) = setup();
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let _ = sim.detect(&u, u.faults(), &[]);
+    }
+}

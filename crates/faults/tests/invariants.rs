@@ -1,0 +1,100 @@
+//! Property-based invariants of the fault universe and fault simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_model::{LifParams, Network, NetworkBuilder};
+use snn_tensor::{Shape, Tensor};
+
+fn small_net(seed: u64, inputs: usize, hidden: usize, outputs: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new(inputs, LifParams { refrac_steps: 1, ..LifParams::default() })
+        .dense(hidden)
+        .dense(outputs)
+        .build(&mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The standard universe always has exactly 2 faults per neuron and 3
+    /// per synapse, with dense ids, over arbitrary topologies.
+    #[test]
+    fn universe_multiplicity_invariant(
+        seed in 0u64..300, inputs in 2usize..6, hidden in 2usize..8, outputs in 1usize..4,
+    ) {
+        let net = small_net(seed, inputs, hidden, outputs);
+        let u = FaultUniverse::standard(&net);
+        prop_assert_eq!(u.neuron_fault_count(), 2 * net.neuron_count());
+        prop_assert_eq!(u.synapse_fault_count(), 3 * net.synapse_count());
+        for (i, f) in u.faults().iter().enumerate() {
+            prop_assert_eq!(f.id, i);
+        }
+    }
+
+    /// Detection outcomes are independent of fault-list order: running a
+    /// permuted subset yields the same per-fault verdicts.
+    #[test]
+    fn detection_is_order_independent(seed in 0u64..200, perm_seed in 0u64..200) {
+        let net = small_net(seed, 4, 6, 3);
+        let u = FaultUniverse::standard(&net);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 4), 0.4);
+        let sim = FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
+
+        let mut subset = u.sample(&mut StdRng::seed_from_u64(perm_seed), 30);
+        let straight = sim.detect(&u, &subset, std::slice::from_ref(&test));
+        subset.reverse();
+        let reversed = sim.detect(&u, &subset, std::slice::from_ref(&test));
+        for (f, o) in subset.iter().zip(reversed.per_fault.iter()) {
+            let original = straight
+                .per_fault
+                .iter()
+                .find(|p| p.fault_id == f.id)
+                .expect("same subset");
+            prop_assert_eq!(original.detected, o.detected);
+            prop_assert!((original.distance - o.distance).abs() < 1e-5);
+        }
+    }
+
+    /// Detection is consistent: distance > 0 ⇔ detected, and distance is
+    /// always finite and non-negative.
+    #[test]
+    fn distance_detection_consistency(seed in 0u64..200, density in 0.05f32..0.7) {
+        let net = small_net(seed, 4, 6, 3);
+        let u = FaultUniverse::standard(&net);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(15, 4), density);
+        let sim = FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
+        let outcome = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
+        for o in &outcome.per_fault {
+            prop_assert!(o.distance.is_finite());
+            prop_assert!(o.distance >= 0.0);
+            prop_assert_eq!(o.detected, o.distance > 0.0);
+        }
+    }
+
+    /// The all-zero stimulus never detects dead faults but always detects
+    /// output-layer saturated-neuron faults (they self-activate).
+    #[test]
+    fn zero_stimulus_boundary_behaviour(seed in 0u64..200) {
+        let net = small_net(seed, 3, 5, 2);
+        let u = FaultUniverse::standard(&net);
+        let zero = Tensor::zeros(Shape::d2(12, 3));
+        let sim = FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
+        let outcome = sim.detect(&u, u.faults(), std::slice::from_ref(&zero));
+        for (f, o) in u.faults().iter().zip(outcome.per_fault.iter()) {
+            use snn_faults::{FaultKind, FaultSite};
+            match (f.kind, f.site) {
+                (FaultKind::NeuronDead | FaultKind::SynapseDead, _) => {
+                    prop_assert!(!o.detected, "dead fault {} visible on zero input", f.id)
+                }
+                (FaultKind::NeuronSaturated, FaultSite::Neuron { layer: 1, .. }) => {
+                    prop_assert!(o.detected, "output saturation {} missed", f.id)
+                }
+                _ => {}
+            }
+        }
+    }
+}

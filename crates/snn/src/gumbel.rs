@@ -1,0 +1,164 @@
+//! Binary-concrete (Gumbel-Softmax) input relaxation and the
+//! straight-through estimator — the paper's Fig. 3 input pipeline.
+//!
+//! The test input to an SNN is a binary spike tensor, which is not
+//! differentiable. The paper therefore maintains a real-valued tensor
+//! `I_real`, relaxes it with the Gumbel-Softmax function at temperature `τ`
+//! (`I_soft`), binarizes with a straight-through estimator (`I_in`), and
+//! backpropagates as if the binarization were the identity.
+//!
+//! For a *binary* variable the Gumbel-Softmax reduces to the binary
+//! concrete distribution: `I_soft = σ((I_real + g) / τ)` with logistic
+//! noise `g = ln u − ln(1 − u)`. A deterministic mode (`g = 0`) is provided
+//! for reproducible tests and for the final deterministic readout of the
+//! optimized stimulus.
+
+use rand::Rng;
+use snn_tensor::Tensor;
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// One relaxed-binarized sample of the input pipeline.
+///
+/// Holds the soft relaxation and the binarized tensor actually applied to
+/// the SNN, plus what the backward pass needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GumbelSample {
+    /// `I_soft = σ((I_real + g)/τ)` — the differentiable relaxation.
+    pub soft: Tensor,
+    /// `I_in = STE(I_soft)` — hard 0/1 spikes applied to the network.
+    pub binary: Tensor,
+    tau: f32,
+}
+
+impl GumbelSample {
+    /// Samples the pipeline stochastically: logistic noise is added to the
+    /// logits before the temperature-scaled sigmoid.
+    pub fn stochastic(rng: &mut impl Rng, logits: &Tensor, tau: f32) -> Self {
+        Self::build(logits, tau, |rng_| {
+            let u: f32 = rng_.gen_range(f32::EPSILON..(1.0 - f32::EPSILON));
+            (u / (1.0 - u)).ln()
+        }, rng)
+    }
+
+    /// Deterministic pipeline (no noise): `I_soft = σ(I_real/τ)`.
+    pub fn deterministic(logits: &Tensor, tau: f32) -> Self {
+        struct NoRng;
+        Self::build(logits, tau, |_: &mut NoRng| 0.0, &mut NoRng)
+    }
+
+    fn build<R>(logits: &Tensor, tau: f32, mut noise: impl FnMut(&mut R) -> f32, rng: &mut R) -> Self {
+        assert!(tau > 0.0, "temperature must be positive, got {tau}");
+        let soft = logits.map(|_| 0.0); // placeholder shape clone
+        let mut soft_data = Vec::with_capacity(logits.len());
+        for &l in logits.as_slice() {
+            let g = noise(rng);
+            soft_data.push(sigmoid((l + g) / tau));
+        }
+        let soft = Tensor::from_vec(soft.shape().clone(), soft_data)
+            .expect("shape preserved by construction");
+        let binary = soft.binarize(0.5);
+        Self { soft, binary, tau }
+    }
+
+    /// The temperature this sample was drawn at.
+    pub fn tau(&self) -> f32 {
+        self.tau
+    }
+
+    /// Backward pass: given `∂L/∂I_in` (the gradient that BPTT delivered at
+    /// the binary network input), returns `∂L/∂I_real`.
+    ///
+    /// The straight-through estimator passes the gradient unchanged through
+    /// the binarization; the concrete relaxation contributes
+    /// `∂I_soft/∂I_real = I_soft·(1−I_soft)/τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad_binary` has a different shape.
+    pub fn grad_logits(&self, grad_binary: &Tensor) -> Tensor {
+        assert_eq!(
+            grad_binary.shape(),
+            self.soft.shape(),
+            "gradient shape must match the sample"
+        );
+        let inv_tau = 1.0 / self.tau;
+        let mut out = grad_binary.clone();
+        let s = self.soft.as_slice();
+        for (g, &sv) in out.as_mut_slice().iter_mut().zip(s.iter()) {
+            *g *= sv * (1.0 - sv) * inv_tau;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_tensor::Shape;
+
+    #[test]
+    fn deterministic_sample_thresholds_logits_at_zero() {
+        let logits = Tensor::from_vec(Shape::d1(4), vec![-2.0, -0.1, 0.1, 3.0]).unwrap();
+        let s = GumbelSample::deterministic(&logits, 0.5);
+        assert!(s.binary.is_binary());
+        assert_eq!(s.binary.as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn lower_temperature_sharpens_the_relaxation() {
+        let logits = Tensor::from_vec(Shape::d1(1), vec![1.0]).unwrap();
+        let warm = GumbelSample::deterministic(&logits, 1.0);
+        let cold = GumbelSample::deterministic(&logits, 0.1);
+        assert!(cold.soft[0] > warm.soft[0]);
+        assert!(cold.soft[0] > 0.99);
+    }
+
+    #[test]
+    fn stochastic_sampling_rate_follows_logit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let logits = Tensor::zeros(Shape::d1(10_000));
+        let s = GumbelSample::stochastic(&mut rng, &logits, 0.9);
+        // logit 0 ⇒ spike probability 1/2
+        let rate = s.binary.sum() / s.binary.len() as f32;
+        assert!((rate - 0.5).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn grad_logits_scales_by_concrete_derivative() {
+        let logits = Tensor::from_vec(Shape::d1(2), vec![0.0, 4.0]).unwrap();
+        let s = GumbelSample::deterministic(&logits, 1.0);
+        let g = s.grad_logits(&Tensor::full(Shape::d1(2), 1.0));
+        // at logit 0: σ=0.5 ⇒ derivative 0.25; at logit 4: σ≈0.982 ⇒ ≈0.0177
+        assert!((g[0] - 0.25).abs() < 1e-4);
+        assert!(g[1] < 0.05);
+        assert!(g[1] > 0.0);
+    }
+
+    #[test]
+    fn saturated_logits_receive_vanishing_gradient() {
+        let logits = Tensor::from_vec(Shape::d1(1), vec![50.0]).unwrap();
+        let s = GumbelSample::deterministic(&logits, 0.9);
+        let g = s.grad_logits(&Tensor::full(Shape::d1(1), 1.0));
+        assert!(g[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn stochastic_is_reproducible_per_seed() {
+        let logits = Tensor::zeros(Shape::d1(64));
+        let a = GumbelSample::stochastic(&mut StdRng::seed_from_u64(5), &logits, 0.9);
+        let b = GumbelSample::stochastic(&mut StdRng::seed_from_u64(5), &logits, 0.9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn rejects_nonpositive_temperature() {
+        let logits = Tensor::zeros(Shape::d1(1));
+        let _ = GumbelSample::deterministic(&logits, 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Compact binary serialization of trained networks.
+//!
+//! A test-program development flow needs to hand a *trained* model from
+//! the training step to the test-generation and fault-simulation steps
+//! (possibly different machines/processes). This module defines a small,
+//! versioned, little-endian binary format:
+//!
+//! ```text
+//! magic  b"SNNMTFC1"
+//! input shape   : u32 rank, u32 dims…
+//! layer count   : u32
+//! per layer     : u8 kind (0 dense / 1 conv / 2 pool / 3 recurrent)
+//!                 kind-specific geometry, LIF params, raw f32 weights
+//! ```
+//!
+//! The format is self-describing enough to rebuild the exact [`Network`];
+//! [`Network::load`] validates the magic, geometry chaining and weight
+//! lengths and fails with [`std::io::ErrorKind::InvalidData`] otherwise.
+
+use crate::{ConvLayer, DenseLayer, Layer, LifParams, Network, PoolLayer, RecurrentLayer};
+use snn_tensor::{ops::Conv2dSpec, Shape, Tensor};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"SNNMTFC1";
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn write_lif(w: &mut impl Write, lif: &LifParams) -> io::Result<()> {
+    write_f32(w, lif.threshold)?;
+    write_f32(w, lif.leak)?;
+    write_u32(w, lif.refrac_steps)
+}
+
+fn read_lif(r: &mut impl Read) -> io::Result<LifParams> {
+    let lif = LifParams {
+        threshold: read_f32(r)?,
+        leak: read_f32(r)?,
+        refrac_steps: read_u32(r)?,
+    };
+    lif.validate().map_err(bad)?;
+    Ok(lif)
+}
+
+fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    write_u32(w, t.len() as u32)?;
+    for &v in t.as_slice() {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_tensor(r: &mut impl Read, shape: Shape) -> io::Result<Tensor> {
+    let len = read_u32(r)? as usize;
+    if len != shape.len() {
+        return Err(bad(format!(
+            "weight blob of {len} values does not fit shape {shape}"
+        )));
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(read_f32(r)?);
+    }
+    Tensor::from_vec(shape, data).map_err(|e| bad(e.to_string()))
+}
+
+impl Network {
+    /// Serializes the network (topology, LIF parameters, weights) into
+    /// `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        let dims = self.input_shape().dims();
+        write_u32(w, dims.len() as u32)?;
+        for &d in dims {
+            write_u32(w, d as u32)?;
+        }
+        write_u32(w, self.layers().len() as u32)?;
+        for layer in self.layers() {
+            match layer {
+                Layer::Dense(l) => {
+                    w.write_all(&[0u8])?;
+                    write_u32(w, layer.out_features() as u32)?;
+                    write_u32(w, layer.in_features() as u32)?;
+                    write_lif(w, &l.lif)?;
+                    write_tensor(w, &l.weight)?;
+                }
+                Layer::Conv(l) => {
+                    w.write_all(&[1u8])?;
+                    write_u32(w, l.spec.in_channels as u32)?;
+                    write_u32(w, l.spec.out_channels as u32)?;
+                    write_u32(w, l.spec.kernel as u32)?;
+                    write_u32(w, l.spec.stride as u32)?;
+                    write_u32(w, l.spec.padding as u32)?;
+                    write_u32(w, l.in_hw.0 as u32)?;
+                    write_u32(w, l.in_hw.1 as u32)?;
+                    write_lif(w, &l.lif)?;
+                    write_tensor(w, &l.weight)?;
+                }
+                Layer::Pool(l) => {
+                    w.write_all(&[2u8])?;
+                    write_u32(w, l.channels as u32)?;
+                    write_u32(w, l.in_hw.0 as u32)?;
+                    write_u32(w, l.in_hw.1 as u32)?;
+                    write_u32(w, l.k as u32)?;
+                }
+                Layer::Recurrent(l) => {
+                    w.write_all(&[3u8])?;
+                    write_u32(w, layer.out_features() as u32)?;
+                    write_u32(w, layer.in_features() as u32)?;
+                    write_lif(w, &l.lif)?;
+                    write_tensor(w, &l.w_in)?;
+                    write_tensor(w, &l.w_rec)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes a network written by [`Network::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`std::io::ErrorKind::InvalidData`] on a bad magic,
+    /// malformed geometry or truncated weights, and propagates I/O errors.
+    pub fn load(r: &mut impl Read) -> io::Result<Network> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an snn-mtfc model file (bad magic)"));
+        }
+        let rank = read_u32(r)? as usize;
+        if rank > 4 {
+            return Err(bad(format!("implausible input rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(r)? as usize);
+        }
+        let input_shape = Shape::new(dims);
+        let count = read_u32(r)? as usize;
+        if count == 0 || count > 1024 {
+            return Err(bad(format!("implausible layer count {count}")));
+        }
+        let mut layers = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut kind = [0u8; 1];
+            r.read_exact(&mut kind)?;
+            let layer = match kind[0] {
+                0 => {
+                    let out = read_u32(r)? as usize;
+                    let inp = read_u32(r)? as usize;
+                    let lif = read_lif(r)?;
+                    let weight = read_tensor(r, Shape::d2(out, inp))?;
+                    Layer::Dense(DenseLayer::new(weight, lif))
+                }
+                1 => {
+                    let in_c = read_u32(r)? as usize;
+                    let out_c = read_u32(r)? as usize;
+                    let kernel = read_u32(r)? as usize;
+                    let stride = read_u32(r)? as usize;
+                    let padding = read_u32(r)? as usize;
+                    let h = read_u32(r)? as usize;
+                    let w_ = read_u32(r)? as usize;
+                    if kernel == 0 || stride == 0 {
+                        return Err(bad("conv layer with zero kernel/stride"));
+                    }
+                    let spec = Conv2dSpec::new(in_c, out_c, kernel, stride, padding);
+                    let lif = read_lif(r)?;
+                    let weight = read_tensor(r, spec.weight_shape())?;
+                    Layer::Conv(ConvLayer::new(spec, (h, w_), weight, lif))
+                }
+                2 => {
+                    let channels = read_u32(r)? as usize;
+                    let h = read_u32(r)? as usize;
+                    let w_ = read_u32(r)? as usize;
+                    let k = read_u32(r)? as usize;
+                    if k == 0 || h % k != 0 || w_ % k != 0 {
+                        return Err(bad("pool layer with invalid window"));
+                    }
+                    Layer::Pool(PoolLayer::new(channels, (h, w_), k))
+                }
+                3 => {
+                    let units = read_u32(r)? as usize;
+                    let inp = read_u32(r)? as usize;
+                    let lif = read_lif(r)?;
+                    let w_in = read_tensor(r, Shape::d2(units, inp))?;
+                    let w_rec = read_tensor(r, Shape::d2(units, units))?;
+                    Layer::Recurrent(RecurrentLayer::new(w_in, w_rec, lif))
+                }
+                k => return Err(bad(format!("unknown layer kind {k}"))),
+            };
+            layers.push(layer);
+        }
+        // Network::new asserts geometry chaining; convert the panic into a
+        // data error by pre-checking.
+        let mut features = input_shape.len();
+        for (i, layer) in layers.iter().enumerate() {
+            if layer.in_features() != features {
+                return Err(bad(format!(
+                    "layer {i} expects {} features, stream provides {features}",
+                    layer.in_features()
+                )));
+            }
+            features = layer.out_features();
+        }
+        Ok(Network::new(input_shape, layers))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkBuilder, RecordOptions};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn round_trip(net: &Network) -> Network {
+        let mut buf = Vec::new();
+        net.save(&mut buf).expect("in-memory save cannot fail");
+        Network::load(&mut buf.as_slice()).expect("round trip must load")
+    }
+
+    #[test]
+    fn dense_round_trip_is_identical() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::new(6, LifParams::default())
+            .dense(10)
+            .dense(3)
+            .build(&mut rng);
+        assert_eq!(round_trip(&net), net);
+    }
+
+    #[test]
+    fn conv_pool_recurrent_round_trip_preserves_behaviour() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = NetworkBuilder::new_spatial(2, 8, 8, LifParams { refrac_steps: 2, ..LifParams::default() })
+            .avg_pool(2)
+            .conv(4, 3, 1, 1)
+            .dense(12)
+            .dense(5)
+            .build(&mut rng);
+        let loaded = round_trip(&net);
+        assert_eq!(loaded, net);
+        // Behavioural equality, not just structural.
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(15, 128), 0.3);
+        let a = net.forward(&input, RecordOptions::spikes_only());
+        let b = loaded.forward(&input, RecordOptions::spikes_only());
+        assert_eq!(a, b);
+
+        let rec = NetworkBuilder::new(7, LifParams::default())
+            .recurrent(9)
+            .dense(4)
+            .build(&mut rng);
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn load_rejects_bad_magic() {
+        let err = Network::load(&mut &b"NOTAMODELxxxx"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(3).build(&mut rng);
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        for cut in [9, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                Network::load(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn load_rejects_corrupted_geometry() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(3).build(&mut rng);
+        let mut buf = Vec::new();
+        net.save(&mut buf).unwrap();
+        // Corrupt the layer count field (offset: 8 magic + 4 rank + 4 dim).
+        buf[16] = 0xFF;
+        buf[17] = 0xFF;
+        assert!(Network::load(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,183 @@
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the discrete-time Leaky-Integrate-and-Fire neuron.
+///
+/// Per simulation tick a non-refractory neuron updates its membrane
+/// potential as `v ← leak·v + z` where `z` is the weighted sum of incoming
+/// spikes. When `v ≥ threshold` the neuron emits a spike, the potential is
+/// reset to zero and the neuron ignores input for `refrac_steps` ticks —
+/// exactly the behaviour sketched in the paper's Fig. 1.
+///
+/// # Example
+///
+/// ```
+/// use snn_model::LifParams;
+///
+/// let p = LifParams::default();
+/// assert!(p.leak > 0.0 && p.leak <= 1.0);
+/// let fast = LifParams { refrac_steps: 0, ..p };
+/// assert_eq!(fast.refrac_steps, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifParams {
+    /// Firing threshold `θ` on the membrane potential.
+    pub threshold: f32,
+    /// Multiplicative leak `λ ∈ (0, 1]` applied to the carried potential
+    /// each tick (1.0 = perfect integrator).
+    pub leak: f32,
+    /// Number of ticks after a spike during which the neuron neither
+    /// integrates nor fires.
+    pub refrac_steps: u32,
+}
+
+impl LifParams {
+    /// Validates the parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.threshold.is_finite() && self.threshold > 0.0) {
+            return Err(format!("threshold must be finite and positive, got {}", self.threshold));
+        }
+        if !(self.leak > 0.0 && self.leak <= 1.0) {
+            return Err(format!("leak must be in (0, 1], got {}", self.leak));
+        }
+        Ok(())
+    }
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        Self {
+            threshold: 1.0,
+            leak: 0.9,
+            refrac_steps: 2,
+        }
+    }
+}
+
+/// Surrogate derivative used for the non-differentiable spike function
+/// during BPTT.
+///
+/// The forward pass uses the hard Heaviside `s = H(v − θ)`; the backward
+/// pass substitutes `ds/dv` with one of these smooth approximations
+/// evaluated at `v − θ`.
+///
+/// # Example
+///
+/// ```
+/// use snn_model::Surrogate;
+///
+/// let s = Surrogate::default();
+/// // The surrogate is maximal at the threshold and decays away from it.
+/// assert!(s.grad(0.0) > s.grad(1.0));
+/// assert!(s.grad(0.0) > s.grad(-1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Surrogate {
+    /// SLAYER-style fast sigmoid: `1 / (1 + k·|x|)²` scaled so the peak is
+    /// `1`.
+    FastSigmoid {
+        /// Sharpness `k` (larger = narrower support around the threshold).
+        slope: f32,
+    },
+    /// Arctangent surrogate: `1 / (1 + (π·α·x)²)`.
+    Atan {
+        /// Width parameter `α`.
+        alpha: f32,
+    },
+    /// Rectangular window: `1/width` for `|x| < width/2`, else 0.
+    Rect {
+        /// Window width around the threshold.
+        width: f32,
+    },
+}
+
+impl Surrogate {
+    /// Evaluates the surrogate spike derivative at `x = v − θ`.
+    pub fn grad(&self, x: f32) -> f32 {
+        match *self {
+            Surrogate::FastSigmoid { slope } => {
+                let d = 1.0 + slope * x.abs();
+                1.0 / (d * d)
+            }
+            Surrogate::Atan { alpha } => {
+                let t = std::f32::consts::PI * alpha * x;
+                1.0 / (1.0 + t * t)
+            }
+            Surrogate::Rect { width } => {
+                if x.abs() < width * 0.5 {
+                    1.0 / width
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+impl Default for Surrogate {
+    fn default() -> Self {
+        Surrogate::FastSigmoid { slope: 5.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        assert!(LifParams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_threshold_and_leak() {
+        let mut p = LifParams::default();
+        p.threshold = 0.0;
+        assert!(p.validate().is_err());
+        p.threshold = f32::NAN;
+        assert!(p.validate().is_err());
+        p = LifParams::default();
+        p.leak = 0.0;
+        assert!(p.validate().is_err());
+        p.leak = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn fast_sigmoid_peaks_at_threshold() {
+        let s = Surrogate::FastSigmoid { slope: 5.0 };
+        assert_eq!(s.grad(0.0), 1.0);
+        assert!(s.grad(0.5) < 1.0);
+    }
+
+    #[test]
+    fn rect_is_a_window() {
+        let s = Surrogate::Rect { width: 1.0 };
+        assert_eq!(s.grad(0.0), 1.0);
+        assert_eq!(s.grad(0.49), 1.0);
+        assert_eq!(s.grad(0.51), 0.0);
+        assert_eq!(s.grad(-0.51), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn surrogates_are_nonnegative_even_and_decay(
+            x in 0.01f32..10.0
+        ) {
+            for s in [
+                Surrogate::FastSigmoid { slope: 5.0 },
+                Surrogate::Atan { alpha: 2.0 },
+                Surrogate::Rect { width: 1.0 },
+            ] {
+                let g = s.grad(x);
+                prop_assert!(g >= 0.0);
+                prop_assert!((g - s.grad(-x)).abs() < 1e-6, "not even at {x}");
+                prop_assert!(s.grad(x * 2.0) <= g + 1e-6, "not monotone at {x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised when two tensors (or a tensor and an operation) disagree on
+/// dimensions.
+///
+/// The message carries the operation name and both offending shapes so that
+/// a failure deep inside a simulation is immediately attributable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: String,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a new shape error for operation `op` with a human-readable
+    /// `detail` describing the mismatch.
+    pub fn new(op: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self {
+            op: op.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The name of the operation that rejected its operands.
+    pub fn op(&self) -> &str {
+        &self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch in `{}`: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_op_and_detail() {
+        let e = ShapeError::new("matvec", "expected 4 columns, got 5");
+        let s = e.to_string();
+        assert!(s.contains("matvec"));
+        assert!(s.contains("expected 4 columns"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! Minimal dense `f32` tensor library for the `snn-mtfc` workspace.
+//!
+//! This crate provides exactly the linear-algebra substrate the spiking
+//! neural network simulator and the test-generation algorithm need:
+//!
+//! * [`Shape`] — a small dimension descriptor with row-major strides,
+//! * [`Tensor`] — a contiguous, row-major, owned `f32` tensor,
+//! * [`ops`] — matrix–vector products, 2-D convolution and average pooling,
+//!   each with the corresponding backward (gradient) computations used by
+//!   backpropagation-through-time,
+//! * [`init`] — reproducible random initializers.
+//!
+//! The library is deliberately *not* a general-purpose array crate: no
+//! broadcasting, no views, no lazy evaluation. Everything is eager,
+//! contiguous and simple enough to audit, which is what a test-generation
+//! flow for safety-critical neuromorphic hardware wants.
+//!
+//! # Example
+//!
+//! ```
+//! use snn_tensor::{Shape, Tensor};
+//!
+//! let t = Tensor::zeros(Shape::d2(3, 4));
+//! assert_eq!(t.len(), 12);
+//! assert_eq!(t.shape().dims(), &[3, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod ops;
+
+pub use error::ShapeError;
+pub use shape::Shape;
+pub use tensor::Tensor;

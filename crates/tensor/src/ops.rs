@@ -1,0 +1,596 @@
+//! Forward and backward numeric kernels.
+//!
+//! These are the only compute primitives the SNN simulator needs: dense
+//! matrix–vector products, 2-D convolution and average pooling, each paired
+//! with the gradient computations used by backpropagation-through-time.
+//! All kernels are straightforward nested loops — auditable, allocation-free
+//! on the hot path and fast enough for the repro-scale benchmarks.
+
+use crate::{Shape, Tensor};
+
+/// Geometry of a 2-D convolution or pooling operation.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::ops::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(2, 16, 5, 1, 2);
+/// assert_eq!(spec.out_hw(32, 32), (32, 32)); // "same" padding at stride 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dSpec {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride in both spatial directions.
+    pub stride: usize,
+    /// Zero padding in both spatial directions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a convolution spec with a square kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        assert!(kernel > 0, "kernel extent must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial extent for an input of `h × w`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Shape of the weight tensor: `[out, in, k, k]`.
+    pub fn weight_shape(&self) -> Shape {
+        Shape::d4(self.out_channels, self.in_channels, self.kernel, self.kernel)
+    }
+
+    /// Number of trainable weights.
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Dense matrix–vector product `y = W · x` with `W: [rows × cols]`.
+///
+/// # Panics
+///
+/// Panics if `w` is not rank-2 or the operand lengths disagree.
+pub fn matvec(w: &Tensor, x: &[f32], y: &mut [f32]) {
+    let dims = w.shape().dims();
+    assert_eq!(dims.len(), 2, "matvec weight must be rank-2");
+    let (rows, cols) = (dims[0], dims[1]);
+    assert_eq!(x.len(), cols, "matvec input length mismatch");
+    assert_eq!(y.len(), rows, "matvec output length mismatch");
+    let wd = w.as_slice();
+    for r in 0..rows {
+        let row = &wd[r * cols..(r + 1) * cols];
+        let mut acc = 0.0f32;
+        for (wv, xv) in row.iter().zip(x.iter()) {
+            acc += wv * xv;
+        }
+        y[r] = acc;
+    }
+}
+
+/// Transposed matrix–vector product `x_grad = Wᵀ · y_grad`, accumulating
+/// into `x_grad`.
+///
+/// # Panics
+///
+/// Panics on rank/length mismatches (same contract as [`matvec`]).
+pub fn matvec_t_acc(w: &Tensor, y_grad: &[f32], x_grad: &mut [f32]) {
+    let dims = w.shape().dims();
+    assert_eq!(dims.len(), 2, "matvec_t weight must be rank-2");
+    let (rows, cols) = (dims[0], dims[1]);
+    assert_eq!(y_grad.len(), rows, "matvec_t output-grad length mismatch");
+    assert_eq!(x_grad.len(), cols, "matvec_t input-grad length mismatch");
+    let wd = w.as_slice();
+    for r in 0..rows {
+        let g = y_grad[r];
+        if g == 0.0 {
+            continue;
+        }
+        let row = &wd[r * cols..(r + 1) * cols];
+        for (xg, wv) in x_grad.iter_mut().zip(row.iter()) {
+            *xg += g * wv;
+        }
+    }
+}
+
+/// Outer-product accumulation `W_grad += y_grad ⊗ x` for the dense layer
+/// weight gradient.
+///
+/// # Panics
+///
+/// Panics on rank/length mismatches.
+pub fn outer_acc(w_grad: &mut Tensor, y_grad: &[f32], x: &[f32]) {
+    let dims = w_grad.shape().dims().to_vec();
+    assert_eq!(dims.len(), 2, "outer_acc gradient must be rank-2");
+    let (rows, cols) = (dims[0], dims[1]);
+    assert_eq!(y_grad.len(), rows, "outer_acc row mismatch");
+    assert_eq!(x.len(), cols, "outer_acc col mismatch");
+    let wd = w_grad.as_mut_slice();
+    for r in 0..rows {
+        let g = y_grad[r];
+        if g == 0.0 {
+            continue;
+        }
+        let row = &mut wd[r * cols..(r + 1) * cols];
+        for (wv, xv) in row.iter_mut().zip(x.iter()) {
+            *wv += g * xv;
+        }
+    }
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input` is `[C_in, H, W]` flattened row-major, `weight` is
+/// `[C_out, C_in, k, k]`, and the result is written into `out`
+/// (`[C_out, OH, OW]` flattened).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with `spec` and `(h, w)`.
+pub fn conv2d(
+    spec: &Conv2dSpec,
+    input: &[f32],
+    h: usize,
+    w: usize,
+    weight: &Tensor,
+    out: &mut [f32],
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(input.len(), spec.in_channels * h * w, "conv2d input length");
+    assert_eq!(weight.len(), spec.weight_count(), "conv2d weight length");
+    assert_eq!(out.len(), spec.out_channels * oh * ow, "conv2d output length");
+    let k = spec.kernel;
+    let wd = weight.as_slice();
+    for oc in 0..spec.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ic in 0..spec.in_channels {
+                    let in_base = ic * h * w;
+                    let w_base = ((oc * spec.in_channels) + ic) * k * k;
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let ix = ix as usize;
+                            acc += wd[w_base + ky * k + kx] * input[in_base + iy * w + ix];
+                        }
+                    }
+                }
+                out[(oc * oh + oy) * ow + ox] = acc;
+            }
+        }
+    }
+}
+
+/// Gradient of [`conv2d`] with respect to the input, accumulated into
+/// `in_grad` (`[C_in, H, W]`).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with `spec` and `(h, w)`.
+pub fn conv2d_backward_input(
+    spec: &Conv2dSpec,
+    out_grad: &[f32],
+    h: usize,
+    w: usize,
+    weight: &Tensor,
+    in_grad: &mut [f32],
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(out_grad.len(), spec.out_channels * oh * ow, "conv2d out-grad length");
+    assert_eq!(in_grad.len(), spec.in_channels * h * w, "conv2d in-grad length");
+    let k = spec.kernel;
+    let wd = weight.as_slice();
+    for oc in 0..spec.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = out_grad[(oc * oh + oy) * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                for ic in 0..spec.in_channels {
+                    let in_base = ic * h * w;
+                    let w_base = ((oc * spec.in_channels) + ic) * k * k;
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let ix = ix as usize;
+                            in_grad[in_base + iy * w + ix] += g * wd[w_base + ky * k + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Gradient of [`conv2d`] with respect to the weights, accumulated into
+/// `w_grad` (`[C_out, C_in, k, k]`).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with `spec` and `(h, w)`.
+pub fn conv2d_backward_weight(
+    spec: &Conv2dSpec,
+    out_grad: &[f32],
+    input: &[f32],
+    h: usize,
+    w: usize,
+    w_grad: &mut Tensor,
+) {
+    let (oh, ow) = spec.out_hw(h, w);
+    assert_eq!(out_grad.len(), spec.out_channels * oh * ow, "conv2d out-grad length");
+    assert_eq!(input.len(), spec.in_channels * h * w, "conv2d input length");
+    assert_eq!(w_grad.len(), spec.weight_count(), "conv2d weight-grad length");
+    let k = spec.kernel;
+    let wd = w_grad.as_mut_slice();
+    for oc in 0..spec.out_channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = out_grad[(oc * oh + oy) * ow + ox];
+                if g == 0.0 {
+                    continue;
+                }
+                for ic in 0..spec.in_channels {
+                    let in_base = ic * h * w;
+                    let w_base = ((oc * spec.in_channels) + ic) * k * k;
+                    for ky in 0..k {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for kx in 0..k {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let ix = ix as usize;
+                            wd[w_base + ky * k + kx] += g * input[in_base + iy * w + ix];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Average pooling forward pass with a square window `k` and stride `k`.
+///
+/// `input` is `[C, H, W]`; `out` is `[C, H/k, W/k]`. Partial windows at the
+/// border are averaged over the window elements that exist.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree.
+pub fn avg_pool2d(input: &[f32], c: usize, h: usize, w: usize, k: usize, out: &mut [f32]) {
+    let (oh, ow) = (h / k, w / k);
+    assert!(k > 0, "pool window must be positive");
+    assert_eq!(input.len(), c * h * w, "avg_pool2d input length");
+    assert_eq!(out.len(), c * oh * ow, "avg_pool2d output length");
+    let inv = 1.0 / (k * k) as f32;
+    for ch in 0..c {
+        let base = ch * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..k {
+                    let row = base + (oy * k + ky) * w + ox * k;
+                    for kx in 0..k {
+                        acc += input[row + kx];
+                    }
+                }
+                out[(ch * oh + oy) * ow + ox] = acc * inv;
+            }
+        }
+    }
+}
+
+/// Gradient of [`avg_pool2d`], accumulated into `in_grad` (`[C, H, W]`).
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree.
+pub fn avg_pool2d_backward(
+    out_grad: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    in_grad: &mut [f32],
+) {
+    let (oh, ow) = (h / k, w / k);
+    assert_eq!(out_grad.len(), c * oh * ow, "avg_pool2d out-grad length");
+    assert_eq!(in_grad.len(), c * h * w, "avg_pool2d in-grad length");
+    let inv = 1.0 / (k * k) as f32;
+    for ch in 0..c {
+        let base = ch * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let g = out_grad[(ch * oh + oy) * ow + ox] * inv;
+                if g == 0.0 {
+                    continue;
+                }
+                for ky in 0..k {
+                    let row = base + (oy * k + ky) * w + ox * k;
+                    for kx in 0..k {
+                        in_grad[row + kx] += g;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+    use proptest::prelude::*;
+
+    fn approx(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-4
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        // W = [[1,2],[3,4],[5,6]] · x = [1,1]
+        let w = Tensor::from_vec(Shape::d2(3, 2), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 3];
+        matvec(&w, &x, &mut y);
+        assert_eq!(y, [3.0, 7.0, 11.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose_of_matvec() {
+        let w = Tensor::from_vec(Shape::d2(2, 3), vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let g = [1.0, 2.0];
+        let mut xg = [0.0; 3];
+        matvec_t_acc(&w, &g, &mut xg);
+        // Wᵀ·g = [1+8, 2+10, 3+12]
+        assert_eq!(xg, [9.0, 12.0, 15.0]);
+    }
+
+    #[test]
+    fn outer_acc_matches_manual() {
+        let mut wg = Tensor::zeros(Shape::d2(2, 2));
+        outer_acc(&mut wg, &[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(wg.as_slice(), &[3.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_passes_input_through() {
+        let spec = Conv2dSpec::new(1, 1, 1, 1, 0);
+        let w = Tensor::from_vec(spec.weight_shape(), vec![1.0]).unwrap();
+        let input = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0; 4];
+        conv2d(&spec, &input, 2, 2, &w, &mut out);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn conv2d_same_padding_sums_neighbourhood() {
+        let spec = Conv2dSpec::new(1, 1, 3, 1, 1);
+        let w = Tensor::full(spec.weight_shape(), 1.0);
+        // all-ones 3×3 input: centre sees 9 ones, corner sees 4
+        let input = [1.0f32; 9];
+        let mut out = [0.0; 9];
+        conv2d(&spec, &input, 3, 3, &w, &mut out);
+        assert_eq!(out[4], 9.0);
+        assert_eq!(out[0], 4.0);
+        assert_eq!(out[1], 6.0);
+    }
+
+    #[test]
+    fn conv2d_stride_reduces_output() {
+        let spec = Conv2dSpec::new(1, 2, 2, 2, 0);
+        assert_eq!(spec.out_hw(4, 4), (2, 2));
+        let w = Tensor::full(spec.weight_shape(), 0.5);
+        let input = [1.0f32; 16];
+        let mut out = [0.0; 8];
+        conv2d(&spec, &input, 4, 4, &w, &mut out);
+        // each window: 4 elements × 0.5 = 2.0
+        assert!(out.iter().all(|&v| approx(v, 2.0)));
+    }
+
+    /// Finite-difference check: the analytic input gradient of conv2d must
+    /// match a numerical estimate of d(sum(out·g))/d(input).
+    #[test]
+    fn conv2d_input_gradient_matches_finite_difference() {
+        let spec = Conv2dSpec::new(2, 3, 3, 1, 1);
+        let (h, w_) = (4, 4);
+        let mut rng_state = 12345u64;
+        let mut next = || {
+            // xorshift for deterministic pseudo-random values
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            ((rng_state % 1000) as f32 / 500.0) - 1.0
+        };
+        let weight = Tensor::from_vec(
+            spec.weight_shape(),
+            (0..spec.weight_count()).map(|_| next()).collect(),
+        )
+        .unwrap();
+        let input: Vec<f32> = (0..spec.in_channels * h * w_).map(|_| next()).collect();
+        let (oh, ow) = spec.out_hw(h, w_);
+        let g: Vec<f32> = (0..spec.out_channels * oh * ow).map(|_| next()).collect();
+
+        let mut in_grad = vec![0.0; input.len()];
+        conv2d_backward_input(&spec, &g, h, w_, &weight, &mut in_grad);
+
+        let f = |inp: &[f32]| -> f32 {
+            let mut out = vec![0.0; g.len()];
+            conv2d(&spec, inp, h, w_, &weight, &mut out);
+            out.iter().zip(g.iter()).map(|(o, gv)| o * gv).sum()
+        };
+        let eps = 1e-2;
+        for probe in [0usize, 5, 13, 17, input.len() - 1] {
+            let mut ip = input.clone();
+            ip[probe] += eps;
+            let mut im = input.clone();
+            im[probe] -= eps;
+            let fd = (f(&ip) - f(&im)) / (2.0 * eps);
+            assert!(
+                (fd - in_grad[probe]).abs() < 1e-2,
+                "probe {probe}: fd={fd} analytic={}",
+                in_grad[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_weight_gradient_matches_finite_difference() {
+        let spec = Conv2dSpec::new(1, 2, 2, 1, 0);
+        let (h, w_) = (3, 3);
+        let input: Vec<f32> = (0..9).map(|i| i as f32 * 0.1).collect();
+        let (oh, ow) = spec.out_hw(h, w_);
+        let g = vec![1.0; spec.out_channels * oh * ow];
+        let weight =
+            Tensor::from_vec(spec.weight_shape(), (0..8).map(|i| i as f32 * 0.05).collect())
+                .unwrap();
+
+        let mut w_grad = Tensor::zeros(spec.weight_shape());
+        conv2d_backward_weight(&spec, &g, &input, h, w_, &mut w_grad);
+
+        let f = |wt: &Tensor| -> f32 {
+            let mut out = vec![0.0; g.len()];
+            conv2d(&spec, &input, h, w_, wt, &mut out);
+            out.iter().zip(g.iter()).map(|(o, gv)| o * gv).sum()
+        };
+        let eps = 1e-2;
+        for probe in 0..weight.len() {
+            let mut wp = weight.clone();
+            wp[probe] += eps;
+            let mut wm = weight.clone();
+            wm[probe] -= eps;
+            let fd = (f(&wp) - f(&wm)) / (2.0 * eps);
+            assert!(
+                (fd - w_grad[probe]).abs() < 1e-2,
+                "probe {probe}: fd={fd} analytic={}",
+                w_grad[probe]
+            );
+        }
+    }
+
+    #[test]
+    fn avg_pool_averages_windows() {
+        let input = [1.0, 2.0, 3.0, 4.0];
+        let mut out = [0.0];
+        avg_pool2d(&input, 1, 2, 2, 2, &mut out);
+        assert!(approx(out[0], 2.5));
+    }
+
+    #[test]
+    fn avg_pool_backward_distributes_uniformly() {
+        let mut in_grad = [0.0f32; 4];
+        avg_pool2d_backward(&[4.0], 1, 2, 2, 2, &mut in_grad);
+        assert!(in_grad.iter().all(|&v| approx(v, 1.0)));
+    }
+
+    #[test]
+    fn conv_spec_validates() {
+        let spec = Conv2dSpec::new(2, 16, 5, 1, 2);
+        assert_eq!(spec.weight_count(), 16 * 2 * 25);
+        assert_eq!(spec.out_hw(32, 32), (32, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn conv_spec_rejects_zero_stride() {
+        Conv2dSpec::new(1, 1, 3, 0, 0);
+    }
+
+    proptest! {
+        /// Pooling then backward must conserve total gradient mass
+        /// (avg-pool backward spreads each output gradient over k² inputs
+        /// scaled by 1/k², so sums match when H, W divide k).
+        #[test]
+        fn avg_pool_gradient_mass_is_conserved(
+            c in 1usize..3, scale in 1usize..4, k in 1usize..3,
+        ) {
+            let h = k * scale;
+            let w = k * scale;
+            let out_len = c * (h / k) * (w / k);
+            let out_grad: Vec<f32> = (0..out_len).map(|i| (i % 5) as f32).collect();
+            let mut in_grad = vec![0.0f32; c * h * w];
+            avg_pool2d_backward(&out_grad, c, h, w, k, &mut in_grad);
+            let total_out: f32 = out_grad.iter().sum();
+            let total_in: f32 = in_grad.iter().sum();
+            prop_assert!((total_out - total_in).abs() < 1e-3);
+        }
+
+        /// matvec followed by its transpose satisfies the adjoint identity
+        /// ⟨W·x, y⟩ = ⟨x, Wᵀ·y⟩.
+        #[test]
+        fn matvec_adjoint_identity(
+            rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000
+        ) {
+            let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state % 100) as f32 / 50.0) - 1.0
+            };
+            let w = Tensor::from_vec(
+                Shape::d2(rows, cols),
+                (0..rows * cols).map(|_| next()).collect(),
+            ).unwrap();
+            let x: Vec<f32> = (0..cols).map(|_| next()).collect();
+            let y: Vec<f32> = (0..rows).map(|_| next()).collect();
+            let mut wx = vec![0.0; rows];
+            matvec(&w, &x, &mut wx);
+            let mut wty = vec![0.0; cols];
+            matvec_t_acc(&w, &y, &mut wty);
+            let lhs: f32 = wx.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.iter().zip(wty.iter()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-2, "lhs={} rhs={}", lhs, rhs);
+        }
+    }
+}

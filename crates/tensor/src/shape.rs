@@ -1,0 +1,213 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Row-major dimension descriptor of a [`Tensor`](crate::Tensor).
+///
+/// A `Shape` is an ordered list of dimension extents. Strides are row-major
+/// and derived on demand; a shape with no dimensions describes a scalar
+/// tensor of one element.
+///
+/// # Example
+///
+/// ```
+/// use snn_tensor::Shape;
+///
+/// let s = Shape::d3(2, 34, 34);
+/// assert_eq!(s.len(), 2 * 34 * 34);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.offset(&[1, 0, 5]), 34 * 34 + 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from an arbitrary dimension list.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Self { dims: dims.into() }
+    }
+
+    /// One-dimensional shape.
+    pub fn d1(n: usize) -> Self {
+        Self::new(vec![n])
+    }
+
+    /// Two-dimensional shape (rows, columns).
+    pub fn d2(rows: usize, cols: usize) -> Self {
+        Self::new(vec![rows, cols])
+    }
+
+    /// Three-dimensional shape (channels, height, width).
+    pub fn d3(c: usize, h: usize, w: usize) -> Self {
+        Self::new(vec![c, h, w])
+    }
+
+    /// Four-dimensional shape (e.g. out-channels, in-channels, kh, kw).
+    pub fn d4(a: usize, b: usize, c: usize, d: usize) -> Self {
+        Self::new(vec![a, b, c, d])
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements described by this shape.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// `true` if the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (elements to skip per unit step along each axis).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of the multi-index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != self.rank()` or any coordinate is out of
+    /// bounds (debug assertions only for the bounds check of each axis).
+    pub fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(
+            idx.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            idx.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            debug_assert!(
+                idx[axis] < self.dims[axis],
+                "index {} out of bounds for axis {} with extent {}",
+                idx[axis],
+                axis,
+                self.dims[axis]
+            );
+            off += idx[axis] * stride;
+            stride *= self.dims[axis];
+        }
+        off
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Self::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Self::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_shape_has_one_element() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::d3(2, 3, 4);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn offsets_enumerate_contiguously() {
+        let s = Shape::d2(3, 4);
+        let mut expect = 0;
+        for r in 0..3 {
+            for c in 0..4 {
+                assert_eq!(s.offset(&[r, c]), expect);
+                expect += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_times_separator() {
+        assert_eq!(Shape::d3(2, 34, 34).to_string(), "[2×34×34]");
+    }
+
+    #[test]
+    #[should_panic(expected = "index rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::d2(2, 2).offset(&[1]);
+    }
+
+    proptest! {
+        #[test]
+        fn offset_is_bijective_over_all_indices(
+            a in 1usize..5, b in 1usize..5, c in 1usize..5
+        ) {
+            let s = Shape::d3(a, b, c);
+            let mut seen = vec![false; s.len()];
+            for i in 0..a {
+                for j in 0..b {
+                    for k in 0..c {
+                        let off = s.offset(&[i, j, k]);
+                        prop_assert!(off < s.len());
+                        prop_assert!(!seen[off]);
+                        seen[off] = true;
+                    }
+                }
+            }
+            prop_assert!(seen.iter().all(|&v| v));
+        }
+
+        #[test]
+        fn len_is_product_of_dims(dims in proptest::collection::vec(1usize..8, 0..4)) {
+            let s = Shape::new(dims.clone());
+            prop_assert_eq!(s.len(), dims.iter().product::<usize>());
+        }
+    }
+}

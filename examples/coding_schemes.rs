@@ -1,0 +1,84 @@
+//! The algorithm is information-coding agnostic (paper Section I): it
+//! makes no assumption about whether the SNN's inputs are rate-coded or
+//! time-to-first-spike (TTFS) coded. This example trains the same
+//! architecture under both encodings of a small analog-feature task and
+//! generates a test for each, showing the flow is identical.
+//!
+//! Run with: `cargo run --example coding_schemes`
+
+use rand::Rng;
+use rand::SeedableRng;
+use snn_mtfc::datasets::encoding::{rate_encode, ttfs_encode};
+use snn_mtfc::faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_mtfc::model::train::{evaluate, TrainConfig, Trainer};
+use snn_mtfc::model::{LifParams, Network, NetworkBuilder};
+use snn_mtfc::testgen::{TestGenConfig, TestGenerator};
+use snn_tensor::Tensor;
+
+/// Two-class analog task: class = which half of the feature vector has
+/// the larger mean.
+fn features(rng: &mut impl Rng) -> (Vec<f32>, usize) {
+    let n = 10;
+    let label = rng.gen_range(0..2usize);
+    let v: Vec<f32> = (0..n)
+        .map(|i| {
+            let hot = if label == 0 { i < n / 2 } else { i >= n / 2 };
+            if hot {
+                rng.gen_range(0.5..0.9)
+            } else {
+                rng.gen_range(0.05..0.3)
+            }
+        })
+        .collect();
+    (v, label)
+}
+
+fn run(name: &str, encode: impl Fn(&mut rand::rngs::StdRng, &[f32]) -> Tensor) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut net: Network = NetworkBuilder::new(10, LifParams::default())
+        .dense(16)
+        .dense(2)
+        .build(&mut rng);
+
+    let make_set = |n: usize, rng: &mut rand::rngs::StdRng| -> Vec<(Tensor, usize)> {
+        (0..n)
+            .map(|_| {
+                let (v, label) = features(rng);
+                (encode(rng, &v), label)
+            })
+            .collect()
+    };
+    let train = make_set(60, &mut rng);
+    let test = make_set(30, &mut rng);
+
+    let mut trainer = Trainer::new(&net, TrainConfig::default());
+    for _ in 0..8 {
+        for batch in train.chunks(8) {
+            trainer.train_batch(&mut net, batch);
+        }
+    }
+    let acc = evaluate(&net, &test);
+
+    // Identical test-generation flow regardless of the coding scheme.
+    let generated = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
+    let universe = FaultUniverse::standard(&net);
+    let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+    let stimulus = generated.assembled();
+    let fc = sim
+        .detect(&universe, universe.faults(), std::slice::from_ref(&stimulus))
+        .fault_coverage();
+
+    println!(
+        "{name:<12} accuracy {:>5.1}%   test {:>3} ticks   activated {:>5.1}%   FC {:>5.1}%",
+        acc * 100.0,
+        generated.test_steps(),
+        generated.activated_fraction() * 100.0,
+        fc * 100.0
+    );
+}
+
+fn main() {
+    println!("same architecture, two coding schemes, one test-generation flow:\n");
+    run("rate-coded", |rng, v| rate_encode(rng, v, 30));
+    run("TTFS-coded", |_rng, v| ttfs_encode(v, 30));
+}

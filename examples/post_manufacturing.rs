@@ -1,0 +1,85 @@
+//! Post-manufacturing test-program development, end to end:
+//!
+//! 1. train an NMNIST-like SNN with surrogate-gradient BPTT,
+//! 2. enumerate the hardware fault universe and label faults
+//!    critical/benign against the dataset (the paper's Table II step),
+//! 3. generate the compact optimized test stimulus,
+//! 4. verify it with a single fault-simulation campaign and report
+//!    coverage per fault class (the paper's Table III step).
+//!
+//! Run with: `cargo run --release --example post_manufacturing`
+
+use rand::SeedableRng;
+use snn_mtfc::datasets::{materialize, materialize_inputs, NmnistLike, SpikeDataset};
+use snn_mtfc::faults::{
+    criticality, CoverageReport, FaultSimConfig, FaultSimulator, FaultUniverse,
+};
+use snn_mtfc::model::train::{evaluate, TrainConfig, Trainer};
+use snn_mtfc::model::{LifParams, NetworkBuilder};
+use snn_mtfc::testgen::{TestGenConfig, TestGenerator};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+
+    // --- 1. Train the device's SNN --------------------------------------
+    let ds = NmnistLike::new(12, 30, 400, 3);
+    let mut net = NetworkBuilder::new_spatial(2, 12, 12, LifParams::default())
+        .avg_pool(2)
+        .dense(24)
+        .dense(10)
+        .build(&mut rng);
+    let train = materialize(&ds, 0..80);
+    let test = materialize(&ds, 80..120);
+    let mut trainer = Trainer::new(&net, TrainConfig::default());
+    for epoch in 0..4 {
+        let mut loss = 0.0;
+        for batch in train.chunks(8) {
+            loss = trainer.train_batch(&mut net, batch);
+        }
+        println!("epoch {epoch}: loss {loss:.3}");
+    }
+    println!("test accuracy: {:.1}%", evaluate(&net, &test) * 100.0);
+
+    // --- 2. Fault universe + criticality labelling ----------------------
+    let universe = FaultUniverse::standard(&net);
+    let label_inputs = materialize_inputs(&ds, 80..100);
+    let labels = criticality::classify(
+        &net,
+        &universe,
+        universe.faults(),
+        &label_inputs,
+        criticality::CriticalityConfig { threads: 0, max_samples: Some(8) },
+    );
+    println!(
+        "faults: {} total, {} critical / {} benign (labelled in {:?})",
+        universe.len(),
+        labels.critical_count(),
+        labels.benign_count(),
+        labels.elapsed
+    );
+
+    // --- 3. Generate the optimized test ---------------------------------
+    let mut cfg = TestGenConfig::fast();
+    cfg.stage1_steps = 120;
+    cfg.stage2_steps = 60;
+    cfg.max_iterations = 6;
+    let generated = TestGenerator::new(&net, cfg).generate(&mut rng);
+    println!(
+        "test: {} chunks, {} ticks (≈{:.2} dataset samples), {:.1}% neurons activated",
+        generated.chunks.len(),
+        generated.test_steps(),
+        generated.duration_samples(ds.steps()),
+        generated.activated_fraction() * 100.0
+    );
+
+    // --- 4. Verification campaign + coverage report ---------------------
+    let stimulus = generated.assembled();
+    let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+    let campaign = sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus));
+    let report = CoverageReport::compute(universe.faults(), &labels.critical, &campaign.per_fault);
+    println!("coverage (critical neuron):  {}", report.critical_neuron);
+    println!("coverage (critical synapse): {}", report.critical_synapse);
+    println!("coverage (benign neuron):    {}", report.benign_neuron);
+    println!("coverage (benign synapse):   {}", report.benign_synapse);
+    println!("overall: {}", report.overall());
+}

@@ -1,0 +1,50 @@
+//! Quickstart: generate a minimum-time maximum-fault-coverage test for a
+//! small spiking neural network, then verify its fault coverage with one
+//! fault-simulation campaign.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rand::SeedableRng;
+use snn_mtfc::faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_mtfc::model::{LifParams, NetworkBuilder};
+use snn_mtfc::testgen::{TestGenConfig, TestGenerator};
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+
+    // 1. An SNN as it would be mapped on a neuromorphic accelerator:
+    //    16 input channels → 24 hidden LIF neurons → 4 output classes.
+    let net = NetworkBuilder::new(16, LifParams::default())
+        .dense(24)
+        .dense(4)
+        .build(&mut rng);
+    println!("{}", net.summary());
+
+    // 2. The behavioural fault universe: 2 faults per neuron
+    //    (saturated, dead) + 3 per synapse (dead, sat+, sat−).
+    let universe = FaultUniverse::standard(&net);
+    println!("fault universe: {} faults", universe.len());
+
+    // 3. Generate the optimized test stimulus — no fault simulation
+    //    happens inside this loop; the five loss functions steer it.
+    let test = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
+    println!(
+        "generated {} chunk(s), {} ticks total, activating {:.1}% of neurons in {:?}",
+        test.chunks.len(),
+        test.test_steps(),
+        test.activated_fraction() * 100.0,
+        test.runtime
+    );
+
+    // 4. One verification campaign at the end (Eq. 3/4).
+    let stimulus = test.assembled();
+    let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+    let outcome = sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus));
+    println!(
+        "fault coverage: {:.2}% ({} / {} detected) in {:?}",
+        outcome.fault_coverage() * 100.0,
+        outcome.detected_count(),
+        universe.len(),
+        outcome.elapsed
+    );
+}

@@ -1,0 +1,45 @@
+//! # snn-mtfc — Minimum-Time Maximum-Fault-Coverage testing of SNNs
+//!
+//! Façade crate re-exporting the whole workspace: a from-scratch Rust
+//! reproduction of *"Minimum Time Maximum Fault Coverage Testing of Spiking
+//! Neural Networks"* (Raptis & Stratigopoulos, DATE 2025).
+//!
+//! The workspace contains:
+//!
+//! * [`tensor`] — dense `f32` tensors and conv/matmul/pool kernels,
+//! * [`model`] — the clocked LIF SNN simulator with surrogate-gradient
+//!   BPTT, plus an event-driven cross-check engine, training, int8
+//!   quantization and a binary model format,
+//! * [`faults`] — behavioural fault models, the parallel prefix-cached
+//!   fault simulator, criticality labelling, statistical coverage
+//!   estimation and fault dictionaries for diagnosis,
+//! * [`datasets`] — synthetic NMNIST / DVS-gesture / SHD-like event
+//!   datasets and rate/TTFS encoders,
+//! * [`testgen`] — the paper's contribution: the two-stage loss-driven
+//!   test generation algorithm, plus test compaction,
+//! * [`baselines`] — prior-art test generation methods for comparison.
+//!
+//! A CLI (`snn-mtfc new/info/generate/verify`) drives the flow over model
+//! and event-list files; see the repository README.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snn_mtfc::model::{LifParams, Network, NetworkBuilder};
+//! use snn_mtfc::tensor::{Shape, Tensor};
+//!
+//! // A tiny fully-connected SNN: 4 inputs → 8 hidden → 2 outputs.
+//! let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+//! let net = NetworkBuilder::new(4, LifParams::default())
+//!     .dense(8)
+//!     .dense(2)
+//!     .build(&mut rng);
+//! assert_eq!(net.neuron_count(), 10);
+//! ```
+
+pub use snn_baselines as baselines;
+pub use snn_datasets as datasets;
+pub use snn_faults as faults;
+pub use snn_model as model;
+pub use snn_tensor as tensor;
+pub use snn_testgen as testgen;

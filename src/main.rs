@@ -1,0 +1,205 @@
+//! `snn-mtfc` — command-line driver for the test-generation flow.
+//!
+//! ```text
+//! snn-mtfc new      --input 2x16x16 --arch pool:2,dense:48,dense:10 --out model.snn [--seed N]
+//! snn-mtfc info     model.snn
+//! snn-mtfc generate model.snn --out test.events [--preset fast|repro|paper] [--seed N]
+//! snn-mtfc verify   model.snn test.events
+//! ```
+//!
+//! `new` creates a (randomly initialized) model file so the rest of the
+//! flow can be exercised immediately; real flows train the network first
+//! (see `examples/post_manufacturing.rs`) and save it with
+//! [`snn_mtfc::model::Network::save`].
+
+use rand::SeedableRng;
+use snn_mtfc::faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_mtfc::model::{LifParams, Network, NetworkBuilder};
+use snn_mtfc::testgen::{parse_events, TestGenConfig, TestGenerator};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("new") => cmd_new(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "snn-mtfc — minimum-time maximum-fault-coverage testing of SNNs\n\n\
+         USAGE:\n  \
+         snn-mtfc new      --input <CxHxW|N> --arch <spec> --out <model.snn> [--seed N]\n  \
+         snn-mtfc info     <model.snn>\n  \
+         snn-mtfc generate <model.snn> [--out <test.events>] [--preset fast|repro|paper] [--seed N]\n  \
+         snn-mtfc verify   <model.snn> <test.events>\n\n\
+         ARCH SPEC (comma-separated stages):\n  \
+         dense:<n> | conv:<out_c>:<k>:<stride>:<pad> | pool:<k> | recurrent:<n>\n  \
+         e.g. --input 2x16x16 --arch pool:2,dense:48,dense:10"
+    );
+}
+
+/// Fetches the value following `--flag`, if present.
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String], index: usize) -> Option<&str> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        // skip values that directly follow a flag
+        .scan(false, |skip, a| {
+            let out = if *skip { None } else { Some(a.as_str()) };
+            *skip = a.starts_with("--");
+            Some(out)
+        })
+        .flatten()
+        .nth(index)
+}
+
+fn seed_of(args: &[String]) -> Result<u64, String> {
+    match flag(args, "--seed") {
+        None => Ok(42),
+        Some(s) => s.parse().map_err(|e| format!("bad --seed: {e}")),
+    }
+}
+
+fn load_model(path: &str) -> Result<Network, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Network::load(&mut BufReader::new(file)).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_new(args: &[String]) -> Result<(), String> {
+    let input = flag(args, "--input").ok_or("missing --input")?;
+    let arch = flag(args, "--arch").ok_or("missing --arch")?;
+    let out = flag(args, "--out").ok_or("missing --out")?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed_of(args)?);
+
+    let dims: Vec<usize> = input
+        .split('x')
+        .map(|d| d.parse().map_err(|e| format!("bad --input: {e}")))
+        .collect::<Result<_, _>>()?;
+    let lif = LifParams::default();
+    let mut builder = match dims.as_slice() {
+        [n] => NetworkBuilder::new(*n, lif),
+        [c, h, w] => NetworkBuilder::new_spatial(*c, *h, *w, lif),
+        _ => return Err("--input must be N or CxHxW".into()),
+    };
+    for stage in arch.split(',') {
+        let parts: Vec<&str> = stage.split(':').collect();
+        let num = |i: usize| -> Result<usize, String> {
+            parts
+                .get(i)
+                .ok_or_else(|| format!("stage `{stage}`: missing field {i}"))?
+                .parse()
+                .map_err(|e| format!("stage `{stage}`: {e}"))
+        };
+        builder = match parts[0] {
+            "dense" => builder.dense(num(1)?),
+            "recurrent" => builder.recurrent(num(1)?),
+            "pool" => builder.avg_pool(num(1)?),
+            "conv" => builder.conv(num(1)?, num(2)?, num(3)?, num(4)?),
+            other => return Err(format!("unknown stage kind `{other}`")),
+        };
+    }
+    let net = builder.build(&mut rng);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let mut w = BufWriter::new(file);
+    net.save(&mut w).map_err(|e| format!("cannot write {out}: {e}"))?;
+    w.flush().map_err(|e| e.to_string())?;
+    println!("{}", net.summary());
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("missing model path")?;
+    let net = load_model(path)?;
+    print!("{}", net.summary());
+    let universe = FaultUniverse::standard(&net);
+    println!(
+        "fault universe: {} faults ({} neuron, {} synapse)",
+        universe.len(),
+        universe.neuron_fault_count(),
+        universe.synapse_fault_count()
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("missing model path")?;
+    let net = load_model(path)?;
+    let cfg = match flag(args, "--preset").unwrap_or("repro") {
+        "fast" => TestGenConfig::fast(),
+        "repro" => TestGenConfig::repro(),
+        "paper" => TestGenConfig::paper(),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed_of(args)?);
+    let test = TestGenerator::new(&net, cfg).generate(&mut rng);
+    println!(
+        "generated {} chunk(s), {} ticks, {:.1}% neurons activated, in {:?}",
+        test.chunks.len(),
+        test.test_steps(),
+        test.activated_fraction() * 100.0,
+        test.runtime
+    );
+    if let Some(out) = flag(args, "--out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        let mut w = BufWriter::new(file);
+        test.write_events(&mut w).map_err(|e| e.to_string())?;
+        w.flush().map_err(|e| e.to_string())?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let model_path = positional(args, 0).ok_or("missing model path")?;
+    let test_path = positional(args, 1).ok_or("missing test path")?;
+    let net = load_model(model_path)?;
+    let mut text = String::new();
+    File::open(test_path)
+        .map_err(|e| format!("cannot open {test_path}: {e}"))?
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let stimulus = parse_events(&text)?;
+    if stimulus.shape().dim(1) != net.input_features() {
+        return Err(format!(
+            "test has {} features, model expects {}",
+            stimulus.shape().dim(1),
+            net.input_features()
+        ));
+    }
+    let universe = FaultUniverse::standard(&net);
+    let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+    let outcome = sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus));
+    println!(
+        "fault coverage: {:.2}% ({}/{} detected) in {:?}",
+        outcome.fault_coverage() * 100.0,
+        outcome.detected_count(),
+        universe.len(),
+        outcome.elapsed
+    );
+    Ok(())
+}
