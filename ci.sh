@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the repo root:
+#
+#   ./ci.sh          # full gate: build, tests, formatting, lints
+#   ./ci.sh quick    # tier-1 only: release build + tests
+#
+# All steps run offline (dependencies are vendored under vendor/).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { echo; echo "==> $*"; }
+
+step "cargo build --release"
+cargo build --release --offline
+
+step "cargo test -q"
+cargo test -q --offline --workspace
+
+if [[ "${1:-full}" == "quick" ]]; then
+    echo; echo "quick gate passed."
+    exit 0
+fi
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo; echo "CI passed."

@@ -1,7 +1,9 @@
 use crate::{greedy_cover, BaselineConfig, BaselineResult};
 use rand::Rng;
 use snn_faults::{Fault, FaultSimConfig, FaultSimulator, FaultUniverse};
-use snn_model::{gumbel::GumbelSample, optim::Adam, InjectedGrads, Network, RecordOptions, Surrogate};
+use snn_model::{
+    gumbel::GumbelSample, optim::Adam, InjectedGrads, Network, RecordOptions, Surrogate,
+};
 use snn_tensor::{Shape, Tensor};
 use std::time::Instant;
 
@@ -20,12 +22,7 @@ pub struct AdversarialConfig {
 
 impl Default for AdversarialConfig {
     fn default() -> Self {
-        Self {
-            steps: 40,
-            lr: 0.1,
-            tau: 0.7,
-            surrogate: Surrogate::default(),
-        }
+        Self { steps: 40, lr: 0.1, tau: 0.7, surrogate: Surrogate::default() }
     }
 }
 
@@ -69,25 +66,17 @@ pub fn adversarial_greedy(
     cfg: &BaselineConfig,
 ) -> BaselineResult {
     assert!(!pool.is_empty(), "candidate pool must be non-empty");
-    assert!(
-        net.output_features() >= 2,
-        "adversarial margin attack needs at least two classes"
-    );
+    assert!(net.output_features() >= 2, "adversarial margin attack needs at least two classes");
     let started = Instant::now();
 
     // 1. Perturb every pool sample into an adversarial candidate.
-    let adversarial_pool: Vec<Tensor> = pool
-        .iter()
-        .map(|sample| perturb(net, sample, adv, rng))
-        .collect();
+    let adversarial_pool: Vec<Tensor> =
+        pool.iter().map(|sample| perturb(net, sample, adv, rng)).collect();
 
     // 2. Detection matrix + greedy cover, as in the dataset baseline.
     let sim = FaultSimulator::new(
         net,
-        FaultSimConfig {
-            threads: cfg.threads,
-            ..FaultSimConfig::default()
-        },
+        FaultSimConfig { threads: cfg.threads, ..FaultSimConfig::default() },
     );
     let detection: Vec<Vec<bool>> = adversarial_pool
         .iter()
@@ -176,9 +165,8 @@ mod tests {
             .dense(3)
             .build(&mut rng);
         let u = FaultUniverse::standard(&net);
-        let pool: Vec<_> = (0..3)
-            .map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 5), 0.4))
-            .collect();
+        let pool: Vec<_> =
+            (0..3).map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 5), 0.4)).collect();
         (net, u, pool)
     }
 
@@ -208,10 +196,7 @@ mod tests {
                 .filter(|&(k, _)| k != pred)
                 .map(|(_, &c)| c)
                 .fold(f32::NEG_INFINITY, f32::max);
-        assert!(
-            adv_margin <= clean_margin,
-            "margin grew: {clean_margin} → {adv_margin}"
-        );
+        assert!(adv_margin <= clean_margin, "margin grew: {clean_margin} → {adv_margin}");
     }
 
     #[test]

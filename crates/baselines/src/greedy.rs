@@ -43,10 +43,7 @@ pub fn dataset_greedy(
     let started = Instant::now();
     let sim = FaultSimulator::new(
         net,
-        FaultSimConfig {
-            threads: cfg.threads,
-            ..FaultSimConfig::default()
-        },
+        FaultSimConfig { threads: cfg.threads, ..FaultSimConfig::default() },
     );
 
     // Detection matrix: one campaign per candidate — exactly the
@@ -100,11 +97,7 @@ pub(crate) fn greedy_cover(
             if used[i] {
                 continue;
             }
-            let gain = row
-                .iter()
-                .zip(covered.iter())
-                .filter(|(&d, &c)| d && !c)
-                .count();
+            let gain = row.iter().zip(covered.iter()).filter(|(&d, &c)| d && !c).count();
             if gain > 0 && best.is_none_or(|(_, g)| gain > g) {
                 best = Some((i, gain));
             }
@@ -152,11 +145,8 @@ mod tests {
 
     #[test]
     fn greedy_cover_respects_budget_and_target() {
-        let detection = vec![
-            vec![true, false, false],
-            vec![false, true, false],
-            vec![false, false, true],
-        ];
+        let detection =
+            vec![vec![true, false, false], vec![false, true, false], vec![false, false, true]];
         let (picks, _, _) = greedy_cover(&detection, 1.0, 2);
         assert_eq!(picks.len(), 2);
         let (picks2, _, history) = greedy_cover(&detection, 0.3, 10);
@@ -167,15 +157,10 @@ mod tests {
     #[test]
     fn dataset_greedy_coverage_grows_monotonically() {
         let mut rng = StdRng::seed_from_u64(1);
-        let net = NetworkBuilder::new(5, LifParams::default())
-            .dense(8)
-            .dense(3)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(5, LifParams::default()).dense(8).dense(3).build(&mut rng);
         let u = FaultUniverse::standard(&net);
         let pool: Vec<_> = (0..6)
-            .map(|i| {
-                snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 5), 0.2 + 0.1 * i as f32)
-            })
+            .map(|i| snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 5), 0.2 + 0.1 * i as f32))
             .collect();
         let cfg = BaselineConfig { threads: 1, ..BaselineConfig::default() };
         let r = dataset_greedy(&net, &u, u.faults(), &pool, &cfg);

@@ -25,10 +25,7 @@ pub fn random_inputs(
     let started = Instant::now();
     let sim = FaultSimulator::new(
         net,
-        FaultSimConfig {
-            threads: cfg.threads,
-            ..FaultSimConfig::default()
-        },
+        FaultSimConfig { threads: cfg.threads, ..FaultSimConfig::default() },
     );
 
     let mut detected = vec![false; faults.len()];
@@ -54,12 +51,8 @@ pub fn random_inputs(
         );
 
         // Only the still-undetected faults need simulation.
-        let remaining: Vec<Fault> = faults
-            .iter()
-            .zip(detected.iter())
-            .filter(|(_, &d)| !d)
-            .map(|(f, _)| *f)
-            .collect();
+        let remaining: Vec<Fault> =
+            faults.iter().zip(detected.iter()).filter(|(_, &d)| !d).map(|(f, _)| *f).collect();
         let outcome = sim.detect(universe, &remaining, std::slice::from_ref(&candidate));
         campaigns += 1;
 
@@ -80,9 +73,8 @@ pub fn random_inputs(
         }
         if gained > 0 {
             inputs.push(candidate);
-            history.push(
-                detected.iter().filter(|&&d| d).count() as f64 / faults.len().max(1) as f64,
-            );
+            history
+                .push(detected.iter().filter(|&&d| d).count() as f64 / faults.len().max(1) as f64);
             stale = 0;
         } else {
             stale += 1;
@@ -119,11 +111,7 @@ mod tests {
     fn random_accumulates_coverage() {
         let (net, u) = setup();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = BaselineConfig {
-            target_coverage: 0.8,
-            max_inputs: 30,
-            threads: 1,
-        };
+        let cfg = BaselineConfig { target_coverage: 0.8, max_inputs: 30, threads: 1 };
         let r = random_inputs(&net, &u, u.faults(), 20, &mut rng, &cfg);
         assert!(r.coverage() > 0.2, "coverage {}", r.coverage());
         assert!(!r.inputs.is_empty());
@@ -138,11 +126,7 @@ mod tests {
     fn input_budget_is_respected() {
         let (net, u) = setup();
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = BaselineConfig {
-            target_coverage: 1.0,
-            max_inputs: 2,
-            threads: 1,
-        };
+        let cfg = BaselineConfig { target_coverage: 1.0, max_inputs: 2, threads: 1 };
         let r = random_inputs(&net, &u, u.faults(), 15, &mut rng, &cfg);
         assert!(r.inputs.len() <= 2);
     }
@@ -151,11 +135,7 @@ mod tests {
     fn reaching_target_stops_early() {
         let (net, u) = setup();
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = BaselineConfig {
-            target_coverage: 0.05,
-            max_inputs: 50,
-            threads: 1,
-        };
+        let cfg = BaselineConfig { target_coverage: 0.05, max_inputs: 50, threads: 1 };
         let r = random_inputs(&net, &u, u.faults(), 20, &mut rng, &cfg);
         assert!(r.coverage() >= 0.05);
         assert!(r.inputs.len() <= 3, "should stop almost immediately");

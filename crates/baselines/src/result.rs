@@ -15,11 +15,7 @@ pub struct BaselineConfig {
 
 impl Default for BaselineConfig {
     fn default() -> Self {
-        Self {
-            target_coverage: 0.99,
-            max_inputs: 500,
-            threads: 0,
-        }
+        Self { target_coverage: 0.99, max_inputs: 500, threads: 0 }
     }
 }
 

@@ -40,13 +40,7 @@ fn bench_backward(c: &mut Criterion) {
         });
         group.bench_function(format!("{}/with_weight_grads", kind.name()), |b| {
             b.iter(|| {
-                black_box(net.backward(
-                    black_box(&input),
-                    &trace,
-                    &inj,
-                    Surrogate::default(),
-                    true,
-                ))
+                black_box(net.backward(black_box(&input), &trace, &inj, Surrogate::default(), true))
             })
         });
     }

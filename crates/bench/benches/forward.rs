@@ -19,11 +19,8 @@ fn bench_forward(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let net = build_network(kind, Scale::Repro, &mut rng);
         let ds = build_dataset(kind, Scale::Repro, 1);
-        let input = snn_tensor::init::bernoulli(
-            &mut rng,
-            Shape::d2(ds.steps(), net.input_features()),
-            0.1,
-        );
+        let input =
+            snn_tensor::init::bernoulli(&mut rng, Shape::d2(ds.steps(), net.input_features()), 0.1);
         group.bench_function(format!("{}/spikes_only", kind.name()), |b| {
             b.iter(|| black_box(net.forward(black_box(&input), RecordOptions::spikes_only())))
         });

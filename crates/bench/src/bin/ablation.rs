@@ -32,10 +32,7 @@ fn main() {
         &universe,
         universe.faults(),
         &b.test_inputs(),
-        criticality::CriticalityConfig {
-            threads: 0,
-            max_samples: Some(if fast { 4 } else { 10 }),
-        },
+        criticality::CriticalityConfig { threads: 0, max_samples: Some(if fast { 4 } else { 10 }) },
     );
     let critical: Vec<Fault> = universe
         .faults()
@@ -77,9 +74,8 @@ fn main() {
         let overall = sim
             .detect(&universe, universe.faults(), std::slice::from_ref(&stimulus))
             .fault_coverage();
-        let crit = sim
-            .detect(&universe, &critical, std::slice::from_ref(&stimulus))
-            .fault_coverage();
+        let crit =
+            sim.detect(&universe, &critical, std::slice::from_ref(&stimulus)).fault_coverage();
 
         rows.push(vec![
             name.to_string(),

@@ -32,22 +32,11 @@ fn main() {
 
     // Extended universe: timing faults + bit flips on all 8 bit positions
     // of the quantized weight word (sampled in fast mode to bound time).
-    let universe = FaultUniverse::with_config(
-        &b.net,
-        FaultModelConfig::default(),
-        true,
-        &[0, 3, 6, 7],
-    );
-    let faults: Vec<_> = if fast {
-        universe.sample(&mut rng, 4_000)
-    } else {
-        universe.faults().to_vec()
-    };
-    eprintln!(
-        "[extensions] campaign over {} of {} extended faults…",
-        faults.len(),
-        universe.len()
-    );
+    let universe =
+        FaultUniverse::with_config(&b.net, FaultModelConfig::default(), true, &[0, 3, 6, 7]);
+    let faults: Vec<_> =
+        if fast { universe.sample(&mut rng, 4_000) } else { universe.faults().to_vec() };
+    eprintln!("[extensions] campaign over {} of {} extended faults…", faults.len(), universe.len());
     let sim = FaultSimulator::new(&b.net, FaultSimConfig::default());
     let outcome = sim.detect(&universe, &faults, std::slice::from_ref(&stimulus));
 

@@ -9,11 +9,7 @@ use snn_model::{DenseLayer, Layer, LifParams, Network, RecordOptions};
 use snn_tensor::{Shape, Tensor};
 
 fn main() {
-    let lif = LifParams {
-        threshold: 1.0,
-        leak: 0.9,
-        refrac_steps: 3,
-    };
+    let lif = LifParams { threshold: 1.0, leak: 0.9, refrac_steps: 3 };
     let net = Network::new(
         Shape::d1(1),
         vec![Layer::Dense(DenseLayer::new(

@@ -38,7 +38,7 @@ fn main() {
         let rnd = random.render_layer(idx);
         let o_lines: Vec<&str> = opt.lines().collect();
         let r_lines: Vec<&str> = rnd.lines().collect();
-        println!("{:<w$}   {}", "(a) optimized", "(b) dataset sample", w = o_lines[0].len().max(14));
+        println!("{:<w$}   (b) dataset sample", "(a) optimized", w = o_lines[0].len().max(14));
         for (ol, rl) in o_lines.iter().zip(r_lines.iter()) {
             println!("{ol}   {rl}");
         }

@@ -29,10 +29,7 @@ fn main() {
     eprintln!("[fig9] campaign with class-difference recording…");
     let sim = FaultSimulator::new(
         &b.net,
-        FaultSimConfig {
-            record_class_diffs: true,
-            ..FaultSimConfig::default()
-        },
+        FaultSimConfig { record_class_diffs: true, ..FaultSimConfig::default() },
     );
     let campaign = sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus));
 

@@ -10,7 +10,9 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use snn_bench::{build_dataset, build_network, print_table, Benchmark, BenchmarkKind, PrepConfig, Scale};
+use snn_bench::{
+    build_dataset, build_network, print_table, Benchmark, BenchmarkKind, PrepConfig, Scale,
+};
 
 fn main() {
     let prep = if std::env::var("SNN_MTFC_FAST").is_ok() {
@@ -61,16 +63,7 @@ fn main() {
 
     print_table(
         "Table I: Benchmark SNNs characteristics",
-        &[
-            "Benchmark",
-            "Accuracy",
-            "Classes",
-            "Neurons",
-            "Synapses",
-            "Input dim",
-            "Train",
-            "Test",
-        ],
+        &["Benchmark", "Accuracy", "Classes", "Neurons", "Synapses", "Input dim", "Train", "Test"],
         &rows,
     );
 

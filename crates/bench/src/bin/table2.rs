@@ -46,10 +46,7 @@ fn main() {
             &universe,
             universe.faults(),
             &inputs,
-            criticality::CriticalityConfig {
-                threads: 0,
-                max_samples: Some(max_samples),
-            },
+            criticality::CriticalityConfig { threads: 0, max_samples: Some(max_samples) },
         );
 
         let mut crit_neuron = 0usize;

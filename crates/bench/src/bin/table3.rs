@@ -23,16 +23,42 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(if fast { 4 } else { 12 });
-    let gen_cfg = if fast {
-        TestGenConfig::fast()
-    } else {
-        TestGenConfig::repro()
-    };
+    let gen_cfg = if fast { TestGenConfig::fast() } else { TestGenConfig::repro() };
 
     let paper: [[&str; 9]; 3] = [
-        ["1.5 h", "~8.76", "4.96 s", "98.71%", "99.97%", "96.96%", "47.26%", "78.02%", "0.1% (1.1%)"],
-        ["2.5 h", "~11.48", "31.86 s", "82.81%", "99.86%", "99.42%", "82.29%", "58.98%", "0.4% (0.9%)"],
-        ["2 h", "~7.82", "14.64 s", "91.33%", "98.99%", "97.25%", "21.43%", "54.40%", "0.3% (1.5%)"],
+        [
+            "1.5 h",
+            "~8.76",
+            "4.96 s",
+            "98.71%",
+            "99.97%",
+            "96.96%",
+            "47.26%",
+            "78.02%",
+            "0.1% (1.1%)",
+        ],
+        [
+            "2.5 h",
+            "~11.48",
+            "31.86 s",
+            "82.81%",
+            "99.86%",
+            "99.42%",
+            "82.29%",
+            "58.98%",
+            "0.4% (0.9%)",
+        ],
+        [
+            "2 h",
+            "~7.82",
+            "14.64 s",
+            "91.33%",
+            "98.99%",
+            "97.25%",
+            "21.43%",
+            "54.40%",
+            "0.3% (1.5%)",
+        ],
     ];
 
     let mut rows = Vec::new();
@@ -62,7 +88,8 @@ fn main() {
         );
         let sim = FaultSimulator::new(&b.net, FaultSimConfig::default());
         let campaign = sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus));
-        let coverage = CoverageReport::compute(universe.faults(), &labels.critical, &campaign.per_fault);
+        let coverage =
+            CoverageReport::compute(universe.faults(), &labels.critical, &campaign.per_fault);
 
         // Escape analysis: worst accuracy drop among undetected critical
         // faults (capped per category to bound runtime).

@@ -13,7 +13,9 @@
 //! Usage: `cargo run -p snn-bench --bin table4 --release`
 //!   `SNN_MTFC_FAST=1` — smoke-run sizes
 
-use snn_baselines::{adversarial_greedy, dataset_greedy, random_inputs, AdversarialConfig, BaselineConfig};
+use snn_baselines::{
+    adversarial_greedy, dataset_greedy, random_inputs, AdversarialConfig, BaselineConfig,
+};
 use snn_bench::{fmt_duration, print_table, Benchmark, BenchmarkKind, PrepConfig, Scale};
 use snn_faults::{criticality, Fault, FaultSimConfig, FaultSimulator, FaultUniverse};
 use snn_testgen::{TestGenConfig, TestGenerator};
@@ -34,10 +36,7 @@ fn main() {
         &universe,
         universe.faults(),
         &b.test_inputs(),
-        criticality::CriticalityConfig {
-            threads: 0,
-            max_samples: Some(if fast { 4 } else { 12 }),
-        },
+        criticality::CriticalityConfig { threads: 0, max_samples: Some(if fast { 4 } else { 12 }) },
     );
     let critical: Vec<Fault> = universe
         .faults()
@@ -50,11 +49,8 @@ fn main() {
 
     let pool_size = if fast { 6 } else { 40 };
     let pool = snn_datasets::materialize_inputs(b.dataset.as_ref(), 0..pool_size);
-    let base_cfg = BaselineConfig {
-        target_coverage: 0.99,
-        max_inputs: if fast { 5 } else { 60 },
-        threads: 0,
-    };
+    let base_cfg =
+        BaselineConfig { target_coverage: 0.99, max_inputs: if fast { 5 } else { 60 }, threads: 0 };
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(11);
 
     // --- Proposed method -------------------------------------------------
@@ -63,9 +59,8 @@ fn main() {
     let ours = TestGenerator::new(&b.net, gen_cfg).generate(&mut rng);
     let stimulus = ours.assembled();
     let sim = FaultSimulator::new(&b.net, FaultSimConfig::default());
-    let ours_cov = sim
-        .detect(&universe, &critical, std::slice::from_ref(&stimulus))
-        .fault_coverage();
+    let ours_cov =
+        sim.detect(&universe, &critical, std::slice::from_ref(&stimulus)).fault_coverage();
 
     // --- Baselines --------------------------------------------------------
     eprintln!("[table4] dataset-greedy [18]…");
@@ -76,10 +71,7 @@ fn main() {
         &universe,
         &critical,
         &pool,
-        AdversarialConfig {
-            steps: if fast { 6 } else { 30 },
-            ..AdversarialConfig::default()
-        },
+        AdversarialConfig { steps: if fast { 6 } else { 30 }, ..AdversarialConfig::default() },
         &mut rng,
         &base_cfg,
     );

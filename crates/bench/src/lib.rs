@@ -41,7 +41,8 @@ pub enum BenchmarkKind {
 
 impl BenchmarkKind {
     /// All three benchmarks in paper order.
-    pub const ALL: [BenchmarkKind; 3] = [BenchmarkKind::Nmnist, BenchmarkKind::Ibm, BenchmarkKind::Shd];
+    pub const ALL: [BenchmarkKind; 3] =
+        [BenchmarkKind::Nmnist, BenchmarkKind::Ibm, BenchmarkKind::Shd];
 
     /// Display name matching the paper's tables.
     pub fn name(&self) -> &'static str {
@@ -93,11 +94,7 @@ pub fn build_network(kind: BenchmarkKind, scale: Scale, rng: &mut StdRng) -> Net
     let lif = LifParams { threshold: 1.0, leak: 0.9, refrac_steps: 1 };
     match (kind, scale) {
         (BenchmarkKind::Nmnist, Scale::Repro) => {
-            NetworkBuilder::new_spatial(2, 16, 16, lif)
-                .avg_pool(2)
-                .dense(48)
-                .dense(10)
-                .build(rng)
+            NetworkBuilder::new_spatial(2, 16, 16, lif).avg_pool(2).dense(48).dense(10).build(rng)
         }
         (BenchmarkKind::Nmnist, Scale::Paper) => {
             // ≈ Table I: 1,790 neurons / 61,908 synapses. This topology
@@ -109,26 +106,22 @@ pub fn build_network(kind: BenchmarkKind, scale: Scale, rng: &mut StdRng) -> Net
                 .dense(10)
                 .build(rng)
         }
-        (BenchmarkKind::Ibm, Scale::Repro) => {
-            NetworkBuilder::new_spatial(2, 24, 24, lif)
-                .avg_pool(2)
-                .conv(6, 5, 1, 2)
-                .avg_pool(2)
-                .dense(32)
-                .dense(11)
-                .build(rng)
-        }
-        (BenchmarkKind::Ibm, Scale::Paper) => {
-            NetworkBuilder::new_spatial(2, 128, 128, lif)
-                .avg_pool(4)
-                .conv(16, 5, 1, 2)
-                .avg_pool(2)
-                .conv(32, 3, 1, 1)
-                .avg_pool(2)
-                .dense(512)
-                .dense(11)
-                .build(rng)
-        }
+        (BenchmarkKind::Ibm, Scale::Repro) => NetworkBuilder::new_spatial(2, 24, 24, lif)
+            .avg_pool(2)
+            .conv(6, 5, 1, 2)
+            .avg_pool(2)
+            .dense(32)
+            .dense(11)
+            .build(rng),
+        (BenchmarkKind::Ibm, Scale::Paper) => NetworkBuilder::new_spatial(2, 128, 128, lif)
+            .avg_pool(4)
+            .conv(16, 5, 1, 2)
+            .avg_pool(2)
+            .conv(32, 3, 1, 1)
+            .avg_pool(2)
+            .dense(512)
+            .dense(11)
+            .build(rng),
         (BenchmarkKind::Shd, Scale::Repro) => {
             NetworkBuilder::new(140, lif).recurrent(32).dense(20).build(rng)
         }
@@ -137,11 +130,7 @@ pub fn build_network(kind: BenchmarkKind, scale: Scale, rng: &mut StdRng) -> Net
             // gives exactly 404 neurons and 127,488 weights (+2.0%); the
             // repro-scale variant keeps a recurrent layer to exercise that
             // architecture class (the paper's SHD models are recurrent).
-            NetworkBuilder::new(700, lif)
-                .dense(128)
-                .dense(256)
-                .dense(20)
-                .build(rng)
+            NetworkBuilder::new(700, lif).dense(128).dense(256).dense(20).build(rng)
         }
     }
 }
@@ -182,22 +171,12 @@ pub struct PrepConfig {
 impl PrepConfig {
     /// Default preparation at repro scale.
     pub fn repro() -> Self {
-        Self {
-            train_samples: 160,
-            test_samples: 60,
-            epochs: 6,
-            batch: 8,
-        }
+        Self { train_samples: 160, test_samples: 60, epochs: 6, batch: 8 }
     }
 
     /// Quick preparation for smoke tests.
     pub fn fast() -> Self {
-        Self {
-            train_samples: 40,
-            test_samples: 20,
-            epochs: 2,
-            batch: 8,
-        }
+        Self { train_samples: 40, test_samples: 20, epochs: 2, batch: 8 }
     }
 }
 
@@ -214,13 +193,7 @@ impl Benchmark {
 
         let started = Instant::now();
         let train_set = snn_datasets::materialize(dataset.as_ref(), train_range.clone());
-        let mut trainer = Trainer::new(
-            &net,
-            TrainConfig {
-                lr: 0.015,
-                ..TrainConfig::default()
-            },
-        );
+        let mut trainer = Trainer::new(&net, TrainConfig { lr: 0.015, ..TrainConfig::default() });
         for _ in 0..prep.epochs {
             for chunk in train_set.chunks(prep.batch) {
                 trainer.train_batch(&mut net, chunk);
@@ -231,16 +204,7 @@ impl Benchmark {
         let test_set = snn_datasets::materialize(dataset.as_ref(), test_range.clone());
         let accuracy = evaluate(&net, &test_set) as f64;
 
-        Benchmark {
-            kind,
-            scale,
-            net,
-            dataset,
-            train_range,
-            test_range,
-            accuracy,
-            train_time,
-        }
+        Benchmark { kind, scale, net, dataset, train_range, test_range, accuracy, train_time }
     }
 
     /// Materialized `(input, label)` test set.
@@ -268,11 +232,8 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
     println!("+{line}+");
     let fmt_row = |cells: &[String]| {
-        let body: Vec<String> = cells
-            .iter()
-            .zip(widths.iter())
-            .map(|(c, w)| format!(" {c:<w$} "))
-            .collect();
+        let body: Vec<String> =
+            cells.iter().zip(widths.iter()).map(|(c, w)| format!(" {c:<w$} ")).collect();
         println!("|{}|", body.join("|"));
     };
     fmt_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());

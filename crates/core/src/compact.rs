@@ -46,10 +46,8 @@ fn prune_covered(sets: &[Vec<bool>]) -> Vec<usize> {
                 *c |= s;
             }
         }
-        let redundant = sets[candidate]
-            .iter()
-            .zip(covered.iter())
-            .all(|(&own, &other)| !own || other);
+        let redundant =
+            sets[candidate].iter().zip(covered.iter()).all(|(&own, &other)| !own || other);
         // Keep at least one chunk even if everything is redundant.
         if redundant && kept.iter().filter(|&&k| k).count() > 1 {
             kept[candidate] = false;
@@ -62,10 +60,7 @@ fn rebuild(test: &GeneratedTest, keep: &[usize]) -> GeneratedTest {
     let chunks = keep.iter().map(|&j| test.chunks[j].clone()).collect();
     let mut out = GeneratedTest::from_chunks(chunks, test.input_features, test.activated.clone());
     out.runtime = test.runtime;
-    out.iterations = keep
-        .iter()
-        .filter_map(|&j| test.iterations.get(j).cloned())
-        .collect();
+    out.iterations = keep.iter().filter_map(|&j| test.iterations.get(j).cloned()).collect();
     out
 }
 
@@ -110,12 +105,7 @@ pub fn compact_by_activation(
                 if !layer.is_spiking() {
                     continue;
                 }
-                mask.extend(
-                    trace.layers[idx]
-                        .spike_counts()
-                        .into_iter()
-                        .map(|c| c >= min_spikes),
-                );
+                mask.extend(trace.layers[idx].spike_counts().into_iter().map(|c| c >= min_spikes));
             }
             mask
         })
@@ -172,11 +162,8 @@ mod tests {
 
     #[test]
     fn prune_keeps_complementary_sets() {
-        let sets = vec![
-            vec![true, false, false],
-            vec![false, true, false],
-            vec![false, false, true],
-        ];
+        let sets =
+            vec![vec![true, false, false], vec![false, true, false], vec![false, false, true]];
         assert_eq!(prune_covered(&sets), vec![0, 1, 2]);
     }
 
@@ -242,13 +229,12 @@ mod tests {
         let n = net(3);
         let universe = FaultUniverse::standard(&n);
         let mut rng = StdRng::seed_from_u64(4);
-        let chunks: Vec<Tensor> = (0..3)
-            .map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(12, 6), 0.4))
-            .collect();
+        let chunks: Vec<Tensor> =
+            (0..3).map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(12, 6), 0.4)).collect();
         let test = GeneratedTest::from_chunks(chunks, 6, vec![]);
-        let sim = FaultSimulator::new(&n, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
-        let (compact, kept) =
-            compact_by_coverage(&universe, universe.faults(), &test, &sim);
+        let sim =
+            FaultSimulator::new(&n, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
+        let (compact, kept) = compact_by_coverage(&universe, universe.faults(), &test, &sim);
         assert!(!kept.is_empty());
 
         let detect = |t: &GeneratedTest| {

@@ -2,6 +2,7 @@ use crate::losses::{self, TargetMask};
 use crate::stage::{init_logits, Stage, StageConfig, StageOutcome};
 use crate::testset::{GeneratedTest, IterationStats};
 use rand::Rng;
+use snn_faults::progress::{CancelToken, Cancelled, NullSink, Progress, ProgressSink};
 use snn_model::{optim::Schedule, InjectedGrads, Network, RecordOptions, Surrogate};
 use std::time::{Duration, Instant};
 
@@ -182,11 +183,25 @@ impl<'a> TestGenerator<'a> {
 
     /// Runs the full algorithm, producing the compact test stimulus.
     pub fn generate(&self, rng: &mut impl Rng) -> GeneratedTest {
+        self.generate_with(rng, &NullSink, &CancelToken::new())
+            .expect("fresh token is never cancelled")
+    }
+
+    /// [`generate`](Self::generate) with progress streaming and cooperative
+    /// cancellation: emits a [`Progress::Iteration`] event after every
+    /// committed chunk and polls `cancel` at iteration and duration-growth
+    /// boundaries, returning `Err(Cancelled)` once it trips (partial chunks
+    /// are discarded).
+    pub fn generate_with(
+        &self,
+        rng: &mut impl Rng,
+        sink: &dyn ProgressSink,
+        cancel: &CancelToken,
+    ) -> Result<GeneratedTest, Cancelled> {
         let started = Instant::now();
         let cfg = &self.cfg;
-        let t_in_min = cfg
-            .t_in_min
-            .unwrap_or_else(|| calibrate_t_in_min(self.net, rng, cfg, 8, 512));
+        let t_in_min =
+            cfg.t_in_min.unwrap_or_else(|| calibrate_t_in_min(self.net, rng, cfg, 8, 512));
 
         let layout = self.net.neuron_layout();
         let num_layers = self.net.layers().len();
@@ -195,25 +210,16 @@ impl<'a> TestGenerator<'a> {
             .net
             .layers()
             .iter()
-            .map(|l| {
-                if l.is_spiking() {
-                    vec![false; l.out_features()]
-                } else {
-                    Vec::new()
-                }
-            })
+            .map(|l| if l.is_spiking() { vec![false; l.out_features()] } else { Vec::new() })
             .collect();
         let total_neurons: usize = layout.iter().map(|&(_, n)| n).sum();
 
         let mut chunks = Vec::new();
         let mut iterations = Vec::new();
 
-        for _iter in 0..cfg.max_iterations {
-            let active_now: usize = activated
-                .iter()
-                .flat_map(|m| m.iter())
-                .filter(|&&a| a)
-                .count();
+        for iter in 0..cfg.max_iterations {
+            cancel.check()?;
+            let active_now: usize = activated.iter().flat_map(|m| m.iter()).filter(|&&a| a).count();
             if active_now == total_neurons || started.elapsed() >= cfg.t_limit {
                 break;
             }
@@ -235,6 +241,7 @@ impl<'a> TestGenerator<'a> {
             let mut beta = cfg.beta;
             let mut growths = 0usize;
             let (outcome, newly) = loop {
+                cancel.check()?;
                 let stage_cfg = StageConfig {
                     steps: cfg.stage1_steps,
                     lr: cfg.lr,
@@ -252,10 +259,8 @@ impl<'a> TestGenerator<'a> {
                 let logits = init_logits(rng, t_cur, self.net.input_features());
                 let s1 = stage.run_stage1(rng, logits, &mask);
                 let s2 = if cfg.use_stage2 {
-                    let stage2 = Stage::new(
-                        self.net,
-                        StageConfig { steps: cfg.stage2_steps, ..stage_cfg },
-                    );
+                    let stage2 =
+                        Stage::new(self.net, StageConfig { steps: cfg.stage2_steps, ..stage_cfg });
                     stage2.run_stage2(rng, &s1)
                 } else {
                     s1.clone()
@@ -273,9 +278,8 @@ impl<'a> TestGenerator<'a> {
             let (s1, s2) = outcome;
 
             // Commit the chunk and update 𝒩_A from its activity.
-            for (idx, masks) in s2.activation_masks(self.net, cfg.activation_min_spikes)
-                .into_iter()
-                .enumerate()
+            for (idx, masks) in
+                s2.activation_masks(self.net, cfg.activation_min_spikes).into_iter().enumerate()
             {
                 for (i, hit) in masks.into_iter().enumerate() {
                     if hit {
@@ -290,6 +294,14 @@ impl<'a> TestGenerator<'a> {
                 newly_activated: newly,
                 growths,
             });
+            sink.emit(Progress::Iteration {
+                iteration: iter,
+                chunk_steps: s2.best_input.shape().dim(0),
+                newly_activated: newly,
+                activated: activated.iter().flat_map(|m| m.iter()).filter(|&&a| a).count(),
+                total_neurons,
+                growths,
+            });
             chunks.push(s2.best_input);
 
             // An iteration that made no progress even after max growths
@@ -302,9 +314,7 @@ impl<'a> TestGenerator<'a> {
         // Flatten per-layer activation into global neuron order.
         let mut global = Vec::with_capacity(total_neurons);
         for &(layer, count) in &layout {
-            for i in 0..count {
-                global.push(activated[layer][i]);
-            }
+            global.extend_from_slice(&activated[layer][..count]);
         }
         debug_assert_eq!(global.len(), total_neurons);
         let _ = num_layers;
@@ -312,7 +322,7 @@ impl<'a> TestGenerator<'a> {
         let mut test = GeneratedTest::from_chunks(chunks, self.net.input_features(), global);
         test.runtime = started.elapsed();
         test.iterations = iterations;
-        test
+        Ok(test)
     }
 
     /// Neurons activated by `outcome` that are not yet in `activated`.
@@ -322,10 +332,7 @@ impl<'a> TestGenerator<'a> {
             .into_iter()
             .zip(activated.iter())
             .map(|(mask, old)| {
-                mask.into_iter()
-                    .zip(old.iter())
-                    .filter(|(new, &old)| *new && !old)
-                    .count()
+                mask.into_iter().zip(old.iter()).filter(|(new, &old)| *new && !old).count()
             })
             .sum()
     }
@@ -383,13 +390,7 @@ mod tests {
         let random = snn_tensor::init::bernoulli(&mut rng, snn_tensor::Shape::d2(steps, 6), 0.5);
         let trace = net.forward(&random, RecordOptions::spikes_only());
         let random_active: usize = (0..2)
-            .map(|i| {
-                trace.layers[i]
-                    .spike_counts()
-                    .iter()
-                    .filter(|&&c| c >= 1.0)
-                    .count()
-            })
+            .map(|i| trace.layers[i].spike_counts().iter().filter(|&&c| c >= 1.0).count())
             .sum();
         assert!(
             test.activated_count() >= random_active,
@@ -415,6 +416,53 @@ mod tests {
         let cfg = TestGenConfig::fast();
         let t = calibrate_t_in_min(&net, &mut rng, &cfg, 4, 64);
         assert!((4..=64).contains(&t));
+    }
+
+    #[test]
+    fn generate_with_streams_one_event_per_iteration() {
+        let net = net(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = std::sync::Mutex::new(Vec::new());
+        let sink = |e: Progress| events.lock().unwrap().push(e);
+        let test = TestGenerator::new(&net, TestGenConfig::fast())
+            .generate_with(&mut rng, &sink, &CancelToken::new())
+            .unwrap();
+        let events = events.into_inner().unwrap();
+        assert_eq!(events.len(), test.iterations.len());
+        let mut prev_active = 0usize;
+        for (i, e) in events.iter().enumerate() {
+            let Progress::Iteration { iteration, activated, total_neurons, .. } = e else {
+                panic!("unexpected event {e:?}");
+            };
+            assert_eq!(*iteration, i);
+            assert_eq!(*total_neurons, net.neuron_count());
+            assert!(*activated >= prev_active, "activation shrank");
+            prev_active = *activated;
+        }
+        assert_eq!(prev_active, test.activated_count());
+    }
+
+    #[test]
+    fn pre_cancelled_generation_returns_cancelled() {
+        let net = net(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = TestGenerator::new(&net, TestGenConfig::fast())
+            .generate_with(&mut rng, &NullSink, &cancel);
+        assert_eq!(out.unwrap_err(), Cancelled);
+    }
+
+    #[test]
+    fn cancellation_mid_generation_stops_at_iteration_boundary() {
+        let net = net(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cancel = CancelToken::new();
+        // Cancel from inside the sink after the first committed iteration.
+        let sink = |_e: Progress| cancel.cancel();
+        let out =
+            TestGenerator::new(&net, TestGenConfig::fast()).generate_with(&mut rng, &sink, &cancel);
+        assert_eq!(out.unwrap_err(), Cancelled);
     }
 
     #[test]

@@ -256,11 +256,7 @@ pub fn output_preservation(
 ) -> f32 {
     let last = net.layers().len() - 1;
     let out = trace.output();
-    assert_eq!(
-        out.shape(),
-        reference.shape(),
-        "reference output shape mismatch"
-    );
+    assert_eq!(out.shape(), reference.shape(), "reference output shape mismatch");
     let diff = out - reference;
     let value = mu * diff.l1_norm();
     if value > 0.0 {
@@ -322,10 +318,7 @@ pub fn l6_saturation_margin(
 /// Scalarization weights `α_i = 1 / max(L_i, ε)` (Section V-C: inverse of
 /// the expected magnitude, so each term contributes comparably).
 pub fn balance_weights(initial_losses: &[f32]) -> Vec<f32> {
-    initial_losses
-        .iter()
-        .map(|&l| 1.0 / l.max(1e-3))
-        .collect()
+    initial_losses.iter().map(|&l| 1.0 / l.max(1e-3)).collect()
 }
 
 #[cfg(test)]
@@ -369,7 +362,7 @@ mod tests {
         let mut inj = InjectedGrads::none(2);
         let v = l1_output_activation(&net, &trace, &mut inj);
         assert_eq!(v, 3.0); // three silent outputs, deficit 1 each
-        // gradient pushes spikes up (negative, since loss falls as count rises)
+                            // gradient pushes spikes up (negative, since loss falls as count rises)
         let g = inj.layer(1).unwrap();
         assert!(g.as_slice().iter().all(|&x| x <= 0.0));
         assert!(g.l1_norm() > 0.0);
@@ -451,10 +444,7 @@ mod tests {
             Tensor::from_vec(Shape::d2(1, 2), vec![0.5, 0.5]).unwrap(),
             lif,
         );
-        let net = Network::new(
-            Shape::d1(2),
-            vec![Layer::Dense(l0), Layer::Dense(l1)],
-        );
+        let net = Network::new(Shape::d1(2), vec![Layer::Dense(l0), Layer::Dense(l1)]);
         let input = Tensor::full(Shape::d2(12, 2), 1.0);
         let trace = net.forward(&input, RecordOptions::full());
         let mut inj = InjectedGrads::none(2);

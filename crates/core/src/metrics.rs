@@ -69,13 +69,8 @@ pub fn activity_map(net: &Network, trace: &Trace, min_spikes: f32) -> ActivityMa
             continue;
         }
         shapes.push(layer.out_shape());
-        active.push(
-            trace.layers[idx]
-                .spike_counts()
-                .into_iter()
-                .map(|c| c >= min_spikes)
-                .collect(),
-        );
+        active
+            .push(trace.layers[idx].spike_counts().into_iter().map(|c| c >= min_spikes).collect());
     }
     ActivityMap { shapes, active }
 }
@@ -134,10 +129,7 @@ mod tests {
     #[test]
     fn activity_map_counts_and_fraction() {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = NetworkBuilder::new(4, LifParams::default())
-            .dense(6)
-            .dense(2)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(6).dense(2).build(&mut rng);
         let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(30, 4), 0.8);
         let trace = net.forward(&input, RecordOptions::spikes_only());
         let map = activity_map(&net, &trace, 1.0);

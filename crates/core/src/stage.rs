@@ -208,9 +208,7 @@ impl<'a> Stage<'a> {
             if inj.is_empty() {
                 break; // perfect loss — nothing left to optimize
             }
-            let grads = self
-                .net
-                .backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
+            let grads = self.net.backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
             let g_logits = sample.grad_logits(&grads.input);
             adam.step(&mut logits, &g_logits, self.cfg.lr.at(k));
         }
@@ -274,9 +272,7 @@ impl<'a> Stage<'a> {
             if inj.is_empty() {
                 break;
             }
-            let grads = self
-                .net
-                .backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
+            let grads = self.net.backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
             let g_logits = sample.grad_logits(&grads.input);
             adam.step(&mut logits, &g_logits, self.cfg.lr.at(k));
         }
@@ -344,11 +340,7 @@ mod tests {
         let logits = init_logits(&mut rng, 25, 6);
         let out = stage.run_stage1(&mut rng, logits, &full_mask(&net));
         let first = out.loss_history.first().copied().unwrap();
-        assert!(
-            out.best_loss <= first,
-            "best {} should not exceed initial {first}",
-            out.best_loss
-        );
+        assert!(out.best_loss <= first, "best {} should not exceed initial {first}", out.best_loss);
         assert!(out.best_input.is_binary());
         assert_eq!(out.best_input.shape().dims(), &[25, 6]);
     }
@@ -361,18 +353,11 @@ mod tests {
         let logits = init_logits(&mut rng, 30, 6);
         let random_input = GumbelSample::deterministic(&logits, 0.9).binary;
         let random_trace = net.forward(&random_input, RecordOptions::spikes_only());
-        let random_active: usize = (0..2)
-            .map(|i| random_trace.layers[i].activated_count())
-            .sum();
+        let random_active: usize = (0..2).map(|i| random_trace.layers[i].activated_count()).sum();
 
         let out = stage.run_stage1(&mut rng, logits, &full_mask(&net));
-        let opt_active: usize = (0..2)
-            .map(|i| out.best_trace.layers[i].activated_count())
-            .sum();
-        assert!(
-            opt_active >= random_active,
-            "optimized {opt_active} < random {random_active}"
-        );
+        let opt_active: usize = (0..2).map(|i| out.best_trace.layers[i].activated_count()).sum();
+        assert!(opt_active >= random_active, "optimized {opt_active} < random {random_active}");
         assert!(opt_active > 0);
     }
 

@@ -56,19 +56,9 @@ impl GeneratedTest {
     pub fn from_chunks(chunks: Vec<Tensor>, input_features: usize, activated: Vec<bool>) -> Self {
         for (j, c) in chunks.iter().enumerate() {
             assert_eq!(c.shape().rank(), 2, "chunk {j} must be rank-2");
-            assert_eq!(
-                c.shape().dim(1),
-                input_features,
-                "chunk {j} feature count mismatch"
-            );
+            assert_eq!(c.shape().dim(1), input_features, "chunk {j} feature count mismatch");
         }
-        Self {
-            chunks,
-            input_features,
-            activated,
-            runtime: Duration::ZERO,
-            iterations: Vec::new(),
-        }
+        Self { chunks, input_features, activated, runtime: Duration::ZERO, iterations: Vec::new() }
     }
 
     /// Total test duration in ticks, Eq. (8):
@@ -101,8 +91,7 @@ impl GeneratedTest {
         for (j, c) in self.chunks.iter().enumerate() {
             let t = c.shape().dim(0);
             let src = c.as_slice();
-            data[row * self.input_features..(row + t) * self.input_features]
-                .copy_from_slice(src);
+            data[row * self.input_features..(row + t) * self.input_features].copy_from_slice(src);
             row += t;
             if j + 1 < d {
                 row += t; // zero gap — buffer is already zeroed
@@ -237,8 +226,7 @@ mod tests {
 
     #[test]
     fn assembled_places_zero_gaps() {
-        let test =
-            GeneratedTest::from_chunks(vec![chunk(2, 3, 1.0), chunk(2, 3, 1.0)], 3, vec![]);
+        let test = GeneratedTest::from_chunks(vec![chunk(2, 3, 1.0), chunk(2, 3, 1.0)], 3, vec![]);
         let full = test.assembled();
         assert_eq!(full.shape().dims(), &[6, 3]);
         // rows 0-1: ones; rows 2-3: zero gap; rows 4-5: ones
@@ -258,11 +246,8 @@ mod tests {
 
     #[test]
     fn activation_accounting() {
-        let test = GeneratedTest::from_chunks(
-            vec![chunk(1, 1, 0.0)],
-            1,
-            vec![true, false, true, true],
-        );
+        let test =
+            GeneratedTest::from_chunks(vec![chunk(1, 1, 0.0)], 1, vec![true, false, true, true]);
         assert_eq!(test.activated_count(), 3);
         assert!((test.activated_fraction() - 0.75).abs() < 1e-12);
     }

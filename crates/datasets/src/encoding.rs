@@ -27,10 +27,7 @@ use snn_tensor::{Shape, Tensor};
 /// assert_eq!(t.as_slice().iter().step_by(2).sum::<f32>(), 0.0); // v = 0 never fires
 /// ```
 pub fn rate_encode(rng: &mut impl Rng, values: &[f32], steps: usize) -> Tensor {
-    assert!(
-        values.iter().all(|v| (0.0..=1.0).contains(v)),
-        "rate coding expects values in [0, 1]"
-    );
+    assert!(values.iter().all(|v| (0.0..=1.0).contains(v)), "rate coding expects values in [0, 1]");
     let n = values.len();
     let mut out = Tensor::zeros(Shape::d2(steps, n));
     let data = out.as_mut_slice();
@@ -53,10 +50,7 @@ pub fn rate_encode(rng: &mut impl Rng, values: &[f32], steps: usize) -> Tensor {
 /// Panics if any value is outside `[0, 1]` or `steps == 0`.
 pub fn ttfs_encode(values: &[f32], steps: usize) -> Tensor {
     assert!(steps > 0, "ttfs coding needs at least one tick");
-    assert!(
-        values.iter().all(|v| (0.0..=1.0).contains(v)),
-        "ttfs coding expects values in [0, 1]"
-    );
+    assert!(values.iter().all(|v| (0.0..=1.0).contains(v)), "ttfs coding expects values in [0, 1]");
     let n = values.len();
     let mut out = Tensor::zeros(Shape::d2(steps, n));
     for (i, &v) in values.iter().enumerate() {

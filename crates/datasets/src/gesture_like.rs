@@ -83,13 +83,7 @@ impl GestureLike {
     pub fn new(side: usize, steps: usize, samples: usize, seed: u64) -> Self {
         assert!(side >= 16, "sensor side must be at least 16 pixels");
         assert!(steps >= 10, "sample needs at least 10 ticks");
-        Self {
-            side,
-            steps,
-            samples,
-            seed,
-            noise: 0.0005,
-        }
+        Self { side, steps, samples, seed, noise: 0.0005 }
     }
 
     /// Sets the background noise event rate.
@@ -107,14 +101,12 @@ impl GestureLike {
             Motion::SwipeLeft => (0.9 - 0.8 * f, 0.5 - wob * 0.1),
             Motion::SwipeDown => (0.5 + wob * 0.1, 0.1 + 0.8 * f),
             Motion::SwipeUp => (0.5 - wob * 0.1, 0.9 - 0.8 * f),
-            Motion::CircleCw => (
-                0.5 + amp * (2.0 * PI * f).cos(),
-                0.5 + amp * (2.0 * PI * f).sin(),
-            ),
-            Motion::CircleCcw => (
-                0.5 + amp * (2.0 * PI * f).cos(),
-                0.5 - amp * (2.0 * PI * f).sin(),
-            ),
+            Motion::CircleCw => {
+                (0.5 + amp * (2.0 * PI * f).cos(), 0.5 + amp * (2.0 * PI * f).sin())
+            }
+            Motion::CircleCcw => {
+                (0.5 + amp * (2.0 * PI * f).cos(), 0.5 - amp * (2.0 * PI * f).sin())
+            }
             Motion::WaveHorizontal => (0.1 + 0.8 * f, 0.5 + amp * (6.0 * PI * f).sin()),
             Motion::WaveVertical => (0.5 + amp * (6.0 * PI * f).sin(), 0.1 + 0.8 * f),
             Motion::DiagonalDown => (0.1 + 0.8 * f, 0.1 + 0.8 * f),
@@ -151,7 +143,7 @@ impl SpikeDataset for GestureLike {
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
         let side = self.side as f32;
-        let base_radius = rng.gen_range(0.08..0.14) * side;
+        let base_radius = rng.gen_range(0.08f32..0.14) * side;
         let amp = rng.gen_range(0.2..0.3);
         let wob = rng.gen_range(-1.0..1.0f32);
 
@@ -183,20 +175,12 @@ impl SpikeDataset for GestureLike {
                     events.push(Event { x, y, channel: 1, t: t as u32 });
                 }
                 if self.noise > 0.0 && rng.gen::<f32>() < self.noise {
-                    events.push(Event {
-                        x,
-                        y,
-                        channel: rng.gen_range(0..2),
-                        t: t as u32,
-                    });
+                    events.push(Event { x, y, channel: rng.gen_range(0..2), t: t as u32 });
                 }
             }
             prev.copy_from_slice(&frame);
         }
-        (
-            events_to_tensor(&events, 2, self.side, self.side, self.steps),
-            label,
-        )
+        (events_to_tensor(&events, 2, self.side, self.side, self.steps), label)
     }
 }
 
@@ -215,10 +199,7 @@ mod tests {
     #[test]
     fn deterministic_per_seed_and_index() {
         assert_eq!(GestureLike::repro(9).sample(3), GestureLike::repro(9).sample(3));
-        assert_ne!(
-            GestureLike::repro(9).sample(3).0,
-            GestureLike::repro(10).sample(3).0
-        );
+        assert_ne!(GestureLike::repro(9).sample(3).0, GestureLike::repro(10).sample(3).0);
     }
 
     #[test]

@@ -69,13 +69,7 @@ impl NmnistLike {
     pub fn new(side: usize, steps: usize, samples: usize, seed: u64) -> Self {
         assert!(side >= 9, "sensor side must be at least 9 pixels");
         assert!(steps >= 6, "sample needs at least 6 ticks");
-        Self {
-            side,
-            steps,
-            samples,
-            seed,
-            noise: 0.0005,
-        }
+        Self { side, steps, samples, seed, noise: 0.0005 }
     }
 
     /// Sets the background noise event rate (events per pixel per tick).
@@ -166,20 +160,12 @@ impl SpikeDataset for NmnistLike {
                     events.push(Event { x, y, channel: 1, t: t as u32 });
                 }
                 if self.noise > 0.0 && rng.gen::<f32>() < self.noise {
-                    events.push(Event {
-                        x,
-                        y,
-                        channel: rng.gen_range(0..2),
-                        t: t as u32,
-                    });
+                    events.push(Event { x, y, channel: rng.gen_range(0..2), t: t as u32 });
                 }
             }
             prev.copy_from_slice(&frame);
         }
-        (
-            events_to_tensor(&events, 2, self.side, self.side, self.steps),
-            digit,
-        )
+        (events_to_tensor(&events, 2, self.side, self.side, self.steps), digit)
     }
 }
 

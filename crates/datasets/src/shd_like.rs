@@ -58,14 +58,7 @@ impl ShdLike {
     pub fn new(channels: usize, steps: usize, samples: usize, seed: u64) -> Self {
         assert!(channels >= 20, "need at least 20 frequency channels");
         assert!(steps >= 10, "sample needs at least 10 ticks");
-        Self {
-            channels,
-            steps,
-            samples,
-            seed,
-            peak_rate: 0.7,
-            sigma: channels as f32 / 45.0,
-        }
+        Self { channels, steps, samples, seed, peak_rate: 0.7, sigma: channels as f32 / 45.0 }
     }
 
     /// Formant trajectories (two per digit) in normalized channel
@@ -76,10 +69,7 @@ impl ShdLike {
         let f1 = (0.08 + 0.06 * d, 0.10 + 0.05 * ((d * 3.0) % 7.0));
         let f2 = (0.92 - 0.05 * d, 0.55 + 0.04 * ((d * 5.0) % 8.0));
         let shift = if language == 0 { 0.0 } else { 0.13 };
-        [
-            (f1.0 * 0.8 + shift, f1.1 * 0.8 + shift),
-            (f2.0 * 0.8 + shift, f2.1 * 0.8 + shift),
-        ]
+        [(f1.0 * 0.8 + shift, f1.1 * 0.8 + shift), (f2.0 * 0.8 + shift, f2.1 * 0.8 + shift)]
     }
 }
 
@@ -108,11 +98,8 @@ impl SpikeDataset for ShdLike {
             StdRng::seed_from_u64(self.seed ^ (idx as u64).wrapping_mul(0xA076_1D64_78BD_642F));
 
         // Language 1 utterances are ~20% shorter (time-compressed).
-        let active_steps = if language == 0 {
-            self.steps
-        } else {
-            (self.steps as f32 * 0.8) as usize
-        };
+        let active_steps =
+            if language == 0 { self.steps } else { (self.steps as f32 * 0.8) as usize };
         let speaker_shift: f32 = rng.gen_range(-0.02..0.02);
         let tempo: f32 = rng.gen_range(0.9..1.1);
 
@@ -121,8 +108,7 @@ impl SpikeDataset for ShdLike {
         for t in 0..active_steps {
             let f = ((t as f32 * tempo) / active_steps as f32).min(1.0);
             for &(start, end) in &formants {
-                let centre = ((start + (end - start) * f + speaker_shift)
-                    * self.channels as f32)
+                let centre = ((start + (end - start) * f + speaker_shift) * self.channels as f32)
                     .clamp(0.0, (self.channels - 1) as f32);
                 let lo = (centre - 3.0 * self.sigma).max(0.0) as usize;
                 let hi = ((centre + 3.0 * self.sigma) as usize).min(self.channels - 1);
@@ -130,22 +116,14 @@ impl SpikeDataset for ShdLike {
                     let d = (ch as f32 - centre) / self.sigma;
                     let p = self.peak_rate * (-0.5 * d * d).exp();
                     if rng.gen::<f32>() < p {
-                        events.push(Event {
-                            x: ch as u16,
-                            y: 0,
-                            channel: 0,
-                            t: t as u32,
-                        });
+                        events.push(Event { x: ch as u16, y: 0, channel: 0, t: t as u32 });
                     }
                 }
             }
         }
         // Rasterize as a 1-channel, 1-row, `channels`-wide volume, then
         // flatten: feature index == frequency channel.
-        (
-            events_to_tensor(&events, 1, 1, self.channels, self.steps),
-            label,
-        )
+        (events_to_tensor(&events, 1, 1, self.channels, self.steps), label)
     }
 }
 

@@ -48,11 +48,7 @@ fn nearest_centroid_accuracy(ds: &dyn SpikeDataset, train: usize, test: usize) -
         let mut best = 0usize;
         let mut best_d = f32::INFINITY;
         for (k, centroid) in centroids.iter().enumerate() {
-            let d: f32 = centroid
-                .iter()
-                .zip(sig.iter())
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d: f32 = centroid.iter().zip(sig.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
             if d < best_d {
                 best_d = d;
                 best = k;
@@ -116,8 +112,5 @@ fn within_class_similarity_exceeds_between_class() {
     }
     let within = within / wn as f32;
     let between = between / bn as f32;
-    assert!(
-        within < between,
-        "within-class distance {within} ≥ between-class {between}"
-    );
+    assert!(within < between, "within-class distance {within} ≥ between-class {between}");
 }

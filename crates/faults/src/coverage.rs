@@ -128,23 +128,26 @@ pub fn escape_max_accuracy_drop(
         threads,
         || net.clone(),
         |worker, i| {
-            let injection = Injection::for_fault(net, universe, &escapes[i]);
+            let injection = Injection::for_fault(net, universe, &escapes[i])
+                .expect("universe faults are well-formed");
             let restore = match &injection {
                 Injection::Weight { at, value } => Some((*at, worker.set_weight(*at, *value))),
                 Injection::Neuron(_) => None,
             };
             let acc = match &injection {
                 Injection::Weight { .. } => accuracy(worker, dataset),
-                Injection::Neuron(map) => dataset
-                    .iter()
-                    .filter(|(input, label)| {
-                        worker
-                            .forward_faulty(input, RecordOptions::spikes_only(), map)
-                            .predict()
-                            == *label
-                    })
-                    .count() as f64
-                    / dataset.len() as f64,
+                Injection::Neuron(map) => {
+                    dataset
+                        .iter()
+                        .filter(|(input, label)| {
+                            worker
+                                .forward_faulty(input, RecordOptions::spikes_only(), map)
+                                .predict()
+                                == *label
+                        })
+                        .count() as f64
+                        / dataset.len() as f64
+                }
             };
             if let Some((at, old)) = restore {
                 worker.set_weight(at, old);
@@ -189,10 +192,7 @@ mod tests {
     #[test]
     fn compute_partitions_faults_into_four_classes() {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = NetworkBuilder::new(4, LifParams::default())
-            .dense(5)
-            .dense(2)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(5).dense(2).build(&mut rng);
         let u = FaultUniverse::standard(&net);
         let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 4), 0.5);
         let sim = FaultSimulator::new(&net, FaultSimConfig::default());
@@ -243,8 +243,7 @@ mod tests {
             })
             .unwrap();
         let dataset = vec![(Tensor::full(Shape::d2(10, 1), 1.0), 1usize)];
-        let (drop, id) =
-            escape_max_accuracy_drop(&net, &u, &[dead_out1], &dataset, 1).unwrap();
+        let (drop, id) = escape_max_accuracy_drop(&net, &u, &[dead_out1], &dataset, 1).unwrap();
         assert_eq!(id, dead_out1.id);
         assert!(drop > 0.0, "killing the winning class must cost accuracy");
     }

@@ -14,7 +14,7 @@ use snn_tensor::Tensor;
 use std::time::{Duration, Instant};
 
 /// Configuration for the criticality campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CriticalityConfig {
     /// Worker threads (0 = all cores).
     pub threads: usize,
@@ -23,15 +23,6 @@ pub struct CriticalityConfig {
     /// set, mirroring how the paper's labelling depends on the available
     /// dataset.
     pub max_samples: Option<usize>,
-}
-
-impl Default for CriticalityConfig {
-    fn default() -> Self {
-        Self {
-            threads: 0,
-            max_samples: None,
-        }
-    }
 }
 
 /// Result of the labelling campaign.
@@ -94,10 +85,8 @@ pub fn classify(
     let take = cfg.max_samples.unwrap_or(dataset.len()).min(dataset.len());
     let samples = &dataset[..take];
 
-    let baselines: Vec<Trace> = samples
-        .iter()
-        .map(|s| net.forward(s, RecordOptions::spikes_only()))
-        .collect();
+    let baselines: Vec<Trace> =
+        samples.iter().map(|s| net.forward(s, RecordOptions::spikes_only())).collect();
     let predictions: Vec<usize> = baselines.iter().map(|b| b.predict()).collect();
     let activity: Vec<crate::sim::ActivitySummary> = samples
         .iter()
@@ -105,16 +94,14 @@ pub fn classify(
         .map(|(s, b)| crate::sim::ActivitySummary::new(net, s, b))
         .collect();
 
-    let sim_cfg = FaultSimConfig {
-        threads: cfg.threads,
-        ..FaultSimConfig::default()
-    };
+    let sim_cfg = FaultSimConfig { threads: cfg.threads, ..FaultSimConfig::default() };
     let critical = parallel::map_indexed(
         faults.len(),
         cfg.threads,
         || net.clone(),
         |worker, i| {
-            let injection = Injection::for_fault(net, universe, &faults[i]);
+            let injection = Injection::for_fault(net, universe, &faults[i])
+                .expect("universe faults are well-formed");
             for (k, ((sample, baseline), &pred)) in
                 samples.iter().zip(baselines.iter()).zip(predictions.iter()).enumerate()
             {
@@ -133,10 +120,7 @@ pub fn classify(
         },
     );
 
-    CriticalityReport {
-        critical,
-        elapsed: start.elapsed(),
-    }
+    CriticalityReport { critical, elapsed: start.elapsed() }
 }
 
 /// Top-1 class from final-layer spike trains `[T × classes]`.
@@ -194,16 +178,24 @@ mod tests {
     #[test]
     fn fault_free_clone_labels_match_any_thread_count() {
         let mut rng = StdRng::seed_from_u64(1);
-        let net = NetworkBuilder::new(5, LifParams::default())
-            .dense(8)
-            .dense(3)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(5, LifParams::default()).dense(8).dense(3).build(&mut rng);
         let u = FaultUniverse::standard(&net);
-        let data: Vec<_> = (0..3)
-            .map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 5), 0.5))
-            .collect();
-        let a = classify(&net, &u, u.faults(), &data, CriticalityConfig { threads: 1, max_samples: None });
-        let b = classify(&net, &u, u.faults(), &data, CriticalityConfig { threads: 4, max_samples: None });
+        let data: Vec<_> =
+            (0..3).map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(20, 5), 0.5)).collect();
+        let a = classify(
+            &net,
+            &u,
+            u.faults(),
+            &data,
+            CriticalityConfig { threads: 1, max_samples: None },
+        );
+        let b = classify(
+            &net,
+            &u,
+            u.faults(),
+            &data,
+            CriticalityConfig { threads: 4, max_samples: None },
+        );
         assert_eq!(a.critical, b.critical);
     }
 
@@ -212,9 +204,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let net = NetworkBuilder::new(4, LifParams::default()).dense(3).build(&mut rng);
         let u = FaultUniverse::standard(&net);
-        let data: Vec<_> = (0..5)
-            .map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(12, 4), 0.4))
-            .collect();
+        let data: Vec<_> =
+            (0..5).map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(12, 4), 0.4)).collect();
         // With a cap of 1 sample, criticality is judged on sample 0 only —
         // the result must equal running on just that sample.
         let capped = classify(

@@ -80,11 +80,8 @@ impl FaultDictionary {
         }
         let mut unique = 0usize;
         for (i, (_, sig)) in self.entries.iter().enumerate() {
-            let clash = self
-                .entries
-                .iter()
-                .enumerate()
-                .any(|(j, (_, other))| i != j && sig == other);
+            let clash =
+                self.entries.iter().enumerate().any(|(j, (_, other))| i != j && sig == other);
             if !clash {
                 unique += 1;
             }
@@ -110,11 +107,7 @@ impl FaultDictionary {
             .iter()
             .map(|(id, sig)| Diagnosis {
                 fault_id: *id,
-                distance: sig
-                    .iter()
-                    .zip(observed.iter())
-                    .map(|(a, b)| (a - b).abs())
-                    .sum(),
+                distance: sig.iter().zip(observed.iter()).map(|(a, b)| (a - b).abs()).sum(),
             })
             .collect();
         ranked.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
@@ -203,7 +196,8 @@ mod tests {
         let net = NetworkBuilder::new(4, LifParams::default()).dense(2).build(&mut rng);
         let u = FaultUniverse::standard(&net);
         let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 4), 0.6);
-        let sim = FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
+        let sim =
+            FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
         let out = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
         let _ = FaultDictionary::from_campaign(u.faults(), &out);
     }

@@ -54,10 +54,7 @@ pub(crate) fn wilson(successes: usize, n: usize) -> (f64, f64) {
     let denom = 1.0 + z2 / n_f;
     let centre = p + z2 / (2.0 * n_f);
     let spread = z * (p * (1.0 - p) / n_f + z2 / (4.0 * n_f * n_f)).sqrt();
-    (
-        ((centre - spread) / denom).max(0.0),
-        ((centre + spread) / denom).min(1.0),
-    )
+    (((centre - spread) / denom).max(0.0), ((centre + spread) / denom).min(1.0))
 }
 
 /// Estimates the fault coverage of `tests` by simulating a uniform sample
@@ -146,7 +143,8 @@ mod tests {
             .dense(3)
             .build(&mut rng);
         let universe = FaultUniverse::standard(&net);
-        let sim = FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
+        let sim =
+            FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
         let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 5), 0.5);
         let tests = std::slice::from_ref(&test);
 
@@ -167,7 +165,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let net = NetworkBuilder::new(3, LifParams::default()).dense(4).build(&mut rng);
         let universe = FaultUniverse::standard(&net);
-        let sim = FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
+        let sim =
+            FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() });
         let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(15, 3), 0.5);
         let tests = std::slice::from_ref(&test);
         let exact = sim.detect(&universe, universe.faults(), tests).fault_coverage();

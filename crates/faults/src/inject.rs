@@ -20,29 +20,66 @@ pub enum Injection {
     Neuron(NeuronFaultMap),
 }
 
+/// An ill-formed [`Fault`]: its site and kind belong to different fault
+/// classes, so no injection realizes it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectionError {
+    /// A neuron site paired with a synapse fault kind.
+    NeuronSiteWithSynapseKind {
+        /// The offending synapse kind.
+        kind: FaultKind,
+    },
+    /// A synapse site paired with a neuron fault kind.
+    SynapseSiteWithNeuronKind {
+        /// The offending neuron kind.
+        kind: FaultKind,
+    },
+}
+
+impl std::fmt::Display for InjectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NeuronSiteWithSynapseKind { kind } => {
+                write!(f, "neuron site with synapse fault kind {kind:?}")
+            }
+            Self::SynapseSiteWithNeuronKind { kind } => {
+                write!(f, "synapse site with neuron fault kind {kind:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectionError {}
+
 impl Injection {
     /// Builds the injection realizing `fault` on `net`, using the
     /// universe's magnitude configuration (saturation values scale with
     /// the network's largest absolute weight).
-    pub fn for_fault(net: &Network, universe: &FaultUniverse, fault: &Fault) -> Self {
+    ///
+    /// Faults enumerated by a [`FaultUniverse`] are always well-formed;
+    /// `Err` is only possible for hand-constructed faults whose site and
+    /// kind disagree.
+    pub fn for_fault(
+        net: &Network,
+        universe: &FaultUniverse,
+        fault: &Fault,
+    ) -> Result<Self, InjectionError> {
         let sat = universe.max_abs_weight * universe.config().sat_factor;
         match (fault.site, fault.kind) {
             (FaultSite::Neuron { layer, index }, kind) => {
                 let behavior = match kind {
                     FaultKind::NeuronSaturated => NeuronBehaviorFault::Saturated,
                     FaultKind::NeuronDead => NeuronBehaviorFault::Dead,
-                    FaultKind::NeuronTiming {
-                        threshold_scale,
-                        leak_scale,
-                        refrac_delta,
-                    } => NeuronBehaviorFault::ParamScale {
-                        threshold_scale,
-                        leak_scale,
-                        refrac_delta,
-                    },
-                    other => panic!("neuron site with synapse fault kind {other:?}"),
+                    FaultKind::NeuronTiming { threshold_scale, leak_scale, refrac_delta } => {
+                        NeuronBehaviorFault::ParamScale {
+                            threshold_scale,
+                            leak_scale,
+                            refrac_delta,
+                        }
+                    }
+                    kind => return Err(InjectionError::NeuronSiteWithSynapseKind { kind }),
                 };
-                Injection::Neuron(NeuronFaultMap::single(layer, index, behavior))
+                Ok(Injection::Neuron(NeuronFaultMap::single(layer, index, behavior)))
             }
             (FaultSite::Synapse(at), kind) => {
                 let value = match kind {
@@ -52,9 +89,9 @@ impl Injection {
                     FaultKind::SynapseBitFlip { bit } => {
                         bit_flip_int8(net.weight(at), universe.max_abs_weight, bit)
                     }
-                    other => panic!("synapse site with neuron fault kind {other:?}"),
+                    kind => return Err(InjectionError::SynapseSiteWithNeuronKind { kind }),
                 };
-                Injection::Weight { at, value }
+                Ok(Injection::Weight { at, value })
             }
         }
     }
@@ -64,9 +101,9 @@ impl Injection {
     pub fn start_layer(&self) -> usize {
         match self {
             Injection::Weight { at, .. } => at.layer,
-            Injection::Neuron(map) => map
-                .first_faulty_layer()
-                .expect("neuron injection has at least one fault"),
+            Injection::Neuron(map) => {
+                map.first_faulty_layer().expect("neuron injection has at least one fault")
+            }
         }
     }
 }
@@ -95,10 +132,7 @@ mod tests {
 
     fn setup() -> (Network, FaultUniverse) {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = NetworkBuilder::new(3, LifParams::default())
-            .dense(4)
-            .dense(2)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(3, LifParams::default()).dense(4).dense(2).build(&mut rng);
         let u = FaultUniverse::standard(&net);
         (net, u)
     }
@@ -106,12 +140,8 @@ mod tests {
     #[test]
     fn synapse_dead_injects_zero_weight() {
         let (net, u) = setup();
-        let fault = u
-            .faults()
-            .iter()
-            .find(|f| f.kind == FaultKind::SynapseDead)
-            .unwrap();
-        match Injection::for_fault(&net, &u, fault) {
+        let fault = u.faults().iter().find(|f| f.kind == FaultKind::SynapseDead).unwrap();
+        match Injection::for_fault(&net, &u, fault).unwrap() {
             Injection::Weight { value, .. } => assert_eq!(value, 0.0),
             other => panic!("expected weight injection, got {other:?}"),
         }
@@ -120,21 +150,13 @@ mod tests {
     #[test]
     fn saturation_is_an_outlier_of_the_weight_distribution() {
         let (net, u) = setup();
-        let pos = u
-            .faults()
-            .iter()
-            .find(|f| f.kind == FaultKind::SynapseSatPos)
-            .unwrap();
-        let neg = u
-            .faults()
-            .iter()
-            .find(|f| f.kind == FaultKind::SynapseSatNeg)
-            .unwrap();
-        let vp = match Injection::for_fault(&net, &u, pos) {
+        let pos = u.faults().iter().find(|f| f.kind == FaultKind::SynapseSatPos).unwrap();
+        let neg = u.faults().iter().find(|f| f.kind == FaultKind::SynapseSatNeg).unwrap();
+        let vp = match Injection::for_fault(&net, &u, pos).unwrap() {
             Injection::Weight { value, .. } => value,
             _ => unreachable!(),
         };
-        let vn = match Injection::for_fault(&net, &u, neg) {
+        let vn = match Injection::for_fault(&net, &u, neg).unwrap() {
             Injection::Weight { value, .. } => value,
             _ => unreachable!(),
         };
@@ -146,12 +168,8 @@ mod tests {
     #[test]
     fn neuron_faults_become_behavioural_overrides() {
         let (net, u) = setup();
-        let dead = u
-            .faults()
-            .iter()
-            .find(|f| f.kind == FaultKind::NeuronDead)
-            .unwrap();
-        match Injection::for_fault(&net, &u, dead) {
+        let dead = u.faults().iter().find(|f| f.kind == FaultKind::NeuronDead).unwrap();
+        match Injection::for_fault(&net, &u, dead).unwrap() {
             Injection::Neuron(map) => {
                 assert_eq!(map.len(), 1);
                 assert_eq!(map.first_faulty_layer(), Some(dead.site.layer()));
@@ -164,9 +182,30 @@ mod tests {
     fn start_layer_matches_site() {
         let (net, u) = setup();
         for f in u.faults() {
-            let inj = Injection::for_fault(&net, &u, f);
+            let inj = Injection::for_fault(&net, &u, f).unwrap();
             assert_eq!(inj.start_layer(), f.site.layer());
         }
+    }
+
+    #[test]
+    fn mismatched_site_and_kind_is_a_typed_error() {
+        let (net, u) = setup();
+        let bad_neuron = Fault {
+            id: 0,
+            site: FaultSite::Neuron { layer: 0, index: 0 },
+            kind: FaultKind::SynapseDead,
+        };
+        assert_eq!(
+            Injection::for_fault(&net, &u, &bad_neuron),
+            Err(InjectionError::NeuronSiteWithSynapseKind { kind: FaultKind::SynapseDead })
+        );
+
+        let synapse_site =
+            u.faults().iter().find(|f| matches!(f.site, FaultSite::Synapse(_))).unwrap().site;
+        let bad_synapse = Fault { id: 1, site: synapse_site, kind: FaultKind::NeuronDead };
+        let err = Injection::for_fault(&net, &u, &bad_synapse).unwrap_err();
+        assert_eq!(err, InjectionError::SynapseSiteWithNeuronKind { kind: FaultKind::NeuronDead });
+        assert!(err.to_string().contains("synapse site"));
     }
 
     #[test]

@@ -60,10 +60,12 @@ mod universe;
 
 pub mod criticality;
 pub mod parallel;
+pub mod progress;
 
 pub use coverage::{escape_max_accuracy_drop, ClassCoverage, CoverageReport};
 pub use dictionary::{Diagnosis, FaultDictionary};
 pub use estimate::{estimate_coverage, CoverageEstimate};
-pub use inject::Injection;
-pub use sim::{CampaignOutcome, FaultOutcome, FaultSimConfig, FaultSimulator};
+pub use inject::{Injection, InjectionError};
+pub use progress::{CancelToken, Cancelled, NullSink, Progress, ProgressSink};
+pub use sim::{CampaignError, CampaignOutcome, FaultOutcome, FaultSimConfig, FaultSimulator};
 pub use universe::{Fault, FaultKind, FaultModelConfig, FaultSite, FaultUniverse};

@@ -5,6 +5,7 @@
 //! weight patching). [`map_indexed`] provides exactly that shape: the
 //! caller supplies a per-worker state factory and a per-item function.
 
+use crate::progress::{CancelToken, Cancelled};
 use crossbeam::thread;
 
 /// Number of worker threads to use given a requested count (0 = all
@@ -38,10 +39,38 @@ where
     F: Fn(&mut S, usize) -> T + Sync,
     M: Fn() -> S + Sync,
 {
+    try_map_indexed(n, threads, &CancelToken::new(), make_state, f)
+        .expect("fresh token is never cancelled")
+}
+
+/// Cancellable variant of [`map_indexed`]: workers poll `cancel` before
+/// every item and abandon their remaining range once it trips, after which
+/// the call returns `Err(Cancelled)` (partial results are discarded).
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn try_map_indexed<S, T, F, M>(
+    n: usize,
+    threads: usize,
+    cancel: &CancelToken,
+    make_state: M,
+    f: F,
+) -> Result<Vec<T>, Cancelled>
+where
+    T: Send,
+    F: Fn(&mut S, usize) -> T + Sync,
+    M: Fn() -> S + Sync,
+{
     let workers = effective_threads(threads).min(n.max(1));
     if workers <= 1 || n == 0 {
         let mut state = make_state();
-        return (0..n).map(|i| f(&mut state, i)).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            cancel.check()?;
+            out.push(f(&mut state, i));
+        }
+        return Ok(out);
     }
     // Contiguous chunking keeps faults of the same layer together, which
     // maximizes prefix-cache hit locality.
@@ -59,7 +88,14 @@ where
             let make_state = &make_state;
             handles.push(scope.spawn(move |_| {
                 let mut state = make_state();
-                (lo..hi).map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                let mut out = Vec::with_capacity(hi - lo);
+                for i in lo..hi {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    out.push(f(&mut state, i));
+                }
+                out
             }));
         }
         for h in handles {
@@ -67,7 +103,8 @@ where
         }
     })
     .expect("crossbeam scope failed");
-    results.into_iter().flatten().collect()
+    cancel.check()?;
+    Ok(results.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -105,13 +142,51 @@ mod tests {
             |_, i| i,
         );
         let c = calls.load(Ordering::SeqCst);
-        assert!(c >= 1 && c <= 4, "factory calls = {c}");
+        assert!((1..=4).contains(&c), "factory calls = {c}");
     }
 
     #[test]
     fn more_threads_than_items_is_fine() {
         let out = map_indexed(3, 64, || (), |_, i| i * 2);
         assert_eq!(out, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_immediately() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = try_map_indexed(100, 1, &cancel, || (), |_, i| i);
+        assert_eq!(out, Err(Cancelled));
+        let out = try_map_indexed(100, 4, &cancel, || (), |_, i| i);
+        assert_eq!(out, Err(Cancelled));
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_the_sweep() {
+        let cancel = CancelToken::new();
+        let done = AtomicUsize::new(0);
+        let out = try_map_indexed(
+            10_000,
+            2,
+            &cancel,
+            || (),
+            |_, i| {
+                done.fetch_add(1, Ordering::SeqCst);
+                if i == 5 {
+                    cancel.cancel();
+                }
+                i
+            },
+        );
+        assert_eq!(out, Err(Cancelled));
+        assert!(done.load(Ordering::SeqCst) < 10_000, "should stop early");
+    }
+
+    #[test]
+    fn uncancelled_try_map_matches_map() {
+        let cancel = CancelToken::new();
+        let out = try_map_indexed(7, 3, &cancel, || (), |_, i| i * 3).unwrap();
+        assert_eq!(out, map_indexed(7, 3, || (), |_, i| i * 3));
     }
 
     #[test]

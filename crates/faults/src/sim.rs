@@ -1,7 +1,10 @@
+use crate::inject::InjectionError;
+use crate::progress::{CancelToken, Cancelled, NullSink, Progress, ProgressSink};
 use crate::{parallel, Fault, FaultKind, FaultSite, FaultUniverse, Injection};
 use serde::{Deserialize, Serialize};
 use snn_model::{Layer, Network, NeuronFaultMap, RecordOptions, Trace};
 use snn_tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration of a fault-simulation campaign.
@@ -78,6 +81,45 @@ impl CampaignOutcome {
     }
 }
 
+/// Error from a [`FaultSimulator::detect_with`] campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CampaignError {
+    /// The cancel token tripped before the campaign finished.
+    Cancelled,
+    /// A supplied fault was ill-formed (site/kind mismatch).
+    Injection(InjectionError),
+}
+
+impl From<Cancelled> for CampaignError {
+    fn from(_: Cancelled) -> Self {
+        Self::Cancelled
+    }
+}
+
+impl From<InjectionError> for CampaignError {
+    fn from(e: InjectionError) -> Self {
+        Self::Injection(e)
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Cancelled => f.write_str("fault campaign cancelled"),
+            Self::Injection(e) => write!(f, "ill-formed fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Injection(e) => Some(e),
+            Self::Cancelled => None,
+        }
+    }
+}
+
 /// Parallel, prefix-cached fault simulator over a fixed fault-free network.
 ///
 /// See the crate-level example for usage.
@@ -107,21 +149,41 @@ impl<'a> FaultSimulator<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if `tests` is empty.
+    /// Panics if `tests` is empty or a fault's site/kind disagree (use
+    /// [`detect_with`](Self::detect_with) to surface the latter as a typed
+    /// [`CampaignError`] instead).
     pub fn detect(
         &self,
         universe: &FaultUniverse,
         faults: &[Fault],
         tests: &[Tensor],
     ) -> CampaignOutcome {
+        self.detect_with(universe, faults, tests, &NullSink, &CancelToken::new())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`detect`](Self::detect) with progress streaming and cooperative
+    /// cancellation: emits a [`Progress::FaultsSimulated`] tally after each
+    /// simulated fault and polls `cancel` between faults, returning
+    /// [`CampaignError::Cancelled`] once it trips. Ill-formed faults are
+    /// reported as [`CampaignError::Injection`] before any simulation runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tests` is empty.
+    pub fn detect_with(
+        &self,
+        universe: &FaultUniverse,
+        faults: &[Fault],
+        tests: &[Tensor],
+        sink: &dyn ProgressSink,
+        cancel: &CancelToken,
+    ) -> Result<CampaignOutcome, CampaignError> {
         assert!(!tests.is_empty(), "detection campaign needs at least one test input");
         let start = Instant::now();
-        let baselines: Vec<Trace> = tests
-            .iter()
-            .map(|t| self.net.forward(t, RecordOptions::spikes_only()))
-            .collect();
-        let baseline_counts: Vec<Vec<f32>> =
-            baselines.iter().map(|b| b.class_counts()).collect();
+        let baselines: Vec<Trace> =
+            tests.iter().map(|t| self.net.forward(t, RecordOptions::spikes_only())).collect();
+        let baseline_counts: Vec<Vec<f32>> = baselines.iter().map(|b| b.class_counts()).collect();
         let activity: Vec<ActivitySummary> = if self.cfg.activity_filter {
             tests
                 .iter()
@@ -134,13 +196,22 @@ impl<'a> FaultSimulator<'a> {
 
         let cfg = self.cfg;
         let net = self.net;
-        let per_fault = parallel::map_indexed(
+        // Realize every fault up front so ill-formed ones are rejected
+        // before any simulation work starts.
+        let injections: Vec<Injection> = faults
+            .iter()
+            .map(|f| Injection::for_fault(net, universe, f))
+            .collect::<Result<_, InjectionError>>()?;
+        let done = AtomicUsize::new(0);
+        let detected_total = AtomicUsize::new(0);
+        let per_fault = parallel::try_map_indexed(
             faults.len(),
             cfg.threads,
+            cancel,
             || net.clone(),
             |worker, i| {
                 let fault = &faults[i];
-                let injection = Injection::for_fault(net, universe, fault);
+                let injection = &injections[i];
                 let mut detected = false;
                 let mut best_distance = 0.0f32;
                 let mut best_diff: Option<Vec<f32>> = None;
@@ -148,8 +219,7 @@ impl<'a> FaultSimulator<'a> {
                     if cfg.activity_filter && provably_undetectable(net, &activity[k], fault) {
                         continue;
                     }
-                    let out =
-                        faulty_output(worker, baseline, input, &injection, cfg);
+                    let out = faulty_output(worker, baseline, input, injection, cfg);
                     let Some(output) = out else { continue };
                     let distance = (&output - baseline.output()).l1_norm();
                     if distance > 0.0 {
@@ -171,16 +241,20 @@ impl<'a> FaultSimulator<'a> {
                                 }
                                 let bc = &baseline_counts[k];
                                 best_diff = Some(
-                                    counts
-                                        .iter()
-                                        .zip(bc.iter())
-                                        .map(|(f, b)| f - b)
-                                        .collect(),
+                                    counts.iter().zip(bc.iter()).map(|(f, b)| f - b).collect(),
                                 );
                             }
                         }
                     }
                 }
+                if detected {
+                    detected_total.fetch_add(1, Ordering::Relaxed);
+                }
+                sink.emit(Progress::FaultsSimulated {
+                    done: done.fetch_add(1, Ordering::Relaxed) + 1,
+                    total: faults.len(),
+                    detected: detected_total.load(Ordering::Relaxed),
+                });
                 FaultOutcome {
                     fault_id: fault.id,
                     detected,
@@ -188,12 +262,9 @@ impl<'a> FaultSimulator<'a> {
                     class_diff: best_diff,
                 }
             },
-        );
+        )?;
 
-        CampaignOutcome {
-            per_fault,
-            elapsed: start.elapsed(),
-        }
+        Ok(CampaignOutcome { per_fault, elapsed: start.elapsed() })
     }
 }
 
@@ -210,11 +281,7 @@ impl ActivitySummary {
         let mut input_counts = Vec::with_capacity(net.layers().len());
         let mut output_counts = Vec::with_capacity(net.layers().len());
         for (idx, _) in net.layers().iter().enumerate() {
-            let src: &Tensor = if idx == 0 {
-                input
-            } else {
-                &baseline.layers[idx - 1].output
-            };
+            let src: &Tensor = if idx == 0 { input } else { &baseline.layers[idx - 1].output };
             let dims = src.shape().dims();
             let (steps, n) = (dims[0], dims[1]);
             let mut counts = vec![0.0f32; n];
@@ -227,10 +294,7 @@ impl ActivitySummary {
             input_counts.push(counts);
             output_counts.push(baseline.layers[idx].spike_counts());
         }
-        Self {
-            input_counts,
-            output_counts,
-        }
+        Self { input_counts, output_counts }
     }
 }
 
@@ -295,11 +359,7 @@ pub(crate) fn faulty_output(
     cfg: FaultSimConfig,
 ) -> Option<Tensor> {
     let num_layers = worker.layers().len();
-    let start = if cfg.prefix_cache {
-        injection.start_layer()
-    } else {
-        0
-    };
+    let start = if cfg.prefix_cache { injection.start_layer() } else { 0 };
 
     // Apply the weight patch (neuron faults ride on the override map).
     let (fault_map, restore) = match injection {
@@ -385,11 +445,9 @@ mod tests {
     fn prefix_cache_and_full_simulation_agree() {
         let (net, u, test) = setup();
         let faults = u.faults();
-        let fast = FaultSimulator::new(
-            &net,
-            FaultSimConfig { threads: 2, ..FaultSimConfig::default() },
-        )
-        .detect(&u, faults, std::slice::from_ref(&test));
+        let fast =
+            FaultSimulator::new(&net, FaultSimConfig { threads: 2, ..FaultSimConfig::default() })
+                .detect(&u, faults, std::slice::from_ref(&test));
         let slow = FaultSimulator::new(
             &net,
             FaultSimConfig {
@@ -416,11 +474,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         // Very sparse input: most columns silent ⇒ the filter fires often.
         let sparse = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 6), 0.08);
-        let with = FaultSimulator::new(
-            &net,
-            FaultSimConfig { threads: 1, ..FaultSimConfig::default() },
-        )
-        .detect(&u, u.faults(), std::slice::from_ref(&sparse));
+        let with =
+            FaultSimulator::new(&net, FaultSimConfig { threads: 1, ..FaultSimConfig::default() })
+                .detect(&u, u.faults(), std::slice::from_ref(&sparse));
         let without = FaultSimulator::new(
             &net,
             FaultSimConfig { threads: 1, activity_filter: false, ..FaultSimConfig::default() },
@@ -502,10 +558,65 @@ mod tests {
         let out = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
         let fc = out.fault_coverage();
         assert!((0.0..=1.0).contains(&fc));
-        assert_eq!(
-            out.detected_count(),
-            out.per_fault.iter().filter(|o| o.detected).count()
+        assert_eq!(out.detected_count(), out.per_fault.iter().filter(|o| o.detected).count());
+    }
+
+    #[test]
+    fn detect_with_streams_progress_and_matches_detect() {
+        let (net, u, test) = setup();
+        let sim =
+            FaultSimulator::new(&net, FaultSimConfig { threads: 2, ..FaultSimConfig::default() });
+        let events = parking_lot::Mutex::new(Vec::new());
+        let sink = |e: Progress| events.lock().push(e);
+        let streamed = sim
+            .detect_with(&u, u.faults(), std::slice::from_ref(&test), &sink, &CancelToken::new())
+            .unwrap();
+        let plain = sim.detect(&u, u.faults(), std::slice::from_ref(&test));
+        assert_eq!(streamed.per_fault, plain.per_fault);
+
+        let events = events.into_inner();
+        assert_eq!(events.len(), u.len(), "one event per simulated fault");
+        let last_detected = events
+            .iter()
+            .filter_map(|e| match e {
+                Progress::FaultsSimulated { done, total, detected } => {
+                    assert_eq!(*total, u.len());
+                    (*done == u.len()).then_some(*detected)
+                }
+                _ => None,
+            })
+            .next()
+            .expect("final tally event present");
+        assert_eq!(last_detected, plain.detected_count());
+    }
+
+    #[test]
+    fn detect_with_honours_cancellation() {
+        let (net, u, test) = setup();
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = sim.detect_with(&u, u.faults(), std::slice::from_ref(&test), &NullSink, &cancel);
+        assert_eq!(out.unwrap_err(), CampaignError::Cancelled);
+    }
+
+    #[test]
+    fn detect_with_rejects_ill_formed_faults_before_simulating() {
+        let (net, u, test) = setup();
+        let bad = Fault {
+            id: 0,
+            site: FaultSite::Neuron { layer: 0, index: 0 },
+            kind: FaultKind::SynapseDead,
+        };
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let out = sim.detect_with(
+            &u,
+            &[bad],
+            std::slice::from_ref(&test),
+            &NullSink,
+            &CancelToken::new(),
         );
+        assert!(matches!(out, Err(CampaignError::Injection(_))));
     }
 
     #[test]

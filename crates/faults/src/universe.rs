@@ -199,11 +199,7 @@ impl FaultUniverse {
                 push(site, FaultKind::SynapseBitFlip { bit });
             }
         }
-        Self {
-            faults,
-            config,
-            max_abs_weight: net.max_abs_weight(),
-        }
+        Self { faults, config, max_abs_weight: net.max_abs_weight() }
     }
 
     /// The enumerated faults, id-ordered.
@@ -259,10 +255,7 @@ mod tests {
 
     fn net() -> Network {
         let mut rng = StdRng::seed_from_u64(0);
-        NetworkBuilder::new(4, LifParams::default())
-            .dense(5)
-            .dense(3)
-            .build(&mut rng)
+        NetworkBuilder::new(4, LifParams::default()).dense(5).dense(3).build(&mut rng)
     }
 
     #[test]

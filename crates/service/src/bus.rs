@@ -1,0 +1,85 @@
+//! In-process publish/subscribe fan-out of [`JobEvent`]s to watchers.
+
+use crate::protocol::JobEvent;
+use parking_lot::Mutex;
+use std::sync::mpsc;
+
+struct Subscriber {
+    /// `Some(id)` restricts delivery to that job's events.
+    job: Option<u64>,
+    tx: mpsc::Sender<JobEvent>,
+}
+
+/// Broadcasts job events to any number of subscribers. Disconnected
+/// subscribers (dropped receivers) are pruned on the next publish.
+#[derive(Default)]
+pub struct EventBus {
+    subscribers: Mutex<Vec<Subscriber>>,
+}
+
+impl EventBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscriber. `job = Some(id)` delivers only that job's
+    /// events; `None` delivers everything.
+    pub fn subscribe(&self, job: Option<u64>) -> mpsc::Receiver<JobEvent> {
+        let (tx, rx) = mpsc::channel();
+        self.subscribers.lock().push(Subscriber { job, tx });
+        rx
+    }
+
+    /// Delivers `event` to every interested live subscriber.
+    pub fn publish(&self, event: &JobEvent) {
+        let mut subs = self.subscribers.lock();
+        subs.retain(|s| {
+            if s.job.is_some_and(|id| id != event.job()) {
+                return true; // not interested, but still live
+            }
+            s.tx.send(event.clone()).is_ok()
+        });
+    }
+
+    /// Live subscriber count (dead ones linger until a publish prunes
+    /// them).
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::JobState;
+
+    fn state_event(job: u64) -> JobEvent {
+        JobEvent::State { job, state: JobState::Running, error: None }
+    }
+
+    #[test]
+    fn filtered_subscribers_see_only_their_job() {
+        let bus = EventBus::new();
+        let all = bus.subscribe(None);
+        let only_two = bus.subscribe(Some(2));
+
+        bus.publish(&state_event(1));
+        bus.publish(&state_event(2));
+
+        assert_eq!(all.try_iter().count(), 2);
+        let got: Vec<_> = only_two.try_iter().collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].job(), 2);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned_on_publish() {
+        let bus = EventBus::new();
+        let rx = bus.subscribe(None);
+        drop(rx);
+        assert_eq!(bus.subscriber_count(), 1);
+        bus.publish(&state_event(1));
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+}

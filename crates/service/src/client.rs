@@ -1,0 +1,125 @@
+//! A blocking client for the job server's wire protocol.
+
+use crate::protocol::{read_line, write_line, JobEvent, JobRecord, JobSpec, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One TCP connection to a job server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server address such as `"127.0.0.1:7077"`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Self { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        write_line(&mut self.writer, request).map_err(|e| format!("send failed: {e}"))?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, String> {
+        match read_line::<Response>(&mut self.reader) {
+            Ok(Some(Ok(response))) => Ok(response),
+            Ok(Some(Err(e))) => Err(e),
+            Ok(None) => Err("server closed the connection".into()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    /// Submits a job, returning its id.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, String> {
+        match self.request(&Request::Submit(spec))? {
+            Response::Submitted { job } => Ok(job),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches one job's record.
+    pub fn status(&mut self, job: u64) -> Result<JobRecord, String> {
+        match self.request(&Request::Status { job })? {
+            Response::Status(record) => Ok(*record),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches every job record, ascending by id.
+    pub fn list(&mut self) -> Result<Vec<JobRecord>, String> {
+        match self.request(&Request::List)? {
+            Response::Jobs(records) => Ok(records),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Requests cancellation of a job.
+    pub fn cancel(&mut self, job: u64) -> Result<(), String> {
+        match self.request(&Request::Cancel { job })? {
+            Response::CancelRequested { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Liveness probe; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u64, String> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Watches a job: `on_event` sees every streamed [`JobEvent`]; returns
+    /// the job's final record once it is terminal.
+    pub fn watch(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&JobEvent),
+    ) -> Result<JobRecord, String> {
+        write_line(&mut self.writer, &Request::Watch { job })
+            .map_err(|e| format!("send failed: {e}"))?;
+        // First line: the snapshot (or an error for unknown jobs).
+        let snapshot = match self.read_response()? {
+            Response::Status(record) => *record,
+            Response::Error { message } => return Err(message),
+            other => return Err(unexpected(&other)),
+        };
+        if snapshot.state.is_terminal() {
+            return Ok(snapshot);
+        }
+        loop {
+            match self.read_response()? {
+                Response::Event(event) => {
+                    let terminal = matches!(
+                        &event,
+                        JobEvent::State { state, .. } if state.is_terminal()
+                    );
+                    on_event(&event);
+                    if terminal {
+                        // The stream is over; fetch the full final record.
+                        return self.status(job);
+                    }
+                }
+                other => return Err(unexpected(&other)),
+            }
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> String {
+    match response {
+        Response::Error { message } => message.clone(),
+        other => format!("unexpected response: {}", serde::json::to_string(other)),
+    }
+}

@@ -1,0 +1,380 @@
+//! The newline-delimited JSON wire protocol of the job server.
+//!
+//! Every message is one JSON value on one line (`\n`-terminated). Clients
+//! send [`Request`] lines; the server answers each request with exactly one
+//! [`Response`] line, except [`Request::Watch`] which answers with a
+//! [`Response::Status`] snapshot followed by a stream of
+//! [`Response::Event`] lines until the watched job reaches a terminal
+//! state. Enum values are externally tagged, e.g. `"Ping"` or
+//! `{"Status":{"job":3}}` — see `DESIGN.md` §8 for the full specification
+//! and an example session.
+
+use serde::{Deserialize, Serialize};
+use snn_faults::progress::Progress;
+use std::io::{BufRead, Write};
+
+/// Protocol revision; incremented on breaking wire changes.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// What network a job runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Load a model file (as written by `snn-mtfc new` /
+    /// `Network::save`) from this path on the **server's** filesystem.
+    Path(String),
+    /// Build a randomly initialized fully-connected network in-process:
+    /// `inputs → hidden[0] → … → outputs`, seeded for reproducibility.
+    Synthetic {
+        /// Input features.
+        inputs: usize,
+        /// Hidden dense layer widths, in order.
+        hidden: Vec<usize>,
+        /// Output features (classes).
+        outputs: usize,
+        /// Weight-initialization seed.
+        seed: u64,
+    },
+}
+
+/// A test-generation job description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Network under test.
+    pub model: ModelSpec,
+    /// Generation preset: `"fast"`, `"repro"` or `"paper"`.
+    pub preset: String,
+    /// RNG seed of the generation run.
+    pub seed: u64,
+    /// Override of the preset's outer-iteration cap.
+    pub max_iterations: Option<usize>,
+    /// Override of the preset's wall-clock budget, in seconds.
+    pub t_limit_secs: Option<u64>,
+    /// Also run a full fault-detection campaign on the generated test and
+    /// report fault coverage.
+    pub evaluate_coverage: bool,
+    /// Worker threads for the coverage campaign (0 = all cores).
+    pub threads: usize,
+}
+
+impl JobSpec {
+    /// A repro-preset job over a synthetic network — the typical
+    /// smoke-test submission.
+    pub fn synthetic_repro(inputs: usize, hidden: Vec<usize>, outputs: usize, seed: u64) -> Self {
+        Self {
+            model: ModelSpec::Synthetic { inputs, hidden, outputs, seed },
+            preset: "repro".into(),
+            seed,
+            max_iterations: None,
+            t_limit_secs: None,
+            evaluate_coverage: false,
+            threads: 0,
+        }
+    }
+}
+
+/// Lifecycle state of a job: `Queued → Running → Done | Failed |
+/// Cancelled`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Accepted and waiting for a worker.
+    Queued,
+    /// Executing on a worker thread.
+    Running,
+    /// Finished successfully; the record carries a result.
+    Done,
+    /// Aborted with an error; the record carries the message.
+    Failed,
+    /// Stopped by a cancel request (or server shutdown) before finishing.
+    Cancelled,
+}
+
+impl JobState {
+    /// `true` for states a job can never leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Self::Done | Self::Failed | Self::Cancelled)
+    }
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done => "done",
+            Self::Failed => "failed",
+            Self::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Outcome of a finished job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobResult {
+    /// Chunks in the generated test.
+    pub chunks: usize,
+    /// Total ticks of the assembled test stimulus.
+    pub test_steps: usize,
+    /// Neurons the test activates.
+    pub activated: usize,
+    /// Spiking neurons in the network.
+    pub total_neurons: usize,
+    /// `activated / total_neurons`.
+    pub activation_coverage: f64,
+    /// Generation wall-clock, in milliseconds.
+    pub runtime_ms: u64,
+    /// Fault-universe size, when a coverage campaign ran.
+    pub faults_total: Option<usize>,
+    /// Detected faults, when a coverage campaign ran.
+    pub faults_detected: Option<usize>,
+    /// Fault coverage (Eq. 4), when a coverage campaign ran.
+    pub fault_coverage: Option<f64>,
+    /// Server-side path of the persisted `.events` stimulus file.
+    pub events_path: Option<String>,
+}
+
+/// Everything the server knows about one job. Persisted as one JSON file
+/// under `<state-dir>/jobs/`, rewritten on every state change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Server-assigned id, unique within a state directory.
+    pub id: u64,
+    /// The submitted description.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Submission time, Unix milliseconds.
+    pub submitted_at_ms: u64,
+    /// Execution start time, Unix milliseconds.
+    pub started_at_ms: Option<u64>,
+    /// Terminal-state time, Unix milliseconds.
+    pub finished_at_ms: Option<u64>,
+    /// Most recent progress event, while running.
+    pub progress: Option<Progress>,
+    /// Result, once `Done`.
+    pub result: Option<JobResult>,
+    /// Failure message, once `Failed` (or cancellation detail).
+    pub error: Option<String>,
+}
+
+/// A lifecycle or progress notification streamed to watchers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEvent {
+    /// The job entered `state`.
+    State {
+        /// Job id.
+        job: u64,
+        /// New lifecycle state.
+        state: JobState,
+        /// Failure/cancellation detail, when entering such a state.
+        error: Option<String>,
+    },
+    /// The running job reported algorithm progress.
+    Progress {
+        /// Job id.
+        job: u64,
+        /// The progress payload.
+        progress: Progress,
+    },
+}
+
+impl JobEvent {
+    /// The job this event concerns.
+    pub fn job(&self) -> u64 {
+        match self {
+            Self::State { job, .. } | Self::Progress { job, .. } => *job,
+        }
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a job; answered with [`Response::Submitted`] or an error
+    /// when the queue is full or the spec is invalid.
+    Submit(JobSpec),
+    /// Fetch a job's record.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Fetch every job record, ordered by id.
+    List,
+    /// Request cancellation of a queued or running job.
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+    /// Stream the job's events until it reaches a terminal state.
+    Watch {
+        /// Job id.
+        job: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Graceful server shutdown: running jobs are cancelled, queued jobs
+    /// stay queued (they resume on restart), state is persisted.
+    Shutdown,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Job accepted under this id.
+    Submitted {
+        /// Assigned job id.
+        job: u64,
+    },
+    /// One job's record (boxed: it dwarfs the other variants).
+    Status(Box<JobRecord>),
+    /// All job records.
+    Jobs(Vec<JobRecord>),
+    /// Cancellation acknowledged (delivery, not completion).
+    CancelRequested {
+        /// Job id.
+        job: u64,
+    },
+    /// Liveness answer; carries [`PROTOCOL_VERSION`].
+    Pong {
+        /// Server protocol revision.
+        version: u64,
+    },
+    /// Shutdown acknowledged.
+    ShuttingDown,
+    /// A streamed watch notification.
+    Event(JobEvent),
+    /// The request failed.
+    Error {
+        /// One-line diagnostic.
+        message: String,
+    },
+}
+
+/// Writes `value` as one JSON line and flushes.
+pub fn write_line<T: Serialize>(w: &mut impl Write, value: &T) -> std::io::Result<()> {
+    let mut line = serde::json::to_string(value);
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one JSON line. `Ok(None)` on clean EOF; decode failures carry a
+/// one-line diagnostic.
+pub fn read_line<T: serde::Deserialize>(
+    r: &mut impl BufRead,
+) -> std::io::Result<Option<Result<T, String>>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if !line.trim().is_empty() {
+            break;
+        }
+    }
+    Ok(Some(serde::json::from_str::<T>(line.trim()).map_err(|e| format!("bad message: {e}"))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + serde::Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let s = serde::json::to_string(v);
+        let back: T = serde::json::from_str(&s).unwrap();
+        assert_eq!(&back, v, "round trip of {s}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip(&Request::Submit(JobSpec::synthetic_repro(6, vec![12], 4, 7)));
+        round_trip(&Request::Status { job: 3 });
+        round_trip(&Request::List);
+        round_trip(&Request::Cancel { job: 9 });
+        round_trip(&Request::Watch { job: 0 });
+        round_trip(&Request::Ping);
+        round_trip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let record = JobRecord {
+            id: 1,
+            spec: JobSpec {
+                model: ModelSpec::Path("model.snn".into()),
+                preset: "fast".into(),
+                seed: 1,
+                max_iterations: Some(4),
+                t_limit_secs: None,
+                evaluate_coverage: true,
+                threads: 2,
+            },
+            state: JobState::Done,
+            submitted_at_ms: 1_700_000_000_000,
+            started_at_ms: Some(1_700_000_000_100),
+            finished_at_ms: Some(1_700_000_003_000),
+            progress: Some(Progress::FaultsSimulated { done: 5, total: 9, detected: 4 }),
+            result: Some(JobResult {
+                chunks: 3,
+                test_steps: 120,
+                activated: 14,
+                total_neurons: 16,
+                activation_coverage: 0.875,
+                runtime_ms: 2900,
+                faults_total: Some(9),
+                faults_detected: Some(7),
+                fault_coverage: Some(7.0 / 9.0),
+                events_path: Some("results/job-1.events".into()),
+            }),
+            error: None,
+        };
+        round_trip(&Response::Submitted { job: 1 });
+        round_trip(&Response::Status(Box::new(record.clone())));
+        round_trip(&Response::Jobs(vec![record]));
+        round_trip(&Response::CancelRequested { job: 1 });
+        round_trip(&Response::Pong { version: PROTOCOL_VERSION });
+        round_trip(&Response::ShuttingDown);
+        round_trip(&Response::Event(JobEvent::State {
+            job: 1,
+            state: JobState::Cancelled,
+            error: Some("cancelled by user".into()),
+        }));
+        round_trip(&Response::Error { message: "queue full".into() });
+    }
+
+    #[test]
+    fn line_codec_round_trips_and_skips_blank_lines() {
+        let mut buf = Vec::new();
+        write_line(&mut buf, &Request::Ping).unwrap();
+        buf.extend_from_slice(b"\n  \n");
+        write_line(&mut buf, &Request::Status { job: 2 }).unwrap();
+
+        let mut r = std::io::BufReader::new(buf.as_slice());
+        assert_eq!(read_line::<Request>(&mut r).unwrap().unwrap().unwrap(), Request::Ping);
+        assert_eq!(
+            read_line::<Request>(&mut r).unwrap().unwrap().unwrap(),
+            Request::Status { job: 2 }
+        );
+        assert!(read_line::<Request>(&mut r).unwrap().is_none(), "EOF");
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_not_fatal() {
+        let mut r = std::io::BufReader::new(&b"{nonsense\n\"Ping\"\n"[..]);
+        let bad = read_line::<Request>(&mut r).unwrap().unwrap();
+        assert!(bad.is_err());
+        let ok = read_line::<Request>(&mut r).unwrap().unwrap();
+        assert_eq!(ok.unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn terminal_states_are_exactly_done_failed_cancelled() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert_eq!(JobState::Cancelled.to_string(), "cancelled");
+    }
+}

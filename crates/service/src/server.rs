@@ -1,0 +1,552 @@
+//! The job server: TCP accept loop, bounded job queue, worker pool and
+//! graceful shutdown.
+
+use crate::bus::EventBus;
+use crate::protocol::{
+    read_line, write_line, JobEvent, JobRecord, JobResult, JobSpec, JobState, ModelSpec, Request,
+    Response, PROTOCOL_VERSION,
+};
+use crate::store::{now_ms, JobStore};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_faults::progress::{CancelToken, Progress, ProgressSink};
+use snn_faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_model::{LifParams, Network, NetworkBuilder};
+use snn_testgen::{TestGenConfig, TestGenerator};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a running job's progress snapshot is flushed to disk (every
+/// event still updates memory and the event bus).
+const PROGRESS_PERSIST_EVERY: Duration = Duration::from_millis(500);
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Listen address, e.g. `"127.0.0.1:7077"` (port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads executing jobs (0 = all cores).
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs before submits are refused.
+    pub queue_capacity: usize,
+    /// Directory holding the persistent job store.
+    pub state_dir: PathBuf,
+}
+
+impl ServiceConfig {
+    /// A loopback server on an OS-assigned port over `state_dir` — the
+    /// defaults used by tests and `snn-mtfc serve`.
+    pub fn loopback(state_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 64,
+            state_dir: state_dir.into(),
+        }
+    }
+}
+
+/// Shared server state: store, event bus, queue and worker bookkeeping.
+struct Inner {
+    store: JobStore,
+    bus: EventBus,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    /// Cancellation tokens of currently running jobs.
+    running: Mutex<HashMap<u64, CancelToken>>,
+    shutdown: AtomicBool,
+    /// The bound listen address — shutdown connects back to it once to
+    /// wake the blocking accept loop.
+    local_addr: SocketAddr,
+}
+
+impl Inner {
+    /// Moves a job through a state change: persists, then broadcasts.
+    fn transition(&self, id: u64, f: impl FnOnce(&mut JobRecord)) -> Option<JobRecord> {
+        let updated = self.store.update(id, f)?;
+        self.bus.publish(&JobEvent::State {
+            job: id,
+            state: updated.state,
+            error: updated.error.clone(),
+        });
+        Some(updated)
+    }
+
+    /// Accepts a job into the store and queue, or explains why not.
+    fn submit(&self, spec: JobSpec) -> Result<JobRecord, String> {
+        if self.shutdown.load(Ordering::SeqCst) {
+            return Err("server is shutting down".into());
+        }
+        validate_spec(&spec)?;
+        let mut queue = self.queue.lock();
+        if queue.len() >= self.queue_capacity {
+            return Err(format!("queue full ({} jobs waiting)", queue.len()));
+        }
+        let record = self.store.submit(spec);
+        queue.push_back(record.id);
+        self.queue_cv.notify_one();
+        Ok(record)
+    }
+
+    /// Blocks until a job is available or shutdown begins.
+    fn next_job(&self) -> Option<u64> {
+        let mut queue = self.queue.lock();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(id) = queue.pop_front() {
+                return Some(id);
+            }
+            self.queue_cv.wait_for(&mut queue, Duration::from_millis(100));
+        }
+    }
+
+    /// Handles a cancel request for a queued, running or finished job.
+    fn cancel(&self, id: u64) -> Response {
+        let Some(record) = self.store.get(id) else {
+            return Response::Error { message: format!("no such job: {id}") };
+        };
+        if record.state.is_terminal() {
+            return Response::Error { message: format!("job {id} already {}", record.state) };
+        }
+        // Still queued: pull it out of the queue and finish it directly.
+        let dequeued = {
+            let mut queue = self.queue.lock();
+            let before = queue.len();
+            queue.retain(|&q| q != id);
+            queue.len() < before
+        };
+        if dequeued {
+            self.transition(id, |r| {
+                r.state = JobState::Cancelled;
+                r.error = Some("cancelled while queued".into());
+                r.finished_at_ms = Some(now_ms());
+            });
+            return Response::CancelRequested { job: id };
+        }
+        // Running: trip the token; the worker finishes the transition.
+        if let Some(token) = self.running.lock().get(&id) {
+            token.cancel();
+        }
+        Response::CancelRequested { job: id }
+    }
+
+    /// Begins shutdown: refuses new submits, cancels running jobs (queued
+    /// ones stay queued so a restart resumes them) and wakes the workers
+    /// and the accept loop.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        for token in self.running.lock().values() {
+            token.cancel();
+        }
+        self.queue_cv.notify_all();
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
+    }
+}
+
+/// Streams a running job's progress into the store and event bus,
+/// persisting to disk at most every [`PROGRESS_PERSIST_EVERY`].
+struct ServiceSink {
+    inner: Arc<Inner>,
+    job: u64,
+    last_persist: Mutex<Instant>,
+}
+
+impl ServiceSink {
+    fn new(inner: Arc<Inner>, job: u64) -> Self {
+        Self { inner, job, last_persist: Mutex::new(Instant::now()) }
+    }
+}
+
+impl ProgressSink for ServiceSink {
+    fn emit(&self, progress: Progress) {
+        self.inner.store.update_progress_in_memory(self.job, progress.clone());
+        self.inner.bus.publish(&JobEvent::Progress { job: self.job, progress: progress.clone() });
+        let mut last = self.last_persist.lock();
+        if last.elapsed() >= PROGRESS_PERSIST_EVERY {
+            *last = Instant::now();
+            self.inner.store.update(self.job, |r| r.progress = Some(progress));
+        }
+    }
+}
+
+/// A bound, not-yet-running job server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    workers: usize,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the listen socket and opens (or recovers) the job store.
+    /// Jobs found `Queued` on disk are re-enqueued immediately.
+    pub fn bind(config: ServiceConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let store = JobStore::open(&config.state_dir)?;
+        let recovered: VecDeque<u64> = store.recovered_queued().iter().copied().collect();
+        let inner = Arc::new(Inner {
+            store,
+            bus: EventBus::new(),
+            queue: Mutex::new(recovered),
+            queue_cv: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            running: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+        });
+        let workers = snn_faults::parallel::effective_threads(config.workers);
+        Ok(Self { listener, local_addr, workers, inner })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop and worker pool until a `Shutdown` request
+    /// arrives; returns once every worker has drained and state is
+    /// persisted.
+    pub fn run(self) -> io::Result<()> {
+        let mut worker_handles = Vec::with_capacity(self.workers);
+        for w in 0..self.workers {
+            let inner = Arc::clone(&self.inner);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("snn-worker-{w}"))
+                    .spawn(move || worker_loop(inner))?,
+            );
+        }
+
+        let mut conn_handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let inner = Arc::clone(&self.inner);
+                    conn_handles.push(std::thread::spawn(move || {
+                        let _ = handle_connection(inner, stream);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(_) => continue,
+            }
+        }
+
+        for h in conn_handles {
+            let _ = h.join();
+        }
+        for h in worker_handles {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Rejects obviously unusable specs before they enter the queue.
+fn validate_spec(spec: &JobSpec) -> Result<(), String> {
+    preset_config(spec)?;
+    match &spec.model {
+        ModelSpec::Path(p) if p.is_empty() => Err("model path is empty".into()),
+        ModelSpec::Synthetic { inputs, outputs, hidden, .. } => {
+            if *inputs == 0 || *outputs == 0 || hidden.contains(&0) {
+                Err("synthetic model layers must be non-empty".into())
+            } else {
+                Ok(())
+            }
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Resolves the spec's preset name plus overrides into a generator config.
+fn preset_config(spec: &JobSpec) -> Result<TestGenConfig, String> {
+    let mut cfg = match spec.preset.as_str() {
+        "fast" => TestGenConfig::fast(),
+        "repro" => TestGenConfig::repro(),
+        "paper" => TestGenConfig::paper(),
+        other => return Err(format!("unknown preset {other:?} (expected fast, repro or paper)")),
+    };
+    if let Some(iters) = spec.max_iterations {
+        cfg.max_iterations = iters;
+    }
+    if let Some(secs) = spec.t_limit_secs {
+        cfg.t_limit = Duration::from_secs(secs);
+    }
+    Ok(cfg)
+}
+
+/// Builds the network a job runs against.
+fn build_model(spec: &ModelSpec) -> Result<Network, String> {
+    match spec {
+        ModelSpec::Path(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open model {path:?}: {e}"))?;
+            Network::load(&mut BufReader::new(file))
+                .map_err(|e| format!("cannot load model {path:?}: {e}"))
+        }
+        ModelSpec::Synthetic { inputs, hidden, outputs, seed } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let mut builder = NetworkBuilder::new(*inputs, LifParams::default());
+            for &h in hidden {
+                builder = builder.dense(h);
+            }
+            Ok(builder.dense(*outputs).build(&mut rng))
+        }
+    }
+}
+
+/// How one job execution ended.
+enum JobOutcome {
+    Done(Box<JobResult>),
+    Cancelled(String),
+    Failed(String),
+}
+
+/// Takes jobs off the queue until shutdown.
+fn worker_loop(inner: Arc<Inner>) {
+    while let Some(id) = inner.next_job() {
+        // The record may have been cancelled while queued by a racing
+        // cancel; re-check before running.
+        match inner.store.get(id) {
+            Some(r) if r.state == JobState::Queued => {}
+            _ => continue,
+        }
+        run_job(&inner, id);
+    }
+}
+
+/// Executes one job end to end, including its lifecycle transitions.
+fn run_job(inner: &Arc<Inner>, id: u64) {
+    let token = CancelToken::new();
+    inner.running.lock().insert(id, token.clone());
+    let record = inner.transition(id, |r| {
+        r.state = JobState::Running;
+        r.started_at_ms = Some(now_ms());
+    });
+    let Some(record) = record else {
+        inner.running.lock().remove(&id);
+        return;
+    };
+
+    let sink = ServiceSink::new(Arc::clone(inner), id);
+    let outcome =
+        catch_unwind(AssertUnwindSafe(|| execute(inner, &record.spec, id, &sink, &token)))
+            .unwrap_or_else(|panic| {
+                JobOutcome::Failed(format!("job panicked: {}", panic_msg(&panic)))
+            });
+
+    inner.running.lock().remove(&id);
+    inner.transition(id, |r| {
+        r.finished_at_ms = Some(now_ms());
+        match outcome {
+            JobOutcome::Done(result) => {
+                r.state = JobState::Done;
+                r.result = Some(*result);
+            }
+            JobOutcome::Cancelled(why) => {
+                r.state = JobState::Cancelled;
+                r.error = Some(why);
+            }
+            JobOutcome::Failed(why) => {
+                r.state = JobState::Failed;
+                r.error = Some(why);
+            }
+        }
+    });
+}
+
+fn panic_msg(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".into()
+    }
+}
+
+/// The job body: build the model, generate the test, optionally measure
+/// fault coverage, and persist the stimulus file.
+fn execute(
+    inner: &Arc<Inner>,
+    spec: &JobSpec,
+    id: u64,
+    sink: &ServiceSink,
+    token: &CancelToken,
+) -> JobOutcome {
+    let cancelled_why = |inner: &Inner| {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            "cancelled by server shutdown".to_string()
+        } else {
+            "cancelled by request".to_string()
+        }
+    };
+
+    let cfg = match preset_config(spec) {
+        Ok(cfg) => cfg,
+        Err(e) => return JobOutcome::Failed(e),
+    };
+    let net = match build_model(&spec.model) {
+        Ok(net) => net,
+        Err(e) => return JobOutcome::Failed(e),
+    };
+
+    let started = Instant::now();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let test = match TestGenerator::new(&net, cfg).generate_with(&mut rng, sink, token) {
+        Ok(test) => test,
+        Err(_) => return JobOutcome::Cancelled(cancelled_why(inner)),
+    };
+
+    // Persist the stimulus in the event format the CLI understands.
+    let events_path = inner.store.result_path(id, "events");
+    let events_path =
+        match std::fs::File::create(&events_path).and_then(|mut f| test.write_events(&mut f)) {
+            Ok(()) => Some(events_path.display().to_string()),
+            Err(_) => None,
+        };
+
+    let mut result = JobResult {
+        chunks: test.chunks.len(),
+        test_steps: test.test_steps(),
+        activated: test.activated_count(),
+        total_neurons: test.activated.len(),
+        activation_coverage: test.activated_fraction(),
+        runtime_ms: started.elapsed().as_millis() as u64,
+        faults_total: None,
+        faults_detected: None,
+        fault_coverage: None,
+        events_path,
+    };
+
+    if spec.evaluate_coverage && !test.chunks.is_empty() {
+        let universe = FaultUniverse::standard(&net);
+        let sim = FaultSimulator::new(
+            &net,
+            FaultSimConfig { threads: spec.threads, ..FaultSimConfig::default() },
+        );
+        let assembled = test.assembled();
+        match sim.detect_with(
+            &universe,
+            universe.faults(),
+            std::slice::from_ref(&assembled),
+            sink,
+            token,
+        ) {
+            Ok(outcome) => {
+                let total = universe.len();
+                let detected = outcome.detected_count();
+                result.faults_total = Some(total);
+                result.faults_detected = Some(detected);
+                result.fault_coverage =
+                    Some(if total == 0 { 1.0 } else { detected as f64 / total as f64 });
+            }
+            Err(snn_faults::CampaignError::Cancelled) => {
+                return JobOutcome::Cancelled(cancelled_why(inner));
+            }
+            Err(e) => return JobOutcome::Failed(e.to_string()),
+        }
+        result.runtime_ms = started.elapsed().as_millis() as u64;
+    }
+
+    JobOutcome::Done(Box::new(result))
+}
+
+/// Serves one client connection: a loop of requests, each answered by one
+/// response (`Watch` by a response stream).
+fn handle_connection(inner: Arc<Inner>, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    while let Some(parsed) = read_line::<Request>(&mut reader)? {
+        let request = match parsed {
+            Ok(request) => request,
+            Err(message) => {
+                write_line(&mut writer, &Response::Error { message })?;
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => {
+                write_line(&mut writer, &Response::Pong { version: PROTOCOL_VERSION })?
+            }
+            Request::Submit(spec) => match inner.submit(spec) {
+                Ok(record) => write_line(&mut writer, &Response::Submitted { job: record.id })?,
+                Err(message) => write_line(&mut writer, &Response::Error { message })?,
+            },
+            Request::Status { job } => match inner.store.get(job) {
+                Some(record) => write_line(&mut writer, &Response::Status(Box::new(record)))?,
+                None => write_line(
+                    &mut writer,
+                    &Response::Error { message: format!("no such job: {job}") },
+                )?,
+            },
+            Request::List => write_line(&mut writer, &Response::Jobs(inner.store.list()))?,
+            Request::Cancel { job } => write_line(&mut writer, &inner.cancel(job))?,
+            Request::Watch { job } => watch(&inner, &mut writer, job)?,
+            Request::Shutdown => {
+                write_line(&mut writer, &Response::ShuttingDown)?;
+                inner.begin_shutdown();
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Streams `job`'s snapshot and then its events until it is terminal.
+fn watch(inner: &Arc<Inner>, writer: &mut TcpStream, job: u64) -> io::Result<()> {
+    // Subscribe before snapshotting so no event between the two is lost.
+    let rx = inner.bus.subscribe(Some(job));
+    let Some(snapshot) = inner.store.get(job) else {
+        return write_line(writer, &Response::Error { message: format!("no such job: {job}") });
+    };
+    let terminal_at_snapshot = snapshot.state.is_terminal();
+    write_line(writer, &Response::Status(Box::new(snapshot)))?;
+    if terminal_at_snapshot {
+        return Ok(());
+    }
+    loop {
+        match rx.recv_timeout(Duration::from_millis(250)) {
+            Ok(event) => {
+                let done = matches!(
+                    &event,
+                    JobEvent::State { state, .. } if state.is_terminal()
+                );
+                write_line(writer, &Response::Event(event))?;
+                if done {
+                    return Ok(());
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                // Fallback: the publisher may have raced our subscription.
+                if let Some(r) = inner.store.get(job) {
+                    if r.state.is_terminal() {
+                        return write_line(
+                            writer,
+                            &Response::Event(JobEvent::State {
+                                job,
+                                state: r.state,
+                                error: r.error,
+                            }),
+                        );
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Persistent job store: one JSON file per job under
+//! `<state-dir>/jobs/`, rewritten (atomically, via temp file + rename) on
+//! every state change, so a restarted server recovers every record.
+
+use crate::protocol::{JobRecord, JobSpec, JobState};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Current Unix time in milliseconds.
+pub fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Thread-safe, disk-backed map of job records.
+#[derive(Debug)]
+pub struct JobStore {
+    state_dir: PathBuf,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    next_id: AtomicU64,
+    /// Ids of jobs recovered from disk in `Queued` state (sorted); the
+    /// server re-enqueues these on startup.
+    recovered_queued: Vec<u64>,
+}
+
+impl JobStore {
+    /// Opens (creating if needed) the store under `state_dir` and loads
+    /// every persisted record.
+    ///
+    /// Recovery policy: jobs found `Running` were interrupted by the
+    /// previous shutdown/crash and are marked `Failed`; jobs found
+    /// `Queued` never started and are kept queued (the server re-enqueues
+    /// them); terminal jobs load as-is. Unreadable job files are skipped.
+    pub fn open(state_dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let state_dir = state_dir.into();
+        fs::create_dir_all(state_dir.join("jobs"))?;
+        fs::create_dir_all(state_dir.join("results"))?;
+
+        let mut jobs = HashMap::new();
+        let mut recovered_queued = Vec::new();
+        let mut max_id = 0u64;
+        for entry in fs::read_dir(state_dir.join("jobs"))? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            let Some(mut record) = read_record(&path) else { continue };
+            match record.state {
+                JobState::Running => {
+                    record.state = JobState::Failed;
+                    record.error = Some("interrupted by server restart".into());
+                    record.finished_at_ms = Some(now_ms());
+                    let _ = persist(&state_dir, &record);
+                }
+                JobState::Queued => recovered_queued.push(record.id),
+                _ => {}
+            }
+            max_id = max_id.max(record.id);
+            jobs.insert(record.id, record);
+        }
+        recovered_queued.sort_unstable();
+
+        Ok(Self {
+            state_dir,
+            jobs: Mutex::new(jobs),
+            next_id: AtomicU64::new(max_id + 1),
+            recovered_queued,
+        })
+    }
+
+    /// The state directory this store persists into.
+    pub fn state_dir(&self) -> &Path {
+        &self.state_dir
+    }
+
+    /// Jobs recovered from disk still in `Queued` state, ascending.
+    pub fn recovered_queued(&self) -> &[u64] {
+        &self.recovered_queued
+    }
+
+    /// Number of known jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().len()
+    }
+
+    /// `true` when no jobs are known.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates, persists and returns a new `Queued` record for `spec`.
+    pub fn submit(&self, spec: JobSpec) -> JobRecord {
+        let record = JobRecord {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            spec,
+            state: JobState::Queued,
+            submitted_at_ms: now_ms(),
+            started_at_ms: None,
+            finished_at_ms: None,
+            progress: None,
+            result: None,
+            error: None,
+        };
+        self.jobs.lock().insert(record.id, record.clone());
+        let _ = persist(&self.state_dir, &record);
+        record
+    }
+
+    /// A snapshot of one record.
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.jobs.lock().get(&id).cloned()
+    }
+
+    /// Snapshots of every record, ascending by id.
+    pub fn list(&self) -> Vec<JobRecord> {
+        let mut all: Vec<JobRecord> = self.jobs.lock().values().cloned().collect();
+        all.sort_by_key(|r| r.id);
+        all
+    }
+
+    /// Applies `f` to the record, persists the result, and returns the
+    /// updated snapshot. `None` for unknown ids.
+    pub fn update(&self, id: u64, f: impl FnOnce(&mut JobRecord)) -> Option<JobRecord> {
+        let updated = {
+            let mut jobs = self.jobs.lock();
+            let record = jobs.get_mut(&id)?;
+            f(record);
+            record.clone()
+        };
+        let _ = persist(&self.state_dir, &updated);
+        Some(updated)
+    }
+
+    /// Updates only the in-memory progress snapshot of a record — called
+    /// on the hot path for every progress event, so it skips the disk
+    /// write (`update` persists progress alongside the next state change).
+    pub fn update_progress_in_memory(
+        &self,
+        id: u64,
+        progress: snn_faults::progress::Progress,
+    ) -> bool {
+        let mut jobs = self.jobs.lock();
+        match jobs.get_mut(&id) {
+            Some(record) => {
+                record.progress = Some(progress);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The server-side path generated artifacts of job `id` live under.
+    pub fn result_path(&self, id: u64, extension: &str) -> PathBuf {
+        self.state_dir.join("results").join(format!("job-{id}.{extension}"))
+    }
+}
+
+fn job_path(state_dir: &Path, id: u64) -> PathBuf {
+    state_dir.join("jobs").join(format!("job-{id}.json"))
+}
+
+fn read_record(path: &Path) -> Option<JobRecord> {
+    let text = fs::read_to_string(path).ok()?;
+    serde::json::from_str(&text).ok()
+}
+
+fn persist(state_dir: &Path, record: &JobRecord) -> io::Result<()> {
+    let path = job_path(state_dir, record.id);
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, serde::json::to_string_pretty(record))?;
+    fs::rename(&tmp, &path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{JobResult, JobSpec};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("snn-service-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> JobSpec {
+        JobSpec::synthetic_repro(4, vec![8], 2, 1)
+    }
+
+    #[test]
+    fn submit_assigns_increasing_ids_and_persists() {
+        let dir = tmp_dir("submit");
+        let store = JobStore::open(&dir).unwrap();
+        let a = store.submit(spec());
+        let b = store.submit(spec());
+        assert!(b.id > a.id);
+        assert_eq!(store.list().len(), 2);
+        assert!(job_path(&dir, a.id).is_file());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_survive_reopen_and_ids_continue() {
+        let dir = tmp_dir("reopen");
+        let done_id;
+        {
+            let store = JobStore::open(&dir).unwrap();
+            let a = store.submit(spec());
+            done_id = a.id;
+            store.update(a.id, |r| {
+                r.state = JobState::Done;
+                r.result = Some(JobResult {
+                    chunks: 1,
+                    test_steps: 10,
+                    activated: 5,
+                    total_neurons: 10,
+                    activation_coverage: 0.5,
+                    runtime_ms: 12,
+                    faults_total: None,
+                    faults_detected: None,
+                    fault_coverage: None,
+                    events_path: None,
+                });
+            });
+        }
+        let store = JobStore::open(&dir).unwrap();
+        let rec = store.get(done_id).expect("record survived restart");
+        assert_eq!(rec.state, JobState::Done);
+        assert_eq!(rec.result.as_ref().unwrap().test_steps, 10);
+        let fresh = store.submit(spec());
+        assert!(fresh.id > done_id, "id allocation continues after restart");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_fails_running_jobs_and_requeues_queued_ones() {
+        let dir = tmp_dir("recovery");
+        let (running_id, queued_id);
+        {
+            let store = JobStore::open(&dir).unwrap();
+            let a = store.submit(spec());
+            running_id = a.id;
+            store.update(a.id, |r| r.state = JobState::Running);
+            queued_id = store.submit(spec()).id;
+        }
+        let store = JobStore::open(&dir).unwrap();
+        let interrupted = store.get(running_id).unwrap();
+        assert_eq!(interrupted.state, JobState::Failed);
+        assert!(interrupted.error.as_ref().unwrap().contains("restart"));
+        assert_eq!(store.recovered_queued(), &[queued_id]);
+        assert_eq!(store.get(queued_id).unwrap().state, JobState::Queued);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_ids_are_none() {
+        let dir = tmp_dir("unknown");
+        let store = JobStore::open(&dir).unwrap();
+        assert!(store.get(999).is_none());
+        assert!(store.update(999, |_| ()).is_none());
+        assert!(store.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -28,9 +28,7 @@ pub struct InjectedGrads {
 impl InjectedGrads {
     /// No injected gradients on any of the `num_layers` layers.
     pub fn none(num_layers: usize) -> Self {
-        Self {
-            per_layer: vec![None; num_layers],
-        }
+        Self { per_layer: vec![None; num_layers] }
     }
 
     /// Injects `grad` (`[T × n_out]`) on layer `layer`, accumulating with
@@ -62,6 +60,40 @@ impl InjectedGrads {
         self.per_layer.iter().all(|g| g.is_none())
     }
 }
+
+/// Typed failure of a backward pass: the forward trace was not recorded
+/// with enough state for credit assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackwardError {
+    /// The trace lacks membrane potentials for `layer`; record the forward
+    /// pass with [`RecordOptions::full`](crate::RecordOptions::full).
+    MissingPotentials {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+    /// The trace lacks integration gates for `layer`; record the forward
+    /// pass with [`RecordOptions::full`](crate::RecordOptions::full).
+    MissingGates {
+        /// Index of the offending layer.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for BackwardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingPotentials { layer } => write!(
+                f,
+                "layer {layer}: trace lacks membrane potentials; record with RecordOptions::full()"
+            ),
+            Self::MissingGates { layer } => {
+                write!(f, "layer {layer}: trace lacks gates; record with RecordOptions::full()")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackwardError {}
 
 /// Result of a BPTT backward pass.
 #[derive(Debug, Clone, PartialEq)]
@@ -153,6 +185,8 @@ impl Network {
     ///
     /// Panics if the trace lacks potentials/gates, if shapes are
     /// inconsistent, or if `injected.len()` differs from the layer count.
+    /// Use [`try_backward`](Self::try_backward) to handle missing trace
+    /// state as a typed error instead.
     ///
     /// [`RecordOptions::full`]: crate::RecordOptions::full
     pub fn backward(
@@ -163,6 +197,27 @@ impl Network {
         surrogate: Surrogate,
         want_weights: bool,
     ) -> Gradients {
+        self.try_backward(input, trace, injected, surrogate, want_weights)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`backward`](Self::backward): returns a [`BackwardError`]
+    /// when `trace` was recorded without the potentials/gates BPTT needs,
+    /// instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on shape inconsistencies and on an `injected` length
+    /// differing from the layer count — those are programming errors, not
+    /// recoverable conditions.
+    pub fn try_backward(
+        &self,
+        input: &Tensor,
+        trace: &Trace,
+        injected: &InjectedGrads,
+        surrogate: Surrogate,
+        want_weights: bool,
+    ) -> Result<Gradients, BackwardError> {
         let num_layers = self.layers.len();
         assert_eq!(
             injected.len(),
@@ -199,9 +254,8 @@ impl Network {
             let in_features = layer.in_features();
 
             // Accumulate ∂L/∂s^idx from downstream chain + direct injection.
-            let mut out_grad = downstream
-                .take()
-                .unwrap_or_else(|| Tensor::zeros(Shape::d2(steps, n)));
+            let mut out_grad =
+                downstream.take().unwrap_or_else(|| Tensor::zeros(Shape::d2(steps, n)));
             assert_eq!(
                 out_grad.shape().dims(),
                 &[steps, n],
@@ -217,11 +271,7 @@ impl Network {
             }
 
             // Input sequence seen by this layer during the forward pass.
-            let layer_input: &Tensor = if idx == 0 {
-                input
-            } else {
-                &trace.layers[idx - 1].output
-            };
+            let layer_input: &Tensor = if idx == 0 { input } else { &trace.layers[idx - 1].output };
             let li = layer_input.as_slice();
             let mut in_grad = Tensor::zeros(Shape::d2(steps, in_features));
 
@@ -243,7 +293,7 @@ impl Network {
                     }
                 }
                 Layer::Dense(l) => {
-                    let (pot, gt) = trace_state(lt, idx);
+                    let (pot, gt) = trace_state(lt, idx)?;
                     let delta_z = lif_temporal_backward(
                         steps,
                         n,
@@ -274,7 +324,7 @@ impl Network {
                     }
                 }
                 Layer::Conv(l) => {
-                    let (pot, gt) = trace_state(lt, idx);
+                    let (pot, gt) = trace_state(lt, idx)?;
                     let delta_z = lif_temporal_backward(
                         steps,
                         n,
@@ -312,7 +362,7 @@ impl Network {
                     }
                 }
                 Layer::Recurrent(l) => {
-                    let (pot, gt) = trace_state(lt, idx);
+                    let (pot, gt) = trace_state(lt, idx)?;
                     let delta_z = lif_temporal_backward(
                         steps,
                         n,
@@ -354,21 +404,17 @@ impl Network {
             downstream = Some(in_grad);
         }
 
-        Gradients {
+        Ok(Gradients {
             input: downstream.expect("network has at least one layer"),
             weights: weight_grads,
-        }
+        })
     }
 }
 
-fn trace_state<'a>(lt: &'a crate::LayerTrace, idx: usize) -> (&'a Tensor, &'a Tensor) {
-    let pot = lt.potential.as_ref().unwrap_or_else(|| {
-        panic!("layer {idx}: trace lacks membrane potentials; record with RecordOptions::full()")
-    });
-    let gt = lt.gate.as_ref().unwrap_or_else(|| {
-        panic!("layer {idx}: trace lacks gates; record with RecordOptions::full()")
-    });
-    (pot, gt)
+fn trace_state(lt: &crate::LayerTrace, idx: usize) -> Result<(&Tensor, &Tensor), BackwardError> {
+    let pot = lt.potential.as_ref().ok_or(BackwardError::MissingPotentials { layer: idx })?;
+    let gt = lt.gate.as_ref().ok_or(BackwardError::MissingGates { layer: idx })?;
+    Ok((pot, gt))
 }
 
 #[cfg(test)]
@@ -410,11 +456,7 @@ mod tests {
         let grads = net.backward(&input, &trace, &inj, surrogate, true);
 
         for t in 0..3 {
-            assert!(
-                (grads.input[[t, 0]] - 0.1).abs() < 1e-5,
-                "t={t}: {}",
-                grads.input[[t, 0]]
-            );
+            assert!((grads.input[[t, 0]] - 0.1).abs() < 1e-5, "t={t}: {}", grads.input[[t, 0]]);
         }
         assert!((grads.weights[0][0][0] - 0.75).abs() < 1e-5);
     }
@@ -422,19 +464,11 @@ mod tests {
     #[test]
     fn zero_injection_gives_zero_gradients() {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = NetworkBuilder::new(4, LifParams::default())
-            .dense(6)
-            .dense(2)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(6).dense(2).build(&mut rng);
         let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(8, 4), 0.5);
         let trace = net.forward(&input, RecordOptions::full());
-        let grads = net.backward(
-            &input,
-            &trace,
-            &InjectedGrads::none(2),
-            Surrogate::default(),
-            true,
-        );
+        let grads =
+            net.backward(&input, &trace, &InjectedGrads::none(2), Surrogate::default(), true);
         assert_eq!(grads.input.l1_norm(), 0.0);
         assert_eq!(grads.weights[0][0].l1_norm(), 0.0);
     }
@@ -550,7 +584,7 @@ mod tests {
         assert!(grads.input[[0, 0]] != 0.0);
         assert!(grads.input[[1, 0]] != 0.0);
         assert_eq!(grads.input[[2, 0]], 0.0); // future can't influence past
-        // W_rec gradient exists only if the unit spiked before t=1.
+                                              // W_rec gradient exists only if the unit spiked before t=1.
         let spiked_at_0 = trace.output().as_slice()[0] == 1.0;
         if spiked_at_0 {
             assert!(grads.weights[0][1].l1_norm() > 0.0);

@@ -108,17 +108,19 @@ impl NetworkBuilder {
     /// # Panics
     ///
     /// Panics if the running tensor is not spatial (conv after dense).
-    pub fn conv(mut self, out_channels: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+    pub fn conv(
+        mut self,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
         let (c, h, w) = self
             .spatial
             .expect("conv layer requires a spatial (c,h,w) input; use new_spatial or avoid conv after dense");
         let spec = Conv2dSpec::new(c, out_channels, kernel, stride, padding);
         let (oh, ow) = spec.out_hw(h, w);
-        self.layers.push(PendingLayer::Conv {
-            spec,
-            in_hw: (h, w),
-            lif: self.lif,
-        });
+        self.layers.push(PendingLayer::Conv { spec, in_hw: (h, w), lif: self.lif });
         self.spatial = Some((out_channels, oh, ow));
         self.features = out_channels * oh * ow;
         self
@@ -131,16 +133,10 @@ impl NetworkBuilder {
     /// Panics if the running tensor is not spatial or `k` does not divide
     /// its extents.
     pub fn avg_pool(mut self, k: usize) -> Self {
-        let (c, h, w) = self
-            .spatial
-            .expect("avg_pool requires a spatial (c,h,w) input");
+        let (c, h, w) = self.spatial.expect("avg_pool requires a spatial (c,h,w) input");
         let layer = PoolLayer::new(c, (h, w), k);
         let (oh, ow) = layer.out_hw();
-        self.layers.push(PendingLayer::Pool {
-            channels: c,
-            in_hw: (h, w),
-            k,
-        });
+        self.layers.push(PendingLayer::Pool { channels: c, in_hw: (h, w), k });
         self.spatial = Some((c, oh, ow));
         self.features = c * oh * ow;
         self
@@ -200,10 +196,7 @@ mod tests {
     #[test]
     fn builds_dense_chain() {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = NetworkBuilder::new(4, LifParams::default())
-            .dense(8)
-            .dense(3)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(8).dense(3).build(&mut rng);
         assert_eq!(net.neuron_count(), 11);
         assert_eq!(net.layers().len(), 2);
     }
@@ -225,10 +218,8 @@ mod tests {
     #[test]
     fn recurrent_layer_counts() {
         let mut rng = StdRng::seed_from_u64(2);
-        let net = NetworkBuilder::new(10, LifParams::default())
-            .recurrent(6)
-            .dense(3)
-            .build(&mut rng);
+        let net =
+            NetworkBuilder::new(10, LifParams::default()).recurrent(6).dense(3).build(&mut rng);
         assert_eq!(net.synapse_count(), 10 * 6 + 36 + 18);
     }
 
@@ -236,9 +227,7 @@ mod tests {
     fn build_is_deterministic_per_seed() {
         let build = || {
             let mut rng = StdRng::seed_from_u64(33);
-            NetworkBuilder::new(5, LifParams::default())
-                .dense(4)
-                .build(&mut rng)
+            NetworkBuilder::new(5, LifParams::default()).dense(4).build(&mut rng)
         };
         assert_eq!(build(), build());
     }
@@ -247,10 +236,8 @@ mod tests {
     #[should_panic(expected = "spatial")]
     fn conv_after_dense_panics() {
         let mut rng = StdRng::seed_from_u64(3);
-        let _ = NetworkBuilder::new(16, LifParams::default())
-            .dense(8)
-            .conv(4, 3, 1, 1)
-            .build(&mut rng);
+        let _ =
+            NetworkBuilder::new(16, LifParams::default()).dense(8).conv(4, 3, 1, 1).build(&mut rng);
     }
 
     #[test]

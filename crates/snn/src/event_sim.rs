@@ -49,7 +49,11 @@ struct LayerState {
 }
 
 impl LayerState {
-    fn new(n: usize, lif: &crate::LifParams, faults: Option<&std::collections::HashMap<usize, NeuronBehaviorFault>>) -> Self {
+    fn new(
+        n: usize,
+        lif: &crate::LifParams,
+        faults: Option<&std::collections::HashMap<usize, NeuronBehaviorFault>>,
+    ) -> Self {
         let mut s = Self {
             carried: vec![0.0; n],
             refrac: vec![0; n],
@@ -148,7 +152,7 @@ impl LayerState {
                 _ => {}
             }
         }
-        if self.forced.iter().any(|&f| f == 2) {
+        if self.forced.contains(&2) {
             spikes_out.sort_unstable();
             spikes_out.dedup();
         }
@@ -214,15 +218,12 @@ pub fn event_forward(
         .iter()
         .enumerate()
         .map(|(idx, l)| {
-            l.lif()
-                .map(|lif| LayerState::new(l.out_features(), lif, faults.layer_faults(idx)))
+            l.lif().map(|lif| LayerState::new(l.out_features(), lif, faults.layer_faults(idx)))
         })
         .collect();
 
-    let mut outputs: Vec<Tensor> = layers
-        .iter()
-        .map(|l| Tensor::zeros(Shape::d2(steps, l.out_features())))
-        .collect();
+    let mut outputs: Vec<Tensor> =
+        layers.iter().map(|l| Tensor::zeros(Shape::d2(steps, l.out_features()))).collect();
 
     // Per-layer dense value buffer for the *current tick* (input to next
     // layer). Spiking layers fill it from their spike list.
@@ -378,9 +379,9 @@ fn record(output: &mut Tensor, t: usize, spikes: &[usize]) {
 mod tests {
     use super::*;
     use crate::{LifParams, NetworkBuilder, RecordOptions};
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use proptest::prelude::*;
 
     fn assert_equivalent(net: &Network, input: &Tensor, faults: &NeuronFaultMap) {
         let dense = net.forward_faulty(input, RecordOptions::spikes_only(), faults);
@@ -393,10 +394,7 @@ mod tests {
     #[test]
     fn dense_network_equivalence() {
         let mut rng = StdRng::seed_from_u64(1);
-        let net = NetworkBuilder::new(8, LifParams::default())
-            .dense(14)
-            .dense(5)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(8, LifParams::default()).dense(14).dense(5).build(&mut rng);
         let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(40, 8), 0.3);
         assert_equivalent(&net, &input, &NeuronFaultMap::new());
     }
@@ -438,10 +436,7 @@ mod tests {
     #[test]
     fn equivalence_under_neuron_faults() {
         let mut rng = StdRng::seed_from_u64(5);
-        let net = NetworkBuilder::new(6, LifParams::default())
-            .dense(10)
-            .dense(3)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(6, LifParams::default()).dense(10).dense(3).build(&mut rng);
         let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(25, 6), 0.4);
         for fault in [
             NeuronBehaviorFault::Dead,

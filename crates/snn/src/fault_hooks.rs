@@ -83,11 +83,7 @@ impl NeuronFaultMap {
     /// Smallest layer index carrying a fault (used for prefix-cached fault
     /// simulation), or `None` if empty.
     pub fn first_faulty_layer(&self) -> Option<usize> {
-        self.per_layer
-            .iter()
-            .filter(|(_, m)| !m.is_empty())
-            .map(|(&l, _)| l)
-            .min()
+        self.per_layer.iter().filter(|(_, m)| !m.is_empty()).map(|(&l, _)| l).min()
     }
 
     /// Total number of registered faults.

@@ -37,10 +37,15 @@ impl GumbelSample {
     /// Samples the pipeline stochastically: logistic noise is added to the
     /// logits before the temperature-scaled sigmoid.
     pub fn stochastic(rng: &mut impl Rng, logits: &Tensor, tau: f32) -> Self {
-        Self::build(logits, tau, |rng_| {
-            let u: f32 = rng_.gen_range(f32::EPSILON..(1.0 - f32::EPSILON));
-            (u / (1.0 - u)).ln()
-        }, rng)
+        Self::build(
+            logits,
+            tau,
+            |rng_| {
+                let u: f32 = rng_.gen_range(f32::EPSILON..(1.0 - f32::EPSILON));
+                (u / (1.0 - u)).ln()
+            },
+            rng,
+        )
     }
 
     /// Deterministic pipeline (no noise): `I_soft = σ(I_real/τ)`.
@@ -49,7 +54,12 @@ impl GumbelSample {
         Self::build(logits, tau, |_: &mut NoRng| 0.0, &mut NoRng)
     }
 
-    fn build<R>(logits: &Tensor, tau: f32, mut noise: impl FnMut(&mut R) -> f32, rng: &mut R) -> Self {
+    fn build<R>(
+        logits: &Tensor,
+        tau: f32,
+        mut noise: impl FnMut(&mut R) -> f32,
+        rng: &mut R,
+    ) -> Self {
         assert!(tau > 0.0, "temperature must be positive, got {tau}");
         let soft = logits.map(|_| 0.0); // placeholder shape clone
         let mut soft_data = Vec::with_capacity(logits.len());
@@ -79,11 +89,7 @@ impl GumbelSample {
     ///
     /// Panics if `grad_binary` has a different shape.
     pub fn grad_logits(&self, grad_binary: &Tensor) -> Tensor {
-        assert_eq!(
-            grad_binary.shape(),
-            self.soft.shape(),
-            "gradient shape must match the sample"
-        );
+        assert_eq!(grad_binary.shape(), self.soft.shape(), "gradient shape must match the sample");
         let inv_tau = 1.0 / self.tau;
         let mut out = grad_binary.clone();
         let s = self.soft.as_slice();

@@ -54,11 +54,7 @@ fn write_lif(w: &mut impl Write, lif: &LifParams) -> io::Result<()> {
 }
 
 fn read_lif(r: &mut impl Read) -> io::Result<LifParams> {
-    let lif = LifParams {
-        threshold: read_f32(r)?,
-        leak: read_f32(r)?,
-        refrac_steps: read_u32(r)?,
-    };
+    let lif = LifParams { threshold: read_f32(r)?, leak: read_f32(r)?, refrac_steps: read_u32(r)? };
     lif.validate().map_err(bad)?;
     Ok(lif)
 }
@@ -74,9 +70,7 @@ fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
 fn read_tensor(r: &mut impl Read, shape: Shape) -> io::Result<Tensor> {
     let len = read_u32(r)? as usize;
     if len != shape.len() {
-        return Err(bad(format!(
-            "weight blob of {len} values does not fit shape {shape}"
-        )));
+        return Err(bad(format!("weight blob of {len} values does not fit shape {shape}")));
     }
     let mut data = Vec::with_capacity(len);
     for _ in 0..len {
@@ -199,7 +193,7 @@ impl Network {
                     let h = read_u32(r)? as usize;
                     let w_ = read_u32(r)? as usize;
                     let k = read_u32(r)? as usize;
-                    if k == 0 || h % k != 0 || w_ % k != 0 {
+                    if k == 0 || !h.is_multiple_of(k) || !w_.is_multiple_of(k) {
                         return Err(bad("pool layer with invalid window"));
                     }
                     Layer::Pool(PoolLayer::new(channels, (h, w_), k))
@@ -248,22 +242,24 @@ mod tests {
     #[test]
     fn dense_round_trip_is_identical() {
         let mut rng = StdRng::seed_from_u64(1);
-        let net = NetworkBuilder::new(6, LifParams::default())
-            .dense(10)
-            .dense(3)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(6, LifParams::default()).dense(10).dense(3).build(&mut rng);
         assert_eq!(round_trip(&net), net);
     }
 
     #[test]
     fn conv_pool_recurrent_round_trip_preserves_behaviour() {
         let mut rng = StdRng::seed_from_u64(2);
-        let net = NetworkBuilder::new_spatial(2, 8, 8, LifParams { refrac_steps: 2, ..LifParams::default() })
-            .avg_pool(2)
-            .conv(4, 3, 1, 1)
-            .dense(12)
-            .dense(5)
-            .build(&mut rng);
+        let net = NetworkBuilder::new_spatial(
+            2,
+            8,
+            8,
+            LifParams { refrac_steps: 2, ..LifParams::default() },
+        )
+        .avg_pool(2)
+        .conv(4, 3, 1, 1)
+        .dense(12)
+        .dense(5)
+        .build(&mut rng);
         let loaded = round_trip(&net);
         assert_eq!(loaded, net);
         // Behavioural equality, not just structural.
@@ -272,10 +268,8 @@ mod tests {
         let b = loaded.forward(&input, RecordOptions::spikes_only());
         assert_eq!(a, b);
 
-        let rec = NetworkBuilder::new(7, LifParams::default())
-            .recurrent(9)
-            .dense(4)
-            .build(&mut rng);
+        let rec =
+            NetworkBuilder::new(7, LifParams::default()).recurrent(9).dense(4).build(&mut rng);
         assert_eq!(round_trip(&rec), rec);
     }
 
@@ -292,10 +286,7 @@ mod tests {
         let mut buf = Vec::new();
         net.save(&mut buf).unwrap();
         for cut in [9, buf.len() / 2, buf.len() - 1] {
-            assert!(
-                Network::load(&mut &buf[..cut]).is_err(),
-                "truncation at {cut} must fail"
-            );
+            assert!(Network::load(&mut &buf[..cut]).is_err(), "truncation at {cut} must fail");
         }
     }
 

@@ -24,12 +24,7 @@ impl DenseLayer {
         let dims = weight.shape().dims();
         assert_eq!(dims.len(), 2, "dense weight must be rank-2");
         let (out_features, in_features) = (dims[0], dims[1]);
-        Self {
-            weight,
-            lif,
-            in_features,
-            out_features,
-        }
+        Self { weight, lif, in_features, out_features }
     }
 }
 
@@ -55,17 +50,8 @@ impl ConvLayer {
     ///
     /// Panics if the weight tensor does not match `spec`.
     pub fn new(spec: Conv2dSpec, in_hw: (usize, usize), weight: Tensor, lif: LifParams) -> Self {
-        assert_eq!(
-            weight.len(),
-            spec.weight_count(),
-            "conv weight length must match spec"
-        );
-        Self {
-            spec,
-            weight,
-            lif,
-            in_hw,
-        }
+        assert_eq!(weight.len(), spec.weight_count(), "conv weight length must match spec");
+        Self { spec, weight, lif, in_hw }
     }
 
     /// Output spatial extent.
@@ -98,7 +84,7 @@ impl PoolLayer {
     pub fn new(channels: usize, in_hw: (usize, usize), k: usize) -> Self {
         assert!(k > 0, "pool window must be positive");
         assert!(
-            in_hw.0 % k == 0 && in_hw.1 % k == 0,
+            in_hw.0.is_multiple_of(k) && in_hw.1.is_multiple_of(k),
             "pool window {k} must divide input extent {in_hw:?}"
         );
         Self { channels, in_hw, k }
@@ -139,13 +125,7 @@ impl RecurrentLayer {
         assert_eq!(drec.len(), 2, "recurrent weight must be rank-2");
         assert_eq!(drec[0], drec[1], "recurrent weight must be square");
         assert_eq!(din[0], drec[0], "unit count mismatch between W_in and W_rec");
-        Self {
-            in_features: din[1],
-            units: din[0],
-            w_in,
-            w_rec,
-            lif,
-        }
+        Self { in_features: din[1], units: din[0], w_in, w_rec, lif }
     }
 }
 
@@ -289,12 +269,8 @@ mod tests {
     #[test]
     fn conv_layer_geometry() {
         let spec = Conv2dSpec::new(2, 16, 5, 1, 2);
-        let l = Layer::Conv(ConvLayer::new(
-            spec,
-            (32, 32),
-            Tensor::zeros(spec.weight_shape()),
-            lif(),
-        ));
+        let l =
+            Layer::Conv(ConvLayer::new(spec, (32, 32), Tensor::zeros(spec.weight_shape()), lif()));
         assert_eq!(l.in_features(), 2 * 32 * 32);
         assert_eq!(l.out_features(), 16 * 32 * 32);
         assert_eq!(l.weight_count(), 16 * 2 * 25);
@@ -332,10 +308,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "unit count mismatch")]
     fn recurrent_rejects_mismatched_units() {
-        RecurrentLayer::new(
-            Tensor::zeros(Shape::d2(8, 20)),
-            Tensor::zeros(Shape::d2(9, 9)),
-            lif(),
-        );
+        RecurrentLayer::new(Tensor::zeros(Shape::d2(8, 20)), Tensor::zeros(Shape::d2(9, 9)), lif());
     }
 }

@@ -64,7 +64,7 @@ pub mod gumbel;
 pub mod optim;
 pub mod train;
 
-pub use backward::{Gradients, InjectedGrads};
+pub use backward::{BackwardError, Gradients, InjectedGrads};
 pub use builder::NetworkBuilder;
 pub use event_sim::{event_forward, EventStats};
 pub use fault_hooks::{NeuronBehaviorFault, NeuronFaultMap};

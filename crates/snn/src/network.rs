@@ -70,11 +70,7 @@ impl Network {
             );
             features = layer.out_features();
         }
-        Self {
-            layers,
-            input_features,
-            input_shape,
-        }
+        Self { layers, input_features, input_shape }
     }
 
     /// The layers in order.
@@ -104,11 +100,7 @@ impl Network {
 
     /// Total LIF neuron count (spiking layers only).
     pub fn neuron_count(&self) -> usize {
-        self.layers
-            .iter()
-            .filter(|l| l.is_spiking())
-            .map(|l| l.out_features())
-            .sum()
+        self.layers.iter().filter(|l| l.is_spiking()).map(|l| l.out_features()).sum()
     }
 
     /// Total synapse count: unique trainable weights.
@@ -157,11 +149,7 @@ impl Network {
         for (layer_idx, layer) in self.layers.iter().enumerate() {
             for (tensor_idx, t) in layer.weight_tensors().into_iter().enumerate() {
                 if remaining < t.len() {
-                    return WeightRef {
-                        layer: layer_idx,
-                        tensor: tensor_idx,
-                        offset: remaining,
-                    };
+                    return WeightRef { layer: layer_idx, tensor: tensor_idx, offset: remaining };
                 }
                 remaining -= t.len();
             }

@@ -61,13 +61,8 @@ impl Schedule {
     pub fn at(&self, step: usize) -> f32 {
         match *self {
             Schedule::Constant(v) => v,
-            Schedule::Step {
-                initial,
-                factor,
-                every,
-                min,
-            } => {
-                let k = if every == 0 { 0 } else { step / every };
+            Schedule::Step { initial, factor, every, min } => {
+                let k = step.checked_div(every).unwrap_or(0);
                 (initial * factor.powi(k as i32)).max(min)
             }
             Schedule::Exponential { initial, decay, min } => {

@@ -49,11 +49,7 @@ impl LifParams {
 
 impl Default for LifParams {
     fn default() -> Self {
-        Self {
-            threshold: 1.0,
-            leak: 0.9,
-            refrac_steps: 2,
-        }
+        Self { threshold: 1.0, leak: 0.9, refrac_steps: 2 }
     }
 }
 
@@ -135,8 +131,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_threshold_and_leak() {
-        let mut p = LifParams::default();
-        p.threshold = 0.0;
+        let mut p = LifParams { threshold: 0.0, ..LifParams::default() };
         assert!(p.validate().is_err());
         p.threshold = f32::NAN;
         assert!(p.validate().is_err());

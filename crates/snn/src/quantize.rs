@@ -48,11 +48,7 @@ pub fn quantize_weights(net: &mut Network) -> QuantReport {
     for layer in net.layers_mut() {
         let mut layer_scales = Vec::new();
         for tensor in layer.weight_tensors_mut() {
-            let scale = tensor
-                .as_slice()
-                .iter()
-                .fold(0.0f32, |acc, v| acc.max(v.abs()))
-                / 127.0;
+            let scale = tensor.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs())) / 127.0;
             layer_scales.push(scale);
             if scale == 0.0 {
                 continue; // all-zero tensor: already on the grid
@@ -72,11 +68,7 @@ pub fn quantize_weights(net: &mut Network) -> QuantReport {
     QuantReport {
         scales,
         max_abs_error: max_err,
-        mean_abs_error: if err_count == 0 {
-            0.0
-        } else {
-            (err_sum / err_count as f64) as f32
-        },
+        mean_abs_error: if err_count == 0 { 0.0 } else { (err_sum / err_count as f64) as f32 },
     }
 }
 
@@ -88,11 +80,7 @@ pub fn is_quantized(net: &Network) -> bool {
             continue;
         }
         for tensor in layer.weight_tensors() {
-            let scale = tensor
-                .as_slice()
-                .iter()
-                .fold(0.0f32, |acc, v| acc.max(v.abs()))
-                / 127.0;
+            let scale = tensor.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs())) / 127.0;
             if scale == 0.0 {
                 continue;
             }
@@ -124,10 +112,8 @@ mod tests {
     #[test]
     fn quantization_is_idempotent() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut net = NetworkBuilder::new(6, LifParams::default())
-            .dense(10)
-            .dense(3)
-            .build(&mut rng);
+        let mut net =
+            NetworkBuilder::new(6, LifParams::default()).dense(10).dense(3).build(&mut rng);
         assert!(!is_quantized(&net));
         let r1 = quantize_weights(&mut net);
         assert!(is_quantized(&net));
@@ -154,10 +140,7 @@ mod tests {
         // Quantization noise is small relative to the threshold, so spike
         // counts should barely move on a moderately active network.
         let mut rng = StdRng::seed_from_u64(3);
-        let net = NetworkBuilder::new(8, LifParams::default())
-            .dense(16)
-            .dense(4)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(8, LifParams::default()).dense(16).dense(4).build(&mut rng);
         let mut quant = net.clone();
         quantize_weights(&mut quant);
         let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(30, 8), 0.4);
@@ -178,10 +161,7 @@ mod tests {
         let lif = LifParams::default();
         let mut net = Network::new(
             Shape::d1(2),
-            vec![Layer::Dense(DenseLayer::new(
-                snn_tensor::Tensor::zeros(Shape::d2(2, 2)),
-                lif,
-            ))],
+            vec![Layer::Dense(DenseLayer::new(snn_tensor::Tensor::zeros(Shape::d2(2, 2)), lif))],
         );
         let report = quantize_weights(&mut net);
         assert_eq!(report.max_abs_error, 0.0);

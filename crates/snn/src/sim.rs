@@ -1,4 +1,4 @@
-use crate::{Layer, NeuronBehaviorFault, NeuronFaultMap, Network};
+use crate::{Layer, Network, NeuronBehaviorFault, NeuronFaultMap};
 use serde::{Deserialize, Serialize};
 use snn_tensor::{ops, Shape, Tensor};
 use std::collections::HashMap;
@@ -133,7 +133,11 @@ struct EffectiveParams {
 }
 
 impl EffectiveParams {
-    fn new(n: usize, lif: &crate::LifParams, faults: Option<&HashMap<usize, NeuronBehaviorFault>>) -> Self {
+    fn new(
+        n: usize,
+        lif: &crate::LifParams,
+        faults: Option<&HashMap<usize, NeuronBehaviorFault>>,
+    ) -> Self {
         let mut p = Self {
             threshold: vec![lif.threshold; n],
             leak: vec![lif.leak; n],
@@ -155,8 +159,7 @@ impl EffectiveParams {
                     } => {
                         p.threshold[i] = (lif.threshold * threshold_scale).max(f32::EPSILON);
                         p.leak[i] = (lif.leak * leak_scale).clamp(f32::EPSILON, 1.0);
-                        p.refrac[i] =
-                            (lif.refrac_steps as i64 + refrac_delta as i64).max(0) as u32;
+                        p.refrac[i] = (lif.refrac_steps as i64 + refrac_delta as i64).max(0) as u32;
                     }
                 }
             }
@@ -181,12 +184,8 @@ where
     F: FnMut(usize, &[f32], &mut [f32]),
 {
     let mut output = Tensor::zeros(Shape::d2(steps, n));
-    let mut potential = record
-        .potentials
-        .then(|| Tensor::zeros(Shape::d2(steps, n)));
-    let mut gate = record
-        .potentials
-        .then(|| Tensor::zeros(Shape::d2(steps, n)));
+    let mut potential = record.potentials.then(|| Tensor::zeros(Shape::d2(steps, n)));
+    let mut gate = record.potentials.then(|| Tensor::zeros(Shape::d2(steps, n)));
 
     let mut carried = vec![0.0f32; n]; // membrane carried across ticks
     let mut refrac = vec![0u32; n];
@@ -241,11 +240,7 @@ where
         prev_spikes.copy_from_slice(&data[t * n..(t + 1) * n]);
     }
 
-    LayerTrace {
-        output,
-        potential,
-        gate,
-    }
+    LayerTrace { output, potential, gate }
 }
 
 fn run_layer(
@@ -314,11 +309,7 @@ fn run_layer(
                     &mut out_data[t * n..(t + 1) * n],
                 );
             }
-            LayerTrace {
-                output,
-                potential: None,
-                gate: None,
-            }
+            LayerTrace { output, potential: None, gate: None }
         }
     }
 }
@@ -485,9 +476,7 @@ mod tests {
     #[test]
     fn saturated_fault_fires_without_input() {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = NetworkBuilder::new(2, LifParams::default())
-            .dense(3)
-            .build(&mut rng);
+        let net = NetworkBuilder::new(2, LifParams::default()).dense(3).build(&mut rng);
         let input = Tensor::zeros(Shape::d2(5, 2));
         let faults = NeuronFaultMap::single(0, 1, NeuronBehaviorFault::Saturated);
         let trace = net.forward_faulty(&input, RecordOptions::spikes_only(), &faults);
@@ -525,10 +514,7 @@ mod tests {
 
     #[test]
     fn pool_layer_outputs_fractional_averages() {
-        let net = Network::new(
-            Shape::d3(1, 2, 2),
-            vec![Layer::Pool(PoolLayer::new(1, (2, 2), 2))],
-        );
+        let net = Network::new(Shape::d3(1, 2, 2), vec![Layer::Pool(PoolLayer::new(1, (2, 2), 2))]);
         let input = Tensor::from_vec(Shape::d2(1, 4), vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         let trace = net.forward(&input, RecordOptions::spikes_only());
         assert_eq!(trace.output().as_slice(), &[0.5]);
@@ -537,11 +523,8 @@ mod tests {
     #[test]
     fn forward_from_matches_full_forward() {
         let mut rng = StdRng::seed_from_u64(7);
-        let net = NetworkBuilder::new(6, LifParams::default())
-            .dense(8)
-            .dense(4)
-            .dense(2)
-            .build(&mut rng);
+        let net =
+            NetworkBuilder::new(6, LifParams::default()).dense(8).dense(4).dense(2).build(&mut rng);
         let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(12, 6), 0.5);
         let full = net.forward(&input, RecordOptions::spikes_only());
         let suffix = net.forward_from(

@@ -27,12 +27,7 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self {
-            lr: 0.01,
-            surrogate: Surrogate::default(),
-            rate_reg: 0.01,
-            target_rate: 0.08,
-        }
+        Self { lr: 0.01, surrogate: Surrogate::default(), rate_reg: 0.01, target_rate: 0.08 }
     }
 }
 
@@ -69,12 +64,7 @@ impl Trainer {
         let adam = net
             .layers()
             .iter()
-            .map(|l| {
-                l.weight_tensors()
-                    .into_iter()
-                    .map(|t| Adam::new(t.shape().clone()))
-                    .collect()
-            })
+            .map(|l| l.weight_tensors().into_iter().map(|t| Adam::new(t.shape().clone())).collect())
             .collect();
         Self { cfg, adam }
     }
@@ -101,10 +91,7 @@ impl Trainer {
             .layers()
             .iter()
             .map(|l| {
-                l.weight_tensors()
-                    .into_iter()
-                    .map(|t| Tensor::zeros(t.shape().clone()))
-                    .collect()
+                l.weight_tensors().into_iter().map(|t| Tensor::zeros(t.shape().clone())).collect()
             })
             .collect();
         let mut total_loss = 0.0f32;
@@ -137,15 +124,14 @@ impl Trainer {
                     }
                     let n = layer.out_features();
                     let rate = trace.layers[idx].output.sum() / (steps * n) as f32;
-                    let g = self.cfg.rate_reg * (rate - self.cfg.target_rate)
-                        / (steps * n) as f32;
+                    let g = self.cfg.rate_reg * (rate - self.cfg.target_rate) / (steps * n) as f32;
                     injected.set(idx, Tensor::full(Shape::d2(steps, n), g));
                 }
             }
 
             let grads = net.backward(input, &trace, &injected, self.cfg.surrogate, true);
-            for (la, lg) in acc.iter_mut().zip(grads.weights.into_iter()) {
-                for (ta, tg) in la.iter_mut().zip(lg.into_iter()) {
+            for (la, lg) in acc.iter_mut().zip(grads.weights) {
+                for (ta, tg) in la.iter_mut().zip(lg) {
                     ta.axpy(1.0 / batch.len() as f32, &tg);
                 }
             }
@@ -153,11 +139,7 @@ impl Trainer {
 
         for (layer_idx, layer) in net.layers_mut().iter_mut().enumerate() {
             for (tensor_idx, t) in layer.weight_tensors_mut().into_iter().enumerate() {
-                self.adam[layer_idx][tensor_idx].step(
-                    t,
-                    &acc[layer_idx][tensor_idx],
-                    self.cfg.lr,
-                );
+                self.adam[layer_idx][tensor_idx].step(t, &acc[layer_idx][tensor_idx], self.cfg.lr);
             }
         }
         total_loss / batch.len() as f32
@@ -173,11 +155,8 @@ fn softmax_xent(trace: &Trace, label: usize) -> (f32, Vec<f32>) {
     let z: f32 = exps.iter().sum();
     let probs: Vec<f32> = exps.iter().map(|&e| e / z).collect();
     let loss = -probs[label].max(1e-9).ln();
-    let grad = probs
-        .iter()
-        .enumerate()
-        .map(|(k, &p)| p - if k == label { 1.0 } else { 0.0 })
-        .collect();
+    let grad =
+        probs.iter().enumerate().map(|(k, &p)| p - if k == label { 1.0 } else { 0.0 }).collect();
     (loss, grad)
 }
 
@@ -204,7 +183,12 @@ mod tests {
 
     /// Two linearly separable "temporal rate" classes: class 0 spikes on
     /// the first half of channels, class 1 on the second half.
-    fn toy_dataset(rng: &mut StdRng, n: usize, features: usize, steps: usize) -> Vec<(Tensor, usize)> {
+    fn toy_dataset(
+        rng: &mut StdRng,
+        n: usize,
+        features: usize,
+        steps: usize,
+    ) -> Vec<(Tensor, usize)> {
         (0..n)
             .map(|i| {
                 let label = i % 2;

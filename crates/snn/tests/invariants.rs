@@ -4,38 +4,30 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use snn_model::{
-    event_forward, LifParams, Network, NetworkBuilder, NeuronFaultMap, RecordOptions,
-};
+use snn_model::{event_forward, LifParams, Network, NetworkBuilder, NeuronFaultMap, RecordOptions};
 use snn_tensor::{Shape, Tensor};
 
 /// Strategy: a small random dense/recurrent network plus a stimulus.
 fn arbitrary_net_and_input() -> impl Strategy<Value = (Network, Tensor)> {
     (
-        0u64..1000,           // weight seed
-        2usize..6,            // inputs
-        2usize..10,           // hidden
-        1usize..4,            // outputs
-        0u32..4,              // refractory
-        50u32..101,           // leak %
-        5usize..30,           // steps
-        prop::bool::ANY,      // recurrent hidden?
-        0.0f32..0.8,          // input density
+        0u64..1000,      // weight seed
+        2usize..6,       // inputs
+        2usize..10,      // hidden
+        1usize..4,       // outputs
+        0u32..4,         // refractory
+        50u32..101,      // leak %
+        5usize..30,      // steps
+        prop::bool::ANY, // recurrent hidden?
+        0.0f32..0.8,     // input density
     )
         .prop_map(
             |(seed, inputs, hidden, outputs, refrac, leak, steps, recurrent, density)| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let lif = LifParams {
-                    threshold: 1.0,
-                    leak: leak as f32 / 100.0,
-                    refrac_steps: refrac,
-                };
+                let lif =
+                    LifParams { threshold: 1.0, leak: leak as f32 / 100.0, refrac_steps: refrac };
                 let builder = NetworkBuilder::new(inputs, lif);
-                let builder = if recurrent {
-                    builder.recurrent(hidden)
-                } else {
-                    builder.dense(hidden)
-                };
+                let builder =
+                    if recurrent { builder.recurrent(hidden) } else { builder.dense(hidden) };
                 let net = builder.dense(outputs).build(&mut rng);
                 let input =
                     snn_tensor::init::bernoulli(&mut rng, Shape::d2(steps, inputs), density);

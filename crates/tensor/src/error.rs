@@ -16,10 +16,7 @@ impl ShapeError {
     /// Creates a new shape error for operation `op` with a human-readable
     /// `detail` describing the mismatch.
     pub fn new(op: impl Into<String>, detail: impl Into<String>) -> Self {
-        Self {
-            op: op.into(),
-            detail: detail.into(),
-        }
+        Self { op: op.into(), detail: detail.into() }
     }
 
     /// The name of the operation that rejected its operands.

@@ -59,9 +59,7 @@ pub fn kaiming(rng: &mut impl Rng, shape: impl Into<Shape>, fan_in: usize, gain:
 /// probability `p`, otherwise 0.0.
 pub fn bernoulli(rng: &mut impl Rng, shape: impl Into<Shape>, p: f32) -> Tensor {
     let shape = shape.into();
-    let data = (0..shape.len())
-        .map(|_| if rng.gen::<f32>() < p { 1.0 } else { 0.0 })
-        .collect();
+    let data = (0..shape.len()).map(|_| if rng.gen::<f32>() < p { 1.0 } else { 0.0 }).collect();
     Tensor::from_vec(shape, data).expect("length matches by construction")
 }
 
@@ -90,8 +88,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = normal(&mut rng, Shape::d1(20_000), 1.0, 2.0);
         let mean = t.mean();
-        let var = t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-            / t.len() as f32;
+        let var =
+            t.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean={mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std={}", var.sqrt());
     }

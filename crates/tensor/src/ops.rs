@@ -47,13 +47,7 @@ impl Conv2dSpec {
     ) -> Self {
         assert!(kernel > 0, "kernel extent must be positive");
         assert!(stride > 0, "stride must be positive");
-        Self {
-            in_channels,
-            out_channels,
-            kernel,
-            stride,
-            padding,
-        }
+        Self { in_channels, out_channels, kernel, stride, padding }
     }
 
     /// Output spatial extent for an input of `h × w`.

@@ -32,20 +32,14 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Self {
-            shape,
-            data: vec![0.0; len],
-        }
+        Self { shape, data: vec![0.0; len] }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Self {
-            shape,
-            data: vec![value; len],
-        }
+        Self { shape, data: vec![value; len] }
     }
 
     /// Creates a tensor from existing data.
@@ -113,10 +107,7 @@ impl Tensor {
                 ),
             ));
         }
-        Ok(Self {
-            shape,
-            data: self.data,
-        })
+        Ok(Self { shape, data: self.data })
     }
 
     /// Element at multi-index `idx` (bounds-checked in debug builds).
@@ -181,10 +172,7 @@ impl Tensor {
 
     /// Returns a new tensor with `f` applied to every element.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// In-place `self += alpha * other`.
@@ -193,10 +181,7 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
-        assert_eq!(
-            self.shape, other.shape,
-            "axpy operands must share a shape"
-        );
+        assert_eq!(self.shape, other.shape, "axpy operands must share a shape");
         for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
@@ -213,18 +198,10 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn hadamard(&self, other: &Tensor) -> Tensor {
-        assert_eq!(
-            self.shape, other.shape,
-            "hadamard operands must share a shape"
-        );
+        assert_eq!(self.shape, other.shape, "hadamard operands must share a shape");
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(a, b)| a * b)
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).collect(),
         }
     }
 
@@ -246,11 +223,7 @@ impl Tensor {
     /// Panics if the shapes differ.
     pub fn sq_distance(&self, other: &Tensor) -> f32 {
         assert_eq!(self.shape, other.shape, "sq_distance operands must share a shape");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum()
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b) * (a - b)).sum()
     }
 }
 
@@ -315,12 +288,7 @@ impl Add<&Tensor> for &Tensor {
         assert_eq!(self.shape, rhs.shape, "add operands must share a shape");
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| a + b)
-                .collect(),
+            data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a + b).collect(),
         }
     }
 }
@@ -331,12 +299,7 @@ impl Sub<&Tensor> for &Tensor {
         assert_eq!(self.shape, rhs.shape, "sub operands must share a shape");
         Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| a - b)
-                .collect(),
+            data: self.data.iter().zip(rhs.data.iter()).map(|(a, b)| a - b).collect(),
         }
     }
 }

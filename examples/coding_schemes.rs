@@ -35,10 +35,8 @@ fn features(rng: &mut impl Rng) -> (Vec<f32>, usize) {
 
 fn run(name: &str, encode: impl Fn(&mut rand::rngs::StdRng, &[f32]) -> Tensor) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let mut net: Network = NetworkBuilder::new(10, LifParams::default())
-        .dense(16)
-        .dense(2)
-        .build(&mut rng);
+    let mut net: Network =
+        NetworkBuilder::new(10, LifParams::default()).dense(16).dense(2).build(&mut rng);
 
     let make_set = |n: usize, rng: &mut rand::rngs::StdRng| -> Vec<(Tensor, usize)> {
         (0..n)
@@ -64,9 +62,8 @@ fn run(name: &str, encode: impl Fn(&mut rand::rngs::StdRng, &[f32]) -> Tensor) {
     let universe = FaultUniverse::standard(&net);
     let sim = FaultSimulator::new(&net, FaultSimConfig::default());
     let stimulus = generated.assembled();
-    let fc = sim
-        .detect(&universe, universe.faults(), std::slice::from_ref(&stimulus))
-        .fault_coverage();
+    let fc =
+        sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus)).fault_coverage();
 
     println!(
         "{name:<12} accuracy {:>5.1}%   test {:>3} ticks   activated {:>5.1}%   FC {:>5.1}%",

@@ -17,11 +17,8 @@ use snn_mtfc::testgen::{compact_by_activation, TestGenConfig, TestGenerator};
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(21);
-    let net = NetworkBuilder::new(20, LifParams::default())
-        .dense(32)
-        .dense(16)
-        .dense(5)
-        .build(&mut rng);
+    let net =
+        NetworkBuilder::new(20, LifParams::default()).dense(32).dense(16).dense(5).build(&mut rng);
     println!("{}", net.summary());
 
     // --- 1. Generation with L6 ------------------------------------------
@@ -49,13 +46,7 @@ fn main() {
     let universe = FaultUniverse::standard(&net);
     let sim = FaultSimulator::new(&net, FaultSimConfig::default());
     let stimulus = compact.assembled();
-    let est = estimate_coverage(
-        &sim,
-        &universe,
-        std::slice::from_ref(&stimulus),
-        400,
-        &mut rng,
-    );
+    let est = estimate_coverage(&sim, &universe, std::slice::from_ref(&stimulus), 400, &mut rng);
     println!("estimated fault coverage: {est}");
 
     // --- 4. Event-driven cross-check + traffic cost ----------------------

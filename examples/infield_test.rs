@@ -20,10 +20,7 @@ use snn_mtfc::testgen::{TestGenConfig, TestGenerator};
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let net = NetworkBuilder::new(12, LifParams::default())
-        .dense(20)
-        .dense(4)
-        .build(&mut rng);
+    let net = NetworkBuilder::new(12, LifParams::default()).dense(20).dense(4).build(&mut rng);
 
     // --- 1. Test program development (factory) --------------------------
     let test = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
@@ -67,11 +64,8 @@ fn main() {
 
     for (when, fault) in aging_events {
         println!("\n{when}");
-        let outcome = sim.detect(
-            &universe,
-            std::slice::from_ref(&fault),
-            std::slice::from_ref(&stimulus),
-        );
+        let outcome =
+            sim.detect(&universe, std::slice::from_ref(&fault), std::slice::from_ref(&stimulus));
         let o = &outcome.per_fault[0];
         if o.detected {
             println!(

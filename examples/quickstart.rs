@@ -14,10 +14,7 @@ fn main() {
 
     // 1. An SNN as it would be mapped on a neuromorphic accelerator:
     //    16 input channels → 24 hidden LIF neurons → 4 output classes.
-    let net = NetworkBuilder::new(16, LifParams::default())
-        .dense(24)
-        .dense(4)
-        .build(&mut rng);
+    let net = NetworkBuilder::new(16, LifParams::default()).dense(24).dense(4).build(&mut rng);
     println!("{}", net.summary());
 
     // 2. The behavioural fault universe: 2 faults per neuron

@@ -17,10 +17,14 @@
 //!   datasets and rate/TTFS encoders,
 //! * [`testgen`] — the paper's contribution: the two-stage loss-driven
 //!   test generation algorithm, plus test compaction,
-//! * [`baselines`] — prior-art test generation methods for comparison.
+//! * [`baselines`] — prior-art test generation methods for comparison,
+//! * [`service`] — a concurrent job server daemonizing test generation:
+//!   TCP newline-delimited-JSON protocol, worker pool, live progress
+//!   streaming, cooperative cancellation and a restart-safe job store.
 //!
-//! A CLI (`snn-mtfc new/info/generate/verify`) drives the flow over model
-//! and event-list files; see the repository README.
+//! A CLI (`snn-mtfc new/info/generate/verify` plus the service commands
+//! `serve/submit/status/watch/cancel`) drives the flow over model and
+//! event-list files; see the repository README.
 //!
 //! # Quickstart
 //!
@@ -41,5 +45,6 @@ pub use snn_baselines as baselines;
 pub use snn_datasets as datasets;
 pub use snn_faults as faults;
 pub use snn_model as model;
+pub use snn_service as service;
 pub use snn_tensor as tensor;
 pub use snn_testgen as testgen;

@@ -5,20 +5,33 @@
 //! snn-mtfc info     model.snn
 //! snn-mtfc generate model.snn --out test.events [--preset fast|repro|paper] [--seed N]
 //! snn-mtfc verify   model.snn test.events
+//!
+//! snn-mtfc serve    --state-dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
+//! snn-mtfc submit   (--model model.snn | --synthetic IxH..xO) [--preset P] [--coverage] [--watch]
+//! snn-mtfc status   [<job>] [--addr HOST:PORT]
+//! snn-mtfc watch    <job>   [--addr HOST:PORT]
+//! snn-mtfc cancel   <job>   [--addr HOST:PORT]
+//! snn-mtfc shutdown         [--addr HOST:PORT]
 //! ```
 //!
 //! `new` creates a (randomly initialized) model file so the rest of the
 //! flow can be exercised immediately; real flows train the network first
 //! (see `examples/post_manufacturing.rs`) and save it with
-//! [`snn_mtfc::model::Network::save`].
+//! [`snn_mtfc::model::Network::save`]. The `serve` family talks to the
+//! `snn-service` job server (see `DESIGN.md` §8 for the wire protocol).
 
 use rand::SeedableRng;
+use snn_mtfc::faults::progress::Progress;
 use snn_mtfc::faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
 use snn_mtfc::model::{LifParams, Network, NetworkBuilder};
+use snn_mtfc::service::{Client, JobEvent, JobRecord, JobSpec, ModelSpec, Server, ServiceConfig};
 use snn_mtfc::testgen::{parse_events, TestGenConfig, TestGenerator};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+
+/// Default server address for the service subcommands.
+const DEFAULT_ADDR: &str = "127.0.0.1:7077";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +40,12 @@ fn main() -> ExitCode {
         Some("info") => cmd_info(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
+        Some("status") => cmd_status(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
+        Some("cancel") => cmd_cancel(&args[1..]),
+        Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -49,29 +68,43 @@ fn print_usage() {
          snn-mtfc new      --input <CxHxW|N> --arch <spec> --out <model.snn> [--seed N]\n  \
          snn-mtfc info     <model.snn>\n  \
          snn-mtfc generate <model.snn> [--out <test.events>] [--preset fast|repro|paper] [--seed N]\n  \
-         snn-mtfc verify   <model.snn> <test.events>\n\n\
+         snn-mtfc verify   <model.snn> <test.events>\n\n  \
+         snn-mtfc serve    --state-dir <dir> [--addr host:port] [--workers N] [--queue N]\n  \
+         snn-mtfc submit   (--model <model.snn> | --synthetic IxH..xO) [--preset fast|repro|paper]\n                    \
+         [--seed N] [--max-iterations N] [--t-limit SECS] [--coverage]\n                    \
+         [--threads N] [--watch] [--addr host:port]\n  \
+         snn-mtfc status   [<job>] [--addr host:port]\n  \
+         snn-mtfc watch    <job>   [--addr host:port]\n  \
+         snn-mtfc cancel   <job>   [--addr host:port]\n  \
+         snn-mtfc shutdown         [--addr host:port]\n\n\
          ARCH SPEC (comma-separated stages):\n  \
          dense:<n> | conv:<out_c>:<k>:<stride>:<pad> | pool:<k> | recurrent:<n>\n  \
-         e.g. --input 2x16x16 --arch pool:2,dense:48,dense:10"
+         e.g. --input 2x16x16 --arch pool:2,dense:48,dense:10\n\n\
+         The service commands default to --addr {DEFAULT_ADDR}."
     );
 }
 
 /// Fetches the value following `--flag`, if present.
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
+
+/// Flags that take no value; anything else starting with `--` consumes the
+/// next argument.
+const BOOL_FLAGS: &[&str] = &["--coverage", "--watch", "--help"];
 
 fn positional(args: &[String], index: usize) -> Option<&str> {
     args.iter()
-        .filter(|a| !a.starts_with("--"))
-        // skip values that directly follow a flag
-        .scan(false, |skip, a| {
-            let out = if *skip { None } else { Some(a.as_str()) };
-            *skip = a.starts_with("--");
-            Some(out)
+        .scan(false, |skip_value, a| {
+            if *skip_value {
+                *skip_value = false;
+                Some(None)
+            } else if a.starts_with("--") {
+                *skip_value = !BOOL_FLAGS.contains(&a.as_str());
+                Some(None)
+            } else {
+                Some(Some(a.as_str()))
+            }
         })
         .flatten()
         .nth(index)
@@ -174,6 +207,180 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--addr` flag, defaulting to [`DEFAULT_ADDR`].
+fn addr_of(args: &[String]) -> String {
+    flag(args, "--addr").unwrap_or(DEFAULT_ADDR).to_string()
+}
+
+/// Parses an optional numeric flag.
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag(args, name) {
+        None => Ok(None),
+        Some(s) => s.parse().map(Some).map_err(|e| format!("bad {name}: {e}")),
+    }
+}
+
+fn connect(args: &[String]) -> Result<Client, String> {
+    let addr = addr_of(args);
+    Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+/// Parses the first non-flag argument as a job id.
+fn job_id_of(args: &[String]) -> Result<u64, String> {
+    let raw = positional(args, 0).ok_or("missing job id")?;
+    raw.parse().map_err(|e| format!("bad job id `{raw}`: {e}"))
+}
+
+fn print_record(record: &JobRecord) {
+    let mut line = format!("job {}: {}", record.id, record.state);
+    if let Some(result) = &record.result {
+        line.push_str(&format!(
+            " — {} chunk(s), {} ticks, {:.1}% neurons activated, {} ms",
+            result.chunks,
+            result.test_steps,
+            result.activation_coverage * 100.0,
+            result.runtime_ms
+        ));
+        if let (Some(detected), Some(total)) = (result.faults_detected, result.faults_total) {
+            line.push_str(&format!(", fault coverage {detected}/{total}"));
+        }
+        if let Some(path) = &result.events_path {
+            line.push_str(&format!(", events at {path}"));
+        }
+    } else if let Some(progress) = &record.progress {
+        line.push_str(&format!(" — {}", progress_line(progress)));
+    }
+    if let Some(error) = &record.error {
+        line.push_str(&format!(" ({error})"));
+    }
+    println!("{line}");
+}
+
+fn progress_line(progress: &Progress) -> String {
+    match progress {
+        Progress::Iteration {
+            iteration,
+            chunk_steps,
+            newly_activated,
+            activated,
+            total_neurons,
+            ..
+        } => {
+            format!(
+                "iteration {iteration}: +{newly_activated} neurons \
+                 ({activated}/{total_neurons} activated), chunk {chunk_steps} ticks"
+            )
+        }
+        Progress::FaultsSimulated { done, total, detected } => {
+            format!("faults {done}/{total} simulated, {detected} detected")
+        }
+    }
+}
+
+fn print_event(event: &JobEvent) {
+    match event {
+        JobEvent::State { job, state, error } => match error {
+            Some(error) => println!("job {job}: {state} ({error})"),
+            None => println!("job {job}: {state}"),
+        },
+        JobEvent::Progress { job, progress } => {
+            println!("job {job}: {}", progress_line(progress))
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let state_dir = flag(args, "--state-dir").ok_or("missing --state-dir")?;
+    let config = ServiceConfig {
+        addr: addr_of(args),
+        workers: num_flag(args, "--workers")?.unwrap_or(0),
+        queue_capacity: num_flag(args, "--queue")?.unwrap_or(64),
+        state_dir: state_dir.into(),
+    };
+    let server = Server::bind(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("listening on {} (state in {state_dir})", server.local_addr());
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let model = match (flag(args, "--model"), flag(args, "--synthetic")) {
+        (Some(path), None) => ModelSpec::Path(path.to_string()),
+        (None, Some(dims)) => {
+            let sizes: Vec<usize> = dims
+                .split('x')
+                .map(|d| d.parse().map_err(|e| format!("bad --synthetic: {e}")))
+                .collect::<Result<_, _>>()?;
+            if sizes.len() < 2 {
+                return Err("--synthetic needs at least inputs and outputs, e.g. 6x12x4".into());
+            }
+            ModelSpec::Synthetic {
+                inputs: sizes[0],
+                hidden: sizes[1..sizes.len() - 1].to_vec(),
+                outputs: sizes[sizes.len() - 1],
+                seed: seed_of(args)?,
+            }
+        }
+        _ => return Err("exactly one of --model or --synthetic is required".into()),
+    };
+    let spec = JobSpec {
+        model,
+        preset: flag(args, "--preset").unwrap_or("repro").to_string(),
+        seed: seed_of(args)?,
+        max_iterations: num_flag(args, "--max-iterations")?,
+        t_limit_secs: num_flag(args, "--t-limit")?,
+        evaluate_coverage: args.iter().any(|a| a == "--coverage"),
+        threads: num_flag(args, "--threads")?.unwrap_or(0),
+    };
+    let mut client = connect(args)?;
+    let job = client.submit(spec)?;
+    println!("submitted job {job}");
+    if args.iter().any(|a| a == "--watch") {
+        let record = client.watch(job, print_event)?;
+        print_record(&record);
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match positional(args, 0) {
+        Some(_) => print_record(&client.status(job_id_of(args)?)?),
+        None => {
+            let records = client.list()?;
+            if records.is_empty() {
+                println!("no jobs");
+            }
+            for record in &records {
+                print_record(record);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let job = job_id_of(args)?;
+    let record = connect(args)?.watch(job, print_event)?;
+    print_record(&record);
+    Ok(())
+}
+
+fn cmd_cancel(args: &[String]) -> Result<(), String> {
+    let job = job_id_of(args)?;
+    connect(args)?.cancel(job)?;
+    println!("cancellation requested for job {job}");
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    connect(args)?.shutdown()?;
+    println!("server shutting down");
+    Ok(())
+}
+
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let model_path = positional(args, 0).ok_or("missing model path")?;
     let test_path = positional(args, 1).ok_or("missing test path")?;
@@ -184,6 +391,9 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         .read_to_string(&mut text)
         .map_err(|e| e.to_string())?;
     let stimulus = parse_events(&text)?;
+    if stimulus.shape().dim(0) == 0 {
+        return Err(format!("{test_path} contains no events"));
+    }
     if stimulus.shape().dim(1) != net.input_features() {
         return Err(format!(
             "test has {} features, model expects {}",

@@ -1,0 +1,115 @@
+//! Black-box tests of the `snn-mtfc` binary: bad input must produce a
+//! one-line `error: …` diagnostic and a nonzero exit code — never a panic.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_snn-mtfc")).args(args).output().expect("binary runs")
+}
+
+/// Asserts a failing run: nonzero exit, a single `error:` line on stderr
+/// containing `needle`, and no panic backtrace.
+fn assert_clean_failure(args: &[&str], needle: &str) {
+    let out = run(args);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "{args:?} unexpectedly succeeded");
+    assert!(
+        stderr.starts_with("error: "),
+        "{args:?}: stderr should be a one-line diagnostic, got: {stderr}"
+    );
+    assert!(stderr.contains(needle), "{args:?}: expected {needle:?} in: {stderr}");
+    assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{args:?}: multi-line: {stderr}");
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("snn-mtfc-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn help_and_no_args_succeed() {
+    assert!(run(&["--help"]).status.success());
+    assert!(run(&[]).status.success());
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    assert_clean_failure(&["frobnicate"], "unknown command");
+}
+
+#[test]
+fn missing_flags_fail_cleanly() {
+    assert_clean_failure(&["new"], "missing --input");
+    assert_clean_failure(&["new", "--input", "4"], "missing --arch");
+    assert_clean_failure(&["info"], "missing model path");
+    assert_clean_failure(&["generate"], "missing model path");
+    assert_clean_failure(&["verify"], "missing model path");
+    assert_clean_failure(&["serve"], "missing --state-dir");
+    assert_clean_failure(&["submit"], "--model or --synthetic");
+    assert_clean_failure(&["watch"], "missing job id");
+    assert_clean_failure(&["cancel"], "missing job id");
+}
+
+#[test]
+fn malformed_values_fail_cleanly() {
+    assert_clean_failure(
+        &["new", "--input", "banana", "--arch", "dense:4", "--out", "/dev/null"],
+        "bad --input",
+    );
+    assert_clean_failure(
+        &["new", "--input", "4", "--arch", "warp:9", "--out", "/dev/null"],
+        "unknown stage kind",
+    );
+    assert_clean_failure(&["watch", "not-a-number"], "bad job id");
+    assert_clean_failure(&["cancel", "-1", "--addr", "127.0.0.1:1"], "bad job id");
+}
+
+#[test]
+fn missing_and_malformed_files_fail_cleanly() {
+    assert_clean_failure(&["info", "/nonexistent/model.snn"], "cannot open");
+
+    // A file that exists but is not a model.
+    let bogus = scratch("bogus.snn");
+    std::fs::write(&bogus, b"this is not a model file").unwrap();
+    assert_clean_failure(&["info", bogus.to_str().unwrap()], "cannot load");
+    let _ = std::fs::remove_file(&bogus);
+}
+
+#[test]
+fn garbage_events_fail_cleanly() {
+    // A real (tiny) model plus an unparseable events file.
+    let model = scratch("model.snn");
+    let out = run(&[
+        "new",
+        "--input",
+        "4",
+        "--arch",
+        "dense:6,dense:2",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let events = scratch("garbage.events");
+    std::fs::write(&events, "not events at all\n???\n").unwrap();
+    let out = run(&["verify", model.to_str().unwrap(), events.to_str().unwrap()]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success());
+    assert!(stderr.starts_with("error: "), "got: {stderr}");
+    assert!(!stderr.contains("panicked"), "panicked: {stderr}");
+
+    let _ = std::fs::remove_file(&model);
+    let _ = std::fs::remove_file(&events);
+}
+
+#[test]
+fn service_commands_fail_cleanly_without_a_server() {
+    // Port 1 on loopback is never listening.
+    assert_clean_failure(&["status", "--addr", "127.0.0.1:1"], "cannot connect");
+    assert_clean_failure(
+        &["submit", "--synthetic", "4x6x2", "--addr", "127.0.0.1:1"],
+        "cannot connect",
+    );
+    assert_clean_failure(&["shutdown", "--addr", "127.0.0.1:1"], "cannot connect");
+}

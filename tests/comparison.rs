@@ -4,7 +4,7 @@
 
 use rand::SeedableRng;
 use snn_mtfc::baselines::{dataset_greedy, random_inputs, BaselineConfig};
-use snn_mtfc::datasets::{materialize_inputs, NmnistLike, SpikeDataset};
+use snn_mtfc::datasets::{materialize_inputs, NmnistLike};
 use snn_mtfc::faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
 use snn_mtfc::model::{LifParams, Network, NetworkBuilder};
 use snn_mtfc::testgen::{TestGenConfig, TestGenerator};
@@ -34,9 +34,8 @@ fn proposed_method_needs_no_fault_simulation_during_generation() {
     let ours = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
     let stimulus = ours.assembled();
     let sim = FaultSimulator::new(&net, FaultSimConfig::default());
-    let ours_fc = sim
-        .detect(&universe, universe.faults(), std::slice::from_ref(&stimulus))
-        .fault_coverage();
+    let ours_fc =
+        sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus)).fault_coverage();
 
     // Baseline: every candidate costs a campaign.
     let pool = materialize_inputs(&ds, 0..5);
@@ -57,9 +56,8 @@ fn optimized_test_is_shorter_than_baselines_at_comparable_coverage() {
     let ours = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
     let stimulus = ours.assembled();
     let sim = FaultSimulator::new(&net, FaultSimConfig::default());
-    let ours_fc = sim
-        .detect(&universe, universe.faults(), std::slice::from_ref(&stimulus))
-        .fault_coverage();
+    let ours_fc =
+        sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus)).fault_coverage();
 
     let pool = materialize_inputs(&ds, 0..12);
     let cfg = BaselineConfig {

@@ -34,10 +34,7 @@ fn tiny_trained_net(seed: u64) -> (Network, NmnistLike) {
 fn full_pipeline_produces_verifiable_coverage() {
     let (net, ds) = tiny_trained_net(11);
     let universe = FaultUniverse::standard(&net);
-    assert_eq!(
-        universe.len(),
-        2 * net.neuron_count() + 3 * net.synapse_count()
-    );
+    assert_eq!(universe.len(), 2 * net.neuron_count() + 3 * net.synapse_count());
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
     let test = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
@@ -74,17 +71,9 @@ fn optimized_test_beats_a_single_dataset_sample_on_activation() {
     let test = TestGenerator::new(&net, TestGenConfig::fast()).generate(&mut rng);
     let stimulus = test.assembled();
 
-    let opt_map = activity_map(
-        &net,
-        &net.forward(&stimulus, RecordOptions::spikes_only()),
-        1.0,
-    );
+    let opt_map = activity_map(&net, &net.forward(&stimulus, RecordOptions::spikes_only()), 1.0);
     let (sample, _) = ds.sample(0);
-    let sample_map = activity_map(
-        &net,
-        &net.forward(&sample, RecordOptions::spikes_only()),
-        1.0,
-    );
+    let sample_map = activity_map(&net, &net.forward(&sample, RecordOptions::spikes_only()), 1.0);
     // The paper's Fig. 8 claim: optimized ≫ random sample.
     assert!(
         opt_map.fraction() >= sample_map.fraction(),
@@ -108,7 +97,8 @@ fn detection_is_consistent_between_campaign_and_manual_forward() {
     let baseline = net.forward(&stimulus, RecordOptions::spikes_only());
     for fault in universe.faults().iter().step_by(universe.len() / 20) {
         let outcome = &campaign.per_fault[fault.id];
-        let injection = snn_mtfc::faults::Injection::for_fault(&net, &universe, fault);
+        let injection = snn_mtfc::faults::Injection::for_fault(&net, &universe, fault)
+            .expect("universe faults are well-formed");
         let faulty_out = match injection {
             snn_mtfc::faults::Injection::Weight { at, value } => {
                 let mut patched = net.clone();

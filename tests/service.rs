@@ -1,0 +1,182 @@
+//! End-to-end test of the `snn-service` job server over real loopback TCP:
+//! submit → progress stream → result, mid-run cancellation, and job-store
+//! persistence across a server restart.
+
+use snn_mtfc::service::{Client, JobEvent, JobSpec, JobState, ModelSpec, Server, ServiceConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+fn temp_state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snn-service-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot(state_dir: &PathBuf) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(ServiceConfig::loopback(state_dir)).expect("bind loopback");
+    let addr = server.local_addr();
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+/// A repro-preset job on a small synthetic network, capped to one outer
+/// iteration so the lifecycle test finishes promptly.
+fn quick_repro_spec(seed: u64) -> JobSpec {
+    JobSpec {
+        max_iterations: Some(1),
+        t_limit_secs: Some(120),
+        ..JobSpec::synthetic_repro(6, vec![12], 4, seed)
+    }
+}
+
+/// Polls `status` until the job leaves `Queued` (i.e. a worker picked it
+/// up) or the deadline passes.
+fn wait_until_running(client: &mut Client, job: u64, deadline: Duration) -> JobState {
+    let start = Instant::now();
+    loop {
+        let state = client.status(job).expect("status").state;
+        if state != JobState::Queued || start.elapsed() > deadline {
+            return state;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn submit_watch_cancel_and_restart_over_tcp() {
+    let state_dir = temp_state_dir("lifecycle");
+    let (addr, server) = boot(&state_dir);
+
+    let done_job;
+    let cancelled_job;
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        assert_eq!(client.ping().expect("ping"), snn_mtfc::service::PROTOCOL_VERSION);
+
+        // --- 1. A repro-scale job runs to completion with live progress.
+        done_job = client.submit(quick_repro_spec(7)).expect("submit");
+        let mut progress_events = 0usize;
+        let mut state_events = Vec::new();
+        let record = client
+            .watch(done_job, |event| match event {
+                JobEvent::Progress { .. } => progress_events += 1,
+                JobEvent::State { state, .. } => state_events.push(*state),
+            })
+            .expect("watch to completion");
+        assert_eq!(record.state, JobState::Done, "error: {:?}", record.error);
+        assert!(progress_events >= 1, "no progress events observed");
+        assert!(state_events.contains(&JobState::Done));
+        let result = record.result.expect("done job carries a result");
+        assert!(result.test_steps > 0);
+        assert!(result.activated > 0);
+        assert!(result.activation_coverage > 0.0);
+        // The stimulus file persisted server-side and is parseable.
+        let events_path = result.events_path.expect("events file recorded");
+        let text = std::fs::read_to_string(&events_path).expect("events file exists");
+        let stimulus = snn_mtfc::testgen::parse_events(&text).expect("events parse");
+        assert_eq!(stimulus.shape().dim(0), result.test_steps);
+
+        // --- 2. A long job (uncapped repro preset) cancels mid-run.
+        cancelled_job =
+            client.submit(JobSpec::synthetic_repro(6, vec![12], 4, 8)).expect("submit long job");
+        let state = wait_until_running(&mut client, cancelled_job, Duration::from_secs(30));
+        assert!(
+            state == JobState::Running || state == JobState::Queued,
+            "unexpected state before cancel: {state}"
+        );
+        client.cancel(cancelled_job).expect("cancel");
+        let record = client.watch(cancelled_job, |_| {}).expect("watch cancelled job");
+        assert_eq!(record.state, JobState::Cancelled, "error: {:?}", record.error);
+        assert!(record.error.is_some(), "cancellation records a reason");
+
+        // --- 3. Both jobs are visible in the listing.
+        let jobs = client.list().expect("list");
+        assert!(jobs.iter().any(|r| r.id == done_job && r.state == JobState::Done));
+        assert!(jobs.iter().any(|r| r.id == cancelled_job && r.state == JobState::Cancelled));
+
+        client.shutdown().expect("shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+
+    // --- 4. A restarted server over the same state dir still knows both
+    // jobs, with the completed result intact.
+    let (addr, server) = boot(&state_dir);
+    {
+        let mut client = Client::connect(addr).expect("reconnect");
+        let record = client.status(done_job).expect("status after restart");
+        assert_eq!(record.state, JobState::Done);
+        assert!(record.result.expect("result survives restart").activated > 0);
+        let record = client.status(cancelled_job).expect("cancelled status after restart");
+        assert_eq!(record.state, JobState::Cancelled);
+        client.shutdown().expect("second shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn bad_requests_get_one_line_errors() {
+    let state_dir = temp_state_dir("errors");
+    let (addr, server) = boot(&state_dir);
+    {
+        let mut client = Client::connect(addr).expect("connect");
+
+        // Unknown job id.
+        let err = client.status(999).expect_err("unknown job is an error");
+        assert!(err.contains("no such job"), "got: {err}");
+
+        // Unknown preset is rejected at submit time.
+        let mut spec = JobSpec::synthetic_repro(4, vec![6], 2, 1);
+        spec.preset = "warp-speed".into();
+        let err = client.submit(spec).expect_err("bad preset rejected");
+        assert!(err.contains("unknown preset"), "got: {err}");
+
+        // Degenerate model shapes are rejected at submit time.
+        let mut spec = JobSpec::synthetic_repro(4, vec![6], 2, 1);
+        spec.model = ModelSpec::Synthetic { inputs: 0, hidden: vec![], outputs: 2, seed: 1 };
+        let err = client.submit(spec).expect_err("empty layer rejected");
+        assert!(err.contains("non-empty"), "got: {err}");
+
+        // Errors are in-band responses; the connection keeps working.
+        use snn_mtfc::service::{Request, Response};
+        let resp = client.request(&Request::Status { job: 1 }).expect("still talking");
+        assert!(
+            matches!(&resp, Response::Error { message } if message.contains("no such job")),
+            "got: {resp:?}"
+        );
+        let pong = client.request(&Request::Ping).expect("ping after errors");
+        assert!(matches!(pong, Response::Pong { .. }));
+
+        client.shutdown().expect("shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn queued_jobs_cancel_without_running() {
+    let state_dir = temp_state_dir("queued-cancel");
+    // A single-worker server so a second submission must queue.
+    let server = Server::bind(ServiceConfig { workers: 1, ..ServiceConfig::loopback(&state_dir) })
+        .expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        // Occupy the only worker with a long job.
+        let blocker =
+            client.submit(JobSpec::synthetic_repro(6, vec![12], 4, 3)).expect("submit blocker");
+        let queued = client.submit(quick_repro_spec(4)).expect("submit queued");
+        client.cancel(queued).expect("cancel queued job");
+        let record = client.status(queued).expect("status");
+        assert_eq!(record.state, JobState::Cancelled);
+        assert!(record.error.unwrap().contains("queued"));
+        client.cancel(blocker).expect("cancel blocker");
+        client.watch(blocker, |_| {}).expect("blocker terminal");
+        client.shutdown().expect("shutdown");
+    }
+    handle.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}

@@ -1,0 +1,174 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness shape and a
+//! simple measured runner: each benchmark is warmed up, then timed over a
+//! batch of iterations, and the mean per-iteration wall time is printed.
+//! No statistics, plots or HTML reports — just comparable numbers from
+//! `cargo bench` in an offline environment.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the batch size chosen by the runner.
+    pub fn iter<F, R>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mutable benchmark-group builder mirroring criterion's `BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many measured samples to take (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no cleanup needed).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver; one per `criterion_group!` invocation.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), 10, &mut f);
+        self
+    }
+}
+
+fn run_benchmark<F>(id: &str, samples: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate the batch size so one sample takes ≳10 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    // Measured samples.
+    let mut total = 0.0f64;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples.max(2) {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let t = b.elapsed.as_secs_f64() / iters as f64;
+        total += t;
+        best = best.min(t);
+    }
+    let mean = total / samples.max(2) as f64;
+    println!(
+        "{id:<50} mean {:>12} best {:>12} ({} iters/sample)",
+        format_time(mean),
+        format_time(best),
+        iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        let mut runs = 0u32;
+        group.bench_function("noop", |b| {
+            runs += 1;
+            b.iter(|| black_box(1 + 1));
+        });
+        group.finish();
+        assert!(runs >= 3, "warmup + 2 samples expected, got {runs}");
+    }
+
+    #[test]
+    fn time_formatting_scales() {
+        assert_eq!(format_time(2.0), "2.000 s");
+        assert_eq!(format_time(0.002), "2.000 ms");
+        assert_eq!(format_time(2e-6), "2.000 µs");
+        assert_eq!(format_time(2e-9), "2.0 ns");
+    }
+}

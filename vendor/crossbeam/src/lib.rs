@@ -1,0 +1,90 @@
+//! Offline drop-in subset of the `crossbeam` 0.8 API.
+//!
+//! Only [`thread::scope`] is provided — the one entry point this workspace
+//! uses — implemented directly on `std::thread::scope` (stable since Rust
+//! 1.63, which post-dates crossbeam's scoped-thread design).
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+
+    /// Error payload of a panicked scoped thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Handle to a scope in which borrowing threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread scoped to `'env`; the closure receives the scope
+        /// so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope in which spawned threads may borrow from the
+    /// enclosing stack frame. All threads are joined before `scope`
+    /// returns; the `Result` mirrors crossbeam's signature and is always
+    /// `Ok` here (a panicking child that was not joined re-raises on scope
+    /// exit, as with `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1, 2, 3, 4];
+            let sum: i32 = super::scope(|s| {
+                let handles: Vec<_> =
+                    data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<i32>())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(sum, 10);
+        }
+
+        #[test]
+        fn child_panic_surfaces_through_join() {
+            super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                assert!(h.join().is_err());
+            })
+            .unwrap();
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2).join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! Property tests in this workspace use ranges and `collection::vec` as
+//! strategies inside the [`proptest!`] macro, with `prop_assert!` /
+//! `prop_assert_eq!` assertions and an optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` header. This crate
+//! reimplements exactly that surface on a deterministic random-sampling
+//! runner (no shrinking): each test function runs `cases` random samples
+//! drawn from a seed derived from the test name, so failures are
+//! reproducible run-to-run.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod bool {
+    //! Strategies for `bool` (`proptest::bool::ANY`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Strategy type of [`ANY`]: a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true`/`false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample_value(&self, rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Seeds the per-test generator from the test's name so every test draws
+/// an independent, stable stream.
+#[doc(hidden)]
+pub fn seed_for(test_name: &str, case: u64) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `cases` sampled executions of a property-test body.
+///
+/// Declared like upstream proptest:
+///
+/// ```
+/// proptest::proptest! {
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         proptest::prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                for case in 0..cfg.cases as u64 {
+                    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+                        $crate::seed_for(concat!(module_path!(), "::", stringify!($name)), case),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(&$strat, &mut rng);
+                    )+
+                    // Bodies may `return Ok(())` early like upstream
+                    // proptest, so run them in a Result-returning closure.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("{msg}");
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($cfg) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Property assertion; plain `assert!` semantics in this offline subset.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; plain `assert_eq!` semantics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; plain `assert_ne!` semantics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_produce_in_bounds_values(x in 3usize..10, y in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_is_accepted(v in crate::collection::vec(0u8..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 5));
+        }
+    }
+
+    #[test]
+    fn seeds_differ_between_tests_and_cases() {
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("b", 0));
+        assert_ne!(crate::seed_for("a", 0), crate::seed_for("a", 1));
+        assert_eq!(crate::seed_for("a", 3), crate::seed_for("a", 3));
+    }
+}

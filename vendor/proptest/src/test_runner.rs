@@ -1,0 +1,22 @@
+//! Test-runner configuration.
+
+/// How many sampled cases each property test executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Number of random cases per test (upstream default: 256).
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Upstream proptest also defaults to 256.
+        Self { cases: 256 }
+    }
+}

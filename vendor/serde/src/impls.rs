@@ -1,0 +1,358 @@
+//! [`Serialize`]/[`Deserialize`] implementations for std types.
+
+use crate::{Deserialize, Error, Serialize, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::time::Duration;
+
+// ---- numbers -------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value.as_num(stringify!($t))?;
+                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::msg(format!(
+                        concat!("number {} does not fit ", stringify!($t)), n
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Num(*self as f64)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_num("f32")? as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Num(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_num("f64")
+    }
+}
+
+// ---- scalars and strings -------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_bool("bool")
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str("char")?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_str("String")?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---- references and containers -------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::deserialize(value)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(T::deserialize(value)?))
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq("Vec")?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let s = value.as_seq("tuple")?;
+                let want = [$($n),+].len();
+                if s.len() != want {
+                    return Err(Error::msg(format!(
+                        "expected {want}-tuple, got array of {}", s.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&s[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---- maps ----------------------------------------------------------------
+
+/// Types usable as JSON object keys (rendered to/from strings).
+pub trait MapKey: Sized {
+    /// Key → JSON object member name.
+    fn to_key(&self) -> String;
+    /// JSON object member name → key.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|e| {
+                    Error::msg(format!("bad {} map key {key:?}: {e}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        // Sort by rendered key for deterministic output.
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: MapKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map("HashMap")?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_key(), v.serialize())).collect())
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map("BTreeMap")?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+// ---- time ----------------------------------------------------------------
+
+impl Serialize for Duration {
+    /// serde's representation: `{"secs": u64, "nanos": u32}`.
+    fn serialize(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::Num(self.as_secs() as f64)),
+            ("nanos".to_string(), Value::Num(self.subsec_nanos() as f64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let secs: u64 = crate::field(value.as_map("Duration")?, "secs", "Duration")?;
+        let nanos: u32 = crate::field(value.as_map("Duration")?, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = v.serialize();
+        assert_eq!(T::deserialize(&enc).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(42usize);
+        round_trip(-7i32);
+        round_trip(1.5f32);
+        round_trip(true);
+        round_trip("hello".to_string());
+        round_trip('x');
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Some(3.0f64));
+        round_trip(Option::<u8>::None);
+        round_trip((1usize, "a".to_string()));
+        round_trip(Box::new(9u64));
+        let mut hm: HashMap<usize, Vec<bool>> = HashMap::new();
+        hm.insert(3, vec![true, false]);
+        hm.insert(1, vec![]);
+        round_trip(hm);
+        let mut bt: BTreeMap<String, u8> = BTreeMap::new();
+        bt.insert("k".into(), 1);
+        round_trip(bt);
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        round_trip(Duration::new(3, 500_000_000));
+        round_trip(Duration::ZERO);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null_then_nan() {
+        assert_eq!(f32::NAN.serialize(), Value::Null);
+        assert!(f32::deserialize(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn int_range_checks() {
+        assert!(u8::deserialize(&Value::Num(300.0)).is_err());
+        assert!(u8::deserialize(&Value::Num(1.5)).is_err());
+        assert!(usize::deserialize(&Value::Str("7".into())).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Offline drop-in subset of the `serde` API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the serialization surface the workspace uses under the same crate and
+//! trait names. The design is deliberately simpler than upstream serde's
+//! zero-copy visitor architecture: serialization goes through an owned
+//! [`Value`] tree (the JSON data model), which is plenty for model files,
+//! job stores and wire protocols at this workspace's scale.
+//!
+//! * [`Serialize`] / [`Deserialize`] — implemented for primitives,
+//!   std containers, tuples, `Duration`, and derivable for structs and
+//!   enums via `#[derive(Serialize, Deserialize)]` (the `derive` feature).
+//! * [`json`] — compact/pretty JSON encoding of any `Serialize` type and
+//!   strict parsing back ([`json::to_string`], [`json::from_str`]).
+//!
+//! Enum representation matches serde's externally-tagged default
+//! (`"Variant"` / `{"Variant": …}`), and `Option` maps to `null`/value, so
+//! files written by a real-serde build of this code would parse here.
+
+mod impls;
+pub mod json;
+mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Error produced when a [`Value`] does not match the shape a type
+/// expects, or when JSON text is malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`, or explains why its shape is wrong.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Looks up `field` in a struct's map representation. Missing fields read
+/// as [`Value::Null`], so `Option` fields tolerate omission while any
+/// other type reports a descriptive error.
+pub fn field<T: Deserialize>(map: &[(String, Value)], field: &str, ty: &str) -> Result<T, Error> {
+    let v = map.iter().find(|(k, _)| k == field).map(|(_, v)| v).unwrap_or(&Value::Null);
+    T::deserialize(v).map_err(|e| Error::msg(format!("{ty}.{field}: {e}")))
+}

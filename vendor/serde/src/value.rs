@@ -1,0 +1,92 @@
+use crate::Error;
+
+/// The JSON data model: the intermediate representation every
+/// [`Serialize`](crate::Serialize) / [`Deserialize`](crate::Deserialize)
+/// implementation goes through.
+///
+/// Maps preserve insertion order (they are association lists, not hash
+/// maps) so serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number. Integers round-trip exactly up to 2^53.
+    Num(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, or an error naming `ctx`.
+    pub fn as_bool(&self, ctx: &str) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("{ctx}: expected bool, got {}", other.kind()))),
+        }
+    }
+
+    /// The number, or an error naming `ctx`.
+    pub fn as_num(&self, ctx: &str) -> Result<f64, Error> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            // Non-finite floats serialize as null (JSON has no NaN/Inf).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!("{ctx}: expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// The string, or an error naming `ctx`.
+    pub fn as_str(&self, ctx: &str) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!("{ctx}: expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// The array elements, or an error naming `ctx`.
+    pub fn as_seq(&self, ctx: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(s) => Ok(s),
+            other => Err(Error::msg(format!("{ctx}: expected array, got {}", other.kind()))),
+        }
+    }
+
+    /// The object entries, or an error naming `ctx`.
+    pub fn as_map(&self, ctx: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => Err(Error::msg(format!("{ctx}: expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// Member lookup on an object; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the value's JSON kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+}

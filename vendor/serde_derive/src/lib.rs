@@ -1,0 +1,462 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace's offline serde
+//! subset.
+//!
+//! Implemented directly on `proc_macro` (no `syn`/`quote`, which are
+//! unavailable offline): a small token-level parser extracts the item's
+//! shape — struct field names, tuple arities, enum variants — and the
+//! impls are emitted as source text. Supported shapes cover everything the
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), units;
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally-tagged representation, as upstream serde's default);
+//! * no generic parameters (none of the workspace's serialized types are
+//!   generic — a clear compile error is produced if one appears).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the workspace-serde `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the workspace-serde `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Shape) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(shape) => gen(&shape).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+// ---- item parsing --------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = ident_at(&tokens, &mut i).ok_or("expected `struct` or `enum`")?;
+    let name = ident_at(&tokens, &mut i).ok_or("expected item name")?;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde derive stub: generic type `{name}` is not supported; serialize a concrete type"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::NamedStruct { name, fields: parse_named_fields(g.stream())? })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Shape::TupleStruct { name, arity: count_tuple_fields(g.stream()) })
+            }
+            _ => Ok(Shape::UnitStruct { name }),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Shape::Enum { name, variants: parse_variants(g.stream())? })
+            }
+            _ => Err(format!("enum `{name}` has no body")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}` items")),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]`
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` etc.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn ident_at(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Some(id.to_string())
+        }
+        _ => None,
+    }
+}
+
+/// Extracts field names from a named-fields body, skipping each field's
+/// type (commas inside angle brackets do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = ident_at(&tokens, &mut i)
+            .ok_or_else(|| format!("expected field name, found {:?}", tokens[i].to_string()))?;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{field}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(field);
+        // Consume the separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type expression: everything up to the next comma at
+/// angle-bracket depth zero.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        arity += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_at(&tokens, &mut i)
+            .ok_or_else(|| format!("expected variant name, found {:?}", tokens[i].to_string()))?;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- code generation -----------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: String =
+                (0..*arity).map(|k| format!("::serde::Serialize::serialize(&self.{k}),")).collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(::std::vec![{items}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "#[automatically_derived]\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Null\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::serialize(f0))]),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|k| format!("f{k}")).collect();
+                            let items: String = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Seq(::std::vec![{items}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Map(::std::vec![{entries}]))]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(m, {f:?}, {name:?})?,"))
+                .collect();
+            format!(
+                "let m = value.as_map({name:?})?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?,"))
+                .collect();
+            format!(
+                "let s = value.as_seq({name:?})?;\n\
+                 if s.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: expected {arity} elements, got {{}}\", s.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::UnitStruct { name } => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    let ctx = format!("{name}::{vn}");
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{vn:?} => {{\n\
+                                 if !inner.is_null() {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::msg(\
+                                         ::std::format!(\"{ctx} carries no data\")));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn})\n\
+                             }}"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize(inner)?)),"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let items: String = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?,"))
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let s = inner.as_seq({ctx:?})?;\n\
+                                     if s.len() != {arity} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::msg(\
+                                             ::std::format!(\"{ctx}: expected {arity} elements, got {{}}\", s.len())));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({items}))\n\
+                                 }}"
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(fm, {f:?}, {ctx:?})?,"))
+                                .collect();
+                            format!(
+                                "{vn:?} => {{\n\
+                                     let fm = inner.as_map({ctx:?})?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                                 }}"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(tag) = value {{\n\
+                     return match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             ::std::format!(\"unknown {name} unit variant {{other:?}}\"))),\n\
+                     }};\n\
+                 }}\n\
+                 let m = value.as_map({name:?})?;\n\
+                 if m.len() != 1 {{\n\
+                     return ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: expected single-key variant object, got {{}} keys\", m.len())));\n\
+                 }}\n\
+                 let (tag, inner) = (&m[0].0, &m[0].1);\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown {name} variant {{other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
