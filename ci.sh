@@ -22,6 +22,12 @@ if [[ "${1:-full}" == "quick" ]]; then
     exit 0
 fi
 
+step "snn-lint"
+cargo run -q -p snn-lint --offline
+
+step "cargo test (debug, overflow-checks) — arms the numeric sanitizer and lock-order detector"
+RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline --workspace
+
 step "cargo fmt --check"
 cargo fmt --check
 

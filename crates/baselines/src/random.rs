@@ -64,6 +64,7 @@ pub fn random_inputs(
                 let pos = faults
                     .iter()
                     .position(|g| g.id == f.id)
+                    // snn-lint: allow(L-PANIC): `remaining` is filtered from `faults` above, so the id is always present
                     .expect("remaining fault comes from the fault list");
                 if !detected[pos] {
                     detected[pos] = true;

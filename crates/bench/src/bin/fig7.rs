@@ -47,8 +47,8 @@ fn main() {
             for x in 0..w {
                 let p_on = row[y * w + x] != 0.0;
                 let p_off = row[h * w + y * w + x] != 0.0;
-                on += p_on as usize;
-                off += p_off as usize;
+                on += usize::from(p_on);
+                off += usize::from(p_off);
                 line.push(match (p_on, p_off) {
                     (true, true) => '*',
                     (true, false) => '+',

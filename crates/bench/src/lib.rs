@@ -202,7 +202,7 @@ impl Benchmark {
         let train_time = started.elapsed();
 
         let test_set = snn_datasets::materialize(dataset.as_ref(), test_range.clone());
-        let accuracy = evaluate(&net, &test_set) as f64;
+        let accuracy = f64::from(evaluate(&net, &test_set));
 
         Benchmark { kind, scale, net, dataset, train_range, test_range, accuracy, train_time }
     }

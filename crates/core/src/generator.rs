@@ -142,6 +142,7 @@ pub fn calibrate_t_in_min(
             let trace = net.forward(&sample.binary, RecordOptions::full());
             let mut inj = InjectedGrads::none(num_layers);
             let l1 = losses::l1_output_activation(net, &trace, &mut inj);
+            // snn-lint: allow(L-FLOATEQ): L1 sums exact 0.0/1.0 spike values, so an exactly-zero loss is meaningful
             if l1 == 0.0 {
                 satisfied = true;
                 break;
@@ -184,6 +185,7 @@ impl<'a> TestGenerator<'a> {
     /// Runs the full algorithm, producing the compact test stimulus.
     pub fn generate(&self, rng: &mut impl Rng) -> GeneratedTest {
         self.generate_with(rng, &NullSink, &CancelToken::new())
+            // snn-lint: allow(L-PANIC): a fresh private token is never cancelled, so Err is unreachable
             .expect("fresh token is never cancelled")
     }
 
@@ -198,6 +200,7 @@ impl<'a> TestGenerator<'a> {
         sink: &dyn ProgressSink,
         cancel: &CancelToken,
     ) -> Result<GeneratedTest, Cancelled> {
+        // snn-lint: allow(L-NONDET): wall-clock budget only — elapsed time gates iteration count, never the stimulus values
         let started = Instant::now();
         let cfg = &self.cfg;
         let t_in_min =
@@ -248,6 +251,7 @@ impl<'a> TestGenerator<'a> {
                     tau: cfg.tau,
                     surrogate: cfg.surrogate,
                     stochastic: cfg.stochastic,
+                    // snn-lint: allow(L-CAST): simulation durations stay far below f32's 2^24 exact-integer limit
                     td_min: (t_cur as f32 / cfg.td_min_divisor).max(1.0),
                     mu: cfg.mu,
                     use_l3: cfg.use_l3,

@@ -197,20 +197,25 @@ pub fn l4_contribution_variance(net: &Network, trace: &Trace, inj: &mut Injected
         let mut dcount = vec![0.0f32; cols];
         for r in 0..rows {
             let row = &wd[r * cols..(r + 1) * cols];
+            // snn-lint: allow(L-FLOATEQ): exact-zero test selects structurally connected weights, not a tolerance
             let active: Vec<usize> = (0..cols).filter(|&j| row[j] != 0.0).collect();
             let m = active.len();
             if m < 2 {
                 continue;
             }
             let contrib: Vec<f32> = active.iter().map(|&j| row[j] * pre_counts[j]).collect();
+            // snn-lint: allow(L-CAST): fan-in counts stay far below f32's 2^24 exact-integer limit
             let mean = contrib.iter().sum::<f32>() / m as f32;
+            // snn-lint: allow(L-CAST): fan-in counts stay far below f32's 2^24 exact-integer limit
             let var = contrib.iter().map(|c| (c - mean) * (c - mean)).sum::<f32>() / m as f32;
             value += var;
             for (k, &j) in active.iter().enumerate() {
                 // ∂Var/∂c_k = 2(c_k − mean)/m ; ∂c_k/∂count_j = w_{j,r}
+                // snn-lint: allow(L-CAST): fan-in counts stay far below f32's 2^24 exact-integer limit
                 dcount[j] += 2.0 * (contrib[k] - mean) / m as f32 * row[j];
             }
         }
+        // snn-lint: allow(L-FLOATEQ): exact-zero test — skips layers whose gradient is identically zero
         if dcount.iter().any(|&d| d != 0.0) {
             let n_pre = cols;
             let mut grad = Tensor::zeros(Shape::d2(steps, n_pre));
@@ -289,6 +294,7 @@ pub fn l6_saturation_margin(
     let mut value = 0.0;
     for (idx, layer) in net.layers().iter().enumerate() {
         let Some(lif) = layer.lif() else { continue };
+        // snn-lint: allow(L-CAST): step counts and refractory periods stay far below f32's 2^24 exact-integer limit
         let max_count = steps as f32 / (lif.refrac_steps as f32 + 1.0);
         let cap = margin * max_count;
         let c = counts(trace, idx);
@@ -322,6 +328,7 @@ pub fn balance_weights(initial_losses: &[f32]) -> Vec<f32> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

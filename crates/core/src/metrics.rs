@@ -119,6 +119,7 @@ impl std::fmt::Display for TestMetrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -134,6 +134,7 @@ impl<'a> Stage<'a> {
             self.net.input_features(),
             "logit feature count mismatch"
         );
+        assert!(self.cfg.steps > 0, "stage needs at least one optimization step");
         let num_layers = self.net.layers().len();
         let mut adam = Adam::new(logits.shape().clone());
         let mut alphas: Option<Vec<f32>> = None;
@@ -213,6 +214,7 @@ impl<'a> Stage<'a> {
             adam.step(&mut logits, &g_logits, self.cfg.lr.at(k));
         }
 
+        // snn-lint: allow(L-PANIC): the entry assert guarantees steps ≥ 1, so `best` is always Some
         let mut out = best.expect("stage ran at least one step");
         out.loss_history = history;
         out
@@ -259,6 +261,7 @@ impl<'a> Stage<'a> {
             history.push(alpha5 * l5 + penalty);
 
             // Hard guard: accept only exact output preservation.
+            // snn-lint: allow(L-FLOATEQ): the penalty counts mismatching exact 0.0/1.0 spikes, so zero is exact
             if penalty == 0.0 && l5 < best.best_loss {
                 best = StageOutcome {
                     best_input: sample.binary.clone(),

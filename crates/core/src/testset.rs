@@ -143,6 +143,7 @@ impl GeneratedTest {
         let n = self.input_features;
         for t in 0..full.shape().dim(0) {
             for f in 0..n {
+                // snn-lint: allow(L-FLOATEQ): spike tensors hold exact 0.0/1.0 values by construction
                 if full[[t, f]] != 0.0 {
                     writeln!(w, "{t} {f}")?;
                 }
@@ -200,6 +201,7 @@ pub fn parse_events(text: &str) -> Result<Tensor, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
 

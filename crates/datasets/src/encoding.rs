@@ -64,6 +64,7 @@ pub fn ttfs_encode(values: &[f32], steps: usize) -> Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -46,6 +46,7 @@ pub fn events_to_tensor(events: &[Event], c: usize, h: usize, w: usize, steps: u
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
 

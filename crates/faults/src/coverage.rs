@@ -129,6 +129,7 @@ pub fn escape_max_accuracy_drop(
         || net.clone(),
         |worker, i| {
             let injection = Injection::for_fault(net, universe, &escapes[i])
+                // snn-lint: allow(L-PANIC): escapes come from the same universe that enumerated them, so they are well-formed
                 .expect("universe faults are well-formed");
             let restore = match &injection {
                 Injection::Weight { at, value } => Some((*at, worker.set_weight(*at, *value))),
@@ -159,6 +160,7 @@ pub fn escape_max_accuracy_drop(
         .into_iter()
         .enumerate()
         .map(|(i, d)| (d, escapes[i].id))
+        // snn-lint: allow(L-PANIC): accuracy is a ratio of finite counts, so partial_cmp cannot return None
         .max_by(|a, b| a.0.partial_cmp(&b.0).expect("accuracy drops are finite"))
 }
 
@@ -173,6 +175,7 @@ fn accuracy(net: &Network, dataset: &[(Tensor, usize)]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{FaultKind, FaultSimConfig, FaultSimulator, FaultUniverse};

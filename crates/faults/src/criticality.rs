@@ -81,6 +81,7 @@ pub fn classify(
     cfg: CriticalityConfig,
 ) -> CriticalityReport {
     assert!(!dataset.is_empty(), "criticality labelling needs at least one sample");
+    // snn-lint: allow(L-NONDET): wall-clock is reporting telemetry only — it never influences criticality labels
     let start = Instant::now();
     let take = cfg.max_samples.unwrap_or(dataset.len()).min(dataset.len());
     let samples = &dataset[..take];
@@ -101,6 +102,7 @@ pub fn classify(
         || net.clone(),
         |worker, i| {
             let injection = Injection::for_fault(net, universe, &faults[i])
+                // snn-lint: allow(L-PANIC): faults come from the same universe that enumerated them, so they are well-formed
                 .expect("universe faults are well-formed");
             for (k, ((sample, baseline), &pred)) in
                 samples.iter().zip(baselines.iter()).zip(predictions.iter()).enumerate()

@@ -110,6 +110,7 @@ impl FaultDictionary {
                 distance: sig.iter().zip(observed.iter()).map(|(a, b)| (a - b).abs()).sum(),
             })
             .collect();
+        // snn-lint: allow(L-PANIC): distances are sums of |finite − finite| signature entries, so partial_cmp cannot return None
         ranked.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite distances"));
         ranked.truncate(top_k);
         ranked
@@ -117,6 +118,7 @@ impl FaultDictionary {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{FaultSimConfig, FaultSimulator, FaultUniverse};

@@ -101,9 +101,9 @@ impl Injection {
     pub fn start_layer(&self) -> usize {
         match self {
             Injection::Weight { at, .. } => at.layer,
-            Injection::Neuron(map) => {
-                map.first_faulty_layer().expect("neuron injection has at least one fault")
-            }
+            // An empty map perturbs nothing, so starting at layer 0 is the
+            // conservative identity rather than a panic.
+            Injection::Neuron(map) => map.first_faulty_layer().unwrap_or(0),
         }
     }
 }
@@ -118,12 +118,15 @@ pub(crate) fn bit_flip_int8(weight: f32, max_abs: f32, bit: u8) -> f32 {
         return weight;
     }
     let scale = max_abs / 127.0;
+    // snn-lint: allow(L-CAST): clamped to [-128, 127] on the line itself, so the i8 cast cannot truncate
     let q = (weight / scale).round().clamp(-128.0, 127.0) as i8;
+    // snn-lint: allow(L-CAST): deliberate two's-complement reinterpretation — the bit flip targets the memory word
     let flipped = (q as u8 ^ (1u8 << bit)) as i8;
-    flipped as f32 * scale
+    f32::from(flipped) * scale
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

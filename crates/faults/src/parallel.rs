@@ -40,6 +40,7 @@ where
     M: Fn() -> S + Sync,
 {
     try_map_indexed(n, threads, &CancelToken::new(), make_state, f)
+        // snn-lint: allow(L-PANIC): a fresh private token is never cancelled, so Err is unreachable
         .expect("fresh token is never cancelled")
 }
 
@@ -99,9 +100,11 @@ where
             }));
         }
         for h in handles {
+            // snn-lint: allow(L-PANIC): documented behaviour — worker panics propagate to the caller
             results.push(h.join().expect("worker thread panicked"));
         }
     })
+    // snn-lint: allow(L-PANIC): the scope only fails if a worker panicked, which is documented to propagate
     .expect("crossbeam scope failed");
     cancel.check()?;
     Ok(results.into_iter().flatten().collect())

@@ -159,6 +159,7 @@ impl<'a> FaultSimulator<'a> {
         tests: &[Tensor],
     ) -> CampaignOutcome {
         self.detect_with(universe, faults, tests, &NullSink, &CancelToken::new())
+            // snn-lint: allow(L-PANIC): documented panicking wrapper — detect_with is the fallible API
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -180,6 +181,7 @@ impl<'a> FaultSimulator<'a> {
         cancel: &CancelToken,
     ) -> Result<CampaignOutcome, CampaignError> {
         assert!(!tests.is_empty(), "detection campaign needs at least one test input");
+        // snn-lint: allow(L-NONDET): wall-clock is reporting telemetry only — it never influences detection results
         let start = Instant::now();
         let baselines: Vec<Trace> =
             tests.iter().map(|t| self.net.forward(t, RecordOptions::spikes_only())).collect();
@@ -310,6 +312,7 @@ impl ActivitySummary {
 pub(crate) fn provably_undetectable(net: &Network, acts: &ActivitySummary, fault: &Fault) -> bool {
     match (fault.site, fault.kind) {
         (FaultSite::Neuron { layer, index }, FaultKind::NeuronDead) => {
+            // snn-lint: allow(L-FLOATEQ): spike counts sum exact 0.0/1.0 values, so zero activity is exact
             acts.output_counts[layer][index] == 0.0
         }
         (
@@ -321,6 +324,7 @@ pub(crate) fn provably_undetectable(net: &Network, acts: &ActivitySummary, fault
         ) => match &net.layers()[r.layer] {
             Layer::Dense(l) => {
                 let cols = l.weight.shape().dim(1);
+                // snn-lint: allow(L-FLOATEQ): spike counts sum exact 0.0/1.0 values, so zero activity is exact
                 acts.input_counts[r.layer][r.offset % cols] == 0.0
             }
             Layer::Conv(l) => {
@@ -328,14 +332,17 @@ pub(crate) fn provably_undetectable(net: &Network, acts: &ActivitySummary, fault
                 let ic = (r.offset / (k * k)) % l.spec.in_channels;
                 let (h, w) = l.in_hw;
                 let channel = &acts.input_counts[r.layer][ic * h * w..(ic + 1) * h * w];
+                // snn-lint: allow(L-FLOATEQ): spike counts sum exact 0.0/1.0 values, so zero activity is exact
                 channel.iter().all(|&c| c == 0.0)
             }
             Layer::Recurrent(l) => {
                 if r.tensor == 0 {
                     let cols = l.w_in.shape().dim(1);
+                    // snn-lint: allow(L-FLOATEQ): spike counts sum exact 0.0/1.0 values, so zero activity is exact
                     acts.input_counts[r.layer][r.offset % cols] == 0.0
                 } else {
                     let units = l.w_rec.shape().dim(1);
+                    // snn-lint: allow(L-FLOATEQ): spike counts sum exact 0.0/1.0 values, so zero activity is exact
                     acts.output_counts[r.layer][r.offset % units] == 0.0
                 }
             }

@@ -1,0 +1,299 @@
+//! Diagnostics, allow directives and output formatting.
+
+use crate::lexer::Comment;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable lint id, e.g. `L-PANIC`.
+    pub id: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the canonical single-line text form.
+    pub fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.id, self.message)
+    }
+}
+
+/// An in-source suppression: `// snn-lint: allow(L-XXX): justification`.
+///
+/// A trailing directive suppresses findings on its own line; a standalone
+/// directive suppresses findings on the next line. The justification text
+/// is mandatory — an empty one is itself a finding ([`crate::ALLOW_ID`]).
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Lint ids this directive suppresses.
+    pub ids: Vec<String>,
+    /// The written justification (may be empty — then the directive is
+    /// reported instead of honored).
+    pub justification: String,
+    /// Line the directive comment starts on.
+    pub line: u32,
+    /// The line whose findings it suppresses.
+    pub target_line: u32,
+    /// Set when the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+const DIRECTIVE_PREFIX: &str = "snn-lint:";
+
+/// Extracts every allow directive from the comments of one file.
+///
+/// Returns the directives plus malformed-directive diagnostics (a comment
+/// that starts with `snn-lint:` but does not parse is an error, not a
+/// silently ignored annotation).
+pub fn parse_directives(
+    file: &str,
+    comments: &[Comment],
+) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+    let mut directives = Vec::new();
+    let mut errors = Vec::new();
+    for comment in comments {
+        let text = comment.text.trim();
+        let Some(rest) = text.strip_prefix(DIRECTIVE_PREFIX) else { continue };
+        let rest = rest.trim();
+        let malformed = |why: &str| Diagnostic {
+            file: file.to_string(),
+            line: comment.line,
+            id: crate::ALLOW_ID,
+            message: format!("malformed snn-lint directive ({why}): `// snn-lint: {rest}`"),
+        };
+        let Some(args) = rest.strip_prefix("allow") else {
+            errors.push(malformed("only `allow(<ID>): <justification>` is supported"));
+            continue;
+        };
+        let args = args.trim_start();
+        let Some(close) = args.find(')') else {
+            errors.push(malformed("missing `)`"));
+            continue;
+        };
+        let Some(inner) = args[..close].strip_prefix('(') else {
+            errors.push(malformed("missing `(` after allow"));
+            continue;
+        };
+        let ids: Vec<String> =
+            inner.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+        if ids.is_empty() {
+            errors.push(malformed("no lint id inside allow(…)"));
+            continue;
+        }
+        let after = args[close + 1..].trim_start();
+        let justification = after.strip_prefix(':').map(str::trim).unwrap_or("").to_string();
+        let target_line = if comment.trailing { comment.line } else { comment.line + 1 };
+        directives.push(AllowDirective {
+            ids,
+            justification,
+            line: comment.line,
+            target_line,
+            used: false,
+        });
+    }
+    (directives, errors)
+}
+
+/// Applies directives to raw findings: suppressed findings are dropped,
+/// and directive misuse (no justification, unknown id, unused directive)
+/// is reported as new findings.
+pub fn apply_directives(
+    file: &str,
+    findings: Vec<Diagnostic>,
+    mut directives: Vec<AllowDirective>,
+    known_ids: &[&str],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for finding in findings {
+        let suppressed = directives.iter_mut().any(|d| {
+            let hit = d.target_line == finding.line
+                && d.ids.iter().any(|id| id == finding.id)
+                && !d.justification.is_empty();
+            if hit {
+                d.used = true;
+            }
+            hit
+        });
+        if !suppressed {
+            out.push(finding);
+        }
+    }
+    for d in &directives {
+        if d.justification.is_empty() {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: d.line,
+                id: crate::ALLOW_ID,
+                message: format!(
+                    "allow({}) carries no justification — write `allow({}): <why this is sound>`",
+                    d.ids.join(", "),
+                    d.ids.join(", ")
+                ),
+            });
+            continue;
+        }
+        for id in &d.ids {
+            if !known_ids.contains(&id.as_str()) {
+                out.push(Diagnostic {
+                    file: file.to_string(),
+                    line: d.line,
+                    id: crate::ALLOW_ID,
+                    message: format!("allow({id}) names an unknown lint id"),
+                });
+            }
+        }
+        if !d.used {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: d.line,
+                id: crate::ALLOW_ID,
+                message: format!(
+                    "allow({}) suppresses nothing on line {} — stale directive, remove it",
+                    d.ids.join(", "),
+                    d.target_line
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON document:
+/// `{"checked_files": N, "diagnostics": [{file, line, id, message}, …]}`.
+///
+/// Hand-rolled (the tool is dependency-free); strings are escaped per
+/// RFC 8259.
+pub fn to_json(diagnostics: &[Diagnostic], checked_files: usize) -> String {
+    let mut s = String::new();
+    let _ = write!(s, "{{\"checked_files\":{checked_files},\"diagnostics\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"file\":{},\"line\":{},\"id\":{},\"message\":{}}}",
+            json_string(&d.file),
+            d.line,
+            json_string(d.id),
+            json_string(&d.message)
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+fn json_string(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+/// Stable ordering for reports: by file, then line, then id.
+pub fn sort(diagnostics: &mut [Diagnostic]) {
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.id).cmp(&(b.file.as_str(), b.line, b.id)));
+}
+
+/// Per-id counts, for the summary line.
+pub fn count_by_id(diagnostics: &[Diagnostic]) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for d in diagnostics {
+        *counts.entry(d.id).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn directive(src: &str) -> (Vec<AllowDirective>, Vec<Diagnostic>) {
+        parse_directives("f.rs", &lex(src).comments)
+    }
+
+    #[test]
+    fn parses_trailing_and_standalone_targets() {
+        let (ds, errs) = directive(
+            "let a = 1; // snn-lint: allow(L-PANIC): fine here\n\
+             // snn-lint: allow(L-CAST): next line is checked\nlet b = 2;",
+        );
+        assert!(errs.is_empty());
+        assert_eq!(ds[0].target_line, 1);
+        assert_eq!(ds[1].target_line, 3);
+        assert_eq!(ds[1].ids, vec!["L-CAST"]);
+        assert_eq!(ds[1].justification, "next line is checked");
+    }
+
+    #[test]
+    fn missing_justification_is_kept_but_flagged_on_apply() {
+        let (ds, errs) = directive("// snn-lint: allow(L-PANIC):\nfoo();");
+        assert!(errs.is_empty());
+        assert!(ds[0].justification.is_empty());
+        let out = apply_directives("f.rs", vec![], ds, &["L-PANIC"]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("no justification"));
+    }
+
+    #[test]
+    fn malformed_directives_are_errors() {
+        let (_, errs) = directive("// snn-lint: deny(L-PANIC): nope\n");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("malformed"));
+    }
+
+    #[test]
+    fn suppression_and_unused_reporting() {
+        let (ds, _) = directive(
+            "// snn-lint: allow(L-PANIC): justified\nfoo();\n// snn-lint: allow(L-CAST): stale\n",
+        );
+        let finding =
+            Diagnostic { file: "f.rs".into(), line: 2, id: "L-PANIC", message: "x".into() };
+        let out = apply_directives("f.rs", vec![finding], ds, &["L-PANIC", "L-CAST"]);
+        // The L-PANIC finding is gone; the stale L-CAST directive is reported.
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("suppresses nothing"));
+    }
+
+    #[test]
+    fn unknown_id_in_allow_is_reported() {
+        let (ds, _) = directive("// snn-lint: allow(L-BOGUS): misspelled\nfoo();\n");
+        let out = apply_directives("f.rs", vec![], ds, &["L-PANIC"]);
+        assert!(out.iter().any(|d| d.message.contains("unknown lint id")));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = Diagnostic {
+            file: "a\"b.rs".into(),
+            line: 3,
+            id: "L-PANIC",
+            message: "tab\there".into(),
+        };
+        let json = to_json(&[d], 7);
+        assert!(json.contains("\"checked_files\":7"));
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("tab\\there"));
+    }
+}

@@ -1,0 +1,242 @@
+//! `snn-lint`: repo-native static analysis for the snn-mtfc workspace.
+//!
+//! A `rust-lang/rust` `tidy`-style tool: a minimal Rust lexer
+//! ([`lexer`]), a registry of repo-specific lint passes ([`passes`]) and
+//! a vendored-dependency integrity check ([`vendor`]), wired into CI via
+//! `cargo run -p snn-lint`. The passes encode this repository's history:
+//! the seed's one real bug was a silent mixed-precision cast (`L-CAST`),
+//! PR 1 introduced typed errors that casual `unwrap()`s bypass
+//! (`L-PANIC`), and the service crate is multi-threaded with an ordered
+//! lock discipline (`L-LOCK`, enforced dynamically by the vendored
+//! `parking_lot`'s debug lock-order detector).
+//!
+//! Findings are suppressed in-source with a mandatory justification:
+//!
+//! ```text
+//! // snn-lint: allow(L-CAST): usize count fits f32 exactly below 2^24
+//! ```
+//!
+//! A trailing directive covers its own line; a standalone one covers the
+//! next line. Unused or unjustified directives are themselves findings
+//! (`L-ALLOW`), so the allow list can never silently rot.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod vendor;
+
+pub use diag::Diagnostic;
+pub use passes::{ALLOW_ID, VENDOR_ID};
+
+use passes::FileContext;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Result of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by file, line, id.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned.
+    pub checked_files: usize,
+}
+
+impl Report {
+    /// `true` when the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns a message when `root` is not a workspace (no `Cargo.toml`) or
+/// a source file cannot be read.
+pub fn run(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!("{} is not a cargo workspace (no Cargo.toml)", root.display()));
+    }
+    let lock_order = load_lock_order(root);
+    let files = workspace_files(root)?;
+    let checked_files = files.len();
+    let registry = passes::registry();
+    let known = passes::known_ids();
+
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let source =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("cannot read {rel}: {e}"))?;
+        diagnostics.extend(lint_file(rel, &source, &lock_order, &registry, &known));
+    }
+    diagnostics.extend(vendor::check(root));
+    diag::sort(&mut diagnostics);
+    Ok(Report { diagnostics, checked_files })
+}
+
+/// Lints one source text as if it lived at workspace-relative path
+/// `rel_path` (which decides pass scopes). Used by `run` and by the
+/// fixture tests.
+pub fn lint_source(rel_path: &str, source: &str, lock_order: &[String]) -> Vec<Diagnostic> {
+    let registry = passes::registry();
+    let known = passes::known_ids();
+    let mut out = lint_file(rel_path, source, lock_order, &registry, &known);
+    diag::sort(&mut out);
+    out
+}
+
+fn lint_file(
+    rel_path: &str,
+    source: &str,
+    lock_order: &[String],
+    registry: &[passes::Pass],
+    known_ids: &[&'static str],
+) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let live = passes::live_mask(&lexed.tokens);
+    let ctx = FileContext { path: rel_path, tokens: &lexed.tokens, live: &live, lock_order };
+    let mut findings = Vec::new();
+    for pass in registry {
+        if pass.applies(rel_path) {
+            findings.extend(pass.check(&ctx));
+        }
+    }
+    let (directives, mut out) = diag::parse_directives(rel_path, &lexed.comments);
+    out.extend(diag::apply_directives(rel_path, findings, directives, known_ids));
+    out
+}
+
+/// The service crate's documented lock-order list, parsed from
+/// `crates/service/src/lock_order.rs` (the string literals of the
+/// `LOCK_ORDER` const, in order). Empty when absent.
+pub fn load_lock_order(root: &Path) -> Vec<String> {
+    let path = root.join("crates/service/src/lock_order.rs");
+    let Ok(source) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let lexed = lexer::lex(&source);
+    let tokens = &lexed.tokens;
+    let mut names = Vec::new();
+    let mut i = 0usize;
+    // Find `LOCK_ORDER`, then collect string literals until the closing `]`.
+    while i < tokens.len() {
+        if tokens[i].is_ident("LOCK_ORDER") {
+            let mut j = i + 1;
+            // Skip the type annotation: capture only after the `=`.
+            let mut seen_eq = false;
+            let mut started = false;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct("=") {
+                    seen_eq = true;
+                } else if seen_eq && t.is_punct("[") {
+                    started = true;
+                } else if started && t.kind == lexer::TokenKind::Str {
+                    names.push(t.text.clone());
+                } else if started && t.is_punct("]") {
+                    return names;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Collects every workspace-relative source path to scan, sorted:
+/// `src/**/*.rs` and `crates/*/src/**/*.rs`. Vendored stand-ins, test
+/// trees, benches, examples and fixtures are excluded — the tool lints
+/// the product, the compiler and `cargo test` own the rest.
+fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), root, &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("cannot read crates/: {e}"))?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), root, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "tests" | "benches" | "examples" | "fixtures" | "target") {
+                continue;
+            }
+            collect_rs(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| format!("{} escapes the workspace root", path.display()))?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_runs_scoped_passes_and_allows() {
+        let src = "fn f(x: f64) -> f32 {\n\
+                   // snn-lint: allow(L-CAST): precision loss acceptable in this test helper\n\
+                   x as f32\n}";
+        let out = lint_source("crates/tensor/src/ops.rs", src, &[]);
+        assert!(out.is_empty(), "{out:?}");
+        let out = lint_source("crates/tensor/src/ops.rs", "fn f(x: f64) -> f32 { x as f32 }", &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, "L-CAST");
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_untouched() {
+        // datasets is not a kernel crate: no L-CAST there.
+        let out = lint_source(
+            "crates/datasets/src/gesture_like.rs",
+            "fn f(x: f64) -> f32 { x as f32 }",
+            &[],
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn lock_order_parsing_from_source() {
+        let dir = std::env::temp_dir().join(format!("snn-lint-order-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/service/src")).unwrap();
+        fs::write(
+            dir.join("crates/service/src/lock_order.rs"),
+            "pub const LOCK_ORDER: &[&str] = &[\n    \"service.queue\",\n    \"service.store.jobs\",\n];\n",
+        )
+        .unwrap();
+        let order = load_lock_order(&dir);
+        assert_eq!(order, vec!["service.queue".to_string(), "service.store.jobs".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

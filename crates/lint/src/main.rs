@@ -1,0 +1,136 @@
+//! `snn-lint` CLI: lint the workspace, print diagnostics, exit nonzero
+//! on findings.
+//!
+//! ```text
+//! snn-lint [--root <dir>] [--format text|json] [--list]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    list: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: None, json: false, list: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = it.next().ok_or("--root needs a directory argument")?;
+                args.root = Some(PathBuf::from(value));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => {
+                    return Err(format!(
+                        "--format expects `text` or `json`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--list" => args.list = true,
+            "--help" | "-h" => {
+                println!(
+                    "snn-lint: repo-native static analysis\n\n\
+                     USAGE: snn-lint [--root <dir>] [--format text|json] [--list]\n\n\
+                     Suppress a finding in-source with a justification:\n  \
+                     // snn-lint: allow(<ID>): <why this is sound>\n\n\
+                     See DESIGN.md §9 for every lint id and its rationale."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Ok(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory \
+                        (pass --root explicitly)"
+                .into());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        for pass in snn_lint::passes::registry() {
+            println!("{:<10} {}  [scope: {}]", pass.id, pass.summary, pass.scope);
+        }
+        println!(
+            "{:<10} unused/unjustified allow directives (driver-level)  [scope: all scanned files]",
+            snn_lint::ALLOW_ID
+        );
+        println!(
+            "{:<10} vendored dependency drift vs vendor/README.md pins  [scope: vendor/, Cargo.toml]",
+            snn_lint::VENDOR_ID
+        );
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root.map_or_else(find_root, Ok) {
+        Ok(root) => root,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match snn_lint::run(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        println!("{}", snn_lint::diag::to_json(&report.diagnostics, report.checked_files));
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        if report.is_clean() {
+            println!("snn-lint: {} files checked, no findings", report.checked_files);
+        } else {
+            let counts = snn_lint::diag::count_by_id(&report.diagnostics);
+            let summary: Vec<String> = counts.iter().map(|(id, n)| format!("{n}× {id}")).collect();
+            println!(
+                "snn-lint: {} findings in {} files checked ({})",
+                report.diagnostics.len(),
+                report.checked_files,
+                summary.join(", ")
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

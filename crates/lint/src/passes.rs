@@ -1,0 +1,564 @@
+//! The lint pass registry.
+//!
+//! Every pass has a stable id, a path-based scope, and a token-level
+//! checker. Passes only see *live* tokens: `#[cfg(test)]` items and
+//! `#[test]` functions are masked out before any pass runs, because test
+//! code legitimately unwraps, compares floats exactly, and reads clocks.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// Everything a pass can see about one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path with forward slashes.
+    pub path: &'a str,
+    /// The full token stream.
+    pub tokens: &'a [Token],
+    /// `live[i] == false` marks token `i` as test-only code.
+    pub live: &'a [bool],
+    /// The registered service lock-order names (empty when the service
+    /// crate or its lock-order list is absent).
+    pub lock_order: &'a [String],
+}
+
+impl FileContext<'_> {
+    fn diag(&self, line: u32, id: &'static str, message: String) -> Diagnostic {
+        Diagnostic { file: self.path.to_string(), line, id, message }
+    }
+}
+
+/// One registered lint pass.
+pub struct Pass {
+    /// Stable id, e.g. `L-PANIC`.
+    pub id: &'static str,
+    /// One-line summary (shown by `--list`).
+    pub summary: &'static str,
+    /// Human description of the files the pass runs on.
+    pub scope: &'static str,
+    applies: fn(&str) -> bool,
+    check: fn(&FileContext<'_>) -> Vec<Diagnostic>,
+}
+
+impl Pass {
+    /// `true` when this pass runs on `path`.
+    pub fn applies(&self, path: &str) -> bool {
+        (self.applies)(path)
+    }
+
+    /// Runs the pass over one file.
+    pub fn check(&self, ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+        (self.check)(ctx)
+    }
+}
+
+/// Id used for allow-directive misuse findings (not a pass: directives
+/// are checked by the driver).
+pub const ALLOW_ID: &str = "L-ALLOW";
+
+/// Id used for vendored-dependency drift findings (not a per-file token
+/// pass: see [`crate::vendor`]).
+pub const VENDOR_ID: &str = "L-VENDOR";
+
+/// The registry, in reporting order.
+pub fn registry() -> Vec<Pass> {
+    vec![
+        Pass {
+            id: "L-PANIC",
+            summary: "no unwrap/expect/panic!/todo!/unimplemented! in library code",
+            scope: "crate libraries (crates/*/src, src/lib.rs); binaries, benches and \
+                    test code are exempt",
+            applies: is_library_code,
+            check: check_panic,
+        },
+        Pass {
+            id: "L-CAST",
+            summary: "narrowing numeric `as` casts in kernel crates need a justification",
+            scope: "crates/tensor, crates/core, crates/snn, crates/faults",
+            applies: is_kernel_crate,
+            check: check_cast,
+        },
+        Pass {
+            id: "L-FLOATEQ",
+            summary: "float literal compared with == or !=",
+            scope: "crate libraries (same as L-PANIC)",
+            applies: is_library_code,
+            check: check_floateq,
+        },
+        Pass {
+            id: "L-NONDET",
+            summary: "wall-clock or entropy source in the generator / fault-simulator",
+            scope: "crates/core, crates/faults",
+            applies: is_reproducible_crate,
+            check: check_nondet,
+        },
+        Pass {
+            id: "L-LOCK",
+            summary: "service locks must be named and registered in LOCK_ORDER",
+            scope: "crates/service",
+            applies: is_service_crate,
+            check: check_lock,
+        },
+    ]
+}
+
+/// Ids of every finding the tool can emit (passes plus driver-level ids).
+pub fn known_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = registry().iter().map(|p| p.id).collect();
+    ids.push(ALLOW_ID);
+    ids.push(VENDOR_ID);
+    ids
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+fn is_library_code(path: &str) -> bool {
+    if path.contains("/bin/") || path == "src/main.rs" {
+        return false;
+    }
+    if path.starts_with("crates/bench/") {
+        return false;
+    }
+    (path.starts_with("crates/") && path.contains("/src/")) || path == "src/lib.rs"
+}
+
+fn is_kernel_crate(path: &str) -> bool {
+    ["crates/tensor/src/", "crates/core/src/", "crates/snn/src/", "crates/faults/src/"]
+        .iter()
+        .any(|p| path.starts_with(p))
+}
+
+fn is_reproducible_crate(path: &str) -> bool {
+    path.starts_with("crates/core/src/") || path.starts_with("crates/faults/src/")
+}
+
+fn is_service_crate(path: &str) -> bool {
+    path.starts_with("crates/service/src/")
+}
+
+// ---------------------------------------------------------------------------
+// Token-pattern helpers
+// ---------------------------------------------------------------------------
+
+/// Iterator over live token indices.
+fn live_indices<'a>(ctx: &'a FileContext<'_>) -> impl Iterator<Item = usize> + 'a {
+    (0..ctx.tokens.len()).filter(|&i| ctx.live[i])
+}
+
+fn prev_live<'a>(ctx: &FileContext<'a>, i: usize) -> Option<&'a Token> {
+    (0..i).rev().find(|&j| ctx.live[j]).map(|j| &ctx.tokens[j])
+}
+
+fn next_live<'a>(ctx: &FileContext<'a>, i: usize) -> Option<&'a Token> {
+    (i + 1..ctx.tokens.len()).find(|&j| ctx.live[j]).map(|j| &ctx.tokens[j])
+}
+
+// ---------------------------------------------------------------------------
+// L-PANIC
+// ---------------------------------------------------------------------------
+
+const PANICKY_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANICKY_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+fn check_panic(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in live_indices(ctx) {
+        let t = &ctx.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if PANICKY_METHODS.contains(&t.text.as_str())
+            && prev_live(ctx, i).is_some_and(|p| p.is_punct("."))
+            && next_live(ctx, i).is_some_and(|n| n.is_punct("("))
+        {
+            out.push(ctx.diag(
+                t.line,
+                "L-PANIC",
+                format!(
+                    "`.{}()` in library code — return the crate's typed error instead \
+                     (or justify with an allow)",
+                    t.text
+                ),
+            ));
+        }
+        if PANICKY_MACROS.contains(&t.text.as_str())
+            && next_live(ctx, i).is_some_and(|n| n.is_punct("!"))
+            && !prev_live(ctx, i).is_some_and(|p| p.is_punct("::"))
+        {
+            out.push(ctx.diag(
+                t.line,
+                "L-PANIC",
+                format!(
+                    "`{}!` in library code — return the crate's typed error instead \
+                     (or justify with an allow)",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L-CAST
+// ---------------------------------------------------------------------------
+
+/// Target types a numeric `as` cast can narrow into. `f32` is the class
+/// of the seed bug (an f64 intermediate silently truncated); the small
+/// integer types cover float→int truncation and integer narrowing.
+const NARROW_TARGETS: &[&str] = &["f32", "i8", "u8", "i16", "u16", "i32", "u32"];
+
+fn check_cast(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in live_indices(ctx) {
+        let t = &ctx.tokens[i];
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = next_live(ctx, i) else { continue };
+        if target.kind == TokenKind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
+            out.push(ctx.diag(
+                t.line,
+                "L-CAST",
+                format!(
+                    "potentially lossy `as {}` cast in a numeric kernel — make the \
+                     conversion explicit (From/TryFrom, or keep one precision) or \
+                     justify with an allow",
+                    target.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L-FLOATEQ
+// ---------------------------------------------------------------------------
+
+fn check_floateq(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in live_indices(ctx) {
+        let t = &ctx.tokens[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let float_operand = prev_live(ctx, i).is_some_and(|p| p.kind == TokenKind::Float)
+            || next_live(ctx, i).is_some_and(|n| n.kind == TokenKind::Float);
+        if float_operand {
+            out.push(ctx.diag(
+                t.line,
+                "L-FLOATEQ",
+                format!(
+                    "float literal compared with `{}` — use an epsilon (or justify: spike \
+                     trains are exact 0.0/1.0 values)",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L-NONDET
+// ---------------------------------------------------------------------------
+
+fn check_nondet(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in live_indices(ctx) {
+        let t = &ctx.tokens[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let finding = match t.text.as_str() {
+            "Instant" => {
+                let path_now = next_live(ctx, i).is_some_and(|n| n.is_punct("::"));
+                if path_now {
+                    Some("`Instant::now()` in a reproducibility-critical path")
+                } else {
+                    None
+                }
+            }
+            "SystemTime" => Some("`SystemTime` in a reproducibility-critical path"),
+            "thread_rng" => Some("`thread_rng()` — use a seeded StdRng"),
+            "from_entropy" => Some("`from_entropy()` — use seed_from_u64"),
+            _ => None,
+        };
+        if let Some(msg) = finding {
+            out.push(ctx.diag(
+                t.line,
+                "L-NONDET",
+                format!(
+                    "{msg}; generated test sets must be reproducible from the seed \
+                     (wall-clock budgets are legitimate — justify them with an allow)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L-LOCK
+// ---------------------------------------------------------------------------
+
+const LOCK_TYPES: &[&str] = &["Mutex", "RwLock"];
+
+fn check_lock(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for i in live_indices(ctx) {
+        let t = &ctx.tokens[i];
+        if t.kind != TokenKind::Ident || !LOCK_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Match `Mutex::new`, `Mutex::default`, `Mutex::named("…")`.
+        let Some(sep) = next_live(ctx, i) else { continue };
+        if !sep.is_punct("::") {
+            continue;
+        }
+        let idx_method = (i + 1..ctx.tokens.len()).filter(|&j| ctx.live[j]).nth(1);
+        let Some(j) = idx_method else { continue };
+        let method = &ctx.tokens[j];
+        if method.kind != TokenKind::Ident {
+            continue;
+        }
+        match method.text.as_str() {
+            "new" | "default" => out.push(ctx.diag(
+                t.line,
+                "L-LOCK",
+                format!(
+                    "unnamed `{}::{}` in the service crate — construct with \
+                     `{}::named(\"<name>\", …)` using a name from LOCK_ORDER \
+                     (crates/service/src/lock_order.rs)",
+                    t.text, method.text, t.text
+                ),
+            )),
+            "named" => {
+                let name = (j + 1..ctx.tokens.len())
+                    .filter(|&k| ctx.live[k])
+                    .map(|k| &ctx.tokens[k])
+                    .nth(1); // skip the `(`
+                match name {
+                    Some(n) if n.kind == TokenKind::Str => {
+                        if !ctx.lock_order.iter().any(|o| o == &n.text) {
+                            out.push(ctx.diag(
+                                n.line,
+                                "L-LOCK",
+                                format!(
+                                    "lock name {:?} is not registered in LOCK_ORDER \
+                                     (crates/service/src/lock_order.rs) — add it at its \
+                                     acquisition rank",
+                                    n.text
+                                ),
+                            ));
+                        }
+                    }
+                    _ => out.push(ctx.diag(
+                        t.line,
+                        "L-LOCK",
+                        format!(
+                            "`{}::named` must take a string literal name so the \
+                             lock-order list can be checked statically",
+                            t.text
+                        ),
+                    )),
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Test-code masking
+// ---------------------------------------------------------------------------
+
+/// Computes the live-token mask: tokens belonging to `#[cfg(test)]` /
+/// `#[test]` items (attribute included) are dead.
+pub fn live_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut live = vec![true; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let (attr_end, is_test) = scan_attribute(tokens, i + 1);
+            if is_test {
+                let item_end = scan_item_end(tokens, attr_end);
+                for slot in live.iter_mut().take(item_end).skip(i) {
+                    *slot = false;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    live
+}
+
+/// Scans one `[…]` attribute starting at its `[`; returns the index one
+/// past the closing `]` and whether the attribute marks test-only code.
+fn scan_attribute(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                j += 1;
+                break;
+            }
+        } else if t.kind == TokenKind::Ident {
+            if t.text == "test" {
+                has_test = true;
+            } else if t.text == "not" {
+                has_not = true;
+            }
+        }
+        j += 1;
+    }
+    (j, has_test && !has_not)
+}
+
+/// From the token after a test attribute, finds the end of the annotated
+/// item: past any further attributes, then either a top-level `;` or the
+/// matching `}` of the item's first brace.
+fn scan_item_end(tokens: &[Token], mut i: usize) -> usize {
+    // Skip stacked attributes (e.g. `#[cfg(test)] #[allow(…)] mod t {…}`).
+    while i < tokens.len()
+        && tokens[i].is_punct("#")
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))
+    {
+        let (end, _) = scan_attribute(tokens, i + 1);
+        i = end;
+    }
+    let mut brace_depth = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct("{") {
+            brace_depth += 1;
+        } else if t.is_punct("}") {
+            brace_depth = brace_depth.saturating_sub(1);
+            if brace_depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(";") && brace_depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_pass(id: &str, path: &str, src: &str) -> Vec<Diagnostic> {
+        run_pass_with_locks(id, path, src, &[])
+    }
+
+    fn run_pass_with_locks(
+        id: &str,
+        path: &str,
+        src: &str,
+        lock_order: &[String],
+    ) -> Vec<Diagnostic> {
+        let lexed = lex(src);
+        let live = live_mask(&lexed.tokens);
+        let ctx = FileContext { path, tokens: &lexed.tokens, live: &live, lock_order };
+        let passes = registry();
+        let pass = passes.iter().find(|p| p.id == id).expect("pass exists");
+        assert!(pass.applies(path), "scope must include {path}");
+        pass.check(&ctx)
+    }
+
+    #[test]
+    fn panic_pass_flags_unwrap_expect_and_macros() {
+        let src = "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); todo!(); }";
+        let out = run_pass("L-PANIC", "crates/snn/src/sim.rs", src);
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn panic_pass_ignores_non_panicking_lookalikes() {
+        let src = "fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); std::panic::catch_unwind(g); }";
+        let out = run_pass("L-PANIC", "crates/snn/src/sim.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn test_code_is_masked() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }";
+        let out = run_pass("L-PANIC", "crates/snn/src/sim.rs", src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }";
+        let out = run_pass("L-PANIC", "crates/snn/src/sim.rs", src);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cast_pass_flags_narrowing_only() {
+        let src = "fn f(x: f64, n: usize) -> f32 { let _ = n as f64; (x as f32) + n as f32 }";
+        let out = run_pass("L-CAST", "crates/tensor/src/ops.rs", src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|d| d.id == "L-CAST"));
+    }
+
+    #[test]
+    fn floateq_flags_literal_comparisons() {
+        let src = "fn f(v: f32) -> bool { v == 0.0 || v != 1.0 || 2 == 2 }";
+        let out = run_pass("L-FLOATEQ", "crates/tensor/src/tensor.rs", src);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn nondet_flags_clocks_and_entropy() {
+        let src = "fn f() { let t = Instant::now(); let r = StdRng::from_entropy(); }";
+        let out = run_pass("L-NONDET", "crates/core/src/generator.rs", src);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn lock_pass_requires_named_registered_locks() {
+        let order = vec!["service.queue".to_string()];
+        let src = "fn f() { let a = Mutex::new(1); let b = Mutex::named(\"service.queue\", 2); \
+                   let c = RwLock::named(\"service.rogue\", 3); }";
+        let out = run_pass_with_locks("L-LOCK", "crates/service/src/server.rs", src, &order);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("unnamed"));
+        assert!(out[1].message.contains("service.rogue"));
+    }
+
+    #[test]
+    fn scopes_exclude_binaries_and_bench() {
+        assert!(!is_library_code("src/main.rs"));
+        assert!(!is_library_code("crates/bench/src/lib.rs"));
+        assert!(!is_library_code("crates/bench/src/bin/scaling.rs"));
+        assert!(is_library_code("crates/service/src/server.rs"));
+        assert!(is_library_code("src/lib.rs"));
+        assert!(!is_kernel_crate("crates/datasets/src/gesture_like.rs"));
+        assert!(is_kernel_crate("crates/faults/src/sim.rs"));
+    }
+
+    #[test]
+    fn item_without_body_is_skipped_correctly() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn f() { x.unwrap(); }";
+        let out = run_pass("L-PANIC", "crates/snn/src/sim.rs", src);
+        assert_eq!(out.len(), 1, "code after the bodyless item stays live");
+    }
+}

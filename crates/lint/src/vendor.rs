@@ -1,0 +1,329 @@
+//! Vendored-dependency integrity check (`L-VENDOR`).
+//!
+//! `vendor/README.md` is the source of truth for which registry crate
+//! each stand-in replaces and at which version. This check fails fast —
+//! with a file:line diagnostic — when a vendored crate drifts from its
+//! pinned version, when a crate exists with no README pin (or vice
+//! versa), or when the root `Cargo.toml` requests a different version
+//! than the one vendored. Without it, drift surfaces as a confusing
+//! downstream resolver or API error.
+
+use crate::diag::Diagnostic;
+use crate::VENDOR_ID;
+use std::fs;
+use std::path::Path;
+
+/// A version pin extracted from one README table row.
+#[derive(Debug)]
+struct Pin {
+    crate_name: String,
+    version: String,
+    line: u32,
+}
+
+/// Runs the vendor integrity check under `root`. Missing `vendor/` is not
+/// an error (a future layout may drop it); a present but inconsistent one
+/// is.
+pub fn check(root: &Path) -> Vec<Diagnostic> {
+    let vendor_dir = root.join("vendor");
+    if !vendor_dir.is_dir() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+
+    let readme_path = vendor_dir.join("README.md");
+    let readme = match fs::read_to_string(&readme_path) {
+        Ok(text) => text,
+        Err(e) => {
+            out.push(Diagnostic {
+                file: "vendor/README.md".into(),
+                line: 1,
+                id: VENDOR_ID,
+                message: format!("cannot read the vendor version manifest: {e}"),
+            });
+            return out;
+        }
+    };
+    let pins = parse_pins(&readme);
+    if pins.is_empty() {
+        out.push(Diagnostic {
+            file: "vendor/README.md".into(),
+            line: 1,
+            id: VENDOR_ID,
+            message: "no version pins found — the README table must list every vendored \
+                      crate as `| `name` | <replaces> <version> | … |`"
+                .into(),
+        });
+        return out;
+    }
+
+    // Every vendored crate must match its pin.
+    let mut dirs: Vec<_> = match fs::read_dir(&vendor_dir) {
+        Ok(rd) => rd.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect(),
+        Err(_) => Vec::new(),
+    };
+    dirs.sort();
+    for dir in &dirs {
+        let Some(dir_name) = dir.file_name().and_then(|n| n.to_str()) else { continue };
+        let manifest_rel = format!("vendor/{dir_name}/Cargo.toml");
+        let Ok(manifest) = fs::read_to_string(dir.join("Cargo.toml")) else {
+            out.push(Diagnostic {
+                file: manifest_rel,
+                line: 1,
+                id: VENDOR_ID,
+                message: "vendored crate has no readable Cargo.toml".into(),
+            });
+            continue;
+        };
+        let Some((version, version_line)) = toml_value(&manifest, "version") else {
+            out.push(Diagnostic {
+                file: manifest_rel,
+                line: 1,
+                id: VENDOR_ID,
+                message: "vendored crate declares no version".into(),
+            });
+            continue;
+        };
+        let Some(pin) = pins.iter().find(|p| p.crate_name == dir_name) else {
+            out.push(Diagnostic {
+                file: manifest_rel,
+                line: 1,
+                id: VENDOR_ID,
+                message: format!(
+                    "vendored crate `{dir_name}` is not pinned in vendor/README.md — add it \
+                     to the stand-in table with the registry version it replaces"
+                ),
+            });
+            continue;
+        };
+        if !version_matches(&pin.version, &version) {
+            out.push(Diagnostic {
+                file: manifest_rel,
+                line: version_line,
+                id: VENDOR_ID,
+                message: format!(
+                    "vendored `{dir_name}` is version {version} but vendor/README.md (line {}) \
+                     pins {} — update whichever is stale so the stand-in keeps matching the \
+                     documented registry API",
+                    pin.line, pin.version
+                ),
+            });
+        }
+    }
+
+    // Every pin must have its crate directory.
+    for pin in &pins {
+        if !vendor_dir.join(&pin.crate_name).is_dir() {
+            out.push(Diagnostic {
+                file: "vendor/README.md".into(),
+                line: pin.line,
+                id: VENDOR_ID,
+                message: format!(
+                    "pinned crate `{}` has no vendor/{}/ directory",
+                    pin.crate_name, pin.crate_name
+                ),
+            });
+        }
+    }
+
+    // The workspace manifest must request compatible versions.
+    out.extend(check_root_manifest(root, &pins));
+    out
+}
+
+/// README table rows look like:
+/// ``| `rand` | rand 0.8 | … |`` or ``| `serde` + `serde_derive` | serde 1 | … |``.
+/// Every back-ticked name in the first cell is pinned to the trailing
+/// version token of the second cell.
+fn parse_pins(readme: &str) -> Vec<Pin> {
+    let mut pins = Vec::new();
+    for (idx, raw) in readme.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = line.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() < 2 {
+            continue;
+        }
+        let names: Vec<String> = backticked(cells[0]);
+        if names.is_empty() {
+            continue;
+        }
+        let Some(version) = cells[1].split_whitespace().last() else { continue };
+        if !version.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue; // header or separator row
+        }
+        for name in names {
+            pins.push(Pin {
+                crate_name: name,
+                version: version.to_string(),
+                line: (idx + 1) as u32,
+            });
+        }
+    }
+    pins
+}
+
+fn backticked(cell: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let tail = &rest[open + 1..];
+        let Some(close) = tail.find('`') else { break };
+        names.push(tail[..close].to_string());
+        rest = &tail[close + 1..];
+    }
+    names
+}
+
+/// `pin` is a version prefix: `1` matches `1.0.219`, `0.8` matches `0.8.5`.
+fn version_matches(pin: &str, actual: &str) -> bool {
+    actual == pin || actual.starts_with(&format!("{pin}."))
+}
+
+/// First `key = "value"` assignment in a TOML text, with its 1-based line.
+fn toml_value(toml: &str, key: &str) -> Option<(String, u32)> {
+    for (idx, line) in toml.lines().enumerate() {
+        let trimmed = line.trim();
+        let Some(rest) = trimmed.strip_prefix(key) else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('=') else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('"') else { continue };
+        let Some(close) = rest.find('"') else { continue };
+        return Some((rest[..close].to_string(), (idx + 1) as u32));
+    }
+    None
+}
+
+/// Checks `[workspace.dependencies]` entries of the root manifest that
+/// point into `vendor/`: their `version = "…"` request must match the
+/// README pin for that crate.
+fn check_root_manifest(root: &Path, pins: &[Pin]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Ok(manifest) = fs::read_to_string(root.join("Cargo.toml")) else {
+        return out;
+    };
+    for (idx, line) in manifest.lines().enumerate() {
+        let trimmed = line.trim();
+        let Some(path_pos) = trimmed.find("path = \"vendor/") else { continue };
+        let crate_name = trimmed[path_pos + "path = \"vendor/".len()..]
+            .split('"')
+            .next()
+            .unwrap_or("")
+            .to_string();
+        let Some(version_pos) = trimmed.find("version = \"") else { continue };
+        let requested =
+            trimmed[version_pos + "version = \"".len()..].split('"').next().unwrap_or("");
+        let Some(pin) = pins.iter().find(|p| p.crate_name == crate_name) else { continue };
+        if requested != pin.version {
+            out.push(Diagnostic {
+                file: "Cargo.toml".into(),
+                line: (idx + 1) as u32,
+                id: VENDOR_ID,
+                message: format!(
+                    "workspace requests `{crate_name}` version {requested} but \
+                     vendor/README.md (line {}) pins {} — keep the manifest and the pin in \
+                     lock-step",
+                    pin.line, pin.version
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_parse_from_table_rows() {
+        let readme = "# x\n| crate | replaces | scope |\n| --- | --- | --- |\n\
+                      | `rand` | rand 0.8 | stuff |\n\
+                      | `serde` + `serde_derive` | serde 1 | stuff |\n";
+        let pins = parse_pins(readme);
+        assert_eq!(pins.len(), 3);
+        assert_eq!(pins[0].crate_name, "rand");
+        assert_eq!(pins[0].version, "0.8");
+        assert_eq!(pins[2].crate_name, "serde_derive");
+        assert_eq!(pins[2].version, "1");
+    }
+
+    #[test]
+    fn version_prefix_matching() {
+        assert!(version_matches("0.8", "0.8.5"));
+        assert!(version_matches("1", "1.0.219"));
+        assert!(version_matches("0.12", "0.12"));
+        assert!(!version_matches("0.8", "0.9.0"));
+        assert!(!version_matches("0.1", "0.12.1"));
+    }
+
+    #[test]
+    fn toml_value_finds_line() {
+        let toml = "[package]\nname = \"rand\"\nversion = \"0.8.5\"\n";
+        assert_eq!(toml_value(toml, "version"), Some(("0.8.5".into(), 3)));
+        assert_eq!(toml_value(toml, "missing"), None);
+    }
+
+    /// End-to-end over a synthetic vendor tree: drift is caught at the
+    /// offending line; a consistent tree is clean.
+    #[test]
+    fn detects_drift_in_synthetic_tree() {
+        let root = std::env::temp_dir().join(format!("snn-lint-vendor-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("vendor/rand")).unwrap();
+        fs::write(
+            root.join("vendor/README.md"),
+            "| crate | replaces |\n| --- | --- |\n| `rand` | rand 0.8 |\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("vendor/rand/Cargo.toml"),
+            "[package]\nname = \"rand\"\nversion = \"0.8.5\"\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("Cargo.toml"),
+            "[workspace.dependencies]\nrand = { path = \"vendor/rand\", version = \"0.8\" }\n",
+        )
+        .unwrap();
+        assert!(check(&root).is_empty());
+
+        // Bump the vendored version without touching the pin: drift.
+        fs::write(
+            root.join("vendor/rand/Cargo.toml"),
+            "[package]\nname = \"rand\"\nversion = \"0.9.0\"\n",
+        )
+        .unwrap();
+        let out = check(&root);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].file, "vendor/rand/Cargo.toml");
+        assert_eq!(out[0].line, 3);
+        assert!(out[0].message.contains("pins 0.8"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unpinned_crate_is_reported() {
+        let root =
+            std::env::temp_dir().join(format!("snn-lint-vendor-unpinned-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("vendor/mystery")).unwrap();
+        fs::write(
+            root.join("vendor/README.md"),
+            "| crate | replaces |\n| --- | --- |\n| `rand` | rand 0.8 |\n",
+        )
+        .unwrap();
+        fs::write(
+            root.join("vendor/mystery/Cargo.toml"),
+            "[package]\nname = \"mystery\"\nversion = \"0.1.0\"\n",
+        )
+        .unwrap();
+        let out = check(&root);
+        assert!(out.iter().any(|d| d.message.contains("not pinned")));
+        assert!(out.iter().any(|d| d.message.contains("no vendor/rand/ directory")));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,125 @@
+//! Fixture-based tests: known-bad source snippets must produce exactly
+//! the expected lint ids on the expected lines, allow directives must
+//! suppress them, and out-of-scope code (test modules, vendored files)
+//! must be skipped.
+
+use snn_lint::lint_source;
+
+/// Findings as compact `(line, id)` pairs for easy assertions.
+fn findings(path: &str, source: &str) -> Vec<(u32, &'static str)> {
+    lint_source(path, source, &["service.queue".to_string(), "service.store.jobs".to_string()])
+        .into_iter()
+        .map(|d| (d.line, d.id))
+        .collect()
+}
+
+#[test]
+fn unwrap_in_library_code_is_flagged_at_its_line() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(findings("crates/core/src/lib.rs", src), vec![(2, "L-PANIC")]);
+}
+
+#[test]
+fn expect_and_panic_are_flagged() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    let v = x.expect(\"set\");\n    if v > 9 { panic!(\"too big\") }\n    v\n}\n";
+    assert_eq!(findings("crates/snn/src/lib.rs", src), vec![(2, "L-PANIC"), (3, "L-PANIC")]);
+}
+
+#[test]
+fn lossy_cast_in_kernel_crate_is_flagged() {
+    let src = "pub fn f(x: f64) -> f32 {\n    x as f32\n}\n";
+    assert_eq!(findings("crates/tensor/src/ops.rs", src), vec![(2, "L-CAST")]);
+}
+
+#[test]
+fn widening_cast_is_not_flagged() {
+    // The pass is token-level: it keys on the *target* type, so widening
+    // targets (f64, i64, usize) never fire.
+    let src = "pub fn f(x: f32, n: u32) -> f64 {\n    let _w = n as i64;\n    x as f64\n}\n";
+    assert_eq!(findings("crates/tensor/src/ops.rs", src), vec![]);
+}
+
+#[test]
+fn cast_outside_kernel_crates_is_not_flagged() {
+    let src = "pub fn f(x: f64) -> f32 {\n    x as f32\n}\n";
+    assert_eq!(findings("crates/service/src/server.rs", src), vec![]);
+}
+
+#[test]
+fn float_equality_is_flagged_for_both_operators() {
+    let src = "pub fn f(a: f32, b: f32) -> bool {\n    a == 0.5\n}\npub fn g(a: f32) -> bool {\n    a != 0.25\n}\n";
+    assert_eq!(
+        findings("crates/core/src/losses.rs", src),
+        vec![(2, "L-FLOATEQ"), (5, "L-FLOATEQ")]
+    );
+}
+
+#[test]
+fn instant_now_in_generator_is_flagged() {
+    let src = "use std::time::Instant;\npub fn f() {\n    let _t = Instant::now();\n}\n";
+    assert_eq!(findings("crates/core/src/generator.rs", src), vec![(3, "L-NONDET")]);
+}
+
+#[test]
+fn unregistered_mutex_in_service_is_flagged() {
+    let src = "pub struct S {\n    q: parking_lot::Mutex<u32>,\n}\nimpl S {\n    pub fn new() -> Self {\n        Self { q: parking_lot::Mutex::new(0) }\n    }\n}\n";
+    assert_eq!(findings("crates/service/src/server.rs", src), vec![(6, "L-LOCK")]);
+}
+
+#[test]
+fn named_registered_mutex_in_service_is_clean() {
+    let src = "pub struct S {\n    q: parking_lot::Mutex<u32>,\n}\nimpl S {\n    pub fn new() -> Self {\n        Self { q: parking_lot::Mutex::named(\"service.queue\", 0) }\n    }\n}\n";
+    assert_eq!(findings("crates/service/src/server.rs", src), vec![]);
+}
+
+#[test]
+fn standalone_allow_suppresses_the_next_line() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // snn-lint: allow(L-PANIC): invariant, x is always Some here\n    x.unwrap()\n}\n";
+    assert_eq!(findings("crates/core/src/lib.rs", src), vec![]);
+}
+
+#[test]
+fn trailing_allow_suppresses_its_own_line() {
+    let src = "pub fn f(x: f64) -> f32 {\n    x as f32 // snn-lint: allow(L-CAST): precision loss is the point here\n}\n";
+    assert_eq!(findings("crates/tensor/src/ops.rs", src), vec![]);
+}
+
+#[test]
+fn allow_without_justification_is_itself_a_finding() {
+    let src =
+        "pub fn f(x: Option<u32>) -> u32 {\n    // snn-lint: allow(L-PANIC):\n    x.unwrap()\n}\n";
+    let got = findings("crates/core/src/lib.rs", src);
+    assert!(got.contains(&(2, "L-ALLOW")), "unjustified allow must be reported, got {got:?}");
+}
+
+#[test]
+fn unused_allow_is_itself_a_finding() {
+    let src = "pub fn f() -> u32 {\n    // snn-lint: allow(L-PANIC): nothing here panics any more\n    7\n}\n";
+    assert_eq!(findings("crates/core/src/lib.rs", src), vec![(2, "L-ALLOW")]);
+}
+
+#[test]
+fn allow_for_a_different_id_does_not_suppress() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    // snn-lint: allow(L-CAST): wrong id on purpose\n    x.unwrap()\n}\n";
+    let got = findings("crates/core/src/lib.rs", src);
+    assert!(got.contains(&(3, "L-PANIC")), "finding must survive a mismatched allow, got {got:?}");
+}
+
+#[test]
+fn test_module_code_is_skipped() {
+    let src = "pub fn lib_side() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x: Option<u32> = Some(1);\n        assert_eq!(x.unwrap(), 1);\n        let _ = 0.5f32 == 0.5f32;\n    }\n}\n";
+    assert_eq!(findings("crates/core/src/lib.rs", src), vec![]);
+}
+
+#[test]
+fn integration_test_files_are_skipped() {
+    let src = "fn main() {\n    let x: Option<u32> = None;\n    x.unwrap();\n}\n";
+    assert_eq!(findings("crates/snn/tests/invariants.rs", src), vec![]);
+    assert_eq!(findings("tests/pipeline.rs", src), vec![]);
+}
+
+#[test]
+fn vendor_files_are_skipped() {
+    let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(findings("vendor/rand/src/lib.rs", src), vec![]);
+}

@@ -12,15 +12,21 @@ struct Subscriber {
 
 /// Broadcasts job events to any number of subscribers. Disconnected
 /// subscribers (dropped receivers) are pruned on the next publish.
-#[derive(Default)]
 pub struct EventBus {
     subscribers: Mutex<Vec<Subscriber>>,
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventBus {
     /// An empty bus.
     pub fn new() -> Self {
-        Self::default()
+        crate::lock_order::register();
+        Self { subscribers: Mutex::named("service.bus.subscribers", Vec::new()) }
     }
 
     /// Registers a subscriber. `job = Some(id)` delivers only that job's

@@ -51,6 +51,7 @@
 
 pub mod bus;
 pub mod client;
+pub mod lock_order;
 pub mod protocol;
 pub mod server;
 pub mod store;

@@ -1,0 +1,51 @@
+//! The service crate's documented lock acquisition order.
+//!
+//! Every `Mutex`/`RwLock` in this crate is constructed with
+//! `Mutex::named(..)` using a name from [`LOCK_ORDER`] — enforced
+//! statically by the `snn-lint` pass `L-LOCK` — and the order itself is
+//! enforced at runtime, in debug builds only, by the vendored
+//! `parking_lot`'s lock-order detector: acquiring a lock while holding
+//! one that ranks after it panics immediately with both acquisition
+//! sites, turning a timing-dependent ABBA deadlock into a deterministic
+//! single-run test failure.
+
+/// Lock names in their required acquisition order (earlier first).
+///
+/// The order encodes the nestings the server actually performs:
+///
+/// * `service.queue` is held across `JobStore::submit`
+///   (`service.store.jobs`) so a submit is atomic with its enqueue.
+/// * `service.sink.last_persist` is held across the throttled
+///   `JobStore::update` (`service.store.jobs`) on the progress path.
+/// * `service.running` only nests inside nothing today, but sits between
+///   the queue and the store so a future "queue → running" handoff under
+///   both locks stays legal.
+/// * `service.bus.subscribers` ranks last: event fan-out must never
+///   acquire another service lock while delivering.
+pub const LOCK_ORDER: &[&str] = &[
+    "service.queue",
+    "service.running",
+    "service.sink.last_persist",
+    "service.store.jobs",
+    "service.bus.subscribers",
+];
+
+/// Registers [`LOCK_ORDER`] with the runtime detector. Idempotent —
+/// every entry point (server bind, store open, bus construction) calls
+/// it defensively so partial uses of the crate are still checked.
+pub fn register() {
+    parking_lot::lock_order::register(LOCK_ORDER);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_names_are_unique_and_prefixed() {
+        for (i, name) in LOCK_ORDER.iter().enumerate() {
+            assert!(name.starts_with("service."), "lock name {name} must be crate-prefixed");
+            assert!(!LOCK_ORDER[i + 1..].contains(name), "duplicate lock name {name}");
+        }
+    }
+}

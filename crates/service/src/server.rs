@@ -163,7 +163,7 @@ struct ServiceSink {
 
 impl ServiceSink {
     fn new(inner: Arc<Inner>, job: u64) -> Self {
-        Self { inner, job, last_persist: Mutex::new(Instant::now()) }
+        Self { inner, job, last_persist: Mutex::named("service.sink.last_persist", Instant::now()) }
     }
 }
 
@@ -191,6 +191,7 @@ impl Server {
     /// Binds the listen socket and opens (or recovers) the job store.
     /// Jobs found `Queued` on disk are re-enqueued immediately.
     pub fn bind(config: ServiceConfig) -> io::Result<Self> {
+        crate::lock_order::register();
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let store = JobStore::open(&config.state_dir)?;
@@ -198,10 +199,10 @@ impl Server {
         let inner = Arc::new(Inner {
             store,
             bus: EventBus::new(),
-            queue: Mutex::new(recovered),
+            queue: Mutex::named("service.queue", recovered),
             queue_cv: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
-            running: Mutex::new(HashMap::new()),
+            running: Mutex::named("service.running", HashMap::new()),
             shutdown: AtomicBool::new(false),
             local_addr,
         });

@@ -36,6 +36,7 @@ impl JobStore {
     /// `Queued` never started and are kept queued (the server re-enqueues
     /// them); terminal jobs load as-is. Unreadable job files are skipped.
     pub fn open(state_dir: impl Into<PathBuf>) -> io::Result<Self> {
+        crate::lock_order::register();
         let state_dir = state_dir.into();
         fs::create_dir_all(state_dir.join("jobs"))?;
         fs::create_dir_all(state_dir.join("results"))?;
@@ -66,7 +67,7 @@ impl JobStore {
 
         Ok(Self {
             state_dir,
-            jobs: Mutex::new(jobs),
+            jobs: Mutex::named("service.store.jobs", jobs),
             next_id: AtomicU64::new(max_id + 1),
             recovered_queued,
         })
@@ -176,6 +177,7 @@ fn persist(state_dir: &Path, record: &JobRecord) -> io::Result<()> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only shorthand
 mod tests {
     use super::*;
     use crate::protocol::{JobResult, JobSpec};

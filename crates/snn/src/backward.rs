@@ -139,6 +139,7 @@ fn lif_temporal_backward(
     // Recurrent spike-gradient contributions flowing from tick t+1 to t.
     let mut extra = vec![0.0f32; steps * n];
     let og = out_grad.as_slice();
+    snn_tensor::sanitize::debug_assert_finite("lif_temporal_backward", "out_grad", og);
     let sp = spikes.as_slice();
     let pot = potential.as_slice();
     let gt = gate.as_slice();
@@ -146,6 +147,7 @@ fn lif_temporal_backward(
     for t in (0..steps).rev() {
         let row = t * n;
         for i in 0..n {
+            // snn-lint: allow(L-FLOATEQ): integration gates are exact 0.0/1.0 values by construction
             if gt[row + i] == 0.0 {
                 // Refractory (or forced) tick: spike is constant and the
                 // carried potential is held at zero, so both gradient
@@ -168,6 +170,13 @@ fn lif_temporal_backward(
             }
         }
     }
+    // A steep surrogate slope or exploding recurrent weights surface here
+    // first — before the poisoned gradient reaches the optimiser.
+    snn_tensor::sanitize::debug_assert_finite(
+        "lif_temporal_backward",
+        "delta_z",
+        delta_z.as_slice(),
+    );
     delta_z
 }
 
@@ -198,6 +207,7 @@ impl Network {
         want_weights: bool,
     ) -> Gradients {
         self.try_backward(input, trace, injected, surrogate, want_weights)
+            // snn-lint: allow(L-PANIC): documented panicking wrapper — try_backward is the fallible API
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -405,6 +415,7 @@ impl Network {
         }
 
         Ok(Gradients {
+            // snn-lint: allow(L-PANIC): Network::new asserts at least one layer, so the loop ran
             input: downstream.expect("network has at least one layer"),
             weights: weight_grads,
         })
@@ -418,6 +429,7 @@ fn trace_state(lt: &crate::LayerTrace, idx: usize) -> Result<(&Tensor, &Tensor),
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{DenseLayer, LifParams, NetworkBuilder, PoolLayer, RecordOptions, RecurrentLayer};

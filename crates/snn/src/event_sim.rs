@@ -82,7 +82,8 @@ impl LayerState {
                         s.threshold[i] = (lif.threshold * threshold_scale).max(f32::EPSILON);
                         s.leak[i] = (lif.leak * leak_scale).clamp(f32::EPSILON, 1.0);
                         s.refrac_steps[i] =
-                            (lif.refrac_steps as i64 + refrac_delta as i64).max(0) as u32;
+                            // snn-lint: allow(L-CAST): clamped non-negative and refractory periods are tiny, truncation unreachable
+                            (i64::from(lif.refrac_steps) + i64::from(refrac_delta)).max(0) as u32;
                     }
                 }
             }
@@ -132,6 +133,7 @@ impl LayerState {
                 self.refrac[i] = self.refrac_steps[i] + 1;
             } else {
                 self.carried[i] = v;
+                // snn-lint: allow(L-FLOATEQ): exact-zero sparsity test — only charged neurons are tracked
                 if v != 0.0 {
                     next_charged.push(i);
                 }
@@ -237,6 +239,7 @@ pub fn event_forward(
         let mut carry_events: Vec<(usize, f32)> = Vec::new();
         for f in 0..in_features {
             let v = in_data[t * in_features + f];
+            // snn-lint: allow(L-FLOATEQ): exact-zero sparsity test — spike trains store exact values
             if v != 0.0 {
                 carry_events.push((f, v));
                 stats.routed_spikes += 1;
@@ -246,6 +249,7 @@ pub fn event_forward(
         for (idx, layer) in layers.iter().enumerate() {
             match layer {
                 Layer::Dense(l) => {
+                    // snn-lint: allow(L-PANIC): states[idx] is Some for every spiking layer by the setup loop above
                     let state = states[idx].as_mut().expect("dense layer has LIF state");
                     let cols = l.weight.shape().dim(1);
                     let wd = l.weight.as_slice();
@@ -263,6 +267,7 @@ pub fn event_forward(
                     stats.routed_spikes += carry_events.len();
                 }
                 Layer::Conv(l) => {
+                    // snn-lint: allow(L-PANIC): states[idx] is Some for every spiking layer by the setup loop above
                     let state = states[idx].as_mut().expect("conv layer has LIF state");
                     let (h, w) = l.in_hw;
                     let (oh, ow) = l.out_hw();
@@ -329,6 +334,7 @@ pub fn event_forward(
                     carry_events = vout
                         .iter()
                         .enumerate()
+                        // snn-lint: allow(L-FLOATEQ): exact-zero sparsity test on pooled spike values
                         .filter(|(_, &v)| v != 0.0)
                         .map(|(i, &v)| (i, v))
                         .collect();
@@ -336,6 +342,7 @@ pub fn event_forward(
                     stats.synaptic_ops += n_in;
                 }
                 Layer::Recurrent(l) => {
+                    // snn-lint: allow(L-PANIC): states[idx] is Some for every spiking layer by the setup loop above
                     let state = states[idx].as_mut().expect("recurrent layer has LIF state");
                     let units = l.w_in.shape().dim(0);
                     let cols = l.w_in.shape().dim(1);
@@ -376,6 +383,7 @@ fn record(output: &mut Tensor, t: usize, spikes: &[usize]) {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{LifParams, NetworkBuilder, RecordOptions};

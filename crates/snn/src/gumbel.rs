@@ -68,6 +68,7 @@ impl GumbelSample {
             soft_data.push(sigmoid((l + g) / tau));
         }
         let soft = Tensor::from_vec(soft.shape().clone(), soft_data)
+            // snn-lint: allow(L-PANIC): soft_data has one element per logit, so the shape always matches
             .expect("shape preserved by construction");
         let binary = soft.binarize(0.5);
         Self { soft, binary, tau }

@@ -31,6 +31,15 @@ fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
+/// Writes a `usize` count/extent as `u32`, failing with `InvalidData`
+/// instead of silently truncating when it exceeds the format's 32-bit
+/// field width.
+fn write_len(w: &mut impl Write, n: usize) -> io::Result<()> {
+    let v = u32::try_from(n)
+        .map_err(|_| bad(format!("value {n} exceeds the format's u32 field width")))?;
+    write_u32(w, v)
+}
+
 fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
@@ -60,7 +69,7 @@ fn read_lif(r: &mut impl Read) -> io::Result<LifParams> {
 }
 
 fn write_tensor(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
-    write_u32(w, t.len() as u32)?;
+    write_len(w, t.len())?;
     for &v in t.as_slice() {
         write_f32(w, v)?;
     }
@@ -89,43 +98,43 @@ impl Network {
     pub fn save(&self, w: &mut impl Write) -> io::Result<()> {
         w.write_all(MAGIC)?;
         let dims = self.input_shape().dims();
-        write_u32(w, dims.len() as u32)?;
+        write_len(w, dims.len())?;
         for &d in dims {
-            write_u32(w, d as u32)?;
+            write_len(w, d)?;
         }
-        write_u32(w, self.layers().len() as u32)?;
+        write_len(w, self.layers().len())?;
         for layer in self.layers() {
             match layer {
                 Layer::Dense(l) => {
                     w.write_all(&[0u8])?;
-                    write_u32(w, layer.out_features() as u32)?;
-                    write_u32(w, layer.in_features() as u32)?;
+                    write_len(w, layer.out_features())?;
+                    write_len(w, layer.in_features())?;
                     write_lif(w, &l.lif)?;
                     write_tensor(w, &l.weight)?;
                 }
                 Layer::Conv(l) => {
                     w.write_all(&[1u8])?;
-                    write_u32(w, l.spec.in_channels as u32)?;
-                    write_u32(w, l.spec.out_channels as u32)?;
-                    write_u32(w, l.spec.kernel as u32)?;
-                    write_u32(w, l.spec.stride as u32)?;
-                    write_u32(w, l.spec.padding as u32)?;
-                    write_u32(w, l.in_hw.0 as u32)?;
-                    write_u32(w, l.in_hw.1 as u32)?;
+                    write_len(w, l.spec.in_channels)?;
+                    write_len(w, l.spec.out_channels)?;
+                    write_len(w, l.spec.kernel)?;
+                    write_len(w, l.spec.stride)?;
+                    write_len(w, l.spec.padding)?;
+                    write_len(w, l.in_hw.0)?;
+                    write_len(w, l.in_hw.1)?;
                     write_lif(w, &l.lif)?;
                     write_tensor(w, &l.weight)?;
                 }
                 Layer::Pool(l) => {
                     w.write_all(&[2u8])?;
-                    write_u32(w, l.channels as u32)?;
-                    write_u32(w, l.in_hw.0 as u32)?;
-                    write_u32(w, l.in_hw.1 as u32)?;
-                    write_u32(w, l.k as u32)?;
+                    write_len(w, l.channels)?;
+                    write_len(w, l.in_hw.0)?;
+                    write_len(w, l.in_hw.1)?;
+                    write_len(w, l.k)?;
                 }
                 Layer::Recurrent(l) => {
                     w.write_all(&[3u8])?;
-                    write_u32(w, layer.out_features() as u32)?;
-                    write_u32(w, layer.in_features() as u32)?;
+                    write_len(w, layer.out_features())?;
+                    write_len(w, layer.in_features())?;
                     write_lif(w, &l.lif)?;
                     write_tensor(w, &l.w_in)?;
                     write_tensor(w, &l.w_rec)?;

@@ -95,6 +95,7 @@ impl Network {
 
     /// Number of output classes (features of the last layer).
     pub fn output_features(&self) -> usize {
+        // snn-lint: allow(L-PANIC): Network::new asserts at least one layer, so last() cannot fail
         self.layers.last().expect("network is non-empty").out_features()
     }
 
@@ -133,6 +134,7 @@ impl Network {
             }
             remaining -= count;
         }
+        // snn-lint: allow(L-PANIC): documented `# Panics` contract — out-of-range ids are caller bugs
         panic!(
             "global neuron id {global} out of range for network with {} neurons",
             self.neuron_count()
@@ -154,6 +156,7 @@ impl Network {
                 remaining -= t.len();
             }
         }
+        // snn-lint: allow(L-PANIC): documented `# Panics` contract — out-of-range ids are caller bugs
         panic!(
             "global synapse id {global} out of range for network with {} synapses",
             self.synapse_count()
@@ -214,6 +217,7 @@ impl Network {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{DenseLayer, LifParams, PoolLayer, RecurrentLayer};

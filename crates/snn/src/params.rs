@@ -120,6 +120,7 @@ impl Default for Surrogate {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -50,6 +50,7 @@ pub fn quantize_weights(net: &mut Network) -> QuantReport {
         for tensor in layer.weight_tensors_mut() {
             let scale = tensor.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs())) / 127.0;
             layer_scales.push(scale);
+            // snn-lint: allow(L-FLOATEQ): exact-zero scale means an all-zero tensor, not a tolerance test
             if scale == 0.0 {
                 continue; // all-zero tensor: already on the grid
             }
@@ -58,7 +59,7 @@ pub fn quantize_weights(net: &mut Network) -> QuantReport {
                 let dequant = q * scale;
                 let err = (*w - dequant).abs();
                 max_err = max_err.max(err);
-                err_sum += err as f64;
+                err_sum += f64::from(err);
                 err_count += 1;
                 *w = dequant;
             }
@@ -68,6 +69,7 @@ pub fn quantize_weights(net: &mut Network) -> QuantReport {
     QuantReport {
         scales,
         max_abs_error: max_err,
+        // snn-lint: allow(L-CAST): a rounded element count changes the mean by ≤1 ulp, and the f32 narrowing is the report's precision
         mean_abs_error: if err_count == 0 { 0.0 } else { (err_sum / err_count as f64) as f32 },
     }
 }
@@ -81,6 +83,7 @@ pub fn is_quantized(net: &Network) -> bool {
         }
         for tensor in layer.weight_tensors() {
             let scale = tensor.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs())) / 127.0;
+            // snn-lint: allow(L-FLOATEQ): exact-zero scale means an all-zero tensor, not a tolerance test
             if scale == 0.0 {
                 continue;
             }
@@ -102,6 +105,7 @@ fn tensor_max_abs(t: &Tensor) -> f32 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{LifParams, NetworkBuilder, RecordOptions};

@@ -91,11 +91,13 @@ impl Trace {
     /// Output spike trains of the last layer, `[T × classes]` — the
     /// paper's `O^L`.
     pub fn output(&self) -> &Tensor {
+        // snn-lint: allow(L-PANIC): a trace always records the non-empty network's layers
         &self.layers.last().expect("trace has at least one layer").output
     }
 
     /// Output spike count per class (rate-coding readout).
     pub fn class_counts(&self) -> Vec<f32> {
+        // snn-lint: allow(L-PANIC): a trace always records the non-empty network's layers
         self.layers.last().expect("non-empty").spike_counts()
     }
 
@@ -159,7 +161,9 @@ impl EffectiveParams {
                     } => {
                         p.threshold[i] = (lif.threshold * threshold_scale).max(f32::EPSILON);
                         p.leak[i] = (lif.leak * leak_scale).clamp(f32::EPSILON, 1.0);
-                        p.refrac[i] = (lif.refrac_steps as i64 + refrac_delta as i64).max(0) as u32;
+                        p.refrac[i] =
+                            // snn-lint: allow(L-CAST): clamped non-negative and refractory periods are tiny, truncation unreachable
+                            (i64::from(lif.refrac_steps) + i64::from(refrac_delta)).max(0) as u32;
                     }
                 }
             }
@@ -391,6 +395,7 @@ impl Network {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{DenseLayer, LifParams, NetworkBuilder, PoolLayer};

@@ -123,7 +123,9 @@ impl Trainer {
                         continue;
                     }
                     let n = layer.out_features();
+                    // snn-lint: allow(L-CAST): steps×neurons stays far below f32's 2^24 exact-integer limit
                     let rate = trace.layers[idx].output.sum() / (steps * n) as f32;
+                    // snn-lint: allow(L-CAST): steps×neurons stays far below f32's 2^24 exact-integer limit
                     let g = self.cfg.rate_reg * (rate - self.cfg.target_rate) / (steps * n) as f32;
                     injected.set(idx, Tensor::full(Shape::d2(steps, n), g));
                 }
@@ -132,6 +134,7 @@ impl Trainer {
             let grads = net.backward(input, &trace, &injected, self.cfg.surrogate, true);
             for (la, lg) in acc.iter_mut().zip(grads.weights) {
                 for (ta, tg) in la.iter_mut().zip(lg) {
+                    // snn-lint: allow(L-CAST): batch sizes are small, exactly representable in f32
                     ta.axpy(1.0 / batch.len() as f32, &tg);
                 }
             }
@@ -142,6 +145,7 @@ impl Trainer {
                 self.adam[layer_idx][tensor_idx].step(t, &acc[layer_idx][tensor_idx], self.cfg.lr);
             }
         }
+        // snn-lint: allow(L-CAST): batch sizes are small, exactly representable in f32
         total_loss / batch.len() as f32
     }
 }
@@ -171,10 +175,12 @@ pub fn evaluate(net: &Network, samples: &[(Tensor, usize)]) -> f32 {
             net.forward(input, RecordOptions::spikes_only()).predict() == *label
         })
         .count();
+    // snn-lint: allow(L-CAST): sample counts stay far below f32's 2^24 exact-integer limit
     correct as f32 / samples.len() as f32
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::{LifParams, NetworkBuilder};

@@ -22,6 +22,7 @@ use rand::Rng;
 pub fn uniform(rng: &mut impl Rng, shape: impl Into<Shape>, lo: f32, hi: f32) -> Tensor {
     let shape = shape.into();
     let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+    // snn-lint: allow(L-PANIC): the iterator yields exactly shape.len() elements, so from_vec cannot fail
     Tensor::from_vec(shape, data).expect("length matches by construction")
 }
 
@@ -41,6 +42,7 @@ pub fn normal(rng: &mut impl Rng, shape: impl Into<Shape>, mean: f32, std: f32) 
             data.push(mean + std * r * theta.sin());
         }
     }
+    // snn-lint: allow(L-PANIC): the loop above pushes exactly shape.len() elements, so from_vec cannot fail
     Tensor::from_vec(shape, data).expect("length matches by construction")
 }
 
@@ -51,6 +53,7 @@ pub fn normal(rng: &mut impl Rng, shape: impl Into<Shape>, mean: f32, std: f32) 
 /// where the membrane potential accumulates `fan_in` weighted spikes per
 /// step and must stay within a few thresholds of zero.
 pub fn kaiming(rng: &mut impl Rng, shape: impl Into<Shape>, fan_in: usize, gain: f32) -> Tensor {
+    // snn-lint: allow(L-CAST): fan_in is a layer width, far below f32's 2^24 exact-integer limit
     let std = gain / (fan_in.max(1) as f32).sqrt();
     normal(rng, shape, 0.0, std)
 }
@@ -60,10 +63,12 @@ pub fn kaiming(rng: &mut impl Rng, shape: impl Into<Shape>, fan_in: usize, gain:
 pub fn bernoulli(rng: &mut impl Rng, shape: impl Into<Shape>, p: f32) -> Tensor {
     let shape = shape.into();
     let data = (0..shape.len()).map(|_| if rng.gen::<f32>() < p { 1.0 } else { 0.0 }).collect();
+    // snn-lint: allow(L-PANIC): the iterator yields exactly shape.len() elements, so from_vec cannot fail
     Tensor::from_vec(shape, data).expect("length matches by construction")
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use rand::rngs::StdRng;

@@ -5,7 +5,13 @@
 //! with the gradient computations used by backpropagation-through-time.
 //! All kernels are straightforward nested loops — auditable, allocation-free
 //! on the hot path and fast enough for the repro-scale benchmarks.
+//!
+//! In debug builds every kernel additionally scans its operands and its
+//! result for NaN/Inf via [`crate::sanitize::debug_assert_finite`], so a
+//! poisoned value is reported at the kernel boundary it crossed instead
+//! of corrupting an entire run silently.
 
+use crate::sanitize::debug_assert_finite;
 use crate::{Shape, Tensor};
 
 /// Geometry of a 2-D convolution or pooling operation.
@@ -80,6 +86,8 @@ pub fn matvec(w: &Tensor, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), cols, "matvec input length mismatch");
     assert_eq!(y.len(), rows, "matvec output length mismatch");
     let wd = w.as_slice();
+    debug_assert_finite("matvec", "w", wd);
+    debug_assert_finite("matvec", "x", x);
     for r in 0..rows {
         let row = &wd[r * cols..(r + 1) * cols];
         let mut acc = 0.0f32;
@@ -88,6 +96,7 @@ pub fn matvec(w: &Tensor, x: &[f32], y: &mut [f32]) {
         }
         y[r] = acc;
     }
+    debug_assert_finite("matvec", "y", y);
 }
 
 /// Transposed matrix–vector product `x_grad = Wᵀ · y_grad`, accumulating
@@ -103,8 +112,11 @@ pub fn matvec_t_acc(w: &Tensor, y_grad: &[f32], x_grad: &mut [f32]) {
     assert_eq!(y_grad.len(), rows, "matvec_t output-grad length mismatch");
     assert_eq!(x_grad.len(), cols, "matvec_t input-grad length mismatch");
     let wd = w.as_slice();
+    debug_assert_finite("matvec_t_acc", "w", wd);
+    debug_assert_finite("matvec_t_acc", "y_grad", y_grad);
     for r in 0..rows {
         let g = y_grad[r];
+        // snn-lint: allow(L-FLOATEQ): exact-zero sparsity shortcut, not a tolerance comparison
         if g == 0.0 {
             continue;
         }
@@ -113,6 +125,7 @@ pub fn matvec_t_acc(w: &Tensor, y_grad: &[f32], x_grad: &mut [f32]) {
             *xg += g * wv;
         }
     }
+    debug_assert_finite("matvec_t_acc", "x_grad", x_grad);
 }
 
 /// Outer-product accumulation `W_grad += y_grad ⊗ x` for the dense layer
@@ -127,9 +140,12 @@ pub fn outer_acc(w_grad: &mut Tensor, y_grad: &[f32], x: &[f32]) {
     let (rows, cols) = (dims[0], dims[1]);
     assert_eq!(y_grad.len(), rows, "outer_acc row mismatch");
     assert_eq!(x.len(), cols, "outer_acc col mismatch");
+    debug_assert_finite("outer_acc", "y_grad", y_grad);
+    debug_assert_finite("outer_acc", "x", x);
     let wd = w_grad.as_mut_slice();
     for r in 0..rows {
         let g = y_grad[r];
+        // snn-lint: allow(L-FLOATEQ): exact-zero sparsity shortcut, not a tolerance comparison
         if g == 0.0 {
             continue;
         }
@@ -138,6 +154,7 @@ pub fn outer_acc(w_grad: &mut Tensor, y_grad: &[f32], x: &[f32]) {
             *wv += g * xv;
         }
     }
+    debug_assert_finite("outer_acc", "w_grad", wd);
 }
 
 /// 2-D convolution forward pass.
@@ -163,6 +180,8 @@ pub fn conv2d(
     assert_eq!(out.len(), spec.out_channels * oh * ow, "conv2d output length");
     let k = spec.kernel;
     let wd = weight.as_slice();
+    debug_assert_finite("conv2d", "input", input);
+    debug_assert_finite("conv2d", "weight", wd);
     for oc in 0..spec.out_channels {
         for oy in 0..oh {
             for ox in 0..ow {
@@ -190,6 +209,7 @@ pub fn conv2d(
             }
         }
     }
+    debug_assert_finite("conv2d", "out", out);
 }
 
 /// Gradient of [`conv2d`] with respect to the input, accumulated into
@@ -211,10 +231,13 @@ pub fn conv2d_backward_input(
     assert_eq!(in_grad.len(), spec.in_channels * h * w, "conv2d in-grad length");
     let k = spec.kernel;
     let wd = weight.as_slice();
+    debug_assert_finite("conv2d_backward_input", "out_grad", out_grad);
+    debug_assert_finite("conv2d_backward_input", "weight", wd);
     for oc in 0..spec.out_channels {
         for oy in 0..oh {
             for ox in 0..ow {
                 let g = out_grad[(oc * oh + oy) * ow + ox];
+                // snn-lint: allow(L-FLOATEQ): exact-zero sparsity shortcut, not a tolerance comparison
                 if g == 0.0 {
                     continue;
                 }
@@ -240,6 +263,7 @@ pub fn conv2d_backward_input(
             }
         }
     }
+    debug_assert_finite("conv2d_backward_input", "in_grad", in_grad);
 }
 
 /// Gradient of [`conv2d`] with respect to the weights, accumulated into
@@ -261,11 +285,14 @@ pub fn conv2d_backward_weight(
     assert_eq!(input.len(), spec.in_channels * h * w, "conv2d input length");
     assert_eq!(w_grad.len(), spec.weight_count(), "conv2d weight-grad length");
     let k = spec.kernel;
+    debug_assert_finite("conv2d_backward_weight", "out_grad", out_grad);
+    debug_assert_finite("conv2d_backward_weight", "input", input);
     let wd = w_grad.as_mut_slice();
     for oc in 0..spec.out_channels {
         for oy in 0..oh {
             for ox in 0..ow {
                 let g = out_grad[(oc * oh + oy) * ow + ox];
+                // snn-lint: allow(L-FLOATEQ): exact-zero sparsity shortcut, not a tolerance comparison
                 if g == 0.0 {
                     continue;
                 }
@@ -291,6 +318,7 @@ pub fn conv2d_backward_weight(
             }
         }
     }
+    debug_assert_finite("conv2d_backward_weight", "w_grad", wd);
 }
 
 /// Average pooling forward pass with a square window `k` and stride `k`.
@@ -306,6 +334,8 @@ pub fn avg_pool2d(input: &[f32], c: usize, h: usize, w: usize, k: usize, out: &m
     assert!(k > 0, "pool window must be positive");
     assert_eq!(input.len(), c * h * w, "avg_pool2d input length");
     assert_eq!(out.len(), c * oh * ow, "avg_pool2d output length");
+    debug_assert_finite("avg_pool2d", "input", input);
+    // snn-lint: allow(L-CAST): pooling window area is a small constant, exactly representable
     let inv = 1.0 / (k * k) as f32;
     for ch in 0..c {
         let base = ch * h * w;
@@ -322,6 +352,7 @@ pub fn avg_pool2d(input: &[f32], c: usize, h: usize, w: usize, k: usize, out: &m
             }
         }
     }
+    debug_assert_finite("avg_pool2d", "out", out);
 }
 
 /// Gradient of [`avg_pool2d`], accumulated into `in_grad` (`[C, H, W]`).
@@ -340,12 +371,15 @@ pub fn avg_pool2d_backward(
     let (oh, ow) = (h / k, w / k);
     assert_eq!(out_grad.len(), c * oh * ow, "avg_pool2d out-grad length");
     assert_eq!(in_grad.len(), c * h * w, "avg_pool2d in-grad length");
+    debug_assert_finite("avg_pool2d_backward", "out_grad", out_grad);
+    // snn-lint: allow(L-CAST): pooling window area is a small constant, exactly representable
     let inv = 1.0 / (k * k) as f32;
     for ch in 0..c {
         let base = ch * h * w;
         for oy in 0..oh {
             for ox in 0..ow {
                 let g = out_grad[(ch * oh + oy) * ow + ox] * inv;
+                // snn-lint: allow(L-FLOATEQ): exact-zero sparsity shortcut, not a tolerance comparison
                 if g == 0.0 {
                     continue;
                 }
@@ -358,9 +392,11 @@ pub fn avg_pool2d_backward(
             }
         }
     }
+    debug_assert_finite("avg_pool2d_backward", "in_grad", in_grad);
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use crate::Shape;

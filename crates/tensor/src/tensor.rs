@@ -141,6 +141,7 @@ impl Tensor {
         if self.data.is_empty() {
             0.0
         } else {
+            // snn-lint: allow(L-CAST): a rounded element count changes the mean by ≤1 ulp, harmless
             self.sum() / self.data.len() as f32
         }
     }
@@ -162,6 +163,7 @@ impl Tensor {
 
     /// Number of non-zero elements.
     pub fn count_nonzero(&self) -> usize {
+        // snn-lint: allow(L-FLOATEQ): exact-zero test — counts stored zeros, not near-zeros
         self.data.iter().filter(|&&v| v != 0.0).count()
     }
 
@@ -212,7 +214,9 @@ impl Tensor {
     }
 
     /// `true` if every element is exactly 0.0 or 1.0 (a valid spike tensor).
+    #[allow(clippy::float_cmp)] // exact spike values, see the snn-lint justification below
     pub fn is_binary(&self) -> bool {
+        // snn-lint: allow(L-FLOATEQ): spike tensors hold exact 0.0/1.0 values by construction
         self.data.iter().all(|&v| v == 0.0 || v == 1.0)
     }
 
@@ -330,6 +334,7 @@ impl fmt::Display for Tensor {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike/gradient values
 mod tests {
     use super::*;
     use proptest::prelude::*;

@@ -5,14 +5,141 @@
 //! implemented over the `std::sync` primitives. Poisoned std locks are
 //! recovered transparently: a panic while holding a lock does not poison
 //! it for other threads, matching `parking_lot` semantics.
+//!
+//! # Lock-order detection (debug builds)
+//!
+//! Beyond the upstream API, this stand-in adds a lightweight lockdep:
+//! locks built with [`Mutex::named`] / [`RwLock::named`] participate in a
+//! runtime acquisition-order check when `debug_assertions` are on. The
+//! program registers its global order once via
+//! [`lock_order::register`]; acquiring a registered lock while holding
+//! one that the order places *after* it panics immediately — on the
+//! first inverted acquisition, no actual deadlock required — naming both
+//! locks and both acquisition sites. Release builds compile the
+//! bookkeeping out entirely; unnamed locks are never tracked.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 use std::time::Duration;
 
+/// Runtime lock-order (deadlock-potential) detection for named locks.
+///
+/// The check is rank-based: [`register`] fixes a total order of lock
+/// names, and every thread keeps a stack of the named locks it currently
+/// holds. Acquiring rank *r* while holding any rank *> r* is an
+/// inversion — two threads doing it in opposite orders is the classic
+/// ABBA deadlock — and panics deterministically on the first occurrence,
+/// which makes single-run tests able to prove the discipline. Names not
+/// in the registered order are tracked (so they appear in reports) but
+/// not checked.
+pub mod lock_order {
+    #[cfg(debug_assertions)]
+    use std::cell::RefCell;
+    #[cfg(debug_assertions)]
+    use std::panic::Location;
+    #[cfg(debug_assertions)]
+    use std::sync::OnceLock;
+
+    #[cfg(debug_assertions)]
+    static ORDER: OnceLock<Vec<&'static str>> = OnceLock::new();
+
+    /// Registers the program-wide acquisition order: earlier names must
+    /// be acquired before later ones. First registration wins; calling
+    /// again with the same list is a no-op, which lets every entry point
+    /// register defensively.
+    pub fn register(order: &[&'static str]) {
+        #[cfg(debug_assertions)]
+        {
+            let _ = ORDER.set(order.to_vec());
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = order;
+    }
+
+    #[cfg(debug_assertions)]
+    fn rank(name: &str) -> Option<usize> {
+        ORDER.get().and_then(|o| o.iter().position(|n| *n == name))
+    }
+
+    #[cfg(debug_assertions)]
+    struct Held {
+        lock_id: usize,
+        name: &'static str,
+        rank: Option<usize>,
+        site: &'static Location<'static>,
+    }
+
+    #[cfg(debug_assertions)]
+    thread_local! {
+        static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Records an acquisition and panics on rank inversion.
+    #[cfg(debug_assertions)]
+    pub(crate) fn on_acquire(
+        lock_id: usize,
+        name: Option<&'static str>,
+        site: &'static Location<'static>,
+    ) {
+        let Some(name) = name else { return };
+        let new_rank = rank(name);
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(new_rank) = new_rank {
+                for h in held.iter() {
+                    let Some(held_rank) = h.rank else { continue };
+                    if held_rank > new_rank && h.lock_id != lock_id {
+                        let violation = format!(
+                            "lock-order violation: acquiring \"{name}\" (rank {new_rank}) at \
+                             {site} while holding \"{}\" (rank {held_rank}) acquired at {} — \
+                             the registered order requires \"{name}\" to be taken first",
+                            h.name, h.site
+                        );
+                        drop(held);
+                        panic!("{violation}");
+                    }
+                }
+            }
+            held.push(Held { lock_id, name, rank: new_rank, site });
+        });
+    }
+
+    /// Forgets the most recent acquisition of `lock_id` (guards may drop
+    /// out of LIFO order, so removal is by identity, not by position).
+    #[cfg(debug_assertions)]
+    pub(crate) fn on_release(lock_id: usize, name: Option<&'static str>) {
+        if name.is_none() {
+            return;
+        }
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|h| h.lock_id == lock_id) {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Number of named locks the current thread holds (test support).
+    #[cfg(debug_assertions)]
+    pub fn held_count() -> usize {
+        HELD.with(|held| held.borrow().len())
+    }
+}
+
+/// The named-lock bookkeeping a guard needs to unwind its acquisition.
+#[cfg(debug_assertions)]
+#[derive(Clone, Copy)]
+struct Trace {
+    lock_id: usize,
+    name: Option<&'static str>,
+}
+
 /// A mutual-exclusion lock; `lock()` never fails.
 pub struct Mutex<T: ?Sized> {
+    // Only read by the debug-build lock-order detector.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    name: Option<&'static str>,
     inner: std::sync::Mutex<T>,
 }
 
@@ -20,12 +147,20 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     // `Option` so `Condvar::wait` can move the std guard out and back.
     inner: Option<std::sync::MutexGuard<'a, T>>,
+    #[cfg(debug_assertions)]
+    trace: Trace,
 }
 
 impl<T> Mutex<T> {
-    /// Creates the mutex.
+    /// Creates the mutex (anonymous: exempt from lock-order tracking).
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self { name: None, inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Creates a named mutex that participates in debug-build
+    /// lock-order detection (see [`lock_order`]).
+    pub const fn named(name: &'static str, value: T) -> Self {
+        Self { name: Some(name), inner: std::sync::Mutex::new(value) }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -35,20 +170,38 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn lock_id(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
     /// Acquires the lock, blocking until available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
+        #[cfg(debug_assertions)]
+        lock_order::on_acquire(self.lock_id(), self.name, std::panic::Location::caller());
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)),
+            #[cfg(debug_assertions)]
+            trace: Trace { lock_id: self.lock_id(), name: self.name },
+        }
     }
 
     /// Tries to acquire the lock without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: Some(p.into_inner()) })
-            }
-            Err(std::sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return None,
+        };
+        #[cfg(debug_assertions)]
+        lock_order::on_acquire(self.lock_id(), self.name, std::panic::Location::caller());
+        Some(MutexGuard {
+            inner: Some(inner),
+            #[cfg(debug_assertions)]
+            trace: Trace { lock_id: self.lock_id(), name: self.name },
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -83,25 +236,46 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.trace.lock_id, self.trace.name);
+    }
+}
+
 /// A reader–writer lock; `read()`/`write()` never fail.
 pub struct RwLock<T: ?Sized> {
+    // Only read by the debug-build lock-order detector.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    name: Option<&'static str>,
     inner: std::sync::RwLock<T>,
 }
 
 /// Shared-access guard of an [`RwLock`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    trace: Trace,
 }
 
 /// Exclusive-access guard of an [`RwLock`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    trace: Trace,
 }
 
 impl<T> RwLock<T> {
-    /// Creates the lock.
+    /// Creates the lock (anonymous: exempt from lock-order tracking).
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::RwLock::new(value) }
+        Self { name: None, inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Creates a named lock that participates in debug-build lock-order
+    /// detection (see [`lock_order`]). Both read and write acquisitions
+    /// are checked.
+    pub const fn named(name: &'static str, value: T) -> Self {
+        Self { name: Some(name), inner: std::sync::RwLock::new(value) }
     }
 
     /// Consumes the lock, returning the inner value.
@@ -111,14 +285,33 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn lock_id(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
     /// Acquires shared access.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(PoisonError::into_inner) }
+        #[cfg(debug_assertions)]
+        lock_order::on_acquire(self.lock_id(), self.name, std::panic::Location::caller());
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            trace: Trace { lock_id: self.lock_id(), name: self.name },
+        }
     }
 
     /// Acquires exclusive access.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(PoisonError::into_inner) }
+        #[cfg(debug_assertions)]
+        lock_order::on_acquire(self.lock_id(), self.name, std::panic::Location::caller());
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+            #[cfg(debug_assertions)]
+            trace: Trace { lock_id: self.lock_id(), name: self.name },
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -147,6 +340,13 @@ impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     }
 }
 
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.trace.lock_id, self.trace.name);
+    }
+}
+
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
 
@@ -158,6 +358,13 @@ impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        lock_order::on_release(self.trace.lock_id, self.trace.name);
     }
 }
 
@@ -187,20 +394,41 @@ impl Condvar {
     }
 
     /// Blocks until notified, atomically releasing the guard's lock.
+    /// The lock-order tracker sees the wait as a release followed by a
+    /// fresh acquisition, exactly matching the real blocking behaviour.
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard invariant");
-        guard.inner = Some(self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner));
+        #[cfg(debug_assertions)]
+        lock_order::on_release(guard.trace.lock_id, guard.trace.name);
+        let reacquired = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        lock_order::on_acquire(
+            guard.trace.lock_id,
+            guard.trace.name,
+            std::panic::Location::caller(),
+        );
+        guard.inner = Some(reacquired);
     }
 
     /// Blocks until notified or `timeout` elapses.
+    #[track_caller]
     pub fn wait_for<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         timeout: Duration,
     ) -> WaitTimeoutResult {
         let inner = guard.inner.take().expect("guard invariant");
+        #[cfg(debug_assertions)]
+        lock_order::on_release(guard.trace.lock_id, guard.trace.name);
         let (g, r) =
             self.inner.wait_timeout(inner, timeout).unwrap_or_else(PoisonError::into_inner);
+        #[cfg(debug_assertions)]
+        lock_order::on_acquire(
+            guard.trace.lock_id,
+            guard.trace.name,
+            std::panic::Location::caller(),
+        );
         guard.inner = Some(g);
         WaitTimeoutResult { timed_out: r.timed_out() }
     }
@@ -274,5 +502,97 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0, "lock must remain usable");
+    }
+
+    // The lock-order tests below all register the same order (OnceLock:
+    // first write wins process-wide) and run in fresh threads so the
+    // thread-local held stack starts empty.
+    #[cfg(debug_assertions)]
+    const TEST_ORDER: &[&str] = &["test.outer", "test.middle", "test.inner"];
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lock_order_in_order_acquisition_is_clean() {
+        lock_order::register(TEST_ORDER);
+        std::thread::spawn(|| {
+            let outer = Mutex::named("test.outer", 1);
+            let inner = Mutex::named("test.inner", 2);
+            let a = outer.lock();
+            let b = inner.lock();
+            assert_eq!(*a + *b, 3);
+            assert_eq!(lock_order::held_count(), 2);
+            drop((a, b));
+            assert_eq!(lock_order::held_count(), 0);
+        })
+        .join()
+        .expect("ordered acquisition must not panic");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lock_order_inversion_panics_with_both_sites() {
+        lock_order::register(TEST_ORDER);
+        let err = std::thread::spawn(|| {
+            let outer = Mutex::named("test.outer", 1);
+            let inner = Mutex::named("test.inner", 2);
+            let _b = inner.lock();
+            let _a = outer.lock(); // inversion: outer ranks before inner
+        })
+        .join()
+        .expect_err("inverted acquisition must panic");
+        let msg =
+            err.downcast_ref::<String>().cloned().expect("panic payload is the violation report");
+        assert!(msg.contains("lock-order violation"), "{msg}");
+        assert!(msg.contains("test.outer") && msg.contains("test.inner"), "{msg}");
+        // Both acquisition sites are file:line references into this file.
+        assert_eq!(msg.matches("lib.rs:").count(), 2, "{msg}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lock_order_release_order_is_tracked_by_identity() {
+        lock_order::register(TEST_ORDER);
+        std::thread::spawn(|| {
+            let outer = Mutex::named("test.outer", 1);
+            let inner = Mutex::named("test.inner", 2);
+            let a = outer.lock();
+            let b = inner.lock();
+            drop(a); // non-LIFO release
+            assert_eq!(lock_order::held_count(), 1);
+            drop(b);
+            assert_eq!(lock_order::held_count(), 0);
+            // Re-acquiring in order afterwards is still clean.
+            let _a = outer.lock();
+            let _b = inner.lock();
+        })
+        .join()
+        .expect("non-LIFO release must not corrupt the held stack");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn lock_order_condvar_wait_releases_the_lock() {
+        lock_order::register(TEST_ORDER);
+        std::thread::spawn(|| {
+            let pair = Arc::new((Mutex::named("test.middle", false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (m, cv) = &*p2;
+                *m.lock() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut done = m.lock();
+            while !*done {
+                let r = cv.wait_for(&mut done, Duration::from_secs(5));
+                assert!(!r.timed_out(), "signal never arrived");
+            }
+            // The reacquired guard is tracked exactly once.
+            assert_eq!(lock_order::held_count(), 1);
+            drop(done);
+            assert_eq!(lock_order::held_count(), 0);
+        })
+        .join()
+        .expect("condvar wait must keep the held stack balanced");
     }
 }
