@@ -25,8 +25,25 @@ fi
 step "snn-lint"
 cargo run -q -p snn-lint --offline
 
+step "snn-analyze — collapse >=10% of the example networks' fault universes, self-checked"
+ANALYZE_TMP="$(mktemp -d)"
+trap 'rm -rf "$ANALYZE_TMP"' EXIT
+cargo run --release -q --offline -- new --input 2x16x16 --arch pool:2,dense:48,dense:10 \
+    --sparsity 0.5 --out "$ANALYZE_TMP/nmnist.snn" > /dev/null
+cargo run --release -q --offline -- new --input 2x24x24 --arch pool:2,conv:6:5:1:2,pool:2,dense:32,dense:11 \
+    --sparsity 0.5 --out "$ANALYZE_TMP/ibm.snn" > /dev/null
+cargo run --release -q --offline -- new --input 140 --arch recurrent:32,dense:20 \
+    --sparsity 0.5 --out "$ANALYZE_TMP/shd.snn" > /dev/null
+for m in nmnist ibm shd; do
+    cargo run --release -q --offline -p snn-analyze -- "$ANALYZE_TMP/$m.snn" \
+        --self-check --min-collapse 0.10 > /dev/null
+done
+
 step "cargo test (debug, overflow-checks) — arms the numeric sanitizer and lock-order detector"
 RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline --workspace
+
+step "equivalence-class property test runs under the debug sanitizer pass"
+RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline -p snn-analyze --test soundness
 
 step "cargo fmt --check"
 cargo fmt --check

@@ -1,0 +1,166 @@
+//! `snn-analyze` CLI: static testability analysis of a saved model.
+//!
+//! ```text
+//! snn-analyze <model.snn> [--format text|json|sarif] [--timing-faults]
+//!             [--bitflip-bits 0,3,7] [--self-check] [--min-collapse <frac>]
+//! ```
+//!
+//! Exit codes: 0 ok, 1 self-check violation or collapse fraction below
+//! `--min-collapse`, 2 usage or I/O error.
+
+use snn_faults::{FaultModelConfig, FaultUniverse};
+use snn_model::Network;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+struct Args {
+    model: String,
+    format: Format,
+    timing_faults: bool,
+    bitflip_bits: Vec<u8>,
+    self_check: bool,
+    min_collapse: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut model = None;
+    let mut format = Format::Text;
+    let mut timing_faults = false;
+    let mut bitflip_bits = Vec::new();
+    let mut self_check = false;
+    let mut min_collapse = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    return Err(format!(
+                        "--format expects `text`, `json` or `sarif`, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--timing-faults" => timing_faults = true,
+            "--bitflip-bits" => {
+                let value = it.next().ok_or("--bitflip-bits needs a comma-separated list")?;
+                for part in value.split(',').filter(|p| !p.is_empty()) {
+                    let bit: u8 = part
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("--bitflip-bits: {part:?} is not a bit position"))?;
+                    if bit > 7 {
+                        return Err(format!("--bitflip-bits: {bit} exceeds 7 (int8 words)"));
+                    }
+                    bitflip_bits.push(bit);
+                }
+            }
+            "--self-check" => self_check = true,
+            "--min-collapse" => {
+                let value = it.next().ok_or("--min-collapse needs a fraction argument")?;
+                let frac: f64 = value
+                    .parse()
+                    .map_err(|_| format!("--min-collapse: {value:?} is not a number"))?;
+                if !(0.0..=1.0).contains(&frac) {
+                    return Err(format!("--min-collapse: {frac} is outside [0, 1]"));
+                }
+                min_collapse = Some(frac);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "snn-analyze: static testability analysis of an SNN model\n\n\
+                     USAGE: snn-analyze <model.snn> [--format text|json|sarif]\n       \
+                     [--timing-faults] [--bitflip-bits 0,3,7]\n       \
+                     [--self-check] [--min-collapse <frac>]\n\n\
+                     Classifies neurons (excitable/dead/undecided) by LIF interval\n\
+                     analysis and collapses statically decided faults. --self-check\n\
+                     re-derives every collapse justification; --min-collapse fails\n\
+                     (exit 1) when less than the given fraction collapses.\n\n\
+                     See DESIGN.md §10 for the rule set and soundness arguments."
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && model.is_none() => {
+                model = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let model = model.ok_or("missing model path (try --help)")?;
+    Ok(Args { model, format, timing_faults, bitflip_bits, self_check, min_collapse })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let file = File::open(&args.model).map_err(|e| format!("cannot open {}: {e}", args.model))?;
+    let net = Network::load(&mut BufReader::new(file))
+        .map_err(|e| format!("cannot load {}: {e}", args.model))?;
+    let universe = if args.timing_faults || !args.bitflip_bits.is_empty() {
+        // Bit range was validated at parse time, so the constructor's
+        // documented panic is unreachable.
+        FaultUniverse::with_config(
+            &net,
+            FaultModelConfig::default(),
+            args.timing_faults,
+            &args.bitflip_bits,
+        )
+    } else {
+        FaultUniverse::standard(&net)
+    };
+    let analysis = snn_analyze::analyze(&net, &universe);
+    let self_check_errors =
+        if args.self_check { analysis.collapsed.self_check(&net, &universe) } else { Vec::new() };
+    let rendered = match args.format {
+        Format::Text => {
+            snn_analyze::report::render_text(&args.model, &analysis, &self_check_errors)
+        }
+        Format::Json => {
+            snn_analyze::report::render_json(&args.model, &analysis, &self_check_errors)
+        }
+        Format::Sarif => {
+            snn_analyze::report::render_sarif(&args.model, &analysis, &self_check_errors)
+        }
+    };
+    print!("{rendered}");
+    if args.format == Format::Text && !rendered.ends_with('\n') {
+        println!();
+    }
+    let mut ok = self_check_errors.is_empty();
+    if let Some(min) = args.min_collapse {
+        if analysis.summary.collapse_fraction < min {
+            eprintln!(
+                "error: collapse fraction {:.4} is below the required {:.4}",
+                analysis.summary.collapse_fraction, min
+            );
+            ok = false;
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

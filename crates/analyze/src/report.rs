@@ -1,0 +1,246 @@
+//! Rendering of analysis results as human text, JSON, or SARIF.
+//!
+//! Reuses `snn-lint`'s [`Diagnostic`] record and shared serialization
+//! (`snn_lint::sarif`), so CI treats model-level findings exactly like
+//! source-level ones. Model findings have no meaningful source line;
+//! they anchor to line 0 (clamped to 1 in SARIF) of the model file.
+
+use crate::{Analysis, NeuronClass};
+use snn_lint::sarif::{self, json_string, Level, SarifRule};
+use snn_lint::Diagnostic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Provably-dead neuron: its `NeuronDead` fault is untestable.
+pub const DEAD_ID: &str = "A-DEAD";
+/// Per-rule collapse summary.
+pub const COLLAPSE_ID: &str = "A-COLLAPSE";
+/// Soundness self-check violation.
+pub const UNSOUND_ID: &str = "A-UNSOUND";
+
+/// Rule table for SARIF output.
+pub fn sarif_rules() -> Vec<SarifRule> {
+    vec![
+        SarifRule {
+            id: DEAD_ID,
+            short_description: "neuron provably never reaches threshold; its NeuronDead fault \
+                                is untestable"
+                .into(),
+        },
+        SarifRule {
+            id: COLLAPSE_ID,
+            short_description: "faults statically decided by a collapse rule".into(),
+        },
+        SarifRule {
+            id: UNSOUND_ID,
+            short_description: "collapse justification failed the soundness self-check".into(),
+        },
+    ]
+}
+
+/// Severity mapping for SARIF: self-check violations are errors,
+/// dead neurons warnings, collapse summaries notes.
+pub fn level_of(d: &Diagnostic) -> Level {
+    match d.id {
+        UNSOUND_ID => Level::Error,
+        DEAD_ID => Level::Warning,
+        _ => Level::Note,
+    }
+}
+
+/// Per-collapse-rule counts, in stable rule order.
+pub fn rule_counts(analysis: &Analysis) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for c in analysis.collapsed.collapses() {
+        *counts.entry(c.reason.rule()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Builds the diagnostic list for `analysis`: one `A-DEAD` per
+/// provably-dead neuron, one `A-COLLAPSE` per rule with a count, and
+/// one `A-UNSOUND` per self-check error. `model` is the file the
+/// diagnostics anchor to.
+pub fn diagnostics(
+    model: &str,
+    analysis: &Analysis,
+    self_check_errors: &[String],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (layer_idx, la) in analysis.intervals.layers().iter().enumerate() {
+        for (index, class) in la.class.iter().enumerate() {
+            if *class == NeuronClass::Dead {
+                out.push(Diagnostic {
+                    file: model.to_string(),
+                    line: 0,
+                    id: DEAD_ID,
+                    message: format!(
+                        "neuron {index} of layer {layer_idx} provably never fires \
+                         (drive bound {:.4}); its NeuronDead fault is untestable",
+                        la.z_max.get(index).copied().unwrap_or(0.0)
+                    ),
+                });
+            }
+        }
+    }
+    for (rule, count) in rule_counts(analysis) {
+        out.push(Diagnostic {
+            file: model.to_string(),
+            line: 0,
+            id: COLLAPSE_ID,
+            message: format!("{count} faults collapsed by rule `{rule}`"),
+        });
+    }
+    for e in self_check_errors {
+        out.push(Diagnostic {
+            file: model.to_string(),
+            line: 0,
+            id: UNSOUND_ID,
+            message: e.clone(),
+        });
+    }
+    out
+}
+
+/// Human-readable report.
+pub fn render_text(model: &str, analysis: &Analysis, self_check_errors: &[String]) -> String {
+    let s = &analysis.summary;
+    let mut out = String::new();
+    let _ = writeln!(out, "snn-analyze: {model}");
+    let _ = writeln!(
+        out,
+        "  neurons: {} ({} excitable, {} dead, {} undecided)",
+        s.neurons, s.excitable_neurons, s.dead_neurons, s.undecided_neurons
+    );
+    let _ = writeln!(
+        out,
+        "  faults:  {} ({} collapsed = {:.1}%, {} to simulate)",
+        s.faults,
+        s.collapsed,
+        s.collapse_fraction * 100.0,
+        s.representatives
+    );
+    let counts = rule_counts(analysis);
+    if !counts.is_empty() {
+        let per_rule: Vec<String> = counts.iter().map(|(rule, n)| format!("{n}× {rule}")).collect();
+        let _ = writeln!(out, "  rules:   {}", per_rule.join(", "));
+    }
+    for d in diagnostics(model, analysis, &[]) {
+        if d.id == DEAD_ID {
+            let _ = writeln!(out, "  [{}] {}", d.id, d.message);
+        }
+    }
+    if self_check_errors.is_empty() {
+        let _ = writeln!(out, "  self-check: ok");
+    } else {
+        for e in self_check_errors {
+            let _ = writeln!(out, "  [{UNSOUND_ID}] {e}");
+        }
+    }
+    out
+}
+
+/// JSON report: summary, per-rule counts, and lint-style diagnostics.
+pub fn render_json(model: &str, analysis: &Analysis, self_check_errors: &[String]) -> String {
+    let s = &analysis.summary;
+    let mut out = String::new();
+    let _ = write!(out, "{{\"model\":{},", json_string(model));
+    let _ = write!(
+        out,
+        "\"summary\":{{\"neurons\":{},\"dead_neurons\":{},\"excitable_neurons\":{},\
+         \"undecided_neurons\":{},\"faults\":{},\"collapsed\":{},\"representatives\":{},\
+         \"collapse_fraction\":{}}},",
+        s.neurons,
+        s.dead_neurons,
+        s.excitable_neurons,
+        s.undecided_neurons,
+        s.faults,
+        s.collapsed,
+        s.representatives,
+        s.collapse_fraction
+    );
+    out.push_str("\"rules\":{");
+    for (i, (rule, count)) in rule_counts(analysis).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(rule), count);
+    }
+    out.push_str("},\"diagnostics\":[");
+    for (i, d) in diagnostics(model, analysis, self_check_errors).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":{},\"line\":{},\"id\":{},\"message\":{}}}",
+            json_string(&d.file),
+            d.line,
+            json_string(d.id),
+            json_string(&d.message)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// SARIF report via the shared `snn_lint::sarif` module.
+pub fn render_sarif(model: &str, analysis: &Analysis, self_check_errors: &[String]) -> String {
+    let ds = diagnostics(model, analysis, self_check_errors);
+    sarif::render("snn-analyze", "DESIGN.md", &sarif_rules(), &ds, level_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_faults::FaultUniverse;
+    use snn_model::{LifParams, NetworkBuilder};
+
+    fn analysis() -> (snn_model::Network, Analysis) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net =
+            NetworkBuilder::new(5, LifParams::default()).dense(6).dense(2).build(&mut rng);
+        crate::magnitude_prune(&mut net, 0.5);
+        let universe = FaultUniverse::standard(&net);
+        let a = crate::analyze(&net, &universe);
+        (net, a)
+    }
+
+    #[test]
+    fn text_report_names_model_and_rules() {
+        let (_, a) = analysis();
+        let out = render_text("m.snn", &a, &[]);
+        assert!(out.contains("snn-analyze: m.snn"));
+        assert!(out.contains("identical-weight"));
+        assert!(out.contains("self-check: ok"));
+    }
+
+    #[test]
+    fn json_report_carries_summary_and_rules() {
+        let (_, a) = analysis();
+        let out = render_json("m.snn", &a, &[]);
+        assert!(out.contains("\"model\":\"m.snn\""));
+        assert!(out.contains(&format!("\"faults\":{}", a.summary.faults)));
+        assert!(out.contains("\"identical-weight\":"));
+        assert!(out.contains("\"diagnostics\":["));
+    }
+
+    #[test]
+    fn sarif_report_is_wellformed_and_flags_unsound_as_error() {
+        let (_, a) = analysis();
+        let out = render_sarif("m.snn", &a, &["bogus collapse".into()]);
+        assert!(out.contains("\"name\":\"snn-analyze\""));
+        assert!(out.contains("\"level\":\"error\""));
+        assert!(out.contains("bogus collapse"));
+    }
+
+    #[test]
+    fn self_check_errors_appear_in_text() {
+        let (_, a) = analysis();
+        let out = render_text("m.snn", &a, &["fault 3: bad".into()]);
+        assert!(out.contains("[A-UNSOUND] fault 3: bad"));
+        assert!(!out.contains("self-check: ok"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Acceptance gate: on the three example network topologies (built
+//! exactly as `snn-mtfc new --sparsity 0.5` builds them), static
+//! analysis must collapse at least 10% of the standard fault universe,
+//! with every justification passing the soundness self-check.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_analyze::{analyze, magnitude_prune};
+use snn_faults::FaultUniverse;
+use snn_model::{LifParams, Network, NetworkBuilder};
+
+fn assert_min_collapse(name: &str, mut net: Network) {
+    magnitude_prune(&mut net, 0.5);
+    let universe = FaultUniverse::standard(&net);
+    let a = analyze(&net, &universe);
+    assert!(
+        a.summary.collapse_fraction >= 0.10,
+        "{name}: collapse fraction {:.4} below 0.10 ({} of {} faults)",
+        a.summary.collapse_fraction,
+        a.summary.collapsed,
+        a.summary.faults
+    );
+    let errors = a.collapsed.self_check(&net, &universe);
+    assert!(errors.is_empty(), "{name}: self-check failed: {errors:?}");
+}
+
+#[test]
+fn nmnist_like_topology_collapses_ten_percent() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = NetworkBuilder::new_spatial(2, 16, 16, LifParams::default())
+        .avg_pool(2)
+        .dense(48)
+        .dense(10)
+        .build(&mut rng);
+    assert_min_collapse("nmnist-like", net);
+}
+
+#[test]
+fn dvsgesture_like_topology_collapses_ten_percent() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = NetworkBuilder::new_spatial(2, 24, 24, LifParams::default())
+        .avg_pool(2)
+        .conv(6, 5, 1, 2)
+        .avg_pool(2)
+        .dense(32)
+        .dense(11)
+        .build(&mut rng);
+    assert_min_collapse("dvsgesture-like", net);
+}
+
+#[test]
+fn shd_like_topology_collapses_ten_percent() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net =
+        NetworkBuilder::new(140, LifParams::default()).recurrent(32).dense(20).build(&mut rng);
+    assert_min_collapse("shd-like", net);
+}

@@ -91,6 +91,11 @@ pub fn estimate_coverage(
     assert!(!tests.is_empty(), "estimation needs at least one test input");
     assert!(sample_size > 0, "sample size must be positive");
     let faults = universe.sample(rng, sample_size);
+    if faults.is_empty() {
+        // An empty universe (e.g. a pool-only network) has no faults to
+        // detect; report 0.0 rather than 0/0 = NaN.
+        return CoverageEstimate { fc: 0.0, lo: 0.0, hi: 1.0, sampled: 0, universe: 0 };
+    }
     let outcome = sim.detect(universe, &faults, tests);
     let detected = outcome.detected_count();
     let n = faults.len();
@@ -173,6 +178,26 @@ mod tests {
         let est = estimate_coverage(&sim, &universe, tests, universe.len() * 2, &mut rng);
         assert!((est.fc - exact).abs() < 1e-12);
         assert_eq!(est.sampled, universe.len());
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // asserting the exact 0.0 sentinel
+    fn empty_universe_reports_zero_coverage_not_nan() {
+        // A pool-only network has no spiking neurons and no weights, so
+        // its fault universe is empty.
+        let net = snn_model::Network::new(
+            Shape::d3(2, 4, 4),
+            vec![snn_model::Layer::Pool(snn_model::PoolLayer::new(2, (4, 4), 2))],
+        );
+        let universe = FaultUniverse::standard(&net);
+        assert!(universe.is_empty());
+        let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let test = snn_tensor::init::bernoulli(&mut rng, Shape::d2(5, 32), 0.5);
+        let est = estimate_coverage(&sim, &universe, std::slice::from_ref(&test), 10, &mut rng);
+        assert_eq!(est.fc, 0.0);
+        assert_eq!(est.sampled, 0);
+        assert!(est.fc.is_finite());
     }
 
     #[test]

@@ -559,6 +559,14 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // asserting the exact 0.0 sentinel
+    fn empty_campaign_coverage_is_zero_not_nan() {
+        let out = CampaignOutcome { per_fault: Vec::new(), elapsed: Duration::ZERO };
+        assert_eq!(out.fault_coverage(), 0.0);
+        assert_eq!(out.detected_count(), 0);
+    }
+
+    #[test]
     fn coverage_accounting() {
         let (net, u, test) = setup();
         let sim = FaultSimulator::new(&net, FaultSimConfig::default());

@@ -316,6 +316,60 @@ mod tests {
     }
 
     #[test]
+    fn sample_is_seed_deterministic() {
+        let u = FaultUniverse::standard(&net());
+        let a = u.sample(&mut StdRng::seed_from_u64(7), 12);
+        let b = u.sample(&mut StdRng::seed_from_u64(7), 12);
+        assert_eq!(a, b, "same seed must draw the same sample");
+        let c = u.sample(&mut StdRng::seed_from_u64(8), 12);
+        assert_ne!(a, c, "different seeds should draw different samples");
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let n = net();
+        let a = FaultUniverse::with_config(&n, FaultModelConfig::default(), true, &[0, 7]);
+        let b = FaultUniverse::with_config(&n, FaultModelConfig::default(), true, &[0, 7]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn section3_counts_on_conv_pool_recurrent_topology() {
+        // Mixed topology exercising every layer kind: the §III standard
+        // universe holds 2 faults per spiking neuron and 3 per weight
+        // (pool layers contribute neither).
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = NetworkBuilder::new_spatial(2, 8, 8, LifParams::default())
+            .avg_pool(2)
+            .conv(3, 3, 1, 1)
+            .dense(6)
+            .build(&mut rng);
+        let u = FaultUniverse::standard(&n);
+        // conv: 3 channels on a 4×4 map = 48 neurons; dense: 6.
+        let neurons = 3 * 4 * 4 + 6;
+        // conv kernel: 3·2·3·3 = 54 weights; dense: 6·48 = 288.
+        let synapses = 3 * 2 * 3 * 3 + 6 * 48;
+        assert_eq!(n.neuron_count(), neurons);
+        assert_eq!(n.synapse_count(), synapses);
+        assert_eq!(u.neuron_fault_count(), 2 * neurons);
+        assert_eq!(u.synapse_fault_count(), 3 * synapses);
+
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = NetworkBuilder::new(10, LifParams::default()).recurrent(4).build(&mut rng);
+        let ru = FaultUniverse::standard(&r);
+        // recurrent: 4·10 input weights + 4·4 recurrent weights.
+        assert_eq!(ru.len(), 2 * 4 + 3 * (4 * 10 + 4 * 4));
+    }
+
+    #[test]
+    fn bitflip_accepts_boundary_bit_seven() {
+        let n = net();
+        let u = FaultUniverse::with_config(&n, FaultModelConfig::default(), false, &[7]);
+        assert_eq!(u.synapse_fault_count(), 4 * n.synapse_count());
+        assert!(u.faults().iter().any(|f| matches!(f.kind, FaultKind::SynapseBitFlip { bit: 7 })));
+    }
+
+    #[test]
     fn site_layer_reflects_fault_location() {
         let n = net();
         let u = FaultUniverse::standard(&n);

@@ -1,6 +1,7 @@
 //! Diagnostics, allow directives and output formatting.
 
 use crate::lexer::Comment;
+use crate::sarif::json_string;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -186,26 +187,6 @@ pub fn to_json(diagnostics: &[Diagnostic], checked_files: usize) -> String {
         );
     }
     s.push_str("]}");
-    s
-}
-
-fn json_string(v: &str) -> String {
-    let mut s = String::with_capacity(v.len() + 2);
-    s.push('"');
-    for c in v.chars() {
-        match c {
-            '"' => s.push_str("\\\""),
-            '\\' => s.push_str("\\\\"),
-            '\n' => s.push_str("\\n"),
-            '\r' => s.push_str("\\r"),
-            '\t' => s.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(s, "\\u{:04x}", c as u32);
-            }
-            c => s.push(c),
-        }
-    }
-    s.push('"');
     s
 }
 

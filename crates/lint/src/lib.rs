@@ -25,6 +25,7 @@
 pub mod diag;
 pub mod lexer;
 pub mod passes;
+pub mod sarif;
 pub mod vendor;
 
 pub use diag::Diagnostic;

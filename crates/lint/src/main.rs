@@ -2,7 +2,7 @@
 //! on findings.
 //!
 //! ```text
-//! snn-lint [--root <dir>] [--format text|json] [--list]
+//! snn-lint [--root <dir>] [--format text|json|sarif] [--list]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
@@ -10,14 +10,21 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Args {
     root: Option<PathBuf>,
-    json: bool,
+    format: Format,
     list: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: None, json: false, list: false };
+    let mut args = Args { root: None, format: Format::Text, list: false };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -26,11 +33,12 @@ fn parse_args() -> Result<Args, String> {
                 args.root = Some(PathBuf::from(value));
             }
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("text") => args.json = false,
+                Some("json") => args.format = Format::Json,
+                Some("text") => args.format = Format::Text,
+                Some("sarif") => args.format = Format::Sarif,
                 other => {
                     return Err(format!(
-                        "--format expects `text` or `json`, got {:?}",
+                        "--format expects `text`, `json` or `sarif`, got {:?}",
                         other.unwrap_or("<missing>")
                     ))
                 }
@@ -39,7 +47,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "snn-lint: repo-native static analysis\n\n\
-                     USAGE: snn-lint [--root <dir>] [--format text|json] [--list]\n\n\
+                     USAGE: snn-lint [--root <dir>] [--format text|json|sarif] [--list]\n\n\
                      Suppress a finding in-source with a justification:\n  \
                      // snn-lint: allow(<ID>): <why this is sound>\n\n\
                      See DESIGN.md §9 for every lint id and its rationale."
@@ -109,23 +117,57 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if args.json {
-        println!("{}", snn_lint::diag::to_json(&report.diagnostics, report.checked_files));
-    } else {
-        for d in &report.diagnostics {
-            println!("{}", d.render());
+    match args.format {
+        Format::Json => {
+            println!("{}", snn_lint::diag::to_json(&report.diagnostics, report.checked_files));
         }
-        if report.is_clean() {
-            println!("snn-lint: {} files checked, no findings", report.checked_files);
-        } else {
-            let counts = snn_lint::diag::count_by_id(&report.diagnostics);
-            let summary: Vec<String> = counts.iter().map(|(id, n)| format!("{n}× {id}")).collect();
+        Format::Sarif => {
+            let rules: Vec<snn_lint::sarif::SarifRule> = snn_lint::passes::registry()
+                .iter()
+                .map(|p| snn_lint::sarif::SarifRule {
+                    id: p.id,
+                    short_description: p.summary.to_string(),
+                })
+                .chain([
+                    snn_lint::sarif::SarifRule {
+                        id: snn_lint::ALLOW_ID,
+                        short_description: "unused or unjustified allow directive".into(),
+                    },
+                    snn_lint::sarif::SarifRule {
+                        id: snn_lint::VENDOR_ID,
+                        short_description: "vendored dependency drift vs vendor/README.md pins"
+                            .into(),
+                    },
+                ])
+                .collect();
             println!(
-                "snn-lint: {} findings in {} files checked ({})",
-                report.diagnostics.len(),
-                report.checked_files,
-                summary.join(", ")
+                "{}",
+                snn_lint::sarif::render(
+                    "snn-lint",
+                    "DESIGN.md",
+                    &rules,
+                    &report.diagnostics,
+                    |_| { snn_lint::sarif::Level::Warning }
+                )
             );
+        }
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{}", d.render());
+            }
+            if report.is_clean() {
+                println!("snn-lint: {} files checked, no findings", report.checked_files);
+            } else {
+                let counts = snn_lint::diag::count_by_id(&report.diagnostics);
+                let summary: Vec<String> =
+                    counts.iter().map(|(id, n)| format!("{n}× {id}")).collect();
+                println!(
+                    "snn-lint: {} findings in {} files checked ({})",
+                    report.diagnostics.len(),
+                    report.checked_files,
+                    summary.join(", ")
+                );
+            }
         }
     }
     if report.is_clean() {

@@ -1,0 +1,195 @@
+//! Shared diagnostics serialization: SARIF 2.1.0 output and the JSON
+//! string escaper used by every hand-rolled JSON emitter in the
+//! workspace's analysis tools.
+//!
+//! Both `snn-lint` (source-level findings) and `snn-analyze`
+//! (model-level findings) emit the same [`Diagnostic`] record; this
+//! module turns a batch of them into a single-run SARIF log so CI
+//! systems can surface findings as code annotations. The emitter is
+//! hand-rolled — the lint tool is deliberately dependency-free — and
+//! covers exactly the subset of SARIF the two tools need: one run, one
+//! driver, a rule table, and physical locations with a line number.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Severity level of a SARIF result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Informational finding.
+    Note,
+    /// Default severity for lint/analysis findings.
+    Warning,
+    /// Soundness or correctness error.
+    Error,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Note => "note",
+            Level::Warning => "warning",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A rule entry for the SARIF driver's rule table.
+#[derive(Debug, Clone)]
+pub struct SarifRule {
+    /// Stable rule id (`L-PANIC`, `A-DEAD`, …).
+    pub id: &'static str,
+    /// One-line description shown by SARIF viewers.
+    pub short_description: String,
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 log with a single run.
+///
+/// `tool_name` names the driver (e.g. `snn-lint`); `info_uri` points at
+/// the in-repo documentation for the rule set. `rules` describes every
+/// id that may appear; ids present in `diagnostics` but missing from
+/// `rules` still render (SARIF does not require the table to be total).
+/// `level_of` maps a diagnostic to its severity.
+pub fn render(
+    tool_name: &str,
+    info_uri: &str,
+    rules: &[SarifRule],
+    diagnostics: &[Diagnostic],
+    level_of: fn(&Diagnostic) -> Level,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+    s.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    let _ = write!(
+        s,
+        "\"name\":{},\"informationUri\":{},\"rules\":[",
+        json_string(tool_name),
+        json_string(info_uri)
+    );
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_string(rule.id),
+            json_string(&rule.short_description)
+        );
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, d) in diagnostics.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_string(d.id),
+            json_string(level_of(d).as_str()),
+            json_string(&d.message),
+            json_string(&d.file),
+            d.line.max(1)
+        );
+    }
+    s.push_str("]}]}");
+    s
+}
+
+/// Builds a rule table from the diagnostics themselves: one entry per
+/// distinct id, described by the first message carrying it. Useful when
+/// the caller has no static registry for some ids.
+pub fn rules_from_diagnostics(diagnostics: &[Diagnostic]) -> Vec<SarifRule> {
+    let mut seen: BTreeMap<&'static str, String> = BTreeMap::new();
+    for d in diagnostics {
+        seen.entry(d.id).or_insert_with(|| d.message.clone());
+    }
+    seen.into_iter().map(|(id, short_description)| SarifRule { id, short_description }).collect()
+}
+
+/// Escapes `v` as a JSON string per RFC 8259, including the surrounding
+/// quotes. Shared by the lint JSON emitter, the SARIF emitter, and
+/// `snn-analyze`'s JSON report.
+pub fn json_string(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, id: &'static str, message: &str) -> Diagnostic {
+        Diagnostic { file: file.into(), line, id, message: message.into() }
+    }
+
+    #[test]
+    fn renders_schema_run_and_result_shape() {
+        let rules = vec![SarifRule { id: "L-PANIC", short_description: "no panics".into() }];
+        let ds = vec![diag("src/lib.rs", 12, "L-PANIC", "unwrap() in library code")];
+        let out = render("snn-lint", "DESIGN.md", &rules, &ds, |_| Level::Warning);
+        assert!(out.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(out.contains("\"version\":\"2.1.0\""));
+        assert!(out.contains("\"name\":\"snn-lint\""));
+        assert!(out.contains("\"id\":\"L-PANIC\""));
+        assert!(out.contains("\"ruleId\":\"L-PANIC\""));
+        assert!(out.contains("\"level\":\"warning\""));
+        assert!(out.contains("\"uri\":\"src/lib.rs\""));
+        assert!(out.contains("\"startLine\":12"));
+    }
+
+    #[test]
+    fn empty_inputs_render_valid_empty_run() {
+        let out = render("snn-analyze", "DESIGN.md", &[], &[], |_| Level::Note);
+        assert!(out.contains("\"rules\":[]"));
+        assert!(out.contains("\"results\":[]"));
+    }
+
+    #[test]
+    fn line_zero_is_clamped_to_one() {
+        // Model-level findings have no meaningful source line; SARIF
+        // requires startLine >= 1.
+        let ds = vec![diag("model.snn", 0, "A-DEAD", "neuron can never fire")];
+        let out = render("snn-analyze", "DESIGN.md", &[], &ds, |_| Level::Warning);
+        assert!(out.contains("\"startLine\":1"));
+    }
+
+    #[test]
+    fn escapes_strings_in_messages_and_paths() {
+        let ds = vec![diag("a\"b.rs", 3, "L-PANIC", "tab\there\nline")];
+        let out = render("snn-lint", "DESIGN.md", &[], &ds, |_| Level::Error);
+        assert!(out.contains("a\\\"b.rs"));
+        assert!(out.contains("tab\\there\\nline"));
+    }
+
+    #[test]
+    fn rule_table_from_diagnostics_dedupes_by_id() {
+        let ds = vec![
+            diag("x.rs", 1, "L-CAST", "first"),
+            diag("y.rs", 2, "L-CAST", "second"),
+            diag("z.rs", 3, "L-PANIC", "third"),
+        ];
+        let rules = rules_from_diagnostics(&ds);
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].id, "L-CAST");
+        assert_eq!(rules[0].short_description, "first");
+    }
+}

@@ -20,14 +20,19 @@
 /// * `service.running` only nests inside nothing today, but sits between
 ///   the queue and the store so a future "queue → running" handoff under
 ///   both locks stays legal.
-/// * `service.bus.subscribers` ranks last: event fan-out must never
-///   acquire another service lock while delivering.
+/// * `service.bus.subscribers` ranks second-to-last: event fan-out must
+///   never acquire another service lock while delivering (the analysis
+///   cache is never touched from the event path).
+/// * `service.analysis.cache` ranks last: it is a leaf — the cache is
+///   locked only for a point lookup or insert, never while computing an
+///   analysis and never while holding it acquiring anything else.
 pub const LOCK_ORDER: &[&str] = &[
     "service.queue",
     "service.running",
     "service.sink.last_persist",
     "service.store.jobs",
     "service.bus.subscribers",
+    "service.analysis.cache",
 ];
 
 /// Registers [`LOCK_ORDER`] with the runtime detector. Idempotent —

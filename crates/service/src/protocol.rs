@@ -131,6 +131,9 @@ pub struct JobResult {
     pub fault_coverage: Option<f64>,
     /// Server-side path of the persisted `.events` stimulus file.
     pub events_path: Option<String>,
+    /// Static-analysis summary of the model (interval classes and fault
+    /// collapsing). `None` on records written by older servers.
+    pub analysis: Option<snn_analyze::AnalysisSummary>,
 }
 
 /// Everything the server knows about one job. Persisted as one JSON file
@@ -327,6 +330,16 @@ mod tests {
                 faults_detected: Some(7),
                 fault_coverage: Some(7.0 / 9.0),
                 events_path: Some("results/job-1.events".into()),
+                analysis: Some(snn_analyze::AnalysisSummary {
+                    neurons: 16,
+                    dead_neurons: 2,
+                    excitable_neurons: 10,
+                    undecided_neurons: 4,
+                    faults: 9,
+                    collapsed: 3,
+                    representatives: 6,
+                    collapse_fraction: 3.0 / 9.0,
+                }),
             }),
             error: None,
         };
@@ -342,6 +355,18 @@ mod tests {
             error: Some("cancelled by user".into()),
         }));
         round_trip(&Response::Error { message: "queue full".into() });
+    }
+
+    #[test]
+    fn job_result_without_analysis_field_still_decodes() {
+        // Records persisted before the analysis summary existed must
+        // still load (same PROTOCOL_VERSION; the field is additive).
+        let json = "{\"chunks\":1,\"test_steps\":10,\"activated\":2,\"total_neurons\":4,\
+                    \"activation_coverage\":0.5,\"runtime_ms\":3,\"faults_total\":null,\
+                    \"faults_detected\":null,\"fault_coverage\":null,\"events_path\":null}";
+        let r: JobResult = serde::json::from_str(json).unwrap();
+        assert!(r.analysis.is_none());
+        assert_eq!(r.chunks, 1);
     }
 
     #[test]

@@ -62,6 +62,10 @@ struct Inner {
     queue_capacity: usize,
     /// Cancellation tokens of currently running jobs.
     running: Mutex<HashMap<u64, CancelToken>>,
+    /// Static-analysis results keyed by model-spec JSON, shared across
+    /// jobs over the same model. Assumes `ModelSpec::Path` files do not
+    /// change while the server runs (restart to pick up a new model).
+    analysis_cache: Mutex<HashMap<String, Arc<CachedAnalysis>>>,
     shutdown: AtomicBool,
     /// The bound listen address — shutdown connects back to it once to
     /// wake the blocking accept loop.
@@ -203,6 +207,7 @@ impl Server {
             queue_cv: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
             running: Mutex::named("service.running", HashMap::new()),
+            analysis_cache: Mutex::named("service.analysis.cache", HashMap::new()),
             shutdown: AtomicBool::new(false),
             local_addr,
         });
@@ -309,6 +314,27 @@ fn build_model(spec: &ModelSpec) -> Result<Network, String> {
     }
 }
 
+/// Cached per-model static analysis: the standard fault universe and
+/// the collapsed partition over it.
+struct CachedAnalysis {
+    universe: FaultUniverse,
+    analysis: snn_analyze::Analysis,
+}
+
+/// Looks up (or computes and caches) the static analysis of `net`. The
+/// potentially slow analysis runs outside the cache lock; a racing
+/// duplicate computation is tolerated and the first insert wins.
+fn analysis_for(inner: &Inner, model: &ModelSpec, net: &Network) -> Arc<CachedAnalysis> {
+    let key = serde::json::to_string(model);
+    if let Some(cached) = inner.analysis_cache.lock().get(&key) {
+        return Arc::clone(cached);
+    }
+    let universe = FaultUniverse::standard(net);
+    let analysis = snn_analyze::analyze(net, &universe);
+    let entry = Arc::new(CachedAnalysis { universe, analysis });
+    Arc::clone(inner.analysis_cache.lock().entry(key).or_insert(entry))
+}
+
 /// How one job execution ended.
 enum JobOutcome {
     Done(Box<JobResult>),
@@ -406,8 +432,13 @@ fn execute(
     };
 
     let started = Instant::now();
+    // Static analysis first: dead neurons leave the generator's target
+    // set, and the collapsed universe prunes the coverage campaign.
+    let cached = analysis_for(inner, &spec.model, &net);
     let mut rng = StdRng::seed_from_u64(spec.seed);
-    let test = match TestGenerator::new(&net, cfg).generate_with(&mut rng, sink, token) {
+    let generator =
+        TestGenerator::new(&net, cfg).with_excluded(cached.analysis.intervals.dead_mask(&net));
+    let test = match generator.generate_with(&mut rng, sink, token) {
         Ok(test) => test,
         Err(_) => return JobOutcome::Cancelled(cancelled_why(inner)),
     };
@@ -431,22 +462,30 @@ fn execute(
         faults_detected: None,
         fault_coverage: None,
         events_path,
+        analysis: Some(cached.analysis.summary.clone()),
     };
 
     if spec.evaluate_coverage && !test.chunks.is_empty() {
-        let universe = FaultUniverse::standard(&net);
-        let sim = FaultSimulator::new(
-            &net,
-            FaultSimConfig { threads: spec.threads, ..FaultSimConfig::default() },
-        );
+        let sim_cfg = FaultSimConfig { threads: spec.threads, ..FaultSimConfig::default() };
         let assembled = test.assembled();
-        match sim.detect_with(
-            &universe,
-            universe.faults(),
-            std::slice::from_ref(&assembled),
-            sink,
-            token,
-        ) {
+        let tests = std::slice::from_ref(&assembled);
+        let universe = &cached.universe;
+        // Simulate only the representatives and expand to full-universe
+        // outcomes; coverage accounting is still over every fault.
+        let campaign = cached
+            .analysis
+            .collapsed
+            .detect_collapsed(&net, universe, tests, sim_cfg, sink, token)
+            .or_else(|e| match e {
+                snn_analyze::CollapsedCampaignError::Campaign(e) => Err(e),
+                // Expansion refused (e.g. the test is too short for a
+                // provably-detected claim): fall back to the full campaign.
+                snn_analyze::CollapsedCampaignError::Expand(_) => {
+                    let sim = FaultSimulator::new(&net, sim_cfg);
+                    sim.detect_with(universe, universe.faults(), tests, sink, token)
+                }
+            });
+        match campaign {
             Ok(outcome) => {
                 let total = universe.len();
                 let detected = outcome.detected_count();

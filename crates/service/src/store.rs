@@ -226,6 +226,7 @@ mod tests {
                     faults_detected: None,
                     fault_coverage: None,
                     events_path: None,
+                    analysis: None,
                 });
             });
         }

@@ -17,6 +17,9 @@
 //!   datasets and rate/TTFS encoders,
 //! * [`testgen`] — the paper's contribution: the two-stage loss-driven
 //!   test generation algorithm, plus test compaction,
+//! * [`analyze`] — static testability analysis: LIF interval analysis,
+//!   sound fault collapsing with machine-checkable justifications, and
+//!   campaign pruning via collapsed universes,
 //! * [`baselines`] — prior-art test generation methods for comparison,
 //! * [`service`] — a concurrent job server daemonizing test generation:
 //!   TCP newline-delimited-JSON protocol, worker pool, live progress
@@ -41,6 +44,7 @@
 //! assert_eq!(net.neuron_count(), 10);
 //! ```
 
+pub use snn_analyze as analyze;
 pub use snn_baselines as baselines;
 pub use snn_datasets as datasets;
 pub use snn_faults as faults;

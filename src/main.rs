@@ -38,6 +38,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("new") => cmd_new(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -65,8 +66,11 @@ fn print_usage() {
     println!(
         "snn-mtfc — minimum-time maximum-fault-coverage testing of SNNs\n\n\
          USAGE:\n  \
-         snn-mtfc new      --input <CxHxW|N> --arch <spec> --out <model.snn> [--seed N]\n  \
+         snn-mtfc new      --input <CxHxW|N> --arch <spec> --out <model.snn> [--seed N]\n                    \
+         [--sparsity FRAC]\n  \
          snn-mtfc info     <model.snn>\n  \
+         snn-mtfc analyze  <model.snn> [--format text|json|sarif] [--self-check]\n                    \
+         [--timing-faults] [--bitflip-bits 0,3,7] [--min-collapse FRAC]\n  \
          snn-mtfc generate <model.snn> [--out <test.events>] [--preset fast|repro|paper] [--seed N]\n  \
          snn-mtfc verify   <model.snn> <test.events>\n\n  \
          snn-mtfc serve    --state-dir <dir> [--addr host:port] [--workers N] [--queue N]\n  \
@@ -91,7 +95,7 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that take no value; anything else starting with `--` consumes the
 /// next argument.
-const BOOL_FLAGS: &[&str] = &["--coverage", "--watch", "--help"];
+const BOOL_FLAGS: &[&str] = &["--coverage", "--watch", "--help", "--self-check", "--timing-faults"];
 
 fn positional(args: &[String], index: usize) -> Option<&str> {
     args.iter()
@@ -155,13 +159,72 @@ fn cmd_new(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown stage kind `{other}`")),
         };
     }
-    let net = builder.build(&mut rng);
+    let mut net = builder.build(&mut rng);
+    if let Some(sparsity) = num_flag::<f64>(args, "--sparsity")? {
+        if !(0.0..=1.0).contains(&sparsity) {
+            return Err(format!("--sparsity {sparsity} is outside [0, 1]"));
+        }
+        let zeroed = snn_mtfc::analyze::magnitude_prune(&mut net, sparsity);
+        println!("pruned {zeroed} weights (magnitude, fraction {sparsity})");
+    }
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     let mut w = BufWriter::new(file);
     net.save(&mut w).map_err(|e| format!("cannot write {out}: {e}"))?;
     w.flush().map_err(|e| e.to_string())?;
     println!("{}", net.summary());
     println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("missing model path")?;
+    let net = load_model(path)?;
+    let timing = args.iter().any(|a| a == "--timing-faults");
+    let mut bits = Vec::new();
+    if let Some(list) = flag(args, "--bitflip-bits") {
+        for part in list.split(',').filter(|p| !p.is_empty()) {
+            let bit: u8 = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("--bitflip-bits: `{part}` is not a bit position"))?;
+            if bit > 7 {
+                return Err(format!("--bitflip-bits: {bit} exceeds 7 (int8 words)"));
+            }
+            bits.push(bit);
+        }
+    }
+    let universe = if timing || !bits.is_empty() {
+        FaultUniverse::with_config(&net, Default::default(), timing, &bits)
+    } else {
+        FaultUniverse::standard(&net)
+    };
+    let analysis = snn_mtfc::analyze::analyze(&net, &universe);
+    let self_check_errors = if args.iter().any(|a| a == "--self-check") {
+        analysis.collapsed.self_check(&net, &universe)
+    } else {
+        Vec::new()
+    };
+    use snn_mtfc::analyze::report;
+    match flag(args, "--format").unwrap_or("text") {
+        "text" => print!("{}", report::render_text(path, &analysis, &self_check_errors)),
+        "json" => println!("{}", report::render_json(path, &analysis, &self_check_errors)),
+        "sarif" => println!("{}", report::render_sarif(path, &analysis, &self_check_errors)),
+        other => return Err(format!("unknown format `{other}` (text|json|sarif)")),
+    }
+    if !self_check_errors.is_empty() {
+        return Err(format!(
+            "{} collapse justification(s) failed self-check",
+            self_check_errors.len()
+        ));
+    }
+    if let Some(min) = num_flag::<f64>(args, "--min-collapse")? {
+        if analysis.summary.collapse_fraction < min {
+            return Err(format!(
+                "collapse fraction {:.4} is below the required {min:.4}",
+                analysis.summary.collapse_fraction
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -246,6 +309,13 @@ fn print_record(record: &JobRecord) {
         ));
         if let (Some(detected), Some(total)) = (result.faults_detected, result.faults_total) {
             line.push_str(&format!(", fault coverage {detected}/{total}"));
+        }
+        if let Some(analysis) = &result.analysis {
+            line.push_str(&format!(
+                ", analysis: {} dead neuron(s), {:.1}% faults collapsed",
+                analysis.dead_neurons,
+                analysis.collapse_fraction * 100.0
+            ));
         }
         if let Some(path) = &result.events_path {
             line.push_str(&format!(", events at {path}"));

@@ -104,6 +104,51 @@ fn garbage_events_fail_cleanly() {
 }
 
 #[test]
+fn analyze_reports_and_gates_on_a_sparse_model() {
+    let model = scratch("analyze.snn");
+    let out = run(&[
+        "new",
+        "--input",
+        "6",
+        "--arch",
+        "dense:10,dense:3",
+        "--out",
+        model.to_str().unwrap(),
+        "--sparsity",
+        "0.5",
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("pruned"), "got: {stdout}");
+
+    let path = model.to_str().unwrap();
+    let out = run(&["analyze", path, "--self-check", "--min-collapse", "0.10"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("self-check: ok"), "got: {stdout}");
+    assert!(stdout.contains("identical-weight"), "got: {stdout}");
+
+    let out = run(&["analyze", path, "--format", "json"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"collapse_fraction\":"));
+
+    let out = run(&["analyze", path, "--format", "sarif"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sarif-2.1.0"));
+
+    // An impossible gate must fail with a one-line diagnostic.
+    assert_clean_failure(&["analyze", path, "--min-collapse", "0.99"], "below the required");
+
+    let _ = std::fs::remove_file(&model);
+}
+
+#[test]
+fn analyze_rejects_bad_arguments() {
+    assert_clean_failure(&["analyze"], "missing model path");
+    assert_clean_failure(&["analyze", "/nonexistent.snn"], "cannot open");
+}
+
+#[test]
 fn service_commands_fail_cleanly_without_a_server() {
     // Port 1 on loopback is never listening.
     assert_clean_failure(&["status", "--addr", "127.0.0.1:1"], "cannot connect");

@@ -71,6 +71,9 @@ fn submit_watch_cancel_and_restart_over_tcp() {
         assert!(result.test_steps > 0);
         assert!(result.activated > 0);
         assert!(result.activation_coverage > 0.0);
+        let analysis = result.analysis.as_ref().expect("result carries an analysis summary");
+        assert_eq!(analysis.collapsed + analysis.representatives, analysis.faults);
+        assert!(analysis.faults > 0);
         // The stimulus file persisted server-side and is parseable.
         let events_path = result.events_path.expect("events file recorded");
         let text = std::fs::read_to_string(&events_path).expect("events file exists");
