@@ -39,6 +39,20 @@ for m in nmnist ibm shd; do
         --self-check --min-collapse 0.10 > /dev/null
 done
 
+step "observability — traced generate/verify profiles show the pipeline stages"
+cargo run --release -q --offline -- new --input 6 --arch dense:12,dense:4 \
+    --out "$ANALYZE_TMP/obs.snn" > /dev/null
+cargo run --release -q --offline -- generate "$ANALYZE_TMP/obs.snn" --preset fast \
+    --out "$ANALYZE_TMP/obs.events" --trace-out "$ANALYZE_TMP/generate.trace.jsonl" > /dev/null
+PROFILE="$(cargo run --release -q --offline -- profile "$ANALYZE_TMP/generate.trace.jsonl")"
+for node in generate stage1 stage2; do
+    grep -q "$node" <<< "$PROFILE" || { echo "profile missing span '$node'"; exit 1; }
+done
+cargo run --release -q --offline -- verify "$ANALYZE_TMP/obs.snn" "$ANALYZE_TMP/obs.events" \
+    --trace-out "$ANALYZE_TMP/verify.trace.jsonl" > /dev/null
+cargo run --release -q --offline -- profile "$ANALYZE_TMP/verify.trace.jsonl" \
+    | grep -q "faultsim.campaign" || { echo "verify profile missing span 'faultsim.campaign'"; exit 1; }
+
 step "cargo test (debug, overflow-checks) — arms the numeric sanitizer and lock-order detector"
 RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline --workspace
 

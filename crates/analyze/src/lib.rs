@@ -74,8 +74,21 @@ pub struct Analysis {
 
 /// Runs the full static analysis of `net` against `universe`.
 pub fn analyze(net: &Network, universe: &FaultUniverse) -> Analysis {
-    let intervals = IntervalAnalysis::new(net);
-    let collapsed = CollapsedUniverse::build(net, universe, &intervals);
+    let mut root_span = snn_obs::span!("analyze");
+    root_span.attr("faults", universe.len());
+    let intervals = {
+        let _span = snn_obs::span!("analyze.intervals");
+        IntervalAnalysis::new(net)
+    };
+    let collapsed = {
+        let _span = snn_obs::span!("analyze.collapse");
+        CollapsedUniverse::build(net, universe, &intervals)
+    };
+    snn_obs::gauge!(
+        "snn_analyze_collapse_fraction",
+        "Fraction of the fault universe removed by static collapsing."
+    )
+    .set(collapsed.collapse_fraction());
     let (dead, excitable, undecided) = intervals.counts();
     let summary = AnalysisSummary {
         neurons: net.neuron_count(),

@@ -4,7 +4,7 @@ use crate::testset::{GeneratedTest, IterationStats};
 use rand::Rng;
 use snn_faults::progress::{CancelToken, Cancelled, NullSink, Progress, ProgressSink};
 use snn_model::{optim::Schedule, InjectedGrads, Network, RecordOptions, Surrogate};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the full test-generation algorithm (paper Fig. 2 and
 /// Section V-C).
@@ -227,11 +227,17 @@ impl<'a> TestGenerator<'a> {
         sink: &dyn ProgressSink,
         cancel: &CancelToken,
     ) -> Result<GeneratedTest, Cancelled> {
-        // snn-lint: allow(L-NONDET): wall-clock budget only — elapsed time gates iteration count, never the stimulus values
-        let started = Instant::now();
+        // Wall-clock budget: elapsed time gates the iteration count, never
+        // the stimulus values. Reads go through the snn-obs clock so the
+        // only raw `Instant::now()` site in the workspace is its RealClock.
+        let mut root_span = snn_obs::span!("generate");
+        let started = snn_obs::clock::monotonic();
+        let elapsed = || snn_obs::clock::monotonic().saturating_sub(started);
         let cfg = &self.cfg;
-        let t_in_min =
-            cfg.t_in_min.unwrap_or_else(|| calibrate_t_in_min(self.net, rng, cfg, 8, 512));
+        let t_in_min = cfg.t_in_min.unwrap_or_else(|| {
+            let _span = snn_obs::span!("generate.calibrate");
+            calibrate_t_in_min(self.net, rng, cfg, 8, 512)
+        });
 
         let layout = self.net.neuron_layout();
         let num_layers = self.net.layers().len();
@@ -251,6 +257,7 @@ impl<'a> TestGenerator<'a> {
 
         for iter in 0..cfg.max_iterations {
             cancel.check()?;
+            let _iteration_span = snn_obs::span!("generate.iteration");
             // Termination counts only targetable neurons: excluded ones
             // can never be forced to fire, so waiting on them would burn
             // the whole budget.
@@ -260,7 +267,7 @@ impl<'a> TestGenerator<'a> {
                 .flat_map(|(m, e)| m.iter().zip(e.iter()))
                 .filter(|&(&a, &e)| !a && !e)
                 .count();
-            if remaining == 0 || started.elapsed() >= cfg.t_limit {
+            if remaining == 0 || elapsed() >= cfg.t_limit {
                 break;
             }
 
@@ -309,7 +316,7 @@ impl<'a> TestGenerator<'a> {
                 };
 
                 let newly = self.count_new_activations(&s2, &activated);
-                if newly > 0 || growths >= cfg.max_growths || started.elapsed() >= cfg.t_limit {
+                if newly > 0 || growths >= cfg.max_growths || elapsed() >= cfg.t_limit {
                     break ((s1, s2), newly);
                 }
                 // No progress: grow the duration (β doubles, Section V-C).
@@ -336,11 +343,21 @@ impl<'a> TestGenerator<'a> {
                 newly_activated: newly,
                 growths,
             });
+            let active_now = activated.iter().flat_map(|m| m.iter()).filter(|&&a| a).count();
+            snn_obs::counter!("snn_testgen_iterations_total", "Committed outer-loop iterations.")
+                .inc();
+            snn_obs::counter!(
+                "snn_testgen_growths_total",
+                "Chunk duration growths (beta doublings)."
+            )
+            .add(growths as u64);
+            snn_obs::gauge!("snn_testgen_activated_neurons", "Neurons activated so far (N_A).")
+                .set(active_now as f64);
             sink.emit(Progress::Iteration {
                 iteration: iter,
                 chunk_steps: s2.best_input.shape().dim(0),
                 newly_activated: newly,
-                activated: activated.iter().flat_map(|m| m.iter()).filter(|&&a| a).count(),
+                activated: active_now,
                 total_neurons,
                 growths,
             });
@@ -362,8 +379,10 @@ impl<'a> TestGenerator<'a> {
         let _ = num_layers;
 
         let mut test = GeneratedTest::from_chunks(chunks, self.net.input_features(), global);
-        test.runtime = started.elapsed();
+        test.runtime = elapsed();
         test.iterations = iterations;
+        root_span.attr("iterations", test.iterations.len());
+        root_span.attr("test_steps", test.test_steps());
         Ok(test)
     }
 

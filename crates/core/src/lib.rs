@@ -61,7 +61,7 @@ pub mod losses;
 
 pub use compact::{compact_by_activation, compact_by_coverage};
 pub use generator::{calibrate_t_in_min, TestGenConfig, TestGenerator};
-pub use metrics::{activity_map, ActivityMap, TestMetrics};
+pub use metrics::{activity_map, runtimes_from_spans, ActivityMap, TestMetrics};
 pub use snn_faults::progress;
 pub use stage::{Stage, StageConfig, StageOutcome};
 pub use testset::{parse_events, GeneratedTest, IterationStats};

@@ -59,6 +59,20 @@ impl ActivityMap {
     }
 }
 
+/// Splits a recorded span trace into the paper's runtime phases: summed
+/// wall-clock of the `generate` spans, of the `faultsim.campaign` spans,
+/// and of everything (the root spans) — the source for
+/// [`TestMetrics::generation_runtime`], [`TestMetrics::fault_sim_runtime`]
+/// and [`TestMetrics::total_runtime`].
+pub fn runtimes_from_spans(records: &[snn_obs::SpanRecord]) -> (Duration, Duration, Duration) {
+    let sum_named = |name: &str| -> Duration {
+        records.iter().filter(|r| r.name == name).map(snn_obs::SpanRecord::duration).sum()
+    };
+    let total =
+        records.iter().filter(|r| r.parent.is_none()).map(snn_obs::SpanRecord::duration).sum();
+    (sum_named("generate"), sum_named("faultsim.campaign"), total)
+}
+
 /// Builds the activity map of a forward trace: a neuron counts as active
 /// when it fired at least `min_spikes` times.
 pub fn activity_map(net: &Network, trace: &Trace, min_spikes: f32) -> ActivityMap {
@@ -80,6 +94,11 @@ pub fn activity_map(net: &Network, trace: &Trace, min_spikes: f32) -> ActivityMa
 pub struct TestMetrics {
     /// Test generation wall-clock time.
     pub generation_runtime: Duration,
+    /// Fault-simulation (coverage campaign) wall-clock time.
+    pub fault_sim_runtime: Duration,
+    /// Total wall-clock time of the run (generation + fault sim +
+    /// everything between; at least the sum of the two phases).
+    pub total_runtime: Duration,
     /// Test duration in ticks (Eq. 8).
     pub test_steps: usize,
     /// Test duration in dataset-sample lengths.
@@ -103,6 +122,8 @@ pub struct TestMetrics {
 impl std::fmt::Display for TestMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Test generation runtime     {:>10.2?}", self.generation_runtime)?;
+        writeln!(f, "Fault simulation runtime    {:>10.2?}", self.fault_sim_runtime)?;
+        writeln!(f, "Total runtime               {:>10.2?}", self.total_runtime)?;
         writeln!(f, "Test duration (ticks)       {:>10}", self.test_steps)?;
         writeln!(f, "Test duration (samples)     {:>10.2}", self.duration_samples)?;
         writeln!(f, "Activated neurons           {:>9.2}%", self.activated_pct)?;
@@ -172,6 +193,8 @@ mod tests {
     fn metrics_display_is_complete() {
         let m = TestMetrics {
             generation_runtime: Duration::from_secs(5),
+            fault_sim_runtime: Duration::from_secs(2),
+            total_runtime: Duration::from_secs(8),
             test_steps: 123,
             duration_samples: 2.05,
             activated_pct: 98.7,
@@ -186,5 +209,29 @@ mod tests {
         assert!(s.contains("99.97"));
         assert!(s.contains("Activated neurons"));
         assert!(s.contains("123"));
+        assert!(s.contains("Test generation runtime"));
+        assert!(s.contains("Fault simulation runtime"));
+        assert!(s.contains("Total runtime"));
+    }
+
+    #[test]
+    fn runtimes_from_spans_sums_phases() {
+        let rec = |id, parent, name: &str, start_us, end_us| snn_obs::SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            end_us,
+            attrs: Vec::new(),
+        };
+        let spans = vec![
+            rec(1, None, "generate", 0, 4_000_000),
+            rec(2, Some(1), "stage1", 0, 3_000_000),
+            rec(3, None, "faultsim.campaign", 4_000_000, 6_500_000),
+        ];
+        let (generation, fault_sim, total) = runtimes_from_spans(&spans);
+        assert_eq!(generation, Duration::from_secs(4));
+        assert_eq!(fault_sim, Duration::from_millis(2500));
+        assert_eq!(total, Duration::from_millis(6500));
     }
 }

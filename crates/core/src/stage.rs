@@ -7,6 +7,28 @@ use snn_model::{
 };
 use snn_tensor::{Shape, Tensor};
 
+/// Evaluates one loss expression, recording its wall-clock cost in a
+/// `snn_testgen_<name>_eval_seconds` histogram and its last value in a
+/// `snn_testgen_<name>_value` gauge, then yields the value.
+macro_rules! timed_loss {
+    ($name:literal, $eval:expr) => {{
+        let t0 = snn_obs::clock::monotonic();
+        let value = $eval;
+        snn_obs::histogram!(
+            concat!("snn_testgen_", $name, "_eval_seconds"),
+            concat!("Per-step ", $name, " evaluation time."),
+            snn_obs::metrics::FINE_DURATION_BUCKETS
+        )
+        .observe_duration(snn_obs::clock::monotonic().saturating_sub(t0));
+        snn_obs::gauge!(
+            concat!("snn_testgen_", $name, "_value"),
+            concat!("Last ", $name, " loss value.")
+        )
+        .set(f64::from(value));
+        value
+    }};
+}
+
 /// Hyper-parameters of one input-optimization stage (paper Fig. 3 and
 /// Section V-C).
 #[derive(Debug, Clone, PartialEq)]
@@ -135,6 +157,8 @@ impl<'a> Stage<'a> {
             "logit feature count mismatch"
         );
         assert!(self.cfg.steps > 0, "stage needs at least one optimization step");
+        let mut stage_span = snn_obs::span!("stage1");
+        stage_span.attr("steps", self.cfg.steps);
         let num_layers = self.net.layers().len();
         let mut adam = Adam::new(logits.shape().clone());
         let mut alphas: Option<Vec<f32>> = None;
@@ -143,6 +167,8 @@ impl<'a> Stage<'a> {
 
         for k in 0..self.cfg.steps {
             let tau = self.cfg.tau.at(k);
+            snn_obs::gauge!("snn_testgen_gumbel_tau", "Current Gumbel-Softmax temperature.")
+                .set(f64::from(tau));
             let sample = if self.cfg.stochastic {
                 GumbelSample::stochastic(rng, &logits, tau)
             } else {
@@ -153,6 +179,7 @@ impl<'a> Stage<'a> {
             // Evaluate the stage-1 losses (plus the optional L6
             // extension), each into its own gradient accumulator so they
             // can be scalarized with α.
+            let losses_span = snn_obs::span!("stage1.losses");
             let mut parts: [(f32, InjectedGrads); 5] = [
                 (0.0, InjectedGrads::none(num_layers)),
                 (0.0, InjectedGrads::none(num_layers)),
@@ -160,28 +187,42 @@ impl<'a> Stage<'a> {
                 (0.0, InjectedGrads::none(num_layers)),
                 (0.0, InjectedGrads::none(num_layers)),
             ];
-            parts[0].0 = losses::l1_output_activation(self.net, &trace, &mut parts[0].1);
-            parts[1].0 = losses::l2_neuron_activation(self.net, &trace, mask, &mut parts[1].1);
+            parts[0].0 =
+                timed_loss!("l1", losses::l1_output_activation(self.net, &trace, &mut parts[0].1));
+            parts[1].0 = timed_loss!(
+                "l2",
+                losses::l2_neuron_activation(self.net, &trace, mask, &mut parts[1].1)
+            );
             if self.cfg.use_l3 {
-                parts[2].0 = losses::l3_temporal_diversity(
-                    self.net,
-                    &trace,
-                    mask,
-                    self.cfg.td_min,
-                    &mut parts[2].1,
+                parts[2].0 = timed_loss!(
+                    "l3",
+                    losses::l3_temporal_diversity(
+                        self.net,
+                        &trace,
+                        mask,
+                        self.cfg.td_min,
+                        &mut parts[2].1,
+                    )
                 );
             }
             if self.cfg.use_l4 {
-                parts[3].0 = losses::l4_contribution_variance(self.net, &trace, &mut parts[3].1);
-            }
-            if self.cfg.use_l6 {
-                parts[4].0 = losses::l6_saturation_margin(
-                    self.net,
-                    &trace,
-                    self.cfg.l6_margin,
-                    &mut parts[4].1,
+                parts[3].0 = timed_loss!(
+                    "l4",
+                    losses::l4_contribution_variance(self.net, &trace, &mut parts[3].1)
                 );
             }
+            if self.cfg.use_l6 {
+                parts[4].0 = timed_loss!(
+                    "l6",
+                    losses::l6_saturation_margin(
+                        self.net,
+                        &trace,
+                        self.cfg.l6_margin,
+                        &mut parts[4].1,
+                    )
+                );
+            }
+            drop(losses_span);
 
             let a = alphas.get_or_insert_with(|| {
                 losses::balance_weights(&[
@@ -209,9 +250,11 @@ impl<'a> Stage<'a> {
             if inj.is_empty() {
                 break; // perfect loss — nothing left to optimize
             }
+            let backward_span = snn_obs::span!("stage1.backward");
             let grads = self.net.backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
             let g_logits = sample.grad_logits(&grads.input);
             adam.step(&mut logits, &g_logits, self.cfg.lr.at(k));
+            drop(backward_span);
         }
 
         // snn-lint: allow(L-PANIC): the entry assert guarantees steps ≥ 1, so `best` is always Some
@@ -225,6 +268,8 @@ impl<'a> Stage<'a> {
     /// equal to the stage-1 output (enforced as a hard acceptance guard on
     /// top of the `μ`-weighted penalty).
     pub fn run_stage2(&self, rng: &mut impl Rng, stage1: &StageOutcome) -> StageOutcome {
+        let mut stage_span = snn_obs::span!("stage2");
+        stage_span.attr("steps", self.cfg.steps);
         let num_layers = self.net.layers().len();
         let reference = stage1.best_trace.output().clone();
         let mut logits = stage1.best_logits.clone();
@@ -251,7 +296,7 @@ impl<'a> Stage<'a> {
             let trace = self.net.forward(&sample.binary, RecordOptions::full());
 
             let mut inj = InjectedGrads::none(num_layers);
-            let l5 = losses::l5_hidden_activity(self.net, &trace, &mut inj);
+            let l5 = timed_loss!("l5", losses::l5_hidden_activity(self.net, &trace, &mut inj));
             // Scale the L5 gradient; the preservation penalty adds its own.
             let mut scaled = InjectedGrads::none(num_layers);
             merge_scaled(&mut scaled, &inj, alpha5);
@@ -275,9 +320,11 @@ impl<'a> Stage<'a> {
             if inj.is_empty() {
                 break;
             }
+            let backward_span = snn_obs::span!("stage2.backward");
             let grads = self.net.backward(&sample.binary, &trace, &inj, self.cfg.surrogate, false);
             let g_logits = sample.grad_logits(&grads.input);
             adam.step(&mut logits, &g_logits, self.cfg.lr.at(k));
+            drop(backward_span);
         }
 
         best.loss_history = history;

@@ -11,7 +11,7 @@ use crate::{parallel, sim::faulty_output, Fault, FaultSimConfig, FaultUniverse, 
 use serde::{Deserialize, Serialize};
 use snn_model::{Network, RecordOptions, Trace};
 use snn_tensor::Tensor;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration for the criticality campaign.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -81,8 +81,7 @@ pub fn classify(
     cfg: CriticalityConfig,
 ) -> CriticalityReport {
     assert!(!dataset.is_empty(), "criticality labelling needs at least one sample");
-    // snn-lint: allow(L-NONDET): wall-clock is reporting telemetry only — it never influences criticality labels
-    let start = Instant::now();
+    let start = snn_obs::clock::monotonic();
     let take = cfg.max_samples.unwrap_or(dataset.len()).min(dataset.len());
     let samples = &dataset[..take];
 
@@ -122,7 +121,7 @@ pub fn classify(
         },
     );
 
-    CriticalityReport { critical, elapsed: start.elapsed() }
+    CriticalityReport { critical, elapsed: snn_obs::clock::monotonic().saturating_sub(start) }
 }
 
 /// Top-1 class from final-layer spike trains `[T × classes]`.

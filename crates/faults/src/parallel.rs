@@ -67,15 +67,19 @@ where
     if workers <= 1 || n == 0 {
         let mut state = make_state();
         let mut out = Vec::with_capacity(n);
+        let busy_started = snn_obs::clock::monotonic();
         for i in 0..n {
             cancel.check()?;
             out.push(f(&mut state, i));
         }
+        record_busy(busy_started);
         return Ok(out);
     }
     // Contiguous chunking keeps faults of the same layer together, which
     // maximizes prefix-cache hit locality.
     let chunk = n.div_ceil(workers);
+    // Worker threads have no implicit span parent; hand them the caller's.
+    let parent_span = snn_obs::trace::current_id();
     let mut results: Vec<Vec<T>> = Vec::new();
     thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -88,14 +92,19 @@ where
             let f = &f;
             let make_state = &make_state;
             handles.push(scope.spawn(move |_| {
+                let mut worker_span =
+                    snn_obs::trace::enter_with_parent("faultsim.worker", parent_span);
+                worker_span.attr("items", hi - lo);
                 let mut state = make_state();
                 let mut out = Vec::with_capacity(hi - lo);
+                let busy_started = snn_obs::clock::monotonic();
                 for i in lo..hi {
                     if cancel.is_cancelled() {
                         break;
                     }
                     out.push(f(&mut state, i));
                 }
+                record_busy(busy_started);
                 out
             }));
         }
@@ -108,6 +117,17 @@ where
     .expect("crossbeam scope failed");
     cancel.check()?;
     Ok(results.into_iter().flatten().collect())
+}
+
+/// Adds the wall-clock spent since `busy_started` to the worker busy-time
+/// counter.
+fn record_busy(busy_started: std::time::Duration) {
+    let busy = snn_obs::clock::monotonic().saturating_sub(busy_started);
+    snn_obs::counter!(
+        "snn_faultsim_worker_busy_microseconds_total",
+        "Cumulative busy time of fault-simulation workers."
+    )
+    .add(u64::try_from(busy.as_micros()).unwrap_or(u64::MAX));
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use snn_model::{Layer, Network, NeuronFaultMap, RecordOptions, Trace};
 use snn_tensor::Tensor;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a fault-simulation campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -181,8 +181,12 @@ impl<'a> FaultSimulator<'a> {
         cancel: &CancelToken,
     ) -> Result<CampaignOutcome, CampaignError> {
         assert!(!tests.is_empty(), "detection campaign needs at least one test input");
-        // snn-lint: allow(L-NONDET): wall-clock is reporting telemetry only — it never influences detection results
-        let start = Instant::now();
+        // Wall-clock is reporting telemetry only — it never influences
+        // detection results. Reads go through the snn-obs clock.
+        let mut campaign_span = snn_obs::span!("faultsim.campaign");
+        campaign_span.attr("faults", faults.len());
+        let start = snn_obs::clock::monotonic();
+        let baseline_span = snn_obs::span!("faultsim.baseline");
         let baselines: Vec<Trace> =
             tests.iter().map(|t| self.net.forward(t, RecordOptions::spikes_only())).collect();
         let baseline_counts: Vec<Vec<f32>> = baselines.iter().map(|b| b.class_counts()).collect();
@@ -195,6 +199,7 @@ impl<'a> FaultSimulator<'a> {
         } else {
             Vec::new()
         };
+        drop(baseline_span);
 
         let cfg = self.cfg;
         let net = self.net;
@@ -212,6 +217,7 @@ impl<'a> FaultSimulator<'a> {
             cancel,
             || net.clone(),
             |worker, i| {
+                let fault_started = snn_obs::clock::monotonic();
                 let fault = &faults[i];
                 let injection = &injections[i];
                 let mut detected = false;
@@ -251,7 +257,23 @@ impl<'a> FaultSimulator<'a> {
                 }
                 if detected {
                     detected_total.fetch_add(1, Ordering::Relaxed);
+                    snn_obs::counter!(
+                        "snn_faultsim_faults_detected_total",
+                        "Faults detected across campaigns."
+                    )
+                    .inc();
                 }
+                snn_obs::counter!(
+                    "snn_faultsim_faults_simulated_total",
+                    "Faults simulated across campaigns."
+                )
+                .inc();
+                snn_obs::histogram!(
+                    "snn_faultsim_fault_seconds",
+                    "Per-fault simulation time.",
+                    snn_obs::metrics::FINE_DURATION_BUCKETS
+                )
+                .observe_duration(snn_obs::clock::monotonic().saturating_sub(fault_started));
                 sink.emit(Progress::FaultsSimulated {
                     done: done.fetch_add(1, Ordering::Relaxed) + 1,
                     total: faults.len(),
@@ -266,7 +288,9 @@ impl<'a> FaultSimulator<'a> {
             },
         )?;
 
-        Ok(CampaignOutcome { per_fault, elapsed: start.elapsed() })
+        let elapsed = snn_obs::clock::monotonic().saturating_sub(start);
+        campaign_span.attr("detected", detected_total.load(Ordering::Relaxed));
+        Ok(CampaignOutcome { per_fault, elapsed })
     }
 }
 

@@ -87,7 +87,7 @@ pub fn registry() -> Vec<Pass> {
         Pass {
             id: "L-NONDET",
             summary: "wall-clock or entropy source in the generator / fault-simulator",
-            scope: "crates/core, crates/faults",
+            scope: "crates/core, crates/faults, crates/obs",
             applies: is_reproducible_crate,
             check: check_nondet,
         },
@@ -130,7 +130,12 @@ fn is_kernel_crate(path: &str) -> bool {
 }
 
 fn is_reproducible_crate(path: &str) -> bool {
-    path.starts_with("crates/core/src/") || path.starts_with("crates/faults/src/")
+    // crates/obs is in scope so that the single sanctioned
+    // `Instant::now()` in its clock module stays the only raw monotonic
+    // read — every other crate goes through `snn_obs::clock`.
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/faults/src/")
+        || path.starts_with("crates/obs/src/")
 }
 
 fn is_service_crate(path: &str) -> bool {

@@ -1,0 +1,36 @@
+//! Observability for the snn-mtfc pipeline: spans, metrics, profiling.
+//!
+//! The paper this workspace reproduces ("Minimum Time Maximum Fault
+//! Coverage Testing of Spiking Neural Networks") is at its core a claim
+//! about *time* — so the workspace needs to be able to say where a second
+//! of wall-clock goes. This crate is the shared instrumentation layer:
+//!
+//! * [`clock`] — the [`Clock`] trait with the workspace's **single**
+//!   sanctioned `Instant::now()` call site ([`RealClock`]) plus a
+//!   deterministic [`ManualClock`] for tests. Everything else in the
+//!   reproducibility-critical crates measures time through this.
+//! * [`trace`] — hierarchical spans via the [`span!`] macro and a
+//!   thread-safe [`Collector`], serializable to a JSONL trace
+//!   (`--trace-out` on the CLI). Disabled-path cost is one atomic load.
+//! * [`metrics`] — a global [`Registry`](metrics::Registry) of lock-free
+//!   [`Counter`](metrics::Counter)s, [`Gauge`](metrics::Gauge)s and
+//!   fixed-bucket [`Histogram`](metrics::Histogram)s, with a serializable
+//!   snapshot (served by `Request::Metrics` on the job-server protocol)
+//!   and Prometheus text-format 0.0.4 rendering.
+//! * [`profile`] — folds a trace into an aggregated span tree with
+//!   total/self time per node (the `snn profile` subcommand).
+//!
+//! Metric names follow `snn_<subsystem>_<name>_<unit>`; span names are
+//! lower-case dotted paths (`generate`, `stage1.backward`,
+//! `faultsim.worker`). DESIGN.md §11 documents both conventions.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, RealClock};
+pub use metrics::{MetricsSnapshot, Registry};
+pub use trace::{Collector, SpanGuard, SpanRecord};

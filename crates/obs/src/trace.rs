@@ -1,0 +1,363 @@
+//! Hierarchical spans and the trace collector.
+//!
+//! Instrumented code opens a span with the [`span!`](crate::span!) macro
+//! and holds the returned guard for the duration of the region:
+//!
+//! ```
+//! let _g = snn_obs::span!("stage1.backward");
+//! // … timed work …
+//! ```
+//!
+//! When no [`Collector`] is installed (the default), entering a span is a
+//! single relaxed atomic load — no allocation, no lock, no clock read —
+//! so instrumentation can stay in release builds. When a collector *is*
+//! installed (e.g. by the CLI's `--trace-out`), each guard records a
+//! [`SpanRecord`] with its parent (the span that was current on this
+//! thread when it opened), start/end times from the collector's
+//! [`Clock`], and any attributes attached via [`SpanGuard::attr`].
+//!
+//! Spans nest per thread via an implicit thread-local current span.
+//! Work handed to another thread does not inherit a parent implicitly:
+//! capture [`current_id`] before spawning and open the child with
+//! [`enter_with_parent`] inside the worker.
+
+use crate::clock::{Clock, RealClock};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One finished span, as stored in a trace and serialized to JSONL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Unique id within the trace (allocation order).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Dotted span name, e.g. `"stage1.backward"`.
+    pub name: String,
+    /// Start time in microseconds on the collector's clock.
+    pub start_us: u64,
+    /// End time in microseconds on the collector's clock.
+    pub end_us: u64,
+    /// Attached `key=value` attributes, in attachment order.
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Wall-clock duration of the span.
+    pub fn duration(&self) -> Duration {
+        Duration::from_micros(self.end_us.saturating_sub(self.start_us))
+    }
+}
+
+/// Thread-safe sink for finished spans.
+pub struct Collector {
+    clock: Arc<dyn Clock>,
+    next_id: AtomicU64,
+    finished: Mutex<Vec<SpanRecord>>,
+}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector").field("finished", &self.finished.lock().len()).finish()
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// A collector timing spans on the process [`RealClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(RealClock))
+    }
+
+    /// A collector timing spans on `clock` (tests pass a
+    /// [`ManualClock`](crate::clock::ManualClock) here for determinism).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self { clock, next_id: AtomicU64::new(1), finished: Mutex::new(Vec::new()) }
+    }
+
+    /// Snapshot of every span finished so far, in completion order.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.finished.lock().clone()
+    }
+
+    /// Renders the finished spans as JSON-lines text (one record per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for record in self.finished.lock().iter() {
+            out.push_str(&serde::json::to_string(record));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the finished spans to `path` as JSONL.
+    pub fn write_jsonl(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_jsonl().as_bytes())
+    }
+
+    fn record(&self, record: SpanRecord) {
+        self.finished.lock().push(record);
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.clock.now().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Parses JSONL trace text back into span records (empty lines skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<SpanRecord>, serde::Error> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: SpanRecord = serde::json::from_str(line)
+            .map_err(|e| serde::Error::msg(format!("trace line {}: {e}", i + 1)))?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// The installed (global) collector
+// ---------------------------------------------------------------------------
+
+/// Fast-path switch: `true` iff a collector is installed. The disabled
+/// span path reads only this.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: RwLock<Option<Arc<Collector>>> = RwLock::new(None);
+
+thread_local! {
+    /// Id of the span currently open on this thread, if any.
+    static CURRENT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Installs `collector` as the process-wide span sink, replacing (and
+/// returning) any previous one.
+pub fn install(collector: Arc<Collector>) -> Option<Arc<Collector>> {
+    let prev = GLOBAL.write().replace(collector);
+    ENABLED.store(true, Ordering::Release);
+    prev
+}
+
+/// Removes the installed collector, if any, and returns it. Spans entered
+/// afterwards are no-ops again.
+pub fn uninstall() -> Option<Arc<Collector>> {
+    let mut slot = GLOBAL.write();
+    ENABLED.store(false, Ordering::Release);
+    slot.take()
+}
+
+/// `true` when a collector is installed. Instrumented code can use this
+/// to skip computing expensive attribute values.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Id of the span currently open on this thread (to pass across a thread
+/// boundary into [`enter_with_parent`]).
+pub fn current_id() -> Option<u64> {
+    CURRENT.with(Cell::get)
+}
+
+/// Opens a span named `name` under the thread's current span.
+///
+/// Prefer the [`span!`](crate::span!) macro at call sites. With no
+/// collector installed this is one atomic load.
+pub fn enter(name: &'static str) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { active: None };
+    }
+    enter_slow(name, CURRENT.with(Cell::get))
+}
+
+/// Opens a span with an explicit parent (or as a root when `None`) —
+/// for work that crosses a thread boundary, where the implicit
+/// thread-local parent would be wrong.
+pub fn enter_with_parent(name: &'static str, parent: Option<u64>) -> SpanGuard {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return SpanGuard { active: None };
+    }
+    enter_slow(name, parent)
+}
+
+fn enter_slow(name: &'static str, parent: Option<u64>) -> SpanGuard {
+    let Some(collector) = GLOBAL.read().clone() else {
+        return SpanGuard { active: None };
+    };
+    let id = collector.next_id.fetch_add(1, Ordering::Relaxed);
+    let start_us = collector.now_us();
+    let prev = CURRENT.with(|c| c.replace(Some(id)));
+    SpanGuard {
+        active: Some(ActiveSpan { collector, id, parent, prev, name, start_us, attrs: Vec::new() }),
+    }
+}
+
+struct ActiveSpan {
+    collector: Arc<Collector>,
+    id: u64,
+    parent: Option<u64>,
+    prev: Option<u64>,
+    name: &'static str,
+    start_us: u64,
+    attrs: Vec<(String, String)>,
+}
+
+/// RAII guard for an open span; the span closes when the guard drops.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl fmt::Debug for ActiveSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ActiveSpan").field("id", &self.id).field("name", &self.name).finish()
+    }
+}
+
+impl SpanGuard {
+    /// Attaches a `key=value` attribute to the span (no-op when disabled).
+    pub fn attr(&mut self, key: &str, value: impl fmt::Display) {
+        if let Some(active) = &mut self.active {
+            active.attrs.push((key.to_string(), value.to_string()));
+        }
+    }
+
+    /// The span's trace id, or `None` when tracing is disabled.
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else { return };
+        let end_us = active.collector.now_us();
+        CURRENT.with(|c| c.set(active.prev));
+        active.collector.record(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            name: active.name.to_string(),
+            start_us: active.start_us,
+            end_us,
+            attrs: active.attrs,
+        });
+    }
+}
+
+/// Opens a span named by the argument; bind the guard to keep it open:
+/// `let _g = snn_obs::span!("stage1.backward");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::enter($name)
+    };
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only shorthand
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    /// Serializes tests that install the process-global collector.
+    static GLOBAL_TEST: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _serial = GLOBAL_TEST.lock();
+        assert!(!enabled());
+        let mut g = span!("noop");
+        g.attr("k", 1);
+        assert!(g.id().is_none());
+        drop(g);
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let _serial = GLOBAL_TEST.lock();
+        let clock = Arc::new(ManualClock::new());
+        install(Arc::new(Collector::with_clock(clock.clone())));
+        {
+            let outer = span!("outer");
+            clock.advance(Duration::from_millis(10));
+            {
+                let inner = span!("inner");
+                assert_eq!(current_id(), inner.id());
+                clock.advance(Duration::from_millis(5));
+            }
+            assert_eq!(current_id(), outer.id());
+            clock.advance(Duration::from_millis(1));
+        }
+        let collector = uninstall().unwrap();
+        let spans = collector.finished();
+        assert_eq!(spans.len(), 2);
+        // Completion order: inner closes first.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[0].duration(), Duration::from_millis(5));
+        assert_eq!(spans[1].duration(), Duration::from_millis(16));
+        assert_eq!(current_id(), None);
+    }
+
+    #[test]
+    fn explicit_parent_crosses_threads() {
+        let _serial = GLOBAL_TEST.lock();
+        install(Arc::new(Collector::with_clock(Arc::new(ManualClock::new()))));
+        let root = span!("root");
+        let root_id = root.id();
+        let handle = std::thread::spawn(move || {
+            // A fresh thread has no implicit parent…
+            assert_eq!(current_id(), None);
+            let w = enter_with_parent("worker", root_id);
+            let got = w.id();
+            drop(w);
+            got
+        });
+        let worker_id = handle.join().unwrap();
+        drop(root);
+        let collector = uninstall().unwrap();
+        let spans = collector.finished();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, root_id);
+        assert_eq!(Some(worker.id), worker_id);
+    }
+
+    #[test]
+    fn jsonl_round_trips_including_attrs() {
+        let _serial = GLOBAL_TEST.lock();
+        let collector = Arc::new(Collector::with_clock(Arc::new(ManualClock::new())));
+        install(collector.clone());
+        {
+            let mut g = span!("with.attrs");
+            g.attr("faults", 42);
+            g.attr("mode", "collapsed");
+        }
+        uninstall();
+        let text = collector.to_jsonl();
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, collector.finished());
+        assert_eq!(parsed[0].attrs[0], ("faults".to_string(), "42".to_string()));
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_number() {
+        let err = parse_jsonl("not json\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Assertion-style bound on hot-path overhead: with no trace collector
+//! installed and every metric site warmed, instrumentation must perform
+//! zero heap allocations — only interior atomics.
+//!
+//! This file holds exactly one test so no sibling test can allocate
+//! concurrently and pollute the counter.
+
+use snn_obs::metrics::DURATION_BUCKETS;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_instrumentation_does_not_allocate() {
+    assert!(!snn_obs::trace::enabled(), "no collector is installed in this test");
+
+    // Warm every per-site cache: the first call registers the metric in
+    // the global registry (which allocates, once per process).
+    let c = snn_obs::counter!("snn_obs_overhead_total", "overhead self-test");
+    let g = snn_obs::gauge!("snn_obs_overhead_value", "overhead self-test");
+    let h = snn_obs::histogram!("snn_obs_overhead_seconds", "overhead self-test", DURATION_BUCKETS);
+    c.inc();
+    g.set(1.0);
+    h.observe(0.001);
+    drop(snn_obs::span!("warmup"));
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000_i32 {
+        let _span = snn_obs::span!("hot");
+        c.inc();
+        g.set(f64::from(i));
+        h.observe(0.001);
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after, before, "hot path allocated {} times", after - before);
+}

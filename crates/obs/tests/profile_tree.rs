@@ -1,0 +1,58 @@
+//! End-to-end determinism test: spans driven by the manual clock, dumped
+//! to JSONL, parsed back, and folded into a profile tree whose arithmetic
+//! is exact — the root's total equals its self time plus the sum of its
+//! top-level children's totals.
+
+use snn_obs::clock::ManualClock;
+use snn_obs::profile;
+use snn_obs::trace::{self, Collector};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn mock_clock_trace_produces_exact_profile_arithmetic() {
+    let clock = Arc::new(ManualClock::new());
+    let collector = Arc::new(Collector::with_clock(clock.clone()));
+    trace::install(collector.clone());
+
+    {
+        let _generate = snn_obs::span!("generate");
+        clock.advance(Duration::from_millis(100)); // generate self time
+        for _ in 0..3 {
+            let _stage1 = snn_obs::span!("stage1");
+            clock.advance(Duration::from_millis(200));
+            {
+                let _backward = snn_obs::span!("stage1.backward");
+                clock.advance(Duration::from_millis(50));
+            }
+        }
+        {
+            let _stage2 = snn_obs::span!("stage2");
+            clock.advance(Duration::from_millis(400));
+        }
+    }
+    trace::uninstall();
+
+    // Round-trip through the JSONL wire format, as `snn profile` would.
+    let parsed = trace::parse_jsonl(&collector.to_jsonl()).expect("trace parses");
+    let roots = profile::build(&parsed);
+    assert_eq!(roots.len(), 1);
+    let generate = &roots[0];
+    assert_eq!(generate.name, "generate");
+
+    // Exact, deterministic numbers from the manual clock.
+    assert_eq!(generate.total, Duration::from_millis(100 + 3 * 250 + 400));
+    assert_eq!(generate.self_time, Duration::from_millis(100));
+    let child_total: Duration = generate.children.iter().map(|c| c.total).sum();
+    assert_eq!(generate.total, generate.self_time + child_total);
+
+    let stage1 = generate.find("stage1").expect("stage1 aggregated");
+    assert_eq!(stage1.count, 3);
+    assert_eq!(stage1.total, Duration::from_millis(750));
+    assert_eq!(stage1.self_time, Duration::from_millis(600));
+    assert_eq!(stage1.find("stage1.backward").expect("nested").total, Duration::from_millis(150));
+
+    let rendered = profile::render(&roots);
+    assert!(rendered.contains("generate"), "{rendered}");
+    assert!(rendered.contains("stage1.backward"), "{rendered}");
+}

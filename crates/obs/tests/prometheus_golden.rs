@@ -1,0 +1,22 @@
+//! Golden-file test for the Prometheus text-format renderer: the output
+//! must be byte-stable (ordering, float formatting) because external
+//! scrapers and the ci.sh gate depend on it.
+
+use snn_obs::metrics::Registry;
+
+#[test]
+fn prometheus_rendering_matches_golden_file() {
+    let r = Registry::new();
+    // Registered out of name order on purpose: the snapshot sorts.
+    r.gauge("snn_testgen_gumbel_tau", "Current Gumbel-Softmax temperature.").set(2.5);
+    r.counter("snn_faultsim_faults_detected_total", "Faults detected across campaigns.").add(9);
+    let h = r.histogram("snn_service_job_wall_seconds", "Job wall time.", &[0.1, 1.0, 10.0]);
+    // Exactly representable values so the sum renders identically on any
+    // platform: 0.0625 + 1.0 + 30.0 == 31.0625.
+    h.observe(0.0625);
+    h.observe(1.0); // == bucket edge: lands in the le="1" bucket
+    h.observe(30.0); // above every edge: overflow bucket only
+    let rendered = r.render_prometheus();
+    let golden = include_str!("fixtures/prometheus.golden");
+    assert_eq!(rendered, golden, "rendered:\n{rendered}");
+}

@@ -72,6 +72,14 @@ impl Client {
         }
     }
 
+    /// Fetches a snapshot of the server's metrics registry.
+    pub fn metrics(&mut self) -> Result<snn_obs::MetricsSnapshot, String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Asks the server to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<(), String> {
         match self.request(&Request::Shutdown)? {
@@ -102,8 +110,9 @@ impl Client {
             match self.read_response()? {
                 Response::Event(event) => {
                     let terminal = matches!(
-                        &event,
-                        JobEvent::State { state, .. } if state.is_terminal()
+                        &event.payload,
+                        crate::protocol::JobEventPayload::State { state, .. }
+                            if state.is_terminal()
                     );
                     on_event(&event);
                     if terminal {

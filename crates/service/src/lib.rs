@@ -59,8 +59,8 @@ pub mod store;
 pub use bus::EventBus;
 pub use client::Client;
 pub use protocol::{
-    JobEvent, JobRecord, JobResult, JobSpec, JobState, ModelSpec, Request, Response,
-    PROTOCOL_VERSION,
+    JobEvent, JobEventPayload, JobRecord, JobResult, JobSpec, JobState, JobTimings, ModelSpec,
+    Request, Response, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServiceConfig};
 pub use store::JobStore;

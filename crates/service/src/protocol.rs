@@ -14,7 +14,11 @@ use snn_faults::progress::Progress;
 use std::io::{BufRead, Write};
 
 /// Protocol revision; incremented on breaking wire changes.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// * `2` — [`JobEvent`] became a sequenced envelope (`seq`/`at_ms`/
+///   `payload`) and [`Request::Metrics`]/[`Response::Metrics`] were
+///   added.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// What network a job runs against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -108,6 +112,21 @@ impl std::fmt::Display for JobState {
     }
 }
 
+/// Wall-clock breakdown of one job's phases, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobTimings {
+    /// Time spent in the queue before a worker picked the job up.
+    pub queue_wait_ms: u64,
+    /// Static-analysis time (interval analysis + fault collapsing, or a
+    /// cache hit).
+    pub analyze_ms: u64,
+    /// Test-generation time.
+    pub generation_ms: u64,
+    /// Fault-simulation (coverage campaign) time; `0` when no campaign
+    /// ran.
+    pub fault_sim_ms: u64,
+}
+
 /// Outcome of a finished job.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobResult {
@@ -134,6 +153,9 @@ pub struct JobResult {
     /// Static-analysis summary of the model (interval classes and fault
     /// collapsing). `None` on records written by older servers.
     pub analysis: Option<snn_analyze::AnalysisSummary>,
+    /// Per-phase wall-clock breakdown. `None` on records written by
+    /// older servers.
+    pub timings: Option<JobTimings>,
 }
 
 /// Everything the server knows about one job. Persisted as one JSON file
@@ -160,9 +182,32 @@ pub struct JobRecord {
     pub error: Option<String>,
 }
 
-/// A lifecycle or progress notification streamed to watchers.
+/// A sequenced, timestamped notification streamed to watchers.
+///
+/// `seq` is a server-wide monotonic counter stamped at publish time:
+/// consecutive events a subscriber receives normally have consecutive
+/// sequence numbers, so a *gap* tells the subscriber that it was too
+/// slow and events were dropped — loss is observable, never silent.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum JobEvent {
+pub struct JobEvent {
+    /// Server-wide monotonic sequence number, assigned at publish time.
+    pub seq: u64,
+    /// Emission time, Unix milliseconds.
+    pub at_ms: u64,
+    /// What happened.
+    pub payload: JobEventPayload,
+}
+
+impl JobEvent {
+    /// The job this event concerns.
+    pub fn job(&self) -> u64 {
+        self.payload.job()
+    }
+}
+
+/// The body of a [`JobEvent`]: a lifecycle change or a progress report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobEventPayload {
     /// The job entered `state`.
     State {
         /// Job id.
@@ -181,7 +226,7 @@ pub enum JobEvent {
     },
 }
 
-impl JobEvent {
+impl JobEventPayload {
     /// The job this event concerns.
     pub fn job(&self) -> u64 {
         match self {
@@ -215,6 +260,8 @@ pub enum Request {
     },
     /// Liveness probe.
     Ping,
+    /// Fetch a snapshot of the server's metrics registry.
+    Metrics,
     /// Graceful server shutdown: running jobs are cancelled, queued jobs
     /// stay queued (they resume on restart), state is persisted.
     Shutdown,
@@ -244,6 +291,8 @@ pub enum Response {
     },
     /// Shutdown acknowledged.
     ShuttingDown,
+    /// A snapshot of every registered counter, gauge and histogram.
+    Metrics(snn_obs::MetricsSnapshot),
     /// A streamed watch notification.
     Event(JobEvent),
     /// The request failed.
@@ -298,6 +347,7 @@ mod tests {
         round_trip(&Request::Cancel { job: 9 });
         round_trip(&Request::Watch { job: 0 });
         round_trip(&Request::Ping);
+        round_trip(&Request::Metrics);
         round_trip(&Request::Shutdown);
     }
 
@@ -340,6 +390,12 @@ mod tests {
                     representatives: 6,
                     collapse_fraction: 3.0 / 9.0,
                 }),
+                timings: Some(JobTimings {
+                    queue_wait_ms: 100,
+                    analyze_ms: 20,
+                    generation_ms: 2500,
+                    fault_sim_ms: 380,
+                }),
             }),
             error: None,
         };
@@ -349,23 +405,29 @@ mod tests {
         round_trip(&Response::CancelRequested { job: 1 });
         round_trip(&Response::Pong { version: PROTOCOL_VERSION });
         round_trip(&Response::ShuttingDown);
-        round_trip(&Response::Event(JobEvent::State {
-            job: 1,
-            state: JobState::Cancelled,
-            error: Some("cancelled by user".into()),
+        round_trip(&Response::Event(JobEvent {
+            seq: 41,
+            at_ms: 1_700_000_002_000,
+            payload: JobEventPayload::State {
+                job: 1,
+                state: JobState::Cancelled,
+                error: Some("cancelled by user".into()),
+            },
         }));
         round_trip(&Response::Error { message: "queue full".into() });
+        round_trip(&Response::Metrics(snn_obs::MetricsSnapshot { metrics: Vec::new() }));
     }
 
     #[test]
     fn job_result_without_analysis_field_still_decodes() {
-        // Records persisted before the analysis summary existed must
-        // still load (same PROTOCOL_VERSION; the field is additive).
+        // Records persisted before the analysis summary and the timing
+        // breakdown existed must still load (the fields are additive).
         let json = "{\"chunks\":1,\"test_steps\":10,\"activated\":2,\"total_neurons\":4,\
                     \"activation_coverage\":0.5,\"runtime_ms\":3,\"faults_total\":null,\
                     \"faults_detected\":null,\"fault_coverage\":null,\"events_path\":null}";
         let r: JobResult = serde::json::from_str(json).unwrap();
         assert!(r.analysis.is_none());
+        assert!(r.timings.is_none());
         assert_eq!(r.chunks, 1);
     }
 

@@ -3,8 +3,8 @@
 
 use crate::bus::EventBus;
 use crate::protocol::{
-    read_line, write_line, JobEvent, JobRecord, JobResult, JobSpec, JobState, ModelSpec, Request,
-    Response, PROTOCOL_VERSION,
+    read_line, write_line, JobEventPayload, JobRecord, JobResult, JobSpec, JobState, JobTimings,
+    ModelSpec, Request, Response, PROTOCOL_VERSION,
 };
 use crate::store::{now_ms, JobStore};
 use parking_lot::{Condvar, Mutex};
@@ -76,12 +76,51 @@ impl Inner {
     /// Moves a job through a state change: persists, then broadcasts.
     fn transition(&self, id: u64, f: impl FnOnce(&mut JobRecord)) -> Option<JobRecord> {
         let updated = self.store.update(id, f)?;
-        self.bus.publish(&JobEvent::State {
+        // Metrics are updated before the broadcast so a client reacting to
+        // the terminal event already sees this job in a Metrics snapshot.
+        if updated.state.is_terminal() {
+            if let Some(finished) = updated.finished_at_ms {
+                let wall_ms = finished.saturating_sub(updated.submitted_at_ms);
+                snn_obs::histogram!(
+                    "snn_service_job_wall_seconds",
+                    "Submit-to-terminal wall-clock time of finished jobs.",
+                    snn_obs::metrics::DURATION_BUCKETS
+                )
+                .observe(wall_ms as f64 / 1000.0);
+            }
+        }
+        self.refresh_gauges();
+        self.bus.publish(JobEventPayload::State {
             job: id,
             state: updated.state,
             error: updated.error.clone(),
         });
         Some(updated)
+    }
+
+    /// Publishes the queue depth and per-state job counts as gauges.
+    fn refresh_gauges(&self) {
+        let depth = self.queue.lock().len();
+        snn_obs::gauge!("snn_service_queue_depth", "Jobs queued but not yet running.")
+            .set(depth as f64);
+        let (mut queued, mut running, mut done, mut failed, mut cancelled) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for record in self.store.list() {
+            match record.state {
+                JobState::Queued => queued += 1,
+                JobState::Running => running += 1,
+                JobState::Done => done += 1,
+                JobState::Failed => failed += 1,
+                JobState::Cancelled => cancelled += 1,
+            }
+        }
+        snn_obs::gauge!("snn_service_jobs_queued", "Jobs in the Queued state.").set(queued as f64);
+        snn_obs::gauge!("snn_service_jobs_running", "Jobs in the Running state.")
+            .set(running as f64);
+        snn_obs::gauge!("snn_service_jobs_done", "Jobs in the Done state.").set(done as f64);
+        snn_obs::gauge!("snn_service_jobs_failed", "Jobs in the Failed state.").set(failed as f64);
+        snn_obs::gauge!("snn_service_jobs_cancelled", "Jobs in the Cancelled state.")
+            .set(cancelled as f64);
     }
 
     /// Accepts a job into the store and queue, or explains why not.
@@ -97,6 +136,8 @@ impl Inner {
         let record = self.store.submit(spec);
         queue.push_back(record.id);
         self.queue_cv.notify_one();
+        drop(queue);
+        self.refresh_gauges();
         Ok(record)
     }
 
@@ -108,6 +149,9 @@ impl Inner {
                 return None;
             }
             if let Some(id) = queue.pop_front() {
+                let depth = queue.len();
+                snn_obs::gauge!("snn_service_queue_depth", "Jobs queued but not yet running.")
+                    .set(depth as f64);
                 return Some(id);
             }
             self.queue_cv.wait_for(&mut queue, Duration::from_millis(100));
@@ -174,7 +218,9 @@ impl ServiceSink {
 impl ProgressSink for ServiceSink {
     fn emit(&self, progress: Progress) {
         self.inner.store.update_progress_in_memory(self.job, progress.clone());
-        self.inner.bus.publish(&JobEvent::Progress { job: self.job, progress: progress.clone() });
+        self.inner
+            .bus
+            .publish(JobEventPayload::Progress { job: self.job, progress: progress.clone() });
         let mut last = self.last_persist.lock();
         if last.elapsed() >= PROGRESS_PERSIST_EVERY {
             *last = Instant::now();
@@ -368,12 +414,15 @@ fn run_job(inner: &Arc<Inner>, id: u64) {
         return;
     };
 
+    let queue_wait_ms = record
+        .started_at_ms
+        .unwrap_or(record.submitted_at_ms)
+        .saturating_sub(record.submitted_at_ms);
     let sink = ServiceSink::new(Arc::clone(inner), id);
-    let outcome =
-        catch_unwind(AssertUnwindSafe(|| execute(inner, &record.spec, id, &sink, &token)))
-            .unwrap_or_else(|panic| {
-                JobOutcome::Failed(format!("job panicked: {}", panic_msg(&panic)))
-            });
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        execute(inner, &record.spec, id, queue_wait_ms, &sink, &token)
+    }))
+    .unwrap_or_else(|panic| JobOutcome::Failed(format!("job panicked: {}", panic_msg(&panic))));
 
     inner.running.lock().remove(&id);
     inner.transition(id, |r| {
@@ -411,9 +460,16 @@ fn execute(
     inner: &Arc<Inner>,
     spec: &JobSpec,
     id: u64,
+    queue_wait_ms: u64,
     sink: &ServiceSink,
     token: &CancelToken,
 ) -> JobOutcome {
+    /// Milliseconds elapsed since `start` on the observability clock.
+    fn ms_since(start: Duration) -> u64 {
+        u64::try_from(snn_obs::clock::monotonic().saturating_sub(start).as_millis())
+            .unwrap_or(u64::MAX)
+    }
+
     let cancelled_why = |inner: &Inner| {
         if inner.shutdown.load(Ordering::SeqCst) {
             "cancelled by server shutdown".to_string()
@@ -434,14 +490,18 @@ fn execute(
     let started = Instant::now();
     // Static analysis first: dead neurons leave the generator's target
     // set, and the collapsed universe prunes the coverage campaign.
+    let analyze_started = snn_obs::clock::monotonic();
     let cached = analysis_for(inner, &spec.model, &net);
+    let analyze_ms = ms_since(analyze_started);
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let generator =
         TestGenerator::new(&net, cfg).with_excluded(cached.analysis.intervals.dead_mask(&net));
+    let generation_started = snn_obs::clock::monotonic();
     let test = match generator.generate_with(&mut rng, sink, token) {
         Ok(test) => test,
         Err(_) => return JobOutcome::Cancelled(cancelled_why(inner)),
     };
+    let generation_ms = ms_since(generation_started);
 
     // Persist the stimulus in the event format the CLI understands.
     let events_path = inner.store.result_path(id, "events");
@@ -463,9 +523,11 @@ fn execute(
         fault_coverage: None,
         events_path,
         analysis: Some(cached.analysis.summary.clone()),
+        timings: Some(JobTimings { queue_wait_ms, analyze_ms, generation_ms, fault_sim_ms: 0 }),
     };
 
     if spec.evaluate_coverage && !test.chunks.is_empty() {
+        let fault_sim_started = snn_obs::clock::monotonic();
         let sim_cfg = FaultSimConfig { threads: spec.threads, ..FaultSimConfig::default() };
         let assembled = test.assembled();
         let tests = std::slice::from_ref(&assembled);
@@ -500,6 +562,9 @@ fn execute(
             Err(e) => return JobOutcome::Failed(e.to_string()),
         }
         result.runtime_ms = started.elapsed().as_millis() as u64;
+        if let Some(timings) = result.timings.as_mut() {
+            timings.fault_sim_ms = ms_since(fault_sim_started);
+        }
     }
 
     JobOutcome::Done(Box::new(result))
@@ -522,6 +587,9 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) -> io::Result<()> {
         match request {
             Request::Ping => {
                 write_line(&mut writer, &Response::Pong { version: PROTOCOL_VERSION })?
+            }
+            Request::Metrics => {
+                write_line(&mut writer, &Response::Metrics(snn_obs::metrics::global().snapshot()))?
             }
             Request::Submit(spec) => match inner.submit(spec) {
                 Ok(record) => write_line(&mut writer, &Response::Submitted { job: record.id })?,
@@ -563,8 +631,8 @@ fn watch(inner: &Arc<Inner>, writer: &mut TcpStream, job: u64) -> io::Result<()>
         match rx.recv_timeout(Duration::from_millis(250)) {
             Ok(event) => {
                 let done = matches!(
-                    &event,
-                    JobEvent::State { state, .. } if state.is_terminal()
+                    &event.payload,
+                    JobEventPayload::State { state, .. } if state.is_terminal()
                 );
                 write_line(writer, &Response::Event(event))?;
                 if done {
@@ -575,13 +643,15 @@ fn watch(inner: &Arc<Inner>, writer: &mut TcpStream, job: u64) -> io::Result<()>
                 // Fallback: the publisher may have raced our subscription.
                 if let Some(r) = inner.store.get(job) {
                     if r.state.is_terminal() {
+                        // Synthesized (not bus-delivered) terminal event;
+                        // stamping still consumes a real sequence number.
                         return write_line(
                             writer,
-                            &Response::Event(JobEvent::State {
+                            &Response::Event(inner.bus.stamp(JobEventPayload::State {
                                 job,
                                 state: r.state,
                                 error: r.error,
-                            }),
+                            })),
                         );
                     }
                 }

@@ -227,6 +227,7 @@ mod tests {
                     fault_coverage: None,
                     events_path: None,
                     analysis: None,
+                    timings: None,
                 });
             });
         }

@@ -228,6 +228,7 @@ impl Network {
         surrogate: Surrogate,
         want_weights: bool,
     ) -> Result<Gradients, BackwardError> {
+        let _span = snn_obs::span!("snn.backward");
         let num_layers = self.layers.len();
         assert_eq!(
             injected.len(),

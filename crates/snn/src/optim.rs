@@ -131,6 +131,7 @@ impl Adam {
     pub fn step(&mut self, param: &mut Tensor, grad: &Tensor, lr: f32) {
         assert_eq!(param.shape(), self.m.shape(), "adam param shape mismatch");
         assert_eq!(grad.shape(), self.m.shape(), "adam grad shape mismatch");
+        snn_obs::counter!("snn_model_adam_steps_total", "Adam optimizer updates.").inc();
         self.t += 1;
         let b1 = self.beta1;
         let b2 = self.beta2;

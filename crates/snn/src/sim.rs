@@ -339,6 +339,7 @@ impl Network {
         record: RecordOptions,
         faults: &NeuronFaultMap,
     ) -> Trace {
+        let _span = snn_obs::span!("snn.forward");
         let steps = input.shape().dim(0);
         let layers = self.forward_from(0, input, record, faults);
         Trace { steps, layers }

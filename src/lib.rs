@@ -21,6 +21,10 @@
 //!   sound fault collapsing with machine-checkable justifications, and
 //!   campaign pruning via collapsed universes,
 //! * [`baselines`] — prior-art test generation methods for comparison,
+//! * [`obs`] — dependency-free observability: hierarchical spans with a
+//!   JSONL trace collector, a lock-free metrics registry with Prometheus
+//!   text rendering, and the profile-tree renderer behind
+//!   `snn-mtfc profile`,
 //! * [`service`] — a concurrent job server daemonizing test generation:
 //!   TCP newline-delimited-JSON protocol, worker pool, live progress
 //!   streaming, cooperative cancellation and a restart-safe job store.
@@ -49,6 +53,7 @@ pub use snn_baselines as baselines;
 pub use snn_datasets as datasets;
 pub use snn_faults as faults;
 pub use snn_model as model;
+pub use snn_obs as obs;
 pub use snn_service as service;
 pub use snn_tensor as tensor;
 pub use snn_testgen as testgen;

@@ -4,12 +4,16 @@
 //! snn-mtfc new      --input 2x16x16 --arch pool:2,dense:48,dense:10 --out model.snn [--seed N]
 //! snn-mtfc info     model.snn
 //! snn-mtfc generate model.snn --out test.events [--preset fast|repro|paper] [--seed N]
-//! snn-mtfc verify   model.snn test.events
+//!                   [--trace-out trace.jsonl]
+//! snn-mtfc verify   model.snn test.events [--trace-out trace.jsonl]
+//! snn-mtfc profile  trace.jsonl
 //!
 //! snn-mtfc serve    --state-dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
+//!                   [--metrics-dump metrics.prom]
 //! snn-mtfc submit   (--model model.snn | --synthetic IxH..xO) [--preset P] [--coverage] [--watch]
 //! snn-mtfc status   [<job>] [--addr HOST:PORT]
-//! snn-mtfc watch    <job>   [--addr HOST:PORT]
+//! snn-mtfc watch    <job>   [--addr HOST:PORT] [--json]
+//! snn-mtfc metrics          [--addr HOST:PORT]
 //! snn-mtfc cancel   <job>   [--addr HOST:PORT]
 //! snn-mtfc shutdown         [--addr HOST:PORT]
 //! ```
@@ -24,11 +28,15 @@ use rand::SeedableRng;
 use snn_mtfc::faults::progress::Progress;
 use snn_mtfc::faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
 use snn_mtfc::model::{LifParams, Network, NetworkBuilder};
-use snn_mtfc::service::{Client, JobEvent, JobRecord, JobSpec, ModelSpec, Server, ServiceConfig};
-use snn_mtfc::testgen::{parse_events, TestGenConfig, TestGenerator};
+use snn_mtfc::obs;
+use snn_mtfc::service::{
+    Client, JobEvent, JobEventPayload, JobRecord, JobSpec, ModelSpec, Server, ServiceConfig,
+};
+use snn_mtfc::testgen::{parse_events, runtimes_from_spans, TestGenConfig, TestGenerator};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Default server address for the service subcommands.
 const DEFAULT_ADDR: &str = "127.0.0.1:7077";
@@ -47,6 +55,8 @@ fn main() -> ExitCode {
         Some("watch") => cmd_watch(&args[1..]),
         Some("cancel") => cmd_cancel(&args[1..]),
         Some("shutdown") => cmd_shutdown(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -70,15 +80,20 @@ fn print_usage() {
          [--sparsity FRAC]\n  \
          snn-mtfc info     <model.snn>\n  \
          snn-mtfc analyze  <model.snn> [--format text|json|sarif] [--self-check]\n                    \
-         [--timing-faults] [--bitflip-bits 0,3,7] [--min-collapse FRAC]\n  \
-         snn-mtfc generate <model.snn> [--out <test.events>] [--preset fast|repro|paper] [--seed N]\n  \
-         snn-mtfc verify   <model.snn> <test.events>\n\n  \
-         snn-mtfc serve    --state-dir <dir> [--addr host:port] [--workers N] [--queue N]\n  \
+         [--timing-faults] [--bitflip-bits 0,3,7] [--min-collapse FRAC]\n                    \
+         [--trace-out <trace.jsonl>]\n  \
+         snn-mtfc generate <model.snn> [--out <test.events>] [--preset fast|repro|paper] [--seed N]\n                    \
+         [--trace-out <trace.jsonl>]\n  \
+         snn-mtfc verify   <model.snn> <test.events> [--trace-out <trace.jsonl>]\n  \
+         snn-mtfc profile  <trace.jsonl>\n\n  \
+         snn-mtfc serve    --state-dir <dir> [--addr host:port] [--workers N] [--queue N]\n                    \
+         [--metrics-dump <metrics.prom>]\n  \
          snn-mtfc submit   (--model <model.snn> | --synthetic IxH..xO) [--preset fast|repro|paper]\n                    \
          [--seed N] [--max-iterations N] [--t-limit SECS] [--coverage]\n                    \
          [--threads N] [--watch] [--addr host:port]\n  \
          snn-mtfc status   [<job>] [--addr host:port]\n  \
-         snn-mtfc watch    <job>   [--addr host:port]\n  \
+         snn-mtfc watch    <job>   [--addr host:port] [--json]\n  \
+         snn-mtfc metrics          [--addr host:port]\n  \
          snn-mtfc cancel   <job>   [--addr host:port]\n  \
          snn-mtfc shutdown         [--addr host:port]\n\n\
          ARCH SPEC (comma-separated stages):\n  \
@@ -95,7 +110,8 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that take no value; anything else starting with `--` consumes the
 /// next argument.
-const BOOL_FLAGS: &[&str] = &["--coverage", "--watch", "--help", "--self-check", "--timing-faults"];
+const BOOL_FLAGS: &[&str] =
+    &["--coverage", "--watch", "--help", "--self-check", "--timing-faults", "--json"];
 
 fn positional(args: &[String], index: usize) -> Option<&str> {
     args.iter()
@@ -112,6 +128,29 @@ fn positional(args: &[String], index: usize) -> Option<&str> {
         })
         .flatten()
         .nth(index)
+}
+
+/// Runs `body` with a fresh global trace collector installed, restoring
+/// the uninstrumented state afterwards. Returns the body's result and
+/// the collector (for span summaries and `--trace-out`).
+fn with_trace<T>(
+    body: impl FnOnce() -> Result<T, String>,
+) -> (Result<T, String>, Arc<obs::Collector>) {
+    let collector = Arc::new(obs::Collector::new());
+    obs::trace::install(Arc::clone(&collector));
+    let result = body();
+    obs::trace::uninstall();
+    (result, collector)
+}
+
+/// Writes the collected trace as JSONL to `--trace-out`, when given.
+fn write_trace_out(args: &[String], collector: &obs::Collector) -> Result<(), String> {
+    let Some(out) = flag(args, "--trace-out") else { return Ok(()) };
+    collector
+        .write_jsonl(std::path::Path::new(out))
+        .map_err(|e| format!("cannot write trace {out}: {e}"))?;
+    println!("wrote trace {out}");
+    Ok(())
 }
 
 fn seed_of(args: &[String]) -> Result<u64, String> {
@@ -198,7 +237,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     } else {
         FaultUniverse::standard(&net)
     };
-    let analysis = snn_mtfc::analyze::analyze(&net, &universe);
+    let (analysis, collector) = with_trace(|| Ok(snn_mtfc::analyze::analyze(&net, &universe)));
+    let analysis = analysis?;
+    write_trace_out(args, &collector)?;
     let self_check_errors = if args.iter().any(|a| a == "--self-check") {
         analysis.collapsed.self_check(&net, &universe)
     } else {
@@ -252,7 +293,8 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown preset `{other}`")),
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed_of(args)?);
-    let test = TestGenerator::new(&net, cfg).generate(&mut rng);
+    let (test, collector) = with_trace(|| Ok(TestGenerator::new(&net, cfg).generate(&mut rng)));
+    let test = test?;
     println!(
         "generated {} chunk(s), {} ticks, {:.1}% neurons activated, in {:?}",
         test.chunks.len(),
@@ -260,6 +302,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         test.activated_fraction() * 100.0,
         test.runtime
     );
+    let (generation, fault_sim, total) = runtimes_from_spans(&collector.finished());
+    println!("runtimes: generation {generation:.2?}, fault-sim {fault_sim:.2?}, total {total:.2?}");
+    write_trace_out(args, &collector)?;
     if let Some(out) = flag(args, "--out") {
         let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
         let mut w = BufWriter::new(file);
@@ -317,6 +362,12 @@ fn print_record(record: &JobRecord) {
                 analysis.collapse_fraction * 100.0
             ));
         }
+        if let Some(t) = &result.timings {
+            line.push_str(&format!(
+                ", timings: queue {}ms, analyze {}ms, generation {}ms, fault-sim {}ms",
+                t.queue_wait_ms, t.analyze_ms, t.generation_ms, t.fault_sim_ms
+            ));
+        }
         if let Some(path) = &result.events_path {
             line.push_str(&format!(", events at {path}"));
         }
@@ -351,14 +402,28 @@ fn progress_line(progress: &Progress) -> String {
 }
 
 fn print_event(event: &JobEvent) {
-    match event {
-        JobEvent::State { job, state, error } => match error {
+    match &event.payload {
+        JobEventPayload::State { job, state, error } => match error {
             Some(error) => println!("job {job}: {state} ({error})"),
             None => println!("job {job}: {state}"),
         },
-        JobEvent::Progress { job, progress } => {
+        JobEventPayload::Progress { job, progress } => {
             println!("job {job}: {}", progress_line(progress))
         }
+    }
+}
+
+/// Prints one event as its raw JSON wire form (the `--json` watch mode).
+fn print_event_json(event: &JobEvent) {
+    println!("{}", serde::json::to_string(event));
+}
+
+/// The watch event printer selected by `--json`.
+fn event_printer(args: &[String]) -> fn(&JobEvent) {
+    if args.iter().any(|a| a == "--json") {
+        print_event_json
+    } else {
+        print_event
     }
 }
 
@@ -370,9 +435,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         queue_capacity: num_flag(args, "--queue")?.unwrap_or(64),
         state_dir: state_dir.into(),
     };
+    let metrics_dump = flag(args, "--metrics-dump").map(str::to_string);
     let server = Server::bind(config).map_err(|e| format!("cannot start server: {e}"))?;
     println!("listening on {} (state in {state_dir})", server.local_addr());
-    server.run().map_err(|e| format!("server failed: {e}"))
+    server.run().map_err(|e| format!("server failed: {e}"))?;
+    if let Some(path) = metrics_dump {
+        let rendered = obs::metrics::render_prometheus(&obs::metrics::global().snapshot());
+        std::fs::write(&path, rendered).map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+        println!("wrote metrics {path}");
+    }
+    Ok(())
 }
 
 fn cmd_submit(args: &[String]) -> Result<(), String> {
@@ -408,7 +480,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
     let job = client.submit(spec)?;
     println!("submitted job {job}");
     if args.iter().any(|a| a == "--watch") {
-        let record = client.watch(job, print_event)?;
+        let record = client.watch(job, event_printer(args))?;
         print_record(&record);
     }
     Ok(())
@@ -433,8 +505,13 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
 
 fn cmd_watch(args: &[String]) -> Result<(), String> {
     let job = job_id_of(args)?;
-    let record = connect(args)?.watch(job, print_event)?;
-    print_record(&record);
+    let json = args.iter().any(|a| a == "--json");
+    let record = connect(args)?.watch(job, event_printer(args))?;
+    if json {
+        println!("{}", serde::json::to_string(&record));
+    } else {
+        print_record(&record);
+    }
     Ok(())
 }
 
@@ -473,7 +550,10 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     }
     let universe = FaultUniverse::standard(&net);
     let sim = FaultSimulator::new(&net, FaultSimConfig::default());
-    let outcome = sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus));
+    let (outcome, collector) = with_trace(|| {
+        Ok(sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus)))
+    });
+    let outcome = outcome?;
     println!(
         "fault coverage: {:.2}% ({}/{} detected) in {:?}",
         outcome.fault_coverage() * 100.0,
@@ -481,5 +561,33 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         universe.len(),
         outcome.elapsed
     );
+    let (generation, fault_sim, total) = runtimes_from_spans(&collector.finished());
+    println!("runtimes: generation {generation:.2?}, fault-sim {fault_sim:.2?}, total {total:.2?}");
+    write_trace_out(args, &collector)?;
+    Ok(())
+}
+
+/// Renders the span tree of a `--trace-out` JSONL file with per-node
+/// total and self times.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let path = positional(args, 0).ok_or("missing trace path")?;
+    let mut text = String::new();
+    File::open(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?
+        .read_to_string(&mut text)
+        .map_err(|e| e.to_string())?;
+    let records = obs::trace::parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    if records.is_empty() {
+        return Err(format!("{path} contains no spans"));
+    }
+    print!("{}", obs::profile::render(&obs::profile::build(&records)));
+    Ok(())
+}
+
+/// Fetches the server's metrics snapshot and prints it in Prometheus
+/// text format 0.0.4.
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let snapshot = connect(args)?.metrics()?;
+    print!("{}", obs::metrics::render_prometheus(&snapshot));
     Ok(())
 }

@@ -149,6 +149,159 @@ fn analyze_rejects_bad_arguments() {
 }
 
 #[test]
+fn trace_out_and_profile_render_the_span_tree() {
+    let model = scratch("trace-model.snn");
+    let out = run(&[
+        "new",
+        "--input",
+        "4",
+        "--arch",
+        "dense:6,dense:2",
+        "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // generate --trace-out: reports the runtime breakdown and writes a
+    // JSONL trace whose profile tree shows both optimization stages.
+    let events = scratch("trace.events");
+    let trace = scratch("trace.jsonl");
+    let out = run(&[
+        "generate",
+        model.to_str().unwrap(),
+        "--preset",
+        "fast",
+        "--out",
+        events.to_str().unwrap(),
+        "--trace-out",
+        trace.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("runtimes: generation"), "got: {stdout}");
+    assert!(stdout.contains("wrote trace"), "got: {stdout}");
+
+    let out = run(&["profile", trace.to_str().unwrap()]);
+    let tree = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for node in ["TOTAL", "SELF", "generate", "stage1", "stage2"] {
+        assert!(tree.contains(node), "profile tree missing {node}: {tree}");
+    }
+
+    // verify --trace-out: the fault campaign appears as its own span.
+    let vtrace = scratch("verify-trace.jsonl");
+    let out = run(&[
+        "verify",
+        model.to_str().unwrap(),
+        events.to_str().unwrap(),
+        "--trace-out",
+        vtrace.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("runtimes:"), "got: {stdout}");
+
+    let out = run(&["profile", vtrace.to_str().unwrap()]);
+    let tree = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(tree.contains("faultsim.campaign"), "got: {tree}");
+
+    for p in [&model, &events, &trace, &vtrace] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn profile_rejects_bad_input() {
+    assert_clean_failure(&["profile"], "missing trace path");
+    assert_clean_failure(&["profile", "/nonexistent/trace.jsonl"], "cannot open");
+
+    let empty = scratch("empty-trace.jsonl");
+    std::fs::write(&empty, "").unwrap();
+    assert_clean_failure(&["profile", empty.to_str().unwrap()], "no spans");
+    let _ = std::fs::remove_file(&empty);
+}
+
+#[test]
+fn serve_watch_json_and_metrics_roundtrip() {
+    use std::io::BufRead;
+    let state = scratch("serve-state");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_snn-mtfc"))
+        .args(["serve", "--state-dir", state.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let first = lines.next().expect("listen line").expect("utf8");
+    let addr = first
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected listen line: {first}"))
+        .to_string();
+
+    // Watch in --json mode: every streamed event is the raw wire
+    // envelope with a sequence number and emission timestamp.
+    let out = run(&[
+        "submit",
+        "--synthetic",
+        "4x6x2",
+        "--preset",
+        "fast",
+        "--coverage",
+        "--watch",
+        "--json",
+        "--addr",
+        &addr,
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let job_id = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("submitted job "))
+        .expect("submit echoes the job id")
+        .to_string();
+    let events: Vec<&str> = stdout.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(!events.is_empty(), "no JSON event lines in: {stdout}");
+    for line in &events {
+        assert!(
+            line.contains("\"seq\":")
+                && line.contains("\"at_ms\":")
+                && line.contains("\"payload\":"),
+            "not a sequenced envelope: {line}"
+        );
+    }
+
+    // Without --json the same stream renders as human one-liners.
+    let out = run(&["watch", &job_id, "--addr", &addr]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains(&format!("job {job_id}: done")), "got: {stdout}");
+    assert!(stdout.contains("timings:"), "record line reports the phase breakdown: {stdout}");
+
+    // The metrics endpoint serves the registry in Prometheus text format
+    // with non-zero job and generator series.
+    let out = run(&["metrics", "--addr", &addr]);
+    let metrics = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        metrics.contains("# TYPE snn_service_job_wall_seconds histogram"),
+        "missing job wall-time histogram: {metrics}"
+    );
+    assert!(metrics.contains("snn_service_job_wall_seconds_count 1"), "got: {metrics}");
+    for counter in ["snn_testgen_iterations_total", "snn_faultsim_faults_simulated_total"] {
+        let value = metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{counter} ")))
+            .unwrap_or_else(|| panic!("missing {counter}: {metrics}"));
+        assert_ne!(value.trim(), "0", "{counter} must be non-zero after a coverage job");
+    }
+
+    assert!(run(&["shutdown", "--addr", &addr]).status.success());
+    child.wait().expect("server exits");
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
 fn service_commands_fail_cleanly_without_a_server() {
     // Port 1 on loopback is never listening.
     assert_clean_failure(&["status", "--addr", "127.0.0.1:1"], "cannot connect");

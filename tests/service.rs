@@ -2,7 +2,9 @@
 //! submit → progress stream → result, mid-run cancellation, and job-store
 //! persistence across a server restart.
 
-use snn_mtfc::service::{Client, JobEvent, JobSpec, JobState, ModelSpec, Server, ServiceConfig};
+use snn_mtfc::service::{
+    Client, JobEventPayload, JobSpec, JobState, ModelSpec, Server, ServiceConfig,
+};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::thread::JoinHandle;
@@ -59,9 +61,9 @@ fn submit_watch_cancel_and_restart_over_tcp() {
         let mut progress_events = 0usize;
         let mut state_events = Vec::new();
         let record = client
-            .watch(done_job, |event| match event {
-                JobEvent::Progress { .. } => progress_events += 1,
-                JobEvent::State { state, .. } => state_events.push(*state),
+            .watch(done_job, |event| match &event.payload {
+                JobEventPayload::Progress { .. } => progress_events += 1,
+                JobEventPayload::State { state, .. } => state_events.push(*state),
             })
             .expect("watch to completion");
         assert_eq!(record.state, JobState::Done, "error: {:?}", record.error);
@@ -151,6 +153,66 @@ fn bad_requests_get_one_line_errors() {
         );
         let pong = client.request(&Request::Ping).expect("ping after errors");
         assert!(matches!(pong, Response::Pong { .. }));
+
+        client.shutdown().expect("shutdown");
+    }
+    server.join().expect("server thread").expect("server run");
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
+#[test]
+fn metrics_snapshot_reports_job_and_generator_series() {
+    use snn_mtfc::obs::metrics::MetricValue;
+
+    let state_dir = temp_state_dir("metrics");
+    let (addr, server) = boot(&state_dir);
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut spec = quick_repro_spec(11);
+        spec.evaluate_coverage = true;
+        let job = client.submit(spec).expect("submit");
+        let record = client.watch(job, |_| {}).expect("watch");
+        assert_eq!(record.state, JobState::Done, "error: {:?}", record.error);
+
+        // The result carries the per-phase timing breakdown.
+        let result = record.result.expect("result");
+        let timings = result.timings.expect("timings stamped into the result");
+        assert!(timings.generation_ms > 0, "generation took measurable time: {timings:?}");
+        assert!(
+            timings.generation_ms.saturating_add(timings.fault_sim_ms) <= result.runtime_ms + 1,
+            "phases fit inside the total: {timings:?} vs {} ms",
+            result.runtime_ms
+        );
+
+        // The Metrics request returns a registry snapshot with a
+        // non-zero job wall-time histogram and generator counters.
+        let snapshot = client.metrics().expect("metrics");
+        let find = |name: &str| {
+            snapshot
+                .metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing from snapshot"))
+        };
+        match &find("snn_service_job_wall_seconds").value {
+            MetricValue::Histogram(h) => {
+                assert!(h.count >= 1, "at least one finished job observed");
+                assert_eq!(h.buckets.iter().sum::<u64>(), h.count, "buckets sum to count");
+            }
+            other => panic!("job wall time should be a histogram, got {other:?}"),
+        }
+        match &find("snn_testgen_iterations_total").value {
+            MetricValue::Counter(v) => assert!(*v >= 1, "generator iterations counted"),
+            other => panic!("iterations should be a counter, got {other:?}"),
+        }
+        match &find("snn_faultsim_faults_simulated_total").value {
+            MetricValue::Counter(v) => assert!(*v >= 1, "faults simulated counted"),
+            other => panic!("faults simulated should be a counter, got {other:?}"),
+        }
+        match &find("snn_service_jobs_done").value {
+            MetricValue::Gauge(v) => assert!(*v >= 1.0, "done-jobs gauge tracks the job"),
+            other => panic!("jobs-by-state should be a gauge, got {other:?}"),
+        }
 
         client.shutdown().expect("shutdown");
     }
