@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Distributed-campaign benchmark: runs one fixed coverage campaign at 0
+# (in-process), 1 and 2 cluster workers over real loopback TCP, gates
+# that all three verdict digests are bit-identical, and writes the
+# faults/sec and speedup measurements to BENCH_cluster.json.
+#
+#   ./bench_cluster.sh [out.json]
+#
+# Runs offline; builds with the vendored dependencies.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OUT="${1:-BENCH_cluster.json}"
+
+cargo build --release --offline --quiet
+./target/release/snn-mtfc cluster-bench --out "$OUT"

@@ -53,6 +53,11 @@ cargo run --release -q --offline -- verify "$ANALYZE_TMP/obs.snn" "$ANALYZE_TMP/
 cargo run --release -q --offline -- profile "$ANALYZE_TMP/verify.trace.jsonl" \
     | grep -q "faultsim.campaign" || { echo "verify profile missing span 'faultsim.campaign'"; exit 1; }
 
+step "cluster bench — distributed campaign at 0/1/2 workers, bit-identical verdicts gated"
+./bench_cluster.sh "$ANALYZE_TMP/BENCH_cluster.json"
+cp "$ANALYZE_TMP/BENCH_cluster.json" BENCH_cluster.json
+grep -q '"speedup_2_over_1"' BENCH_cluster.json || { echo "bench output missing speedup"; exit 1; }
+
 step "cargo test (debug, overflow-checks) — arms the numeric sanitizer and lock-order detector"
 RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline --workspace
 

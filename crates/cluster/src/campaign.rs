@@ -1,0 +1,169 @@
+//! Deterministic campaign materialization: rebuilding the network, the
+//! fault universe and the test stimuli of a [`CampaignSpec`] inside a
+//! worker process, bit-identically to the coordinator's own view.
+
+use crate::wire::{CampaignSpec, ModelSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_faults::progress::{CancelToken, NullSink};
+use snn_faults::{ChunkCampaignError, FaultOutcome, FaultSimulator, FaultUniverse};
+use snn_model::{LifParams, Network, NetworkBuilder};
+use snn_tensor::Tensor;
+use std::io::BufReader;
+
+/// Builds the network a campaign (or job) runs against.
+///
+/// `Synthetic` models are a pure function of their spec — every process
+/// that builds one gets bit-identical weights. `Path` models are read
+/// from the local filesystem.
+///
+/// # Errors
+///
+/// A one-line diagnostic when a `Path` model cannot be opened or parsed.
+pub fn build_model(spec: &ModelSpec) -> Result<Network, String> {
+    match spec {
+        ModelSpec::Path(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open model {path:?}: {e}"))?;
+            Network::load(&mut BufReader::new(file))
+                .map_err(|e| format!("cannot load model {path:?}: {e}"))
+        }
+        ModelSpec::Synthetic { inputs, hidden, outputs, seed } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let mut builder = NetworkBuilder::new(*inputs, LifParams::default());
+            for &h in hidden {
+                builder = builder.dense(h);
+            }
+            Ok(builder.dense(*outputs).build(&mut rng))
+        }
+    }
+}
+
+/// A campaign spec materialized for execution: the rebuilt network, its
+/// standard fault universe and the decoded test stimuli. Workers build
+/// one per campaign and reuse it across every leased chunk.
+pub struct PreparedCampaign {
+    /// Campaign id.
+    pub id: u64,
+    /// The rebuilt network under test.
+    pub net: Network,
+    /// The standard fault universe over `net` (the id space of every
+    /// lease's `fault_ids`).
+    pub universe: FaultUniverse,
+    /// The decoded test stimuli, `[T × input_features]` each.
+    pub tests: Vec<Tensor>,
+    /// Simulator configuration (threads already overridden, if asked).
+    pub sim: snn_faults::FaultSimConfig,
+}
+
+impl PreparedCampaign {
+    /// Materializes `spec`. `threads` overrides the spec's worker thread
+    /// count when `Some` — thread count never changes verdicts.
+    ///
+    /// # Errors
+    ///
+    /// A one-line diagnostic when the model cannot be built or a
+    /// stimulus fails to parse.
+    pub fn new(spec: &CampaignSpec, threads: Option<usize>) -> Result<Self, String> {
+        let net = build_model(&spec.model)?;
+        let universe = FaultUniverse::standard(&net);
+        let tests = spec
+            .events
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                snn_testgen::parse_events(text)
+                    .map_err(|e| format!("campaign {} stimulus {i}: {e}", spec.id))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if tests.is_empty() {
+            return Err(format!("campaign {} carries no test stimuli", spec.id));
+        }
+        let mut sim = spec.sim;
+        if let Some(threads) = threads {
+            sim.threads = threads;
+        }
+        Ok(Self { id: spec.id, net, universe, tests, sim })
+    }
+
+    /// Simulates one chunk: the explicit `fault_ids` of a lease, in
+    /// order. Outcomes are bit-identical to the same ids inside a
+    /// single-process whole-campaign run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChunkCampaignError`] (unknown ids, cancellation,
+    /// ill-formed faults).
+    pub fn run_chunk(
+        &self,
+        fault_ids: &[usize],
+        cancel: &CancelToken,
+    ) -> Result<Vec<FaultOutcome>, ChunkCampaignError> {
+        let sim = FaultSimulator::new(&self.net, self.sim);
+        sim.detect_chunk_with(&self.universe, fault_ids, &self.tests, &NullSink, cancel)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only shorthand
+mod tests {
+    use super::*;
+    use snn_faults::FaultSimConfig;
+
+    fn spec() -> CampaignSpec {
+        let model = ModelSpec::Synthetic { inputs: 5, hidden: vec![8], outputs: 3, seed: 21 };
+        let net = build_model(&model).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let stim = snn_tensor::init::bernoulli(&mut rng, snn_tensor::Shape::d2(16, 5), 0.4);
+        let test = snn_testgen::GeneratedTest::from_chunks(vec![stim], 5, vec![false; 11]);
+        let mut events = Vec::new();
+        test.write_events(&mut events).unwrap();
+        let _ = net;
+        CampaignSpec {
+            id: 1,
+            model,
+            events: vec![String::from_utf8(events).unwrap()],
+            sim: FaultSimConfig::default(),
+            faults: 0,
+        }
+    }
+
+    #[test]
+    fn synthetic_models_rebuild_bit_identically() {
+        let spec = ModelSpec::Synthetic { inputs: 6, hidden: vec![10, 7], outputs: 4, seed: 9 };
+        let a = build_model(&spec).unwrap();
+        let b = build_model(&spec).unwrap();
+        let mut wa = Vec::new();
+        let mut wb = Vec::new();
+        a.save(&mut wa).unwrap();
+        b.save(&mut wb).unwrap();
+        assert_eq!(wa, wb, "two builds of the same spec must serialize identically");
+    }
+
+    #[test]
+    fn prepared_campaign_chunks_match_direct_simulation() {
+        let spec = spec();
+        let prepared = PreparedCampaign::new(&spec, Some(1)).unwrap();
+        assert_eq!(prepared.sim.threads, 1, "thread override applies");
+        let whole = FaultSimulator::new(&prepared.net, prepared.sim).detect(
+            &prepared.universe,
+            prepared.universe.faults(),
+            &prepared.tests,
+        );
+        let ids: Vec<usize> = (3..9).collect();
+        let chunk = prepared.run_chunk(&ids, &CancelToken::new()).unwrap();
+        assert_eq!(chunk.as_slice(), &whole.per_fault[3..9]);
+    }
+
+    #[test]
+    fn bad_stimulus_and_empty_stimuli_are_diagnosed() {
+        let mut broken = spec();
+        broken.events[0] = "not an events file".into();
+        let err = PreparedCampaign::new(&broken, None).map(|_| ()).unwrap_err();
+        assert!(err.contains("stimulus 0"), "{err}");
+        let mut empty = spec();
+        empty.events.clear();
+        let err = PreparedCampaign::new(&empty, None).map(|_| ()).unwrap_err();
+        assert!(err.contains("no test stimuli"), "{err}");
+    }
+}

@@ -1,0 +1,619 @@
+//! The campaign coordinator: shards fault lists into chunks, hands
+//! chunks to workers as leases with heartbeats and deadlines, re-issues
+//! expired leases under a bumped epoch, and merges accepted chunk
+//! results into a campaign outcome bit-identical to a single-process
+//! run.
+//!
+//! Execution is *at-least-once* (an expired lease's chunk runs again),
+//! accounting is *exactly-once*: a result is merged only while its
+//! `(lease, epoch)` pair matches the chunk's live lease, so the slow
+//! original and the re-issued copy can never both count.
+//!
+//! The coordinator holds a single lock (`cluster.coordinator`, ranked
+//! last in the workspace lock order) and never calls out — progress
+//! sinks, metrics and the event bus are only touched with the lock
+//! released.
+
+use crate::wire::{
+    CampaignSpec, ClusterStatus, HeldLease, LeaseGrant, WorkerStatus, PROTOCOL_VERSION,
+};
+use parking_lot::{Condvar, Mutex};
+use snn_faults::chunk::{merge_chunks, plan, MergeError};
+use snn_faults::progress::CancelToken;
+use snn_faults::{ChunkRange, FaultOutcome};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Coordinator tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorConfig {
+    /// Faults per chunk (0 is treated as 1).
+    pub chunk_size: usize,
+    /// Lease lifetime; a chunk whose lease sees no heartbeat for this
+    /// long is re-issued.
+    pub lease_ms: u64,
+    /// Heartbeat cadence advertised to workers (workers beat at this
+    /// rate; the lease outlives several missed beats).
+    pub heartbeat_ms: u64,
+    /// Retry delay advertised to idle workers.
+    pub idle_retry_ms: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self { chunk_size: 256, lease_ms: 5000, heartbeat_ms: 1000, idle_retry_ms: 50 }
+    }
+}
+
+/// Lifecycle of one chunk. `Pending → Leased → Done`, with
+/// `Leased → Pending` (epoch bumped) on lease expiry.
+enum ChunkState {
+    /// Waiting for a worker; `epoch` counts prior expired leases.
+    Pending { epoch: u64 },
+    /// Under a lease until `deadline` (heartbeats extend it).
+    Leased { epoch: u64, lease: u64, worker: String, deadline: Duration },
+    /// Outcomes accepted — terminal.
+    Done { outcomes: Vec<FaultOutcome> },
+}
+
+struct CampaignState {
+    spec: CampaignSpec,
+    fault_ids: Vec<usize>,
+    chunks: Vec<ChunkRange>,
+    states: Vec<ChunkState>,
+    done: usize,
+}
+
+#[derive(Default)]
+struct WorkerEntry {
+    last_seen: Duration,
+    chunks_completed: u64,
+    busy_ms: u64,
+    /// `(lease, campaign, chunk, granted_at)` while one is held.
+    lease: Option<(u64, u64, usize, Duration)>,
+}
+
+#[derive(Default)]
+struct State {
+    workers: HashMap<String, WorkerEntry>,
+    campaigns: HashMap<u64, CampaignState>,
+    next_campaign: u64,
+    next_lease: u64,
+    shutdown: bool,
+    chunks_completed: u64,
+    chunks_reissued: u64,
+    results_stale: u64,
+}
+
+/// What a lease request gets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Grant {
+    /// A chunk under a fresh lease.
+    Lease(LeaseGrant),
+    /// Nothing to do; retry after this many milliseconds.
+    Idle {
+        /// Suggested retry delay.
+        retry_ms: u64,
+    },
+    /// The coordinator is shutting down.
+    Shutdown,
+}
+
+/// Error waiting for a campaign (or for workers) to complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The caller's cancel token tripped.
+    Cancelled,
+    /// The coordinator shut down mid-wait.
+    Shutdown,
+    /// No such campaign.
+    UnknownCampaign {
+        /// The requested id.
+        campaign: u64,
+    },
+    /// Fewer workers than expected registered within the wait budget.
+    WorkersUnavailable {
+        /// Workers the caller required.
+        expected: usize,
+        /// Workers that had registered when the budget ran out.
+        seen: usize,
+    },
+    /// Chunk results did not reassemble (a coordinator invariant
+    /// violation — should be unreachable).
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Cancelled => f.write_str("cluster campaign cancelled"),
+            Self::Shutdown => f.write_str("coordinator shut down"),
+            Self::UnknownCampaign { campaign } => write!(f, "no such campaign: {campaign}"),
+            Self::WorkersUnavailable { expected, seen } => {
+                write!(f, "expected {expected} worker(s), only {seen} registered")
+            }
+            Self::Merge(e) => write!(f, "chunk merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Aggregate progress of one campaign, for progress streaming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignProgress {
+    /// Faults in accepted chunks.
+    pub done: usize,
+    /// Faults in the campaign's fault list.
+    pub total: usize,
+    /// Detected faults in accepted chunks.
+    pub detected: usize,
+}
+
+/// The lease-based chunk scheduler. One per server; shared between the
+/// accept loop (worker messages) and job workers (campaign submission).
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Coordinator {
+    /// Creates a coordinator and registers the workspace lock order.
+    pub fn new(cfg: CoordinatorConfig) -> Self {
+        crate::lock_order::register();
+        Self {
+            cfg,
+            state: Mutex::named("cluster.coordinator", State::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoordinatorConfig {
+        &self.cfg
+    }
+
+    fn now() -> Duration {
+        snn_obs::clock::monotonic()
+    }
+
+    /// Expires overdue leases: their chunks return to `Pending` under a
+    /// bumped epoch and the holding workers' lease records are cleared.
+    /// Called under the lock on every entry point, so expiry needs no
+    /// reaper thread. Returns the number of leases expired.
+    fn sweep(state: &mut State, now: Duration) -> u64 {
+        let mut expired = 0u64;
+        for campaign in state.campaigns.values_mut() {
+            for chunk_state in &mut campaign.states {
+                if let ChunkState::Leased { epoch, worker, deadline, .. } = chunk_state {
+                    if *deadline < now {
+                        let (epoch, worker) = (*epoch, worker.clone());
+                        *chunk_state = ChunkState::Pending { epoch: epoch + 1 };
+                        if let Some(entry) = state.workers.get_mut(&worker) {
+                            entry.lease = None;
+                        }
+                        expired += 1;
+                    }
+                }
+            }
+        }
+        state.chunks_reissued += expired;
+        expired
+    }
+
+    fn record_expiries(expired: u64) {
+        if expired > 0 {
+            snn_obs::counter!(
+                "snn_cluster_lease_expiries_total",
+                "Leases that expired without a result."
+            )
+            .add(expired);
+            snn_obs::counter!(
+                "snn_cluster_chunks_reissued_total",
+                "Chunks re-issued after a lease expiry."
+            )
+            .add(expired);
+        }
+    }
+
+    fn refresh_gauges(state: &State) {
+        let (mut pending, mut leased) = (0usize, 0usize);
+        for campaign in state.campaigns.values() {
+            for chunk_state in &campaign.states {
+                match chunk_state {
+                    ChunkState::Pending { .. } => pending += 1,
+                    ChunkState::Leased { .. } => leased += 1,
+                    ChunkState::Done { .. } => {}
+                }
+            }
+        }
+        snn_obs::gauge!("snn_cluster_chunks_pending", "Chunks waiting for a lease.")
+            .set(pending as f64);
+        snn_obs::gauge!("snn_cluster_chunks_leased", "Chunks under a live lease.")
+            .set(leased as f64);
+    }
+
+    /// Registers a worker (idempotent) and returns the timing contract
+    /// for its `Welcome`: `(protocol, lease_ms, heartbeat_ms)`.
+    pub fn hello(&self, name: &str) -> (u64, u64, u64) {
+        let now = Self::now();
+        {
+            let mut state = self.state.lock();
+            let entry = state.workers.entry(name.to_string()).or_default();
+            entry.last_seen = now;
+        }
+        snn_obs::counter!("snn_cluster_workers_hello_total", "Worker registrations.").inc();
+        (PROTOCOL_VERSION, self.cfg.lease_ms, self.cfg.heartbeat_ms)
+    }
+
+    /// Hands `worker` the next pending chunk (lowest campaign id,
+    /// lowest chunk index) under a fresh lease, or tells it to idle or
+    /// shut down.
+    pub fn grant(&self, worker: &str) -> Grant {
+        let now = Self::now();
+        let mut state = self.state.lock();
+        let expired = Self::sweep(&mut state, now);
+        if state.shutdown {
+            drop(state);
+            Self::record_expiries(expired);
+            return Grant::Shutdown;
+        }
+        if let Some(entry) = state.workers.get_mut(worker) {
+            entry.last_seen = now;
+        }
+        let mut ids: Vec<u64> = state.campaigns.keys().copied().collect();
+        ids.sort_unstable();
+        let mut granted = None;
+        'outer: for id in ids {
+            let lease = state.next_lease;
+            let Some(campaign) = state.campaigns.get_mut(&id) else { continue };
+            for (k, chunk_state) in campaign.states.iter_mut().enumerate() {
+                if let ChunkState::Pending { epoch } = *chunk_state {
+                    let deadline = now + Duration::from_millis(self.cfg.lease_ms);
+                    *chunk_state =
+                        ChunkState::Leased { epoch, lease, worker: worker.to_string(), deadline };
+                    let chunk = campaign.chunks[k];
+                    let fault_ids = campaign.fault_ids[chunk.range()].to_vec();
+                    granted = Some(LeaseGrant {
+                        lease,
+                        campaign: id,
+                        chunk,
+                        epoch,
+                        fault_ids,
+                        deadline_in_ms: self.cfg.lease_ms,
+                    });
+                    break 'outer;
+                }
+            }
+        }
+        if let Some(grant) = &granted {
+            state.next_lease += 1;
+            if let Some(entry) = state.workers.get_mut(worker) {
+                entry.lease = Some((grant.lease, grant.campaign, grant.chunk.index, now));
+            }
+        }
+        Self::refresh_gauges(&state);
+        drop(state);
+        Self::record_expiries(expired);
+        match granted {
+            Some(grant) => {
+                snn_obs::counter!("snn_cluster_chunks_issued_total", "Chunk leases granted.").inc();
+                Grant::Lease(grant)
+            }
+            None => Grant::Idle { retry_ms: self.cfg.idle_retry_ms },
+        }
+    }
+
+    /// The payload of a campaign, for a worker's `Fetch`.
+    pub fn payload(&self, campaign: u64) -> Option<CampaignSpec> {
+        let state = self.state.lock();
+        state.campaigns.get(&campaign).map(|c| c.spec.clone())
+    }
+
+    /// Extends `worker`'s lease if it is still live; `false` tells the
+    /// worker its lease expired and the chunk will run elsewhere.
+    pub fn heartbeat(&self, worker: &str, lease: u64) -> bool {
+        let now = Self::now();
+        let mut state = self.state.lock();
+        let expired = Self::sweep(&mut state, now);
+        let held = match state.workers.get_mut(worker) {
+            Some(entry) => {
+                entry.last_seen = now;
+                entry.lease
+            }
+            None => None,
+        };
+        let mut live = false;
+        if let Some((held_lease, campaign, chunk, _)) = held {
+            if held_lease == lease {
+                if let Some(campaign) = state.campaigns.get_mut(&campaign) {
+                    if let Some(ChunkState::Leased { lease: l, deadline, .. }) =
+                        campaign.states.get_mut(chunk)
+                    {
+                        if *l == lease {
+                            *deadline = now + Duration::from_millis(self.cfg.lease_ms);
+                            live = true;
+                        }
+                    }
+                }
+            }
+        }
+        drop(state);
+        Self::record_expiries(expired);
+        live
+    }
+
+    /// Accepts a chunk result iff `(lease, epoch)` matches the chunk's
+    /// live lease — the exactly-once accounting gate. Stale results
+    /// (expired lease, bumped epoch, already-done chunk, or a malformed
+    /// outcome count) are discarded and reported with `false`.
+    pub fn result(
+        &self,
+        worker: &str,
+        lease: u64,
+        campaign: u64,
+        chunk: usize,
+        epoch: u64,
+        outcomes: Vec<FaultOutcome>,
+    ) -> bool {
+        let now = Self::now();
+        let mut state = self.state.lock();
+        let expired = Self::sweep(&mut state, now);
+        if let Some(entry) = state.workers.get_mut(worker) {
+            entry.last_seen = now;
+        }
+        let mut accepted = false;
+        if let Some(campaign_state) = state.campaigns.get_mut(&campaign) {
+            let expected_len = campaign_state.chunks.get(chunk).map(|c| c.len);
+            if let Some(chunk_state) = campaign_state.states.get_mut(chunk) {
+                if let ChunkState::Leased { epoch: e, lease: l, .. } = chunk_state {
+                    if *l == lease && *e == epoch && Some(outcomes.len()) == expected_len {
+                        *chunk_state = ChunkState::Done { outcomes };
+                        campaign_state.done += 1;
+                        accepted = true;
+                    }
+                }
+            }
+        }
+        if accepted {
+            state.chunks_completed += 1;
+            let mut busy = 0u64;
+            if let Some(entry) = state.workers.get_mut(worker) {
+                entry.chunks_completed += 1;
+                if let Some((held_lease, _, _, granted_at)) = entry.lease {
+                    if held_lease == lease {
+                        busy = u64::try_from(now.saturating_sub(granted_at).as_millis())
+                            .unwrap_or(u64::MAX);
+                        entry.busy_ms += busy;
+                        entry.lease = None;
+                    }
+                }
+            }
+            Self::refresh_gauges(&state);
+            drop(state);
+            self.cv.notify_all();
+            snn_obs::counter!("snn_cluster_chunks_completed_total", "Chunk results accepted.")
+                .inc();
+            snn_obs::counter!(
+                "snn_cluster_worker_busy_ms_total",
+                "Cumulative lease-to-result wall-clock across workers."
+            )
+            .add(busy);
+        } else {
+            state.results_stale += 1;
+            drop(state);
+            snn_obs::counter!(
+                "snn_cluster_results_stale_total",
+                "Chunk results discarded by the exactly-once gate."
+            )
+            .inc();
+        }
+        Self::record_expiries(expired);
+        accepted
+    }
+
+    /// Registers a campaign over `fault_ids` (sharded per the configured
+    /// chunk size) and returns its id. `spec.id` and `spec.faults` are
+    /// overwritten with the assigned id and the fault count.
+    pub fn submit(&self, mut spec: CampaignSpec, fault_ids: Vec<usize>) -> u64 {
+        let chunks = plan(fault_ids.len(), self.cfg.chunk_size);
+        let states = chunks.iter().map(|_| ChunkState::Pending { epoch: 0 }).collect();
+        let mut state = self.state.lock();
+        let id = state.next_campaign;
+        state.next_campaign += 1;
+        spec.id = id;
+        spec.faults = fault_ids.len();
+        let done = chunks.is_empty();
+        state.campaigns.insert(id, CampaignState { spec, fault_ids, chunks, states, done: 0 });
+        Self::refresh_gauges(&state);
+        drop(state);
+        if done {
+            self.cv.notify_all();
+        }
+        id
+    }
+
+    /// Blocks until `campaign` completes, streaming progress through
+    /// `on_progress`, and returns its merged outcomes in fault-list
+    /// order — bit-identical to a single-process campaign over the same
+    /// ids. The campaign is removed from the coordinator on return.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Cancelled`] when `cancel` trips,
+    /// [`ClusterError::Shutdown`] when the coordinator stops first, and
+    /// [`ClusterError::UnknownCampaign`] for a bad id.
+    pub fn wait(
+        &self,
+        campaign: u64,
+        cancel: &CancelToken,
+        mut on_progress: impl FnMut(CampaignProgress),
+    ) -> Result<Vec<FaultOutcome>, ClusterError> {
+        let mut last = CampaignProgress { done: 0, total: 0, detected: 0 };
+        let mut reported = false;
+        loop {
+            let now = Self::now();
+            let mut state = self.state.lock();
+            let expired = Self::sweep(&mut state, now);
+            if state.shutdown {
+                state.campaigns.remove(&campaign);
+                return Err(ClusterError::Shutdown);
+            }
+            let Some(campaign_state) = state.campaigns.get(&campaign) else {
+                return Err(ClusterError::UnknownCampaign { campaign });
+            };
+            if campaign_state.done == campaign_state.chunks.len() {
+                // snn-lint: allow(L-PANIC): presence checked three lines up; remove cannot miss
+                let campaign_state = state.campaigns.remove(&campaign).expect("checked above");
+                Self::refresh_gauges(&state);
+                drop(state);
+                Self::record_expiries(expired);
+                let parts: Vec<Vec<FaultOutcome>> = campaign_state
+                    .states
+                    .into_iter()
+                    .map(|s| match s {
+                        ChunkState::Done { outcomes } => outcomes,
+                        _ => Vec::new(),
+                    })
+                    .collect();
+                return merge_chunks(&campaign_state.chunks, parts).map_err(ClusterError::Merge);
+            }
+            let progress = Self::progress_of(campaign_state);
+            drop(state);
+            Self::record_expiries(expired);
+            if cancel.is_cancelled() {
+                self.state.lock().campaigns.remove(&campaign);
+                return Err(ClusterError::Cancelled);
+            }
+            if progress != last || !reported {
+                on_progress(progress);
+                last = progress;
+                reported = true;
+            }
+            let mut state = self.state.lock();
+            self.cv.wait_for(&mut state, Duration::from_millis(100));
+        }
+    }
+
+    fn progress_of(campaign: &CampaignState) -> CampaignProgress {
+        let mut done = 0usize;
+        let mut detected = 0usize;
+        for s in &campaign.states {
+            if let ChunkState::Done { outcomes } = s {
+                done += outcomes.len();
+                detected += outcomes.iter().filter(|o| o.detected).count();
+            }
+        }
+        CampaignProgress { done, total: campaign.fault_ids.len(), detected }
+    }
+
+    /// Blocks until at least `expected` workers have registered (ever),
+    /// polling under `cancel` with a wall-clock budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Cancelled`], [`ClusterError::Shutdown`] or
+    /// [`ClusterError::WorkersUnavailable`] when the budget runs out.
+    pub fn wait_for_workers(
+        &self,
+        expected: usize,
+        cancel: &CancelToken,
+        budget: Duration,
+    ) -> Result<(), ClusterError> {
+        let started = Self::now();
+        loop {
+            let seen = {
+                let state = self.state.lock();
+                if state.shutdown {
+                    return Err(ClusterError::Shutdown);
+                }
+                state.workers.len()
+            };
+            if seen >= expected {
+                return Ok(());
+            }
+            if cancel.is_cancelled() {
+                return Err(ClusterError::Cancelled);
+            }
+            if Self::now().saturating_sub(started) > budget {
+                return Err(ClusterError::WorkersUnavailable { expected, seen });
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// A point-in-time snapshot of workers and chunk bookkeeping.
+    pub fn status(&self) -> ClusterStatus {
+        let now = Self::now();
+        let mut state = self.state.lock();
+        let expired = Self::sweep(&mut state, now);
+        let mut names: Vec<&String> = state.workers.keys().collect();
+        names.sort();
+        let workers = names
+            .iter()
+            .map(|name| {
+                let entry = &state.workers[*name];
+                let lease = entry.lease.and_then(|(lease, campaign, chunk, _)| {
+                    let deadline =
+                        state.campaigns.get(&campaign).and_then(|c| match c.states.get(chunk) {
+                            Some(ChunkState::Leased { lease: l, deadline, .. }) if *l == lease => {
+                                Some(*deadline)
+                            }
+                            _ => None,
+                        })?;
+                    Some(HeldLease {
+                        lease,
+                        campaign,
+                        chunk,
+                        expires_in_ms: u64::try_from(deadline.saturating_sub(now).as_millis())
+                            .unwrap_or(u64::MAX),
+                    })
+                });
+                WorkerStatus {
+                    name: (*name).clone(),
+                    last_seen_ms: u64::try_from(now.saturating_sub(entry.last_seen).as_millis())
+                        .unwrap_or(u64::MAX),
+                    chunks_completed: entry.chunks_completed,
+                    busy_ms: entry.busy_ms,
+                    lease,
+                }
+            })
+            .collect();
+        let (mut pending, mut leased) = (0usize, 0usize);
+        for campaign in state.campaigns.values() {
+            for s in &campaign.states {
+                match s {
+                    ChunkState::Pending { .. } => pending += 1,
+                    ChunkState::Leased { .. } => leased += 1,
+                    ChunkState::Done { .. } => {}
+                }
+            }
+        }
+        let status = ClusterStatus {
+            workers,
+            campaigns_active: state.campaigns.len(),
+            chunks_pending: pending,
+            chunks_leased: leased,
+            chunks_completed: state.chunks_completed,
+            chunks_reissued: state.chunks_reissued,
+            results_stale: state.results_stale,
+        };
+        drop(state);
+        Self::record_expiries(expired);
+        status
+    }
+
+    /// Number of workers that have ever registered.
+    pub fn workers_seen(&self) -> usize {
+        self.state.lock().workers.len()
+    }
+
+    /// Stops the coordinator: waiters return [`ClusterError::Shutdown`]
+    /// and workers receive [`Grant::Shutdown`] on their next lease
+    /// request.
+    pub fn shutdown(&self) {
+        self.state.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+}

@@ -1,0 +1,68 @@
+//! The workspace-wide lock acquisition order, as seen from the cluster
+//! crate.
+//!
+//! The runtime detector in the vendored `parking_lot` accepts exactly
+//! one order list per process (first registration wins), and `snn-mtfc`
+//! processes routinely hold service and cluster locks in the same
+//! process — the server's accept loop takes `cluster.coordinator` while
+//! job workers take the service locks. So the cluster crate registers
+//! the *combined* order, identical to
+//! `snn-service`'s `lock_order::LOCK_ORDER`; a test in the service crate
+//! asserts the two lists never drift apart.
+
+/// Lock names in their required acquisition order (earlier first).
+///
+/// Service names come first, unchanged; the cluster names rank after
+/// them:
+///
+/// * `cluster.coordinator` ranks after every service lock because job
+///   workers call into the coordinator (submit, wait, status) while the
+///   service locks are already released — but the *progress* path may
+///   hold `service.sink.last_persist`/`service.store.jobs` en route, so
+///   the coordinator must be acquirable below them and never the other
+///   way around. The coordinator itself calls nothing while locked.
+/// * `cluster.worker.session` is a leaf in the worker process: the
+///   heartbeat thread and the lease loop exchange the current lease
+///   through it and acquire nothing else while holding it. Worker
+///   processes never take service locks, but a single combined order
+///   keeps in-process tests (coordinator and worker in one process)
+///   checkable.
+pub const LOCK_ORDER: &[&str] = &[
+    "service.queue",
+    "service.running",
+    "service.sink.last_persist",
+    "service.store.jobs",
+    "service.bus.subscribers",
+    "service.analysis.cache",
+    "cluster.coordinator",
+    "cluster.worker.session",
+];
+
+/// Registers [`LOCK_ORDER`] with the runtime detector. Idempotent —
+/// the coordinator constructor and the worker entry point both call it
+/// defensively.
+pub fn register() {
+    parking_lot::lock_order::register(LOCK_ORDER);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_names_are_unique_and_crate_prefixed() {
+        for (i, name) in LOCK_ORDER.iter().enumerate() {
+            assert!(
+                name.starts_with("service.") || name.starts_with("cluster."),
+                "lock name {name} must be crate-prefixed"
+            );
+            assert!(!LOCK_ORDER[i + 1..].contains(name), "duplicate lock name {name}");
+        }
+        assert!(
+            LOCK_ORDER
+                .windows(2)
+                .any(|w| w[0] == "service.analysis.cache" && w[1] == "cluster.coordinator"),
+            "cluster locks must rank directly after the service locks"
+        );
+    }
+}

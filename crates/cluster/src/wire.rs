@@ -1,0 +1,395 @@
+//! Protocol v3: the coordinator/worker messages of distributed
+//! campaigns, plus the newline-JSON line codec both the job server and
+//! the cluster share.
+//!
+//! Workers talk to the *same* TCP port as job clients: the server tries
+//! to parse each incoming line as a service `Request` first and as a
+//! [`WorkerMsg`] second (the two enums have disjoint variant names, so
+//! routing is unambiguous). Every [`WorkerMsg`] is answered with exactly
+//! one [`CoordMsg`]. See `DESIGN.md` §12 for the chunk/lease state
+//! machine and an example `nc` session.
+
+use serde::{Deserialize, Serialize};
+use snn_faults::{ChunkRange, FaultOutcome, FaultSimConfig};
+use std::io::{BufRead, Write};
+
+/// Protocol revision; incremented on breaking wire changes.
+///
+/// * `2` — `JobEvent` became a sequenced envelope and
+///   `Request::Metrics` was added.
+/// * `3` — cluster messages ([`WorkerMsg`]/[`CoordMsg`]) joined the
+///   port, `Request::ClusterStatus` was added, and job results gained a
+///   `verdict_digest`.
+pub const PROTOCOL_VERSION: u64 = 3;
+
+/// What network a campaign (or job) runs against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Load a model file (as written by `snn-mtfc new` /
+    /// `Network::save`) from this path on the **server's** filesystem.
+    /// Workers resolve the same path on their own filesystem, so
+    /// distributed campaigns over `Path` models require a shared one.
+    Path(String),
+    /// Build a randomly initialized fully-connected network in-process:
+    /// `inputs → hidden[0] → … → outputs`, seeded for reproducibility.
+    /// Bit-identical on every process that builds it.
+    Synthetic {
+        /// Input features.
+        inputs: usize,
+        /// Hidden dense layer widths, in order.
+        hidden: Vec<usize>,
+        /// Output features (classes).
+        outputs: usize,
+        /// Weight-initialization seed.
+        seed: u64,
+    },
+}
+
+/// Everything a worker needs to execute any chunk of one campaign. Sent
+/// once per campaign per worker (on [`WorkerMsg::Fetch`]) and cached
+/// worker-side; leases then reference the campaign by id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Coordinator-assigned campaign id.
+    pub id: u64,
+    /// The network under test, rebuilt deterministically by each worker.
+    pub model: ModelSpec,
+    /// The test stimuli in the `.events` text format
+    /// (`snn_testgen::parse_events`), one entry per test input. The
+    /// format is an exact transport for spike tensors.
+    pub events: Vec<String>,
+    /// Simulator configuration. Workers override `threads` with their
+    /// own `--threads` setting — thread count never changes verdicts.
+    pub sim: FaultSimConfig,
+    /// Total faults in the campaign's fault list (diagnostics only; the
+    /// authoritative list is carried per-lease as explicit ids).
+    pub faults: usize,
+}
+
+/// One granted lease: the chunk, its fencing epoch, and the explicit
+/// fault ids to simulate (which makes collapsed campaigns — whose fault
+/// list is the representative subset — need no worker-side knowledge of
+/// collapsing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaseGrant {
+    /// Unique lease id (never reused within a coordinator's lifetime).
+    pub lease: u64,
+    /// Campaign the chunk belongs to.
+    pub campaign: u64,
+    /// The chunk, as planned by `snn_faults::chunk::plan`.
+    pub chunk: ChunkRange,
+    /// Fencing epoch of the chunk: bumped every time the chunk is
+    /// re-issued, so results from expired leases are recognizably stale.
+    pub epoch: u64,
+    /// Universe fault ids to simulate, in outcome order.
+    pub fault_ids: Vec<usize>,
+    /// Milliseconds until the lease expires unless heartbeats extend it.
+    pub deadline_in_ms: u64,
+}
+
+/// Worker → coordinator messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerMsg {
+    /// First message on a worker connection: announce the worker's name
+    /// and protocol revision. Answered with [`CoordMsg::Welcome`].
+    Hello {
+        /// Worker name, unique per cluster (e.g. `worker-<pid>`).
+        name: String,
+        /// The worker's [`PROTOCOL_VERSION`].
+        protocol: u64,
+    },
+    /// Ask for work. Answered with [`CoordMsg::Granted`],
+    /// [`CoordMsg::Idle`] or [`CoordMsg::Shutdown`].
+    Lease {
+        /// Worker name.
+        worker: String,
+    },
+    /// Fetch a campaign's payload (model, stimuli, simulator config).
+    /// Answered with [`CoordMsg::Campaign`].
+    Fetch {
+        /// Worker name.
+        worker: String,
+        /// Campaign id from a [`LeaseGrant`].
+        campaign: u64,
+    },
+    /// Keep a lease alive. Answered with [`CoordMsg::HeartbeatAck`];
+    /// `live: false` means the lease expired and the chunk was (or will
+    /// be) re-issued — the worker should abandon it.
+    Heartbeat {
+        /// Worker name.
+        worker: String,
+        /// The lease being extended.
+        lease: u64,
+    },
+    /// Deliver a chunk's outcomes. Answered with
+    /// [`CoordMsg::ResultAck`]; `accepted: false` marks a stale result
+    /// (expired lease / wrong epoch) that was discarded — exactly-once
+    /// accounting keeps only the result matching the live lease.
+    Result {
+        /// Worker name.
+        worker: String,
+        /// The lease the work ran under.
+        lease: u64,
+        /// Campaign id.
+        campaign: u64,
+        /// Chunk index within the campaign.
+        chunk: usize,
+        /// The fencing epoch from the lease.
+        epoch: u64,
+        /// Per-fault outcomes, in lease `fault_ids` order.
+        outcomes: Vec<FaultOutcome>,
+    },
+    /// Polite disconnect. Answered with [`CoordMsg::Shutdown`].
+    Bye {
+        /// Worker name.
+        worker: String,
+    },
+}
+
+/// Coordinator → worker messages (one per [`WorkerMsg`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoordMsg {
+    /// Registration accepted; carries the cluster's timing contract.
+    Welcome {
+        /// The coordinator's [`PROTOCOL_VERSION`].
+        protocol: u64,
+        /// Lease lifetime granted per chunk, in milliseconds.
+        lease_ms: u64,
+        /// How often the worker should heartbeat, in milliseconds.
+        heartbeat_ms: u64,
+    },
+    /// Work: one chunk under a lease.
+    Granted(LeaseGrant),
+    /// No chunk available right now; ask again in `retry_ms`.
+    Idle {
+        /// Suggested retry delay, in milliseconds.
+        retry_ms: u64,
+    },
+    /// A campaign payload (answer to [`WorkerMsg::Fetch`]).
+    Campaign(CampaignSpec),
+    /// Lease liveness: `false` means the lease expired.
+    HeartbeatAck {
+        /// Whether the heartbeated lease is still live.
+        live: bool,
+    },
+    /// Result bookkeeping: `false` means the result was stale and
+    /// discarded.
+    ResultAck {
+        /// Whether the result was merged into the campaign.
+        accepted: bool,
+    },
+    /// The coordinator is shutting down (or acknowledged a `Bye`);
+    /// the worker should exit.
+    Shutdown,
+    /// The request failed.
+    Error {
+        /// One-line diagnostic.
+        message: String,
+    },
+}
+
+/// A point-in-time view of the worker pool and chunk bookkeeping,
+/// served over `Request::ClusterStatus` and printed by
+/// `snn-mtfc cluster-status`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterStatus {
+    /// Every worker that ever said `Hello`, by name.
+    pub workers: Vec<WorkerStatus>,
+    /// Campaigns not yet fully merged.
+    pub campaigns_active: usize,
+    /// Chunks waiting for a lease, across campaigns.
+    pub chunks_pending: usize,
+    /// Chunks currently under a live lease.
+    pub chunks_leased: usize,
+    /// Chunks completed (exactly-once accounted) since start.
+    pub chunks_completed: u64,
+    /// Chunks re-issued after a lease expiry since start.
+    pub chunks_reissued: u64,
+    /// Stale results discarded since start.
+    pub results_stale: u64,
+}
+
+/// One worker's view in a [`ClusterStatus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStatus {
+    /// The name from its `Hello`.
+    pub name: String,
+    /// Milliseconds since the coordinator last heard from it.
+    pub last_seen_ms: u64,
+    /// Chunks this worker completed (accepted results).
+    pub chunks_completed: u64,
+    /// Cumulative lease-to-result wall-clock, in milliseconds — the
+    /// coordinator-side view of worker busy time.
+    pub busy_ms: u64,
+    /// The lease it currently holds, if any.
+    pub lease: Option<HeldLease>,
+}
+
+/// The chunk a worker currently holds, in a [`WorkerStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeldLease {
+    /// Lease id.
+    pub lease: u64,
+    /// Campaign id.
+    pub campaign: u64,
+    /// Chunk index.
+    pub chunk: usize,
+    /// Milliseconds until the lease expires without a heartbeat.
+    pub expires_in_ms: u64,
+}
+
+/// Writes `value` as one JSON line and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_line<T: serde::Serialize>(w: &mut impl Write, value: &T) -> std::io::Result<()> {
+    let mut line = serde::json::to_string(value);
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one JSON line. `Ok(None)` on clean EOF; decode failures carry a
+/// one-line diagnostic.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `r`.
+pub fn read_line<T: serde::Deserialize>(
+    r: &mut impl BufRead,
+) -> std::io::Result<Option<Result<T, String>>> {
+    Ok(read_raw_line(r)?.map(|line| {
+        serde::json::from_str::<T>(line.trim()).map_err(|e| format!("bad message: {e}"))
+    }))
+}
+
+/// Reads one non-blank line without decoding it — the server's entry
+/// point for dual-protocol routing. `Ok(None)` on clean EOF.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `r`.
+pub fn read_raw_line(r: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        if !line.trim().is_empty() {
+            return Ok(Some(line));
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)] // test-only shorthand
+mod tests {
+    use super::*;
+
+    fn round_trip<T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug>(v: &T) {
+        let s = serde::json::to_string(v);
+        let back: T = serde::json::from_str(&s).unwrap();
+        assert_eq!(&back, v, "round trip of {s}");
+    }
+
+    fn grant() -> LeaseGrant {
+        LeaseGrant {
+            lease: 7,
+            campaign: 2,
+            chunk: ChunkRange { index: 1, start: 64, len: 64 },
+            epoch: 3,
+            fault_ids: vec![64, 65, 66],
+            deadline_in_ms: 5000,
+        }
+    }
+
+    #[test]
+    fn worker_messages_round_trip() {
+        round_trip(&WorkerMsg::Hello { name: "w1".into(), protocol: PROTOCOL_VERSION });
+        round_trip(&WorkerMsg::Lease { worker: "w1".into() });
+        round_trip(&WorkerMsg::Fetch { worker: "w1".into(), campaign: 2 });
+        round_trip(&WorkerMsg::Heartbeat { worker: "w1".into(), lease: 7 });
+        round_trip(&WorkerMsg::Result {
+            worker: "w1".into(),
+            lease: 7,
+            campaign: 2,
+            chunk: 1,
+            epoch: 3,
+            outcomes: vec![FaultOutcome {
+                fault_id: 64,
+                detected: true,
+                distance: 2.5,
+                class_diff: None,
+            }],
+        });
+        round_trip(&WorkerMsg::Bye { worker: "w1".into() });
+    }
+
+    #[test]
+    fn coordinator_messages_round_trip() {
+        round_trip(&CoordMsg::Welcome {
+            protocol: PROTOCOL_VERSION,
+            lease_ms: 5000,
+            heartbeat_ms: 1000,
+        });
+        round_trip(&CoordMsg::Granted(grant()));
+        round_trip(&CoordMsg::Idle { retry_ms: 50 });
+        round_trip(&CoordMsg::Campaign(CampaignSpec {
+            id: 2,
+            model: ModelSpec::Synthetic { inputs: 4, hidden: vec![6], outputs: 2, seed: 1 },
+            events: vec!["# snn-mtfc test: 2 ticks x 4 features, 1 chunks\n0 1\n".into()],
+            sim: FaultSimConfig::default(),
+            faults: 128,
+        }));
+        round_trip(&CoordMsg::HeartbeatAck { live: false });
+        round_trip(&CoordMsg::ResultAck { accepted: true });
+        round_trip(&CoordMsg::Shutdown);
+        round_trip(&CoordMsg::Error { message: "unknown campaign".into() });
+    }
+
+    #[test]
+    fn status_round_trips() {
+        round_trip(&ClusterStatus {
+            workers: vec![WorkerStatus {
+                name: "w1".into(),
+                last_seen_ms: 12,
+                chunks_completed: 4,
+                busy_ms: 880,
+                lease: Some(HeldLease { lease: 7, campaign: 2, chunk: 1, expires_in_ms: 4100 }),
+            }],
+            campaigns_active: 1,
+            chunks_pending: 3,
+            chunks_leased: 2,
+            chunks_completed: 9,
+            chunks_reissued: 1,
+            results_stale: 1,
+        });
+    }
+
+    /// The bit-identity guarantee rides on this: a fault outcome's f32
+    /// distance survives the JSON wire with its exact bit pattern.
+    #[test]
+    fn outcome_distance_bits_survive_the_wire() {
+        for bits in [0x3dcc_cccd_u32, 0x3f80_0001, 0x0000_0001, 0x7f7f_ffff] {
+            let o = FaultOutcome {
+                fault_id: 1,
+                detected: true,
+                distance: f32::from_bits(bits),
+                class_diff: Some(vec![f32::from_bits(bits ^ 1)]),
+            };
+            let s = serde::json::to_string(&o);
+            let back: FaultOutcome = serde::json::from_str(&s).unwrap();
+            assert_eq!(back.distance.to_bits(), bits, "wire mangled {bits:#x} ({s})");
+            assert_eq!(back.class_diff.unwrap()[0].to_bits(), bits ^ 1);
+        }
+    }
+
+    #[test]
+    fn raw_line_reader_skips_blanks_and_reports_eof() {
+        let mut r = std::io::BufReader::new(&b"\n  \n{\"x\":1}\n"[..]);
+        assert_eq!(read_raw_line(&mut r).unwrap().unwrap().trim(), "{\"x\":1}");
+        assert!(read_raw_line(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! The worker runtime: connects to a coordinator, loops
+//! lease → fetch → simulate → result, and heartbeats the held lease on
+//! a second connection so a hung chunk is distinguishable from a hung
+//! process.
+//!
+//! A heartbeat answered with `live: false` means the lease expired and
+//! the chunk has been (or will be) re-issued elsewhere: the worker
+//! cancels the in-flight simulation and asks for fresh work instead of
+//! finishing a result the coordinator would discard anyway.
+
+use crate::campaign::PreparedCampaign;
+use crate::wire::{read_line, write_line, CoordMsg, WorkerMsg, PROTOCOL_VERSION};
+use parking_lot::Mutex;
+use snn_faults::progress::CancelToken;
+use snn_faults::ChunkCampaignError;
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Prepared campaigns a worker keeps around between leases.
+const CAMPAIGN_CACHE: usize = 4;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address, `host:port`.
+    pub addr: String,
+    /// Worker name reported to the coordinator (must be unique per
+    /// coordinator; lease bookkeeping is keyed on it).
+    pub name: String,
+    /// Simulation threads per chunk (0 = one per core).
+    pub threads: usize,
+}
+
+/// What a worker did before disconnecting, for CLI display.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Chunks simulated and submitted.
+    pub chunks: u64,
+    /// Faults simulated across those chunks.
+    pub faults: u64,
+    /// Chunks abandoned because the lease died mid-simulation.
+    pub abandoned: u64,
+}
+
+/// Why a worker stopped.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Connecting, reading or writing the coordinator link failed.
+    Io(std::io::Error),
+    /// The coordinator speaks a different protocol version.
+    Protocol {
+        /// Version the coordinator advertised.
+        got: u64,
+        /// Version this worker speaks.
+        want: u64,
+    },
+    /// The coordinator sent a message this worker cannot decode, or an
+    /// explicit error.
+    Coordinator(String),
+    /// A campaign could not be materialized or simulated locally.
+    Campaign(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "coordinator link: {e}"),
+            Self::Protocol { got, want } => {
+                write!(f, "coordinator speaks protocol {got}, this worker speaks {want}")
+            }
+            Self::Coordinator(m) => write!(f, "coordinator: {m}"),
+            Self::Campaign(m) => write!(f, "campaign: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<std::io::Error> for WorkerError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Heartbeat-visible session state: which lease the main loop currently
+/// holds, and the token the heartbeat thread trips when that lease dies.
+#[derive(Default)]
+struct Session {
+    current: Option<(u64, CancelToken)>,
+    stop: bool,
+}
+
+struct Link {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Link {
+    fn connect(addr: &str) -> Result<Self, WorkerError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: BufWriter::new(stream) })
+    }
+
+    fn send(&mut self, msg: &WorkerMsg) -> Result<(), WorkerError> {
+        write_line(&mut self.writer, msg).map_err(WorkerError::Io)
+    }
+
+    fn recv(&mut self) -> Result<Option<CoordMsg>, WorkerError> {
+        match read_line::<CoordMsg>(&mut self.reader)? {
+            None => Ok(None),
+            Some(Ok(msg)) => Ok(Some(msg)),
+            Some(Err(e)) => Err(WorkerError::Coordinator(e)),
+        }
+    }
+}
+
+/// Runs a worker until the coordinator shuts down or the link drops.
+///
+/// # Errors
+///
+/// [`WorkerError`] on connection failure, protocol mismatch, undecodable
+/// traffic or a campaign that cannot be materialized. A coordinator that
+/// closes the link (or answers `Shutdown`) is a clean stop, not an error.
+pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, WorkerError> {
+    crate::lock_order::register();
+    let mut link = Link::connect(&cfg.addr)?;
+    link.send(&WorkerMsg::Hello { name: cfg.name.clone(), protocol: PROTOCOL_VERSION })?;
+    let (lease_ms, heartbeat_ms) = match link.recv()? {
+        Some(CoordMsg::Welcome { protocol, lease_ms, heartbeat_ms }) => {
+            if protocol != PROTOCOL_VERSION {
+                return Err(WorkerError::Protocol { got: protocol, want: PROTOCOL_VERSION });
+            }
+            (lease_ms, heartbeat_ms)
+        }
+        Some(CoordMsg::Error { message }) => return Err(WorkerError::Coordinator(message)),
+        Some(other) => {
+            return Err(WorkerError::Coordinator(format!("expected welcome, got {other:?}")))
+        }
+        None => return Ok(WorkerReport::default()),
+    };
+    let _ = lease_ms;
+
+    let session = Arc::new(Mutex::named("cluster.worker.session", Session::default()));
+    let heartbeat = spawn_heartbeat(&cfg.addr, cfg.name.clone(), heartbeat_ms, &session);
+
+    let result = lease_loop(cfg, &mut link, &session);
+
+    session.lock().stop = true;
+    let _ = link.send(&WorkerMsg::Bye { worker: cfg.name.clone() });
+    if let Some(handle) = heartbeat {
+        let _ = handle.join();
+    }
+    result
+}
+
+/// The heartbeat thread: on its own connection, beats the currently held
+/// lease every `heartbeat_ms` and cancels the chunk when the coordinator
+/// reports the lease dead. Heartbeat link failures are tolerated — the
+/// main loop still makes progress, it just loses hang protection.
+fn spawn_heartbeat(
+    addr: &str,
+    worker: String,
+    heartbeat_ms: u64,
+    session: &Arc<Mutex<Session>>,
+) -> Option<std::thread::JoinHandle<()>> {
+    let mut link = Link::connect(addr).ok()?;
+    let session = Arc::clone(session);
+    let period = Duration::from_millis(heartbeat_ms.max(10));
+    let builder = std::thread::Builder::new().name("cluster-heartbeat".into());
+    builder
+        .spawn(move || loop {
+            std::thread::sleep(period);
+            let held = {
+                let session = session.lock();
+                if session.stop {
+                    return;
+                }
+                session.current.clone()
+            };
+            let Some((lease, cancel)) = held else { continue };
+            if link.send(&WorkerMsg::Heartbeat { worker: worker.clone(), lease }).is_err() {
+                return;
+            }
+            match link.recv() {
+                Ok(Some(CoordMsg::HeartbeatAck { live: false })) => cancel.cancel(),
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => return,
+            }
+        })
+        .ok()
+}
+
+fn lease_loop(
+    cfg: &WorkerConfig,
+    link: &mut Link,
+    session: &Arc<Mutex<Session>>,
+) -> Result<WorkerReport, WorkerError> {
+    let mut report = WorkerReport::default();
+    let mut campaigns: HashMap<u64, PreparedCampaign> = HashMap::new();
+    loop {
+        link.send(&WorkerMsg::Lease { worker: cfg.name.clone() })?;
+        match link.recv()? {
+            Some(CoordMsg::Granted(grant)) => {
+                if !campaigns.contains_key(&grant.campaign) {
+                    if campaigns.len() >= CAMPAIGN_CACHE {
+                        campaigns.clear();
+                    }
+                    let prepared = fetch_campaign(cfg, link, grant.campaign)?;
+                    campaigns.insert(grant.campaign, prepared);
+                }
+                // snn-lint: allow(L-PANIC): inserted above when absent
+                let prepared = campaigns.get(&grant.campaign).expect("cached above");
+
+                let cancel = CancelToken::new();
+                session.lock().current = Some((grant.lease, cancel.clone()));
+                let span = snn_obs::span!("cluster.chunk");
+                let outcome = prepared.run_chunk(&grant.fault_ids, &cancel);
+                drop(span);
+                session.lock().current = None;
+
+                match outcome {
+                    Ok(outcomes) => {
+                        report.chunks += 1;
+                        report.faults += outcomes.len() as u64;
+                        link.send(&WorkerMsg::Result {
+                            worker: cfg.name.clone(),
+                            lease: grant.lease,
+                            campaign: grant.campaign,
+                            chunk: grant.chunk.index,
+                            epoch: grant.epoch,
+                            outcomes,
+                        })?;
+                        match link.recv()? {
+                            Some(CoordMsg::ResultAck { .. }) => {}
+                            Some(CoordMsg::Error { message }) => {
+                                return Err(WorkerError::Coordinator(message))
+                            }
+                            Some(other) => {
+                                return Err(WorkerError::Coordinator(format!(
+                                    "expected result ack, got {other:?}"
+                                )))
+                            }
+                            None => return Ok(report),
+                        }
+                    }
+                    Err(ChunkCampaignError::Campaign(snn_faults::CampaignError::Cancelled)) => {
+                        // Lease died mid-chunk; the coordinator re-issued
+                        // it. Drop the partial work and ask for more.
+                        report.abandoned += 1;
+                    }
+                    Err(e) => return Err(WorkerError::Campaign(e.to_string())),
+                }
+            }
+            Some(CoordMsg::Idle { retry_ms }) => {
+                std::thread::sleep(Duration::from_millis(retry_ms.clamp(1, 1000)));
+            }
+            Some(CoordMsg::Campaign(_))
+            | Some(CoordMsg::Welcome { .. })
+            | Some(CoordMsg::HeartbeatAck { .. })
+            | Some(CoordMsg::ResultAck { .. }) => {
+                return Err(WorkerError::Coordinator("unexpected message in lease loop".into()))
+            }
+            Some(CoordMsg::Shutdown) | None => return Ok(report),
+            Some(CoordMsg::Error { message }) => return Err(WorkerError::Coordinator(message)),
+        }
+    }
+}
+
+fn fetch_campaign(
+    cfg: &WorkerConfig,
+    link: &mut Link,
+    campaign: u64,
+) -> Result<PreparedCampaign, WorkerError> {
+    link.send(&WorkerMsg::Fetch { worker: cfg.name.clone(), campaign })?;
+    match link.recv()? {
+        Some(CoordMsg::Campaign(spec)) => {
+            PreparedCampaign::new(&spec, Some(cfg.threads)).map_err(WorkerError::Campaign)
+        }
+        Some(CoordMsg::Error { message }) => Err(WorkerError::Coordinator(message)),
+        Some(other) => {
+            Err(WorkerError::Coordinator(format!("expected campaign payload, got {other:?}")))
+        }
+        None => Err(WorkerError::Coordinator("link closed during campaign fetch".into())),
+    }
+}

@@ -1,0 +1,261 @@
+//! In-process exercises of the coordinator's lease state machine:
+//! expiry → re-issue under a bumped epoch, the exactly-once result gate,
+//! heartbeat extension, shutdown and cancellation.
+//!
+//! No TCP, no worker processes — these tests play the worker role by
+//! calling the coordinator directly, using short real-time leases with
+//! wide margins.
+
+#![allow(clippy::unwrap_used)] // test-only shorthand
+
+use snn_cluster::coordinator::{
+    CampaignProgress, ClusterError, Coordinator, CoordinatorConfig, Grant,
+};
+use snn_cluster::wire::{CampaignSpec, ModelSpec};
+use snn_faults::progress::CancelToken;
+use snn_faults::{FaultOutcome, FaultSimConfig};
+use std::time::Duration;
+
+fn spec() -> CampaignSpec {
+    // The coordinator never materializes the payload — only workers do —
+    // so a nominal spec is enough here.
+    CampaignSpec {
+        id: 0,
+        model: ModelSpec::Synthetic { inputs: 3, hidden: vec![4], outputs: 2, seed: 7 },
+        events: vec!["# snn-mtfc test: 1 ticks x 3 features, 1 chunks\n0 0\n".into()],
+        sim: FaultSimConfig::default(),
+        faults: 0,
+    }
+}
+
+fn coordinator(chunk_size: usize, lease_ms: u64) -> Coordinator {
+    Coordinator::new(CoordinatorConfig { chunk_size, lease_ms, heartbeat_ms: 20, idle_retry_ms: 5 })
+}
+
+fn fake_outcomes(fault_ids: &[usize]) -> Vec<FaultOutcome> {
+    fault_ids
+        .iter()
+        .map(|&id| FaultOutcome {
+            fault_id: id,
+            detected: id % 2 == 0,
+            distance: id as f32 * 0.5,
+            class_diff: None,
+        })
+        .collect()
+}
+
+#[test]
+fn idle_until_a_campaign_arrives() {
+    let coord = coordinator(4, 5000);
+    coord.hello("w1");
+    assert!(matches!(coord.grant("w1"), Grant::Idle { .. }));
+    coord.submit(spec(), (0..3).collect());
+    assert!(matches!(coord.grant("w1"), Grant::Lease(_)));
+}
+
+#[test]
+fn expired_lease_is_reissued_under_a_bumped_epoch_and_stale_results_bounce() {
+    let coord = coordinator(4, 80);
+    coord.hello("w1");
+    coord.hello("w2");
+    let campaign = coord.submit(spec(), (0..10).collect());
+
+    let Grant::Lease(first) = coord.grant("w1") else { panic!("expected a lease") };
+    assert_eq!(first.epoch, 0);
+    assert_eq!(first.fault_ids, vec![0, 1, 2, 3]);
+
+    // Let the lease rot well past its deadline, then hand out work again:
+    // the same chunk comes back first, under a new lease and epoch 1.
+    std::thread::sleep(Duration::from_millis(300));
+    let Grant::Lease(second) = coord.grant("w2") else { panic!("expected a re-issue") };
+    assert_eq!(second.chunk.index, first.chunk.index, "expired chunk is re-issued first");
+    assert_eq!(second.epoch, 1, "re-issue bumps the epoch");
+    assert_ne!(second.lease, first.lease, "re-issue gets a fresh lease id");
+
+    // The presumed-dead worker limps home: its result must be discarded.
+    let stale = coord.result(
+        "w1",
+        first.lease,
+        campaign,
+        first.chunk.index,
+        first.epoch,
+        fake_outcomes(&first.fault_ids),
+    );
+    assert!(!stale, "stale (lease, epoch) results are rejected");
+
+    // The live lease's result lands.
+    let fresh = coord.result(
+        "w2",
+        second.lease,
+        campaign,
+        second.chunk.index,
+        second.epoch,
+        fake_outcomes(&second.fault_ids),
+    );
+    assert!(fresh, "live results are accepted");
+
+    let status = coord.status();
+    assert_eq!(status.results_stale, 1);
+    assert!(status.chunks_reissued >= 1);
+    assert_eq!(status.chunks_completed, 1);
+}
+
+#[test]
+fn heartbeats_keep_a_slow_lease_alive() {
+    let coord = coordinator(8, 150);
+    coord.hello("w1");
+    let campaign = coord.submit(spec(), (0..8).collect());
+    let Grant::Lease(grant) = coord.grant("w1") else { panic!("expected a lease") };
+
+    // Simulate a slow chunk: 6 × 60 ms ≫ the 150 ms lease, kept alive by
+    // heartbeats.
+    for _ in 0..6 {
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(coord.heartbeat("w1", grant.lease), "heartbeat extends a live lease");
+    }
+    assert!(coord.result(
+        "w1",
+        grant.lease,
+        campaign,
+        grant.chunk.index,
+        grant.epoch,
+        fake_outcomes(&grant.fault_ids),
+    ));
+    assert!(!coord.heartbeat("w1", grant.lease), "a completed lease no longer beats");
+    assert_eq!(coord.status().chunks_reissued, 0, "no expiry happened");
+}
+
+#[test]
+fn wrong_length_results_are_rejected() {
+    let coord = coordinator(4, 5000);
+    coord.hello("w1");
+    let campaign = coord.submit(spec(), (0..4).collect());
+    let Grant::Lease(grant) = coord.grant("w1") else { panic!("expected a lease") };
+    let short = fake_outcomes(&grant.fault_ids[..2]);
+    assert!(!coord.result("w1", grant.lease, campaign, grant.chunk.index, grant.epoch, short));
+    assert_eq!(coord.status().results_stale, 1);
+}
+
+#[test]
+fn completed_campaign_merges_in_fault_list_order() {
+    let coord = coordinator(3, 5000);
+    coord.hello("w1");
+    // Deliberately scrambled fault ids: merge order is fault-list order,
+    // not id order.
+    let fault_ids: Vec<usize> = vec![9, 2, 7, 0, 5, 1, 8, 3, 6, 4];
+    let campaign = coord.submit(spec(), fault_ids.clone());
+
+    // Play a single worker draining the queue out of chunk order is not
+    // possible through grant() (it hands chunks in order), but results
+    // can arrive in any order; complete them reversed.
+    let mut grants = Vec::new();
+    while let Grant::Lease(g) = coord.grant("w1") {
+        grants.push(g);
+    }
+    assert_eq!(grants.len(), 4, "10 faults at chunk size 3 = 4 chunks");
+    for g in grants.iter().rev() {
+        assert!(coord.result(
+            "w1",
+            g.lease,
+            campaign,
+            g.chunk.index,
+            g.epoch,
+            fake_outcomes(&g.fault_ids)
+        ));
+    }
+
+    let mut seen = Vec::new();
+    let merged =
+        coord.wait(campaign, &CancelToken::new(), |p: CampaignProgress| seen.push(p)).unwrap();
+    let got: Vec<usize> = merged.iter().map(|o| o.fault_id).collect();
+    assert_eq!(got, fault_ids, "merged outcomes follow fault-list order");
+    assert_eq!(merged, fake_outcomes(&fault_ids), "verdicts survive the round trip");
+
+    let status = coord.status();
+    assert_eq!(status.campaigns_active, 0, "waited campaigns are retired");
+    let w1 = &status.workers[0];
+    assert_eq!(w1.chunks_completed, 4);
+}
+
+#[test]
+fn empty_campaign_completes_immediately() {
+    let coord = coordinator(4, 5000);
+    let campaign = coord.submit(spec(), Vec::new());
+    let merged = coord.wait(campaign, &CancelToken::new(), |_| {}).unwrap();
+    assert!(merged.is_empty());
+}
+
+#[test]
+fn waiting_on_an_unknown_campaign_is_a_typed_error() {
+    let coord = coordinator(4, 5000);
+    let err = coord.wait(42, &CancelToken::new(), |_| {}).unwrap_err();
+    assert_eq!(err, ClusterError::UnknownCampaign { campaign: 42 });
+}
+
+#[test]
+fn cancellation_aborts_a_wait() {
+    let coord = coordinator(4, 5000);
+    let campaign = coord.submit(spec(), (0..4).collect());
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let err = coord.wait(campaign, &cancel, |_| {}).unwrap_err();
+    assert_eq!(err, ClusterError::Cancelled);
+}
+
+#[test]
+fn shutdown_reaches_waiters_and_workers() {
+    let coord = std::sync::Arc::new(coordinator(4, 5000));
+    let campaign = coord.submit(spec(), (0..4).collect());
+    let waiter = {
+        let coord = std::sync::Arc::clone(&coord);
+        std::thread::spawn(move || coord.wait(campaign, &CancelToken::new(), |_| {}))
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    coord.shutdown();
+    assert_eq!(waiter.join().unwrap().unwrap_err(), ClusterError::Shutdown);
+    coord.hello("w1");
+    assert!(matches!(coord.grant("w1"), Grant::Shutdown));
+}
+
+#[test]
+fn wait_for_workers_reports_the_shortfall() {
+    let coord = coordinator(4, 5000);
+    coord.hello("only-one");
+    let err =
+        coord.wait_for_workers(3, &CancelToken::new(), Duration::from_millis(80)).unwrap_err();
+    assert_eq!(err, ClusterError::WorkersUnavailable { expected: 3, seen: 1 });
+    coord.hello("two");
+    coord.hello("three");
+    coord.wait_for_workers(3, &CancelToken::new(), Duration::from_millis(80)).unwrap();
+}
+
+#[test]
+fn progress_reports_are_monotonic_while_chunks_land() {
+    let coord = std::sync::Arc::new(coordinator(2, 5000));
+    coord.hello("w1");
+    let fault_ids: Vec<usize> = (0..6).collect();
+    let campaign = coord.submit(spec(), fault_ids.clone());
+    let worker = {
+        let coord = std::sync::Arc::clone(&coord);
+        std::thread::spawn(move || {
+            while let Grant::Lease(g) = coord.grant("w1") {
+                std::thread::sleep(Duration::from_millis(30));
+                assert!(coord.result(
+                    "w1",
+                    g.lease,
+                    campaign,
+                    g.chunk.index,
+                    g.epoch,
+                    fake_outcomes(&g.fault_ids)
+                ));
+            }
+        })
+    };
+    let mut seen: Vec<CampaignProgress> = Vec::new();
+    let merged = coord.wait(campaign, &CancelToken::new(), |p| seen.push(p)).unwrap();
+    worker.join().unwrap();
+    assert_eq!(merged.len(), 6);
+    assert!(!seen.is_empty());
+    assert!(seen.windows(2).all(|w| w[0].done <= w[1].done), "progress never regresses");
+    assert!(seen.iter().all(|p| p.total == 6));
+}

@@ -20,6 +20,10 @@
 //!   fault in layer ℓ cannot alter activity before ℓ) and *early exit*
 //!   (identical layer activity ⇒ identical suffix), and fans the fault list
 //!   out over a crossbeam thread pool.
+//! * [`chunk`] — chunk-addressable campaigns: deterministic sharding of
+//!   a fault list, subset simulation by explicit fault ids, exact chunk
+//!   merging and the campaign verdict digest backing `snn-cluster`'s
+//!   bit-identical distributed execution.
 //! * [`criticality`] — labels each fault critical (alters a top-1
 //!   prediction on at least one dataset sample) or benign.
 //! * [`CoverageReport`] — fault-coverage accounting in the four classes the
@@ -58,10 +62,12 @@ mod inject;
 mod sim;
 mod universe;
 
+pub mod chunk;
 pub mod criticality;
 pub mod parallel;
 pub mod progress;
 
+pub use chunk::{verdict_digest, verdict_digest_hex, ChunkCampaignError, ChunkRange, MergeError};
 pub use coverage::{escape_max_accuracy_drop, ClassCoverage, CoverageReport};
 pub use dictionary::{Diagnosis, FaultDictionary};
 pub use estimate::{estimate_coverage, CoverageEstimate};

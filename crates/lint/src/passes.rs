@@ -93,9 +93,9 @@ pub fn registry() -> Vec<Pass> {
         },
         Pass {
             id: "L-LOCK",
-            summary: "service locks must be named and registered in LOCK_ORDER",
-            scope: "crates/service",
-            applies: is_service_crate,
+            summary: "service/cluster locks must be named and registered in LOCK_ORDER",
+            scope: "crates/service, crates/cluster",
+            applies: is_lock_disciplined_crate,
             check: check_lock,
         },
     ]
@@ -138,8 +138,10 @@ fn is_reproducible_crate(path: &str) -> bool {
         || path.starts_with("crates/obs/src/")
 }
 
-fn is_service_crate(path: &str) -> bool {
-    path.starts_with("crates/service/src/")
+fn is_lock_disciplined_crate(path: &str) -> bool {
+    // Both crates share one process-wide lock-order registry (first
+    // registration wins), so both must name every lock from it.
+    path.starts_with("crates/service/src/") || path.starts_with("crates/cluster/src/")
 }
 
 // ---------------------------------------------------------------------------
@@ -334,7 +336,7 @@ fn check_lock(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
                 t.line,
                 "L-LOCK",
                 format!(
-                    "unnamed `{}::{}` in the service crate — construct with \
+                    "unnamed `{}::{}` in a lock-disciplined crate — construct with \
                      `{}::named(\"<name>\", …)` using a name from LOCK_ORDER \
                      (crates/service/src/lock_order.rs)",
                     t.text, method.text, t.text
@@ -547,6 +549,18 @@ mod tests {
         assert_eq!(out.len(), 2, "{out:?}");
         assert!(out[0].message.contains("unnamed"));
         assert!(out[1].message.contains("service.rogue"));
+    }
+
+    #[test]
+    fn lock_pass_covers_the_cluster_crate() {
+        let order = vec!["cluster.coordinator".to_string()];
+        let src = "fn f() { let a = Mutex::new(1); \
+                   let b = Mutex::named(\"cluster.coordinator\", 2); \
+                   let c = Mutex::named(\"cluster.rogue\", 3); }";
+        let out = run_pass_with_locks("L-LOCK", "crates/cluster/src/coordinator.rs", src, &order);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("unnamed"));
+        assert!(out[1].message.contains("cluster.rogue"));
     }
 
     #[test]

@@ -7,10 +7,18 @@ use snn_lint::lint_source;
 
 /// Findings as compact `(line, id)` pairs for easy assertions.
 fn findings(path: &str, source: &str) -> Vec<(u32, &'static str)> {
-    lint_source(path, source, &["service.queue".to_string(), "service.store.jobs".to_string()])
-        .into_iter()
-        .map(|d| (d.line, d.id))
-        .collect()
+    lint_source(
+        path,
+        source,
+        &[
+            "service.queue".to_string(),
+            "service.store.jobs".to_string(),
+            "cluster.coordinator".to_string(),
+        ],
+    )
+    .into_iter()
+    .map(|d| (d.line, d.id))
+    .collect()
 }
 
 #[test]
@@ -70,6 +78,20 @@ fn unregistered_mutex_in_service_is_flagged() {
 fn named_registered_mutex_in_service_is_clean() {
     let src = "pub struct S {\n    q: parking_lot::Mutex<u32>,\n}\nimpl S {\n    pub fn new() -> Self {\n        Self { q: parking_lot::Mutex::named(\"service.queue\", 0) }\n    }\n}\n";
     assert_eq!(findings("crates/service/src/server.rs", src), vec![]);
+}
+
+#[test]
+fn unregistered_mutex_in_cluster_is_flagged() {
+    // The cluster crate shares the service crate's lock-order registry,
+    // so L-LOCK covers it with the same rules.
+    let src = "pub struct C {\n    s: parking_lot::Mutex<u32>,\n}\nimpl C {\n    pub fn new() -> Self {\n        Self { s: parking_lot::Mutex::named(\"cluster.rogue\", 0) }\n    }\n}\n";
+    assert_eq!(findings("crates/cluster/src/worker.rs", src), vec![(6, "L-LOCK")]);
+}
+
+#[test]
+fn named_registered_mutex_in_cluster_is_clean() {
+    let src = "pub struct C {\n    s: parking_lot::Mutex<u32>,\n}\nimpl C {\n    pub fn new() -> Self {\n        Self { s: parking_lot::Mutex::named(\"cluster.coordinator\", 0) }\n    }\n}\n";
+    assert_eq!(findings("crates/cluster/src/coordinator.rs", src), vec![]);
 }
 
 #[test]

@@ -22,7 +22,14 @@
 //!   simulator.
 //! * [`client`] — [`Client`], a small blocking client used by the
 //!   `snn-mtfc submit`/`status`/`watch`/`cancel` subcommands and the
-//!   integration tests.
+//!   integration tests, with optional timeouts and idempotent-only
+//!   retry ([`ClientConfig`]).
+//!
+//! With `ServiceConfig::expect_workers > 0` the server also acts as a
+//! cluster coordinator: coverage campaigns are sharded into leased
+//! chunks and farmed out to `snn-mtfc worker` processes over the same
+//! listener (see `snn_cluster`), with results merged bit-identically to
+//! the in-process path.
 //!
 //! # Example
 //!
@@ -57,10 +64,10 @@ pub mod server;
 pub mod store;
 
 pub use bus::EventBus;
-pub use client::Client;
+pub use client::{Client, ClientConfig};
 pub use protocol::{
-    JobEvent, JobEventPayload, JobRecord, JobResult, JobSpec, JobState, JobTimings, ModelSpec,
-    Request, Response, PROTOCOL_VERSION,
+    ClusterStatus, JobEvent, JobEventPayload, JobRecord, JobResult, JobSpec, JobState, JobTimings,
+    ModelSpec, Request, Response, PROTOCOL_VERSION,
 };
 pub use server::{Server, ServiceConfig};
 pub use store::JobStore;

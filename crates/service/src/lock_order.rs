@@ -23,9 +23,14 @@
 /// * `service.bus.subscribers` ranks second-to-last: event fan-out must
 ///   never acquire another service lock while delivering (the analysis
 ///   cache is never touched from the event path).
-/// * `service.analysis.cache` ranks last: it is a leaf — the cache is
-///   locked only for a point lookup or insert, never while computing an
-///   analysis and never while holding it acquiring anything else.
+/// * `service.analysis.cache` ranks last among the service locks: it is
+///   a leaf — the cache is locked only for a point lookup or insert,
+///   never while computing an analysis and never while holding it
+///   acquiring anything else.
+/// * The `cluster.*` locks rank after every service lock; see
+///   `snn_cluster::lock_order` for their rationale. The two lists must
+///   stay identical (first registration wins process-wide) — a test
+///   below pins them together.
 pub const LOCK_ORDER: &[&str] = &[
     "service.queue",
     "service.running",
@@ -33,6 +38,8 @@ pub const LOCK_ORDER: &[&str] = &[
     "service.store.jobs",
     "service.bus.subscribers",
     "service.analysis.cache",
+    "cluster.coordinator",
+    "cluster.worker.session",
 ];
 
 /// Registers [`LOCK_ORDER`] with the runtime detector. Idempotent —
@@ -49,8 +56,19 @@ mod tests {
     #[test]
     fn order_names_are_unique_and_prefixed() {
         for (i, name) in LOCK_ORDER.iter().enumerate() {
-            assert!(name.starts_with("service."), "lock name {name} must be crate-prefixed");
+            assert!(
+                name.starts_with("service.") || name.starts_with("cluster."),
+                "lock name {name} must be crate-prefixed"
+            );
             assert!(!LOCK_ORDER[i + 1..].contains(name), "duplicate lock name {name}");
         }
+    }
+
+    #[test]
+    fn order_matches_the_cluster_crate_exactly() {
+        // First registration wins process-wide, so the two crates must
+        // publish byte-identical orders or whichever registers second
+        // silently loses its entries.
+        assert_eq!(LOCK_ORDER, snn_cluster::lock_order::LOCK_ORDER);
     }
 }

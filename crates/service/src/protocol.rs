@@ -8,37 +8,23 @@
 //! state. Enum values are externally tagged, e.g. `"Ping"` or
 //! `{"Status":{"job":3}}` — see `DESIGN.md` §8 for the full specification
 //! and an example session.
+//!
+//! Since protocol v3 the same listener also serves cluster workers:
+//! the server tries to decode each incoming line as a [`Request`] first
+//! and as a `snn_cluster::wire::WorkerMsg` second (the variant names are
+//! disjoint), so clients and workers share one port. The worker-side
+//! messages are documented in `snn_cluster::wire` and `DESIGN.md` §12.
 
 use serde::{Deserialize, Serialize};
 use snn_faults::progress::Progress;
 use std::io::{BufRead, Write};
 
-/// Protocol revision; incremented on breaking wire changes.
-///
-/// * `2` — [`JobEvent`] became a sequenced envelope (`seq`/`at_ms`/
-///   `payload`) and [`Request::Metrics`]/[`Response::Metrics`] were
-///   added.
-pub const PROTOCOL_VERSION: u64 = 2;
-
-/// What network a job runs against.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum ModelSpec {
-    /// Load a model file (as written by `snn-mtfc new` /
-    /// `Network::save`) from this path on the **server's** filesystem.
-    Path(String),
-    /// Build a randomly initialized fully-connected network in-process:
-    /// `inputs → hidden[0] → … → outputs`, seeded for reproducibility.
-    Synthetic {
-        /// Input features.
-        inputs: usize,
-        /// Hidden dense layer widths, in order.
-        hidden: Vec<usize>,
-        /// Output features (classes).
-        outputs: usize,
-        /// Weight-initialization seed.
-        seed: u64,
-    },
-}
+// The protocol's foundation — the version constant, the model spec and
+// the line codec — lives in `snn-cluster`'s wire module since protocol
+// v3, because worker processes speak the same newline-JSON framing on
+// the same port. Re-exported here so service clients keep one import
+// surface.
+pub use snn_cluster::wire::{ClusterStatus, ModelSpec, PROTOCOL_VERSION};
 
 /// A test-generation job description.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -156,6 +142,12 @@ pub struct JobResult {
     /// Per-phase wall-clock breakdown. `None` on records written by
     /// older servers.
     pub timings: Option<JobTimings>,
+    /// FNV-1a digest of every per-fault verdict of the coverage
+    /// campaign (16 hex chars) — identical for a local and a
+    /// distributed run of the same job, which is exactly what CI gates
+    /// on. `None` when no campaign ran or on records written by older
+    /// servers.
+    pub verdict_digest: Option<String>,
 }
 
 /// Everything the server knows about one job. Persisted as one JSON file
@@ -262,6 +254,8 @@ pub enum Request {
     Ping,
     /// Fetch a snapshot of the server's metrics registry.
     Metrics,
+    /// Fetch a snapshot of the worker pool and chunk bookkeeping.
+    ClusterStatus,
     /// Graceful server shutdown: running jobs are cancelled, queued jobs
     /// stay queued (they resume on restart), state is persisted.
     Shutdown,
@@ -293,6 +287,8 @@ pub enum Response {
     ShuttingDown,
     /// A snapshot of every registered counter, gauge and histogram.
     Metrics(snn_obs::MetricsSnapshot),
+    /// The worker pool and chunk bookkeeping snapshot.
+    Cluster(ClusterStatus),
     /// A streamed watch notification.
     Event(JobEvent),
     /// The request failed.
@@ -304,10 +300,7 @@ pub enum Response {
 
 /// Writes `value` as one JSON line and flushes.
 pub fn write_line<T: Serialize>(w: &mut impl Write, value: &T) -> std::io::Result<()> {
-    let mut line = serde::json::to_string(value);
-    line.push('\n');
-    w.write_all(line.as_bytes())?;
-    w.flush()
+    snn_cluster::wire::write_line(w, value)
 }
 
 /// Reads one JSON line. `Ok(None)` on clean EOF; decode failures carry a
@@ -315,17 +308,7 @@ pub fn write_line<T: Serialize>(w: &mut impl Write, value: &T) -> std::io::Resul
 pub fn read_line<T: serde::Deserialize>(
     r: &mut impl BufRead,
 ) -> std::io::Result<Option<Result<T, String>>> {
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if r.read_line(&mut line)? == 0 {
-            return Ok(None);
-        }
-        if !line.trim().is_empty() {
-            break;
-        }
-    }
-    Ok(Some(serde::json::from_str::<T>(line.trim()).map_err(|e| format!("bad message: {e}"))))
+    snn_cluster::wire::read_line(r)
 }
 
 #[cfg(test)]
@@ -348,6 +331,7 @@ mod tests {
         round_trip(&Request::Watch { job: 0 });
         round_trip(&Request::Ping);
         round_trip(&Request::Metrics);
+        round_trip(&Request::ClusterStatus);
         round_trip(&Request::Shutdown);
     }
 
@@ -396,6 +380,7 @@ mod tests {
                     generation_ms: 2500,
                     fault_sim_ms: 380,
                 }),
+                verdict_digest: Some("cbf29ce484222325".into()),
             }),
             error: None,
         };
@@ -416,6 +401,15 @@ mod tests {
         }));
         round_trip(&Response::Error { message: "queue full".into() });
         round_trip(&Response::Metrics(snn_obs::MetricsSnapshot { metrics: Vec::new() }));
+        round_trip(&Response::Cluster(ClusterStatus {
+            workers: Vec::new(),
+            campaigns_active: 0,
+            chunks_pending: 0,
+            chunks_leased: 0,
+            chunks_completed: 4,
+            chunks_reissued: 1,
+            results_stale: 1,
+        }));
     }
 
     #[test]
@@ -428,6 +422,7 @@ mod tests {
         let r: JobResult = serde::json::from_str(json).unwrap();
         assert!(r.analysis.is_none());
         assert!(r.timings.is_none());
+        assert!(r.verdict_digest.is_none());
         assert_eq!(r.chunks, 1);
     }
 

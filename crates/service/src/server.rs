@@ -1,18 +1,30 @@
-//! The job server: TCP accept loop, bounded job queue, worker pool and
-//! graceful shutdown.
+//! The job server: TCP accept loop, bounded job queue, worker pool,
+//! cluster coordinator and graceful shutdown.
+//!
+//! One listener serves two populations: job clients speaking
+//! [`Request`]/[`Response`] and cluster workers speaking
+//! `snn_cluster::wire::WorkerMsg`/`CoordMsg`. Each incoming line is
+//! decoded as a client request first and a worker message second (the
+//! variant names are disjoint). With `expect_workers > 0`, coverage
+//! campaigns are sharded onto the worker pool through the
+//! [`Coordinator`]; with the default `0`, the in-process path runs
+//! unchanged — and both produce bit-identical verdicts and digests.
 
 use crate::bus::EventBus;
 use crate::protocol::{
-    read_line, write_line, JobEventPayload, JobRecord, JobResult, JobSpec, JobState, JobTimings,
-    ModelSpec, Request, Response, PROTOCOL_VERSION,
+    write_line, JobEventPayload, JobRecord, JobResult, JobSpec, JobState, JobTimings, ModelSpec,
+    Request, Response, PROTOCOL_VERSION,
 };
 use crate::store::{now_ms, JobStore};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use snn_cluster::build_model;
+use snn_cluster::coordinator::{ClusterError, Coordinator, CoordinatorConfig, Grant};
+use snn_cluster::wire::{CampaignSpec, CoordMsg, WorkerMsg};
 use snn_faults::progress::{CancelToken, Progress, ProgressSink};
-use snn_faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
-use snn_model::{LifParams, Network, NetworkBuilder};
+use snn_faults::{verdict_digest_hex, FaultOutcome, FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_model::Network;
 use snn_testgen::{TestGenConfig, TestGenerator};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader};
@@ -38,6 +50,14 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Directory holding the persistent job store.
     pub state_dir: PathBuf,
+    /// Cluster workers coverage campaigns wait for before sharding onto
+    /// the pool. `0` (the default) keeps campaigns in-process.
+    pub expect_workers: usize,
+    /// Faults per distributed chunk.
+    pub chunk_size: usize,
+    /// Chunk lease lifetime in milliseconds; an unheartbeated lease is
+    /// re-issued after this long.
+    pub lease_ms: u64,
 }
 
 impl ServiceConfig {
@@ -49,6 +69,9 @@ impl ServiceConfig {
             workers: 0,
             queue_capacity: 64,
             state_dir: state_dir.into(),
+            expect_workers: 0,
+            chunk_size: 256,
+            lease_ms: 5000,
         }
     }
 }
@@ -66,6 +89,12 @@ struct Inner {
     /// jobs over the same model. Assumes `ModelSpec::Path` files do not
     /// change while the server runs (restart to pick up a new model).
     analysis_cache: Mutex<HashMap<String, Arc<CachedAnalysis>>>,
+    /// The chunk scheduler for distributed coverage campaigns. Always
+    /// present; it simply idles when no workers connect.
+    coordinator: Coordinator,
+    /// Workers a coverage campaign waits for before sharding; `0` keeps
+    /// campaigns in-process.
+    expect_workers: usize,
     shutdown: AtomicBool,
     /// The bound listen address — shutdown connects back to it once to
     /// wake the blocking accept loop.
@@ -196,6 +225,7 @@ impl Inner {
         for token in self.running.lock().values() {
             token.cancel();
         }
+        self.coordinator.shutdown();
         self.queue_cv.notify_all();
         let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_millis(200));
     }
@@ -246,6 +276,13 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let store = JobStore::open(&config.state_dir)?;
         let recovered: VecDeque<u64> = store.recovered_queued().iter().copied().collect();
+        let lease_ms = config.lease_ms.max(100);
+        let coordinator = Coordinator::new(CoordinatorConfig {
+            chunk_size: config.chunk_size,
+            lease_ms,
+            heartbeat_ms: (lease_ms / 4).clamp(25, 1000),
+            idle_retry_ms: 50,
+        });
         let inner = Arc::new(Inner {
             store,
             bus: EventBus::new(),
@@ -254,6 +291,8 @@ impl Server {
             queue_capacity: config.queue_capacity.max(1),
             running: Mutex::named("service.running", HashMap::new()),
             analysis_cache: Mutex::named("service.analysis.cache", HashMap::new()),
+            coordinator,
+            expect_workers: config.expect_workers,
             shutdown: AtomicBool::new(false),
             local_addr,
         });
@@ -338,26 +377,6 @@ fn preset_config(spec: &JobSpec) -> Result<TestGenConfig, String> {
         cfg.t_limit = Duration::from_secs(secs);
     }
     Ok(cfg)
-}
-
-/// Builds the network a job runs against.
-fn build_model(spec: &ModelSpec) -> Result<Network, String> {
-    match spec {
-        ModelSpec::Path(path) => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| format!("cannot open model {path:?}: {e}"))?;
-            Network::load(&mut BufReader::new(file))
-                .map_err(|e| format!("cannot load model {path:?}: {e}"))
-        }
-        ModelSpec::Synthetic { inputs, hidden, outputs, seed } => {
-            let mut rng = StdRng::seed_from_u64(*seed);
-            let mut builder = NetworkBuilder::new(*inputs, LifParams::default());
-            for &h in hidden {
-                builder = builder.dense(h);
-            }
-            Ok(builder.dense(*outputs).build(&mut rng))
-        }
-    }
 }
 
 /// Cached per-model static analysis: the standard fault universe and
@@ -524,43 +543,52 @@ fn execute(
         events_path,
         analysis: Some(cached.analysis.summary.clone()),
         timings: Some(JobTimings { queue_wait_ms, analyze_ms, generation_ms, fault_sim_ms: 0 }),
+        verdict_digest: None,
     };
 
     if spec.evaluate_coverage && !test.chunks.is_empty() {
         let fault_sim_started = snn_obs::clock::monotonic();
         let sim_cfg = FaultSimConfig { threads: spec.threads, ..FaultSimConfig::default() };
-        let assembled = test.assembled();
-        let tests = std::slice::from_ref(&assembled);
         let universe = &cached.universe;
-        // Simulate only the representatives and expand to full-universe
-        // outcomes; coverage accounting is still over every fault.
-        let campaign = cached
-            .analysis
-            .collapsed
-            .detect_collapsed(&net, universe, tests, sim_cfg, sink, token)
-            .or_else(|e| match e {
-                snn_analyze::CollapsedCampaignError::Campaign(e) => Err(e),
-                // Expansion refused (e.g. the test is too short for a
-                // provably-detected claim): fall back to the full campaign.
-                snn_analyze::CollapsedCampaignError::Expand(_) => {
-                    let sim = FaultSimulator::new(&net, sim_cfg);
-                    sim.detect_with(universe, universe.faults(), tests, sink, token)
+        let per_fault = if inner.expect_workers > 0 {
+            match distributed_coverage(inner, spec, &cached, &test, sim_cfg, sink, token) {
+                Ok(per_fault) => per_fault,
+                Err(outcome) => return outcome,
+            }
+        } else {
+            let assembled = test.assembled();
+            let tests = std::slice::from_ref(&assembled);
+            // Simulate only the representatives and expand to
+            // full-universe outcomes; coverage accounting is still over
+            // every fault.
+            let campaign = cached
+                .analysis
+                .collapsed
+                .detect_collapsed(&net, universe, tests, sim_cfg, sink, token)
+                .or_else(|e| match e {
+                    snn_analyze::CollapsedCampaignError::Campaign(e) => Err(e),
+                    // Expansion refused (e.g. the test is too short for a
+                    // provably-detected claim): fall back to the full
+                    // campaign.
+                    snn_analyze::CollapsedCampaignError::Expand(_) => {
+                        let sim = FaultSimulator::new(&net, sim_cfg);
+                        sim.detect_with(universe, universe.faults(), tests, sink, token)
+                    }
+                });
+            match campaign {
+                Ok(outcome) => outcome.per_fault,
+                Err(snn_faults::CampaignError::Cancelled) => {
+                    return JobOutcome::Cancelled(cancelled_why(inner));
                 }
-            });
-        match campaign {
-            Ok(outcome) => {
-                let total = universe.len();
-                let detected = outcome.detected_count();
-                result.faults_total = Some(total);
-                result.faults_detected = Some(detected);
-                result.fault_coverage =
-                    Some(if total == 0 { 1.0 } else { detected as f64 / total as f64 });
+                Err(e) => return JobOutcome::Failed(e.to_string()),
             }
-            Err(snn_faults::CampaignError::Cancelled) => {
-                return JobOutcome::Cancelled(cancelled_why(inner));
-            }
-            Err(e) => return JobOutcome::Failed(e.to_string()),
-        }
+        };
+        let total = universe.len();
+        let detected = per_fault.iter().filter(|o| o.detected).count();
+        result.faults_total = Some(total);
+        result.faults_detected = Some(detected);
+        result.fault_coverage = Some(if total == 0 { 1.0 } else { detected as f64 / total as f64 });
+        result.verdict_digest = Some(verdict_digest_hex(&per_fault));
         result.runtime_ms = started.elapsed().as_millis() as u64;
         if let Some(timings) = result.timings.as_mut() {
             timings.fault_sim_ms = ms_since(fault_sim_started);
@@ -570,19 +598,117 @@ fn execute(
     JobOutcome::Done(Box::new(result))
 }
 
-/// Serves one client connection: a loop of requests, each answered by one
-/// response (`Watch` by a response stream).
+/// Maps a cluster failure to the job outcome it should produce.
+fn cluster_outcome(inner: &Inner, e: ClusterError) -> JobOutcome {
+    match e {
+        ClusterError::Cancelled | ClusterError::Shutdown => {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                JobOutcome::Cancelled("cancelled by server shutdown".into())
+            } else {
+                JobOutcome::Cancelled("cancelled by request".into())
+            }
+        }
+        other => JobOutcome::Failed(format!("distributed campaign: {other}")),
+    }
+}
+
+/// Runs the coverage campaign on the worker pool: representatives are
+/// sharded into leased chunks, merged exactly, and expanded to the full
+/// universe — bit-identical to the in-process path, including the
+/// expansion-refused fallback to a full-universe campaign.
+fn distributed_coverage(
+    inner: &Inner,
+    spec: &JobSpec,
+    cached: &CachedAnalysis,
+    test: &snn_testgen::GeneratedTest,
+    sim_cfg: FaultSimConfig,
+    sink: &ServiceSink,
+    token: &CancelToken,
+) -> Result<Vec<FaultOutcome>, JobOutcome> {
+    inner
+        .coordinator
+        .wait_for_workers(inner.expect_workers, token, Duration::from_secs(60))
+        .map_err(|e| cluster_outcome(inner, e))?;
+
+    // The events text format is an exact transport for spike tensors, so
+    // workers re-parse to the very tensor `test.assembled()` yields here.
+    let mut events = Vec::new();
+    if let Err(e) = test.write_events(&mut events) {
+        return Err(JobOutcome::Failed(format!("cannot encode stimulus: {e}")));
+    }
+    let events = match String::from_utf8(events) {
+        Ok(text) => text,
+        Err(e) => return Err(JobOutcome::Failed(format!("cannot encode stimulus: {e}"))),
+    };
+    let payload = CampaignSpec {
+        id: 0,
+        model: spec.model.clone(),
+        events: vec![events],
+        sim: sim_cfg,
+        faults: 0,
+    };
+
+    let collapsed = &cached.analysis.collapsed;
+    let reps: Vec<usize> = collapsed.representatives().iter().map(|f| f.id).collect();
+    let rep_outcomes = run_distributed(inner, payload.clone(), reps, sink, token)?;
+    match collapsed.expand(&rep_outcomes, test.test_steps()) {
+        Ok(full) => Ok(full),
+        // Expansion refused: re-run distributed over the whole universe.
+        Err(_) => {
+            let all: Vec<usize> = (0..cached.universe.len()).collect();
+            run_distributed(inner, payload, all, sink, token)
+        }
+    }
+}
+
+/// Submits one distributed campaign and waits for its merged outcomes,
+/// relaying chunk completions as job progress.
+fn run_distributed(
+    inner: &Inner,
+    payload: CampaignSpec,
+    fault_ids: Vec<usize>,
+    sink: &ServiceSink,
+    token: &CancelToken,
+) -> Result<Vec<FaultOutcome>, JobOutcome> {
+    let campaign = inner.coordinator.submit(payload, fault_ids);
+    inner
+        .coordinator
+        .wait(campaign, token, |p| {
+            sink.emit(Progress::FaultsSimulated {
+                done: p.done,
+                total: p.total,
+                detected: p.detected,
+            });
+        })
+        .map_err(|e| cluster_outcome(inner, e))
+}
+
+/// Serves one connection — client or cluster worker. Each line is
+/// decoded as a client [`Request`] first and a [`WorkerMsg`] second (the
+/// variant names are disjoint); requests are answered by one
+/// [`Response`] (`Watch` by a response stream), worker messages by one
+/// [`CoordMsg`] (`Bye` by none).
 fn handle_connection(inner: Arc<Inner>, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
 
-    while let Some(parsed) = read_line::<Request>(&mut reader)? {
-        let request = match parsed {
+    while let Some(line) = snn_cluster::wire::read_raw_line(&mut reader)? {
+        let text = line.trim();
+        let request = match serde::json::from_str::<Request>(text) {
             Ok(request) => request,
-            Err(message) => {
-                write_line(&mut writer, &Response::Error { message })?;
-                continue;
-            }
+            Err(client_err) => match serde::json::from_str::<WorkerMsg>(text) {
+                Ok(msg) => {
+                    if let Some(reply) = worker_reply(&inner, msg) {
+                        write_line(&mut writer, &reply)?;
+                    }
+                    continue;
+                }
+                Err(_) => {
+                    let message = format!("bad message: {client_err}");
+                    write_line(&mut writer, &Response::Error { message })?;
+                    continue;
+                }
+            },
         };
         match request {
             Request::Ping => {
@@ -590,6 +716,9 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) -> io::Result<()> {
             }
             Request::Metrics => {
                 write_line(&mut writer, &Response::Metrics(snn_obs::metrics::global().snapshot()))?
+            }
+            Request::ClusterStatus => {
+                write_line(&mut writer, &Response::Cluster(inner.coordinator.status()))?
             }
             Request::Submit(spec) => match inner.submit(spec) {
                 Ok(record) => write_line(&mut writer, &Response::Submitted { job: record.id })?,
@@ -613,6 +742,48 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) -> io::Result<()> {
         }
     }
     Ok(())
+}
+
+/// Answers one cluster-worker message, delegating to the coordinator.
+/// `None` for `Bye`, which gets no reply.
+fn worker_reply(inner: &Inner, msg: WorkerMsg) -> Option<CoordMsg> {
+    let span = snn_obs::span!("cluster.worker_msg");
+    let reply = match msg {
+        WorkerMsg::Hello { name, protocol } => {
+            if protocol == PROTOCOL_VERSION {
+                let (protocol, lease_ms, heartbeat_ms) = inner.coordinator.hello(&name);
+                CoordMsg::Welcome { protocol, lease_ms, heartbeat_ms }
+            } else {
+                CoordMsg::Error {
+                    message: format!(
+                        "worker speaks protocol {protocol}, server speaks {PROTOCOL_VERSION}"
+                    ),
+                }
+            }
+        }
+        WorkerMsg::Lease { worker } => match inner.coordinator.grant(&worker) {
+            Grant::Lease(grant) => CoordMsg::Granted(grant),
+            Grant::Idle { retry_ms } => CoordMsg::Idle { retry_ms },
+            Grant::Shutdown => CoordMsg::Shutdown,
+        },
+        WorkerMsg::Fetch { worker: _, campaign } => match inner.coordinator.payload(campaign) {
+            Some(spec) => CoordMsg::Campaign(spec),
+            None => CoordMsg::Error { message: format!("no such campaign: {campaign}") },
+        },
+        WorkerMsg::Heartbeat { worker, lease } => {
+            CoordMsg::HeartbeatAck { live: inner.coordinator.heartbeat(&worker, lease) }
+        }
+        WorkerMsg::Result { worker, lease, campaign, chunk, epoch, outcomes } => {
+            CoordMsg::ResultAck {
+                accepted: inner
+                    .coordinator
+                    .result(&worker, lease, campaign, chunk, epoch, outcomes),
+            }
+        }
+        WorkerMsg::Bye { .. } => return None,
+    };
+    drop(span);
+    Some(reply)
 }
 
 /// Streams `job`'s snapshot and then its events until it is terminal.

@@ -228,6 +228,7 @@ mod tests {
                     events_path: None,
                     analysis: None,
                     timings: None,
+                    verdict_digest: None,
                 });
             });
         }

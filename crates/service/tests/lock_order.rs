@@ -39,6 +39,38 @@ fn inverting_the_documented_service_order_panics() {
 }
 
 #[test]
+fn cluster_locks_rank_after_every_service_lock() {
+    snn_service::lock_order::register();
+    let queue = Mutex::named("service.queue", ());
+    let coordinator = Mutex::named("cluster.coordinator", ());
+
+    // Documented direction: the coordinator may be taken while a service
+    // lock is held (the scheduler hands work to the coordinator from the
+    // job execution path).
+    {
+        let _q = queue.lock();
+        let _c = coordinator.lock();
+    }
+
+    // The reverse — touching service state while holding the coordinator
+    // — is the cross-crate deadlock this PR's lock registry exists to
+    // catch, and must panic deterministically.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _c = coordinator.lock();
+        let _q = queue.lock();
+    }));
+    let payload = result.expect_err("coordinator-then-queue must panic under debug_assertions");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .expect("panic payload is a message");
+    assert!(msg.contains("lock-order violation"), "unexpected panic message: {msg}");
+    assert!(msg.contains("cluster.coordinator"), "message must name the held lock: {msg}");
+    assert!(msg.contains("service.queue"), "message must name the violating lock: {msg}");
+}
+
+#[test]
 fn analysis_cache_is_a_leaf_lock() {
     snn_service::lock_order::register();
     let cache = parking_lot::Mutex::named("service.analysis.cache", ());

@@ -27,10 +27,16 @@
 //!   `snn-mtfc profile`,
 //! * [`service`] — a concurrent job server daemonizing test generation:
 //!   TCP newline-delimited-JSON protocol, worker pool, live progress
-//!   streaming, cooperative cancellation and a restart-safe job store.
+//!   streaming, cooperative cancellation and a restart-safe job store,
+//! * [`cluster`] — distributed fault-simulation campaigns: a lease-based
+//!   coordinator shards the fault universe into chunks farmed out to
+//!   `snn-mtfc worker` processes, with epoch-fenced exactly-once
+//!   accounting and results merged bit-identically to the single-process
+//!   path.
 //!
 //! A CLI (`snn-mtfc new/info/generate/verify` plus the service commands
-//! `serve/submit/status/watch/cancel`) drives the flow over model and
+//! `serve/submit/status/watch/cancel` and the cluster commands
+//! `worker/cluster-status/cluster-bench`) drives the flow over model and
 //! event-list files; see the repository README.
 //!
 //! # Quickstart
@@ -50,6 +56,7 @@
 
 pub use snn_analyze as analyze;
 pub use snn_baselines as baselines;
+pub use snn_cluster as cluster;
 pub use snn_datasets as datasets;
 pub use snn_faults as faults;
 pub use snn_model as model;

@@ -9,13 +9,19 @@
 //! snn-mtfc profile  trace.jsonl
 //!
 //! snn-mtfc serve    --state-dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
-//!                   [--metrics-dump metrics.prom]
+//!                   [--metrics-dump metrics.prom] [--expect-workers N]
+//!                   [--chunk-size N] [--lease-ms MS]
 //! snn-mtfc submit   (--model model.snn | --synthetic IxH..xO) [--preset P] [--coverage] [--watch]
 //! snn-mtfc status   [<job>] [--addr HOST:PORT]
 //! snn-mtfc watch    <job>   [--addr HOST:PORT] [--json]
 //! snn-mtfc metrics          [--addr HOST:PORT]
 //! snn-mtfc cancel   <job>   [--addr HOST:PORT]
 //! snn-mtfc shutdown         [--addr HOST:PORT]
+//!
+//! snn-mtfc worker         [--addr HOST:PORT] [--name NAME] [--threads N]
+//! snn-mtfc cluster-status [--addr HOST:PORT] [--json]
+//! snn-mtfc cluster-bench  [--out BENCH_cluster.json] [--synthetic IxH..xO]
+//!                         [--preset P] [--seed N] [--chunk-size N]
 //! ```
 //!
 //! `new` creates a (randomly initialized) model file so the rest of the
@@ -57,6 +63,9 @@ fn main() -> ExitCode {
         Some("shutdown") => cmd_shutdown(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("metrics") => cmd_metrics(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
+        Some("cluster-status") => cmd_cluster_status(&args[1..]),
+        Some("cluster-bench") => cmd_cluster_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
@@ -87,7 +96,8 @@ fn print_usage() {
          snn-mtfc verify   <model.snn> <test.events> [--trace-out <trace.jsonl>]\n  \
          snn-mtfc profile  <trace.jsonl>\n\n  \
          snn-mtfc serve    --state-dir <dir> [--addr host:port] [--workers N] [--queue N]\n                    \
-         [--metrics-dump <metrics.prom>]\n  \
+         [--metrics-dump <metrics.prom>] [--expect-workers N]\n                    \
+         [--chunk-size N] [--lease-ms MS]\n  \
          snn-mtfc submit   (--model <model.snn> | --synthetic IxH..xO) [--preset fast|repro|paper]\n                    \
          [--seed N] [--max-iterations N] [--t-limit SECS] [--coverage]\n                    \
          [--threads N] [--watch] [--addr host:port]\n  \
@@ -95,7 +105,11 @@ fn print_usage() {
          snn-mtfc watch    <job>   [--addr host:port] [--json]\n  \
          snn-mtfc metrics          [--addr host:port]\n  \
          snn-mtfc cancel   <job>   [--addr host:port]\n  \
-         snn-mtfc shutdown         [--addr host:port]\n\n\
+         snn-mtfc shutdown         [--addr host:port]\n\n  \
+         snn-mtfc worker         [--addr host:port] [--name NAME] [--threads N]\n  \
+         snn-mtfc cluster-status [--addr host:port] [--json]\n  \
+         snn-mtfc cluster-bench  [--out <BENCH_cluster.json>] [--synthetic IxH..xO]\n                          \
+         [--preset fast|repro|paper] [--seed N] [--chunk-size N]\n\n\
          ARCH SPEC (comma-separated stages):\n  \
          dense:<n> | conv:<out_c>:<k>:<stride>:<pad> | pool:<k> | recurrent:<n>\n  \
          e.g. --input 2x16x16 --arch pool:2,dense:48,dense:10\n\n\
@@ -429,15 +443,22 @@ fn event_printer(args: &[String]) -> fn(&JobEvent) {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let state_dir = flag(args, "--state-dir").ok_or("missing --state-dir")?;
+    let expect_workers = num_flag(args, "--expect-workers")?.unwrap_or(0);
     let config = ServiceConfig {
         addr: addr_of(args),
         workers: num_flag(args, "--workers")?.unwrap_or(0),
         queue_capacity: num_flag(args, "--queue")?.unwrap_or(64),
         state_dir: state_dir.into(),
+        expect_workers,
+        chunk_size: num_flag(args, "--chunk-size")?.unwrap_or(256),
+        lease_ms: num_flag(args, "--lease-ms")?.unwrap_or(5000),
     };
     let metrics_dump = flag(args, "--metrics-dump").map(str::to_string);
     let server = Server::bind(config).map_err(|e| format!("cannot start server: {e}"))?;
     println!("listening on {} (state in {state_dir})", server.local_addr());
+    if expect_workers > 0 {
+        println!("coverage campaigns wait for {expect_workers} cluster worker(s)");
+    }
     server.run().map_err(|e| format!("server failed: {e}"))?;
     if let Some(path) = metrics_dump {
         let rendered = obs::metrics::render_prometheus(&obs::metrics::global().snapshot());
@@ -447,24 +468,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses an `IxH..xO` layer-size list into a synthetic model spec.
+fn synthetic_model(dims: &str, seed: u64) -> Result<ModelSpec, String> {
+    let sizes: Vec<usize> = dims
+        .split('x')
+        .map(|d| d.parse().map_err(|e| format!("bad --synthetic: {e}")))
+        .collect::<Result<_, _>>()?;
+    if sizes.len() < 2 {
+        return Err("--synthetic needs at least inputs and outputs, e.g. 6x12x4".into());
+    }
+    Ok(ModelSpec::Synthetic {
+        inputs: sizes[0],
+        hidden: sizes[1..sizes.len() - 1].to_vec(),
+        outputs: sizes[sizes.len() - 1],
+        seed,
+    })
+}
+
 fn cmd_submit(args: &[String]) -> Result<(), String> {
     let model = match (flag(args, "--model"), flag(args, "--synthetic")) {
         (Some(path), None) => ModelSpec::Path(path.to_string()),
-        (None, Some(dims)) => {
-            let sizes: Vec<usize> = dims
-                .split('x')
-                .map(|d| d.parse().map_err(|e| format!("bad --synthetic: {e}")))
-                .collect::<Result<_, _>>()?;
-            if sizes.len() < 2 {
-                return Err("--synthetic needs at least inputs and outputs, e.g. 6x12x4".into());
-            }
-            ModelSpec::Synthetic {
-                inputs: sizes[0],
-                hidden: sizes[1..sizes.len() - 1].to_vec(),
-                outputs: sizes[sizes.len() - 1],
-                seed: seed_of(args)?,
-            }
-        }
+        (None, Some(dims)) => synthetic_model(dims, seed_of(args)?)?,
         _ => return Err("exactly one of --model or --synthetic is required".into()),
     };
     let spec = JobSpec {
@@ -589,5 +613,205 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
 fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let snapshot = connect(args)?.metrics()?;
     print!("{}", obs::metrics::render_prometheus(&snapshot));
+    Ok(())
+}
+
+/// Runs a cluster worker process: connects to the coordinator, leases
+/// chunks, simulates them, and streams results back until shutdown.
+fn cmd_worker(args: &[String]) -> Result<(), String> {
+    let addr = addr_of(args);
+    let name = flag(args, "--name")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let threads = num_flag(args, "--threads")?.unwrap_or(0);
+    println!("worker {name} connecting to {addr}");
+    let report = snn_mtfc::cluster::run_worker(&snn_mtfc::cluster::WorkerConfig {
+        addr: addr.clone(),
+        name: name.clone(),
+        threads,
+    })
+    .map_err(|e| format!("worker failed: {e}"))?;
+    println!(
+        "worker {name} done: {} chunk(s), {} fault(s), {} abandoned",
+        report.chunks, report.faults, report.abandoned
+    );
+    Ok(())
+}
+
+/// Prints the coordinator's view of the cluster: known workers, their
+/// held leases, and the chunk accounting counters.
+fn cmd_cluster_status(args: &[String]) -> Result<(), String> {
+    let status = connect(args)?.cluster_status()?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde::json::to_string(&status));
+        return Ok(());
+    }
+    println!(
+        "cluster: {} worker(s), {} campaign(s) active",
+        status.workers.len(),
+        status.campaigns_active
+    );
+    println!(
+        "chunks: {} pending, {} leased, {} completed, {} reissued, {} stale result(s)",
+        status.chunks_pending,
+        status.chunks_leased,
+        status.chunks_completed,
+        status.chunks_reissued,
+        status.results_stale
+    );
+    for w in &status.workers {
+        let lease = match &w.lease {
+            Some(l) => format!(
+                "lease {} (campaign {}, chunk {}, expires in {} ms)",
+                l.lease, l.campaign, l.chunk, l.expires_in_ms
+            ),
+            None => "idle".to_string(),
+        };
+        println!(
+            "  {}: {} chunk(s) done, busy {} ms, seen {} ms ago, {lease}",
+            w.name, w.chunks_completed, w.busy_ms, w.last_seen_ms
+        );
+    }
+    Ok(())
+}
+
+/// One `cluster-bench` measurement: a coverage campaign at a fixed
+/// worker count, over the full service + wire stack.
+struct BenchRun {
+    workers: usize,
+    fault_sim_ms: u64,
+    faults_total: usize,
+    faults_per_sec: f64,
+    digest: String,
+}
+
+/// Runs one coverage job against a fresh in-process server with
+/// `workers` real TCP cluster workers and returns the measurement.
+fn bench_run(workers: usize, spec: &JobSpec, chunk_size: usize) -> Result<BenchRun, String> {
+    let state_dir =
+        std::env::temp_dir().join(format!("snn-cluster-bench-{}-{workers}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let config = ServiceConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 4,
+        state_dir: state_dir.clone(),
+        expect_workers: workers,
+        chunk_size,
+        lease_ms: 10_000,
+    };
+    let server = Server::bind(config).map_err(|e| format!("cannot start bench server: {e}"))?;
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let worker_threads: Vec<_> = (0..workers)
+        .map(|i| {
+            std::thread::spawn(move || {
+                snn_mtfc::cluster::run_worker(&snn_mtfc::cluster::WorkerConfig {
+                    addr: addr.to_string(),
+                    name: format!("bench-{i}"),
+                    threads: 1,
+                })
+            })
+        })
+        .collect();
+
+    let outcome = (|| -> Result<BenchRun, String> {
+        let mut client =
+            Client::connect(addr).map_err(|e| format!("cannot connect to bench server: {e}"))?;
+        let job = client.submit(spec.clone())?;
+        let record = client.watch(job, |_| {})?;
+        client.shutdown()?;
+        if record.state != snn_mtfc::service::JobState::Done {
+            return Err(format!(
+                "bench job at {workers} worker(s) ended {} ({})",
+                record.state,
+                record.error.unwrap_or_default()
+            ));
+        }
+        let result = record.result.ok_or("bench job finished without a result")?;
+        let fault_sim_ms =
+            result.timings.as_ref().map(|t| t.fault_sim_ms).ok_or("bench job has no timings")?;
+        let faults_total = result.faults_total.ok_or("bench job has no fault count")?;
+        let digest = result.verdict_digest.ok_or("bench job has no verdict digest")?;
+        Ok(BenchRun {
+            workers,
+            fault_sim_ms,
+            faults_total,
+            faults_per_sec: faults_total as f64 / (fault_sim_ms.max(1) as f64 / 1000.0),
+            digest,
+        })
+    })();
+
+    let _ = server_thread.join();
+    for t in worker_threads {
+        let _ = t.join();
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+    outcome
+}
+
+/// Benchmarks one fixed coverage campaign at 0 (local), 1 and 2 cluster
+/// workers, gates that all three verdict digests are identical, and
+/// writes the measurements as JSON.
+fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
+    let out = flag(args, "--out").unwrap_or("BENCH_cluster.json");
+    let seed = seed_of(args)?;
+    let spec = JobSpec {
+        model: synthetic_model(flag(args, "--synthetic").unwrap_or("16x64x10"), seed)?,
+        preset: flag(args, "--preset").unwrap_or("fast").to_string(),
+        seed,
+        max_iterations: None,
+        t_limit_secs: None,
+        evaluate_coverage: true,
+        threads: 1,
+    };
+    let chunk_size = num_flag(args, "--chunk-size")?.unwrap_or(128);
+
+    let mut runs = Vec::new();
+    for workers in [0usize, 1, 2] {
+        let run = bench_run(workers, &spec, chunk_size)?;
+        println!(
+            "{} worker(s): {} faults in {} ms ({:.0} faults/sec), digest {}",
+            run.workers, run.faults_total, run.fault_sim_ms, run.faults_per_sec, run.digest
+        );
+        runs.push(run);
+    }
+    // The exactness gate: every path — in-process, 1 worker, 2 workers —
+    // must produce bit-identical verdicts.
+    for run in &runs[1..] {
+        if run.digest != runs[0].digest {
+            return Err(format!(
+                "verdict digest diverged at {} worker(s): {} != local {}",
+                run.workers, run.digest, runs[0].digest
+            ));
+        }
+    }
+    let speedup = runs[1].fault_sim_ms.max(1) as f64 / runs[2].fault_sim_ms.max(1) as f64;
+    println!("digests identical across all paths; 2-worker speedup over 1: {speedup:.2}x");
+
+    let entries: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"fault_sim_ms\": {}, \"faults_per_sec\": {:.2}, \
+                 \"digest\": \"{}\"}}",
+                r.workers, r.fault_sim_ms, r.faults_per_sec, r.digest
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"campaign\": {{\"synthetic\": \"{}\", \"preset\": \"{}\", \"seed\": {}, \
+         \"chunk_size\": {}, \"faults_total\": {}}},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_2_over_1\": {:.4}\n}}\n",
+        flag(args, "--synthetic").unwrap_or("16x64x10"),
+        spec.preset,
+        seed,
+        chunk_size,
+        runs[0].faults_total,
+        entries.join(",\n"),
+        speedup
+    );
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }

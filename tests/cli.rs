@@ -310,4 +310,87 @@ fn service_commands_fail_cleanly_without_a_server() {
         "cannot connect",
     );
     assert_clean_failure(&["shutdown", "--addr", "127.0.0.1:1"], "cannot connect");
+    assert_clean_failure(&["cluster-status", "--addr", "127.0.0.1:1"], "cannot connect");
+    assert_clean_failure(&["worker", "--addr", "127.0.0.1:1"], "worker failed");
+}
+
+#[test]
+fn cluster_commands_drive_a_distributed_campaign() {
+    use std::io::BufRead;
+    let state = scratch("cluster-state");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_snn-mtfc"))
+        .args([
+            "serve",
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--expect-workers",
+            "1",
+            "--chunk-size",
+            "128",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("server spawns");
+    let mut lines = std::io::BufReader::new(server.stdout.take().unwrap()).lines();
+    let first = lines.next().expect("listen line").expect("utf8");
+    let addr = first
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected listen line: {first}"))
+        .to_string();
+
+    // Before any worker arrives the cluster is empty.
+    let out = run(&["cluster-status", "--addr", &addr]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("cluster: 0 worker(s)"),
+        "got: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let worker = Command::new(env!("CARGO_BIN_EXE_snn-mtfc"))
+        .args(["worker", "--addr", &addr, "--name", "cli-w0", "--threads", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("worker spawns");
+
+    // The coverage job shards onto the worker and completes.
+    let out = run(&[
+        "submit",
+        "--synthetic",
+        "8x16x4",
+        "--preset",
+        "fast",
+        "--coverage",
+        "--watch",
+        "--addr",
+        &addr,
+    ]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("fault coverage"), "coverage missing from: {stdout}");
+
+    // The status views agree: the worker exists, completed chunks, and
+    // the JSON form carries the same accounting fields.
+    let out = run(&["cluster-status", "--addr", &addr]);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(text.contains("cluster: 1 worker(s)"), "got: {text}");
+    assert!(text.contains("cli-w0"), "worker name missing: {text}");
+    let out = run(&["cluster-status", "--addr", &addr, "--json"]);
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(json.contains("\"chunks_completed\":") && json.contains("\"cli-w0\""), "got: {json}");
+
+    // Shutdown reaches the worker via its next lease request; it exits
+    // zero with a final report.
+    assert!(run(&["shutdown", "--addr", &addr]).status.success());
+    server.wait().expect("server exits");
+    let worker_out = worker.wait_with_output().expect("worker exits");
+    assert!(worker_out.status.success(), "worker exited nonzero");
+    let report = String::from_utf8_lossy(&worker_out.stdout);
+    assert!(report.contains("worker cli-w0 done:"), "got: {report}");
+    let _ = std::fs::remove_dir_all(&state);
 }
