@@ -58,6 +58,20 @@ step "cluster bench — distributed campaign at 0/1/2 workers, bit-identical ver
 cp "$ANALYZE_TMP/BENCH_cluster.json" BENCH_cluster.json
 grep -q '"speedup_2_over_1"' BENCH_cluster.json || { echo "bench output missing speedup"; exit 1; }
 
+step "reliability — seeded fault-map campaign, single-process vs 2-worker digests gated"
+RELIABILITY_ARGS=(--synthetic 6x12x4 --configs 8 --weight-ber 0.05 --mitigation range
+    --seed 11 --samples 6 --steps 12 --json)
+REL_LOCAL="$(cargo run --release -q --offline -- reliability "${RELIABILITY_ARGS[@]}")"
+REL_DIST="$(cargo run --release -q --offline -- reliability "${RELIABILITY_ARGS[@]}" --workers 2)"
+digest_of() { sed -n 's/.*"digest":"\([0-9a-f]*\)".*/\1/p' <<< "$1"; }
+LOCAL_DIGEST="$(digest_of "$REL_LOCAL")"
+DIST_DIGEST="$(digest_of "$REL_DIST")"
+[[ -n "$LOCAL_DIGEST" ]] || { echo "reliability report missing digest"; exit 1; }
+[[ "$LOCAL_DIGEST" == "$DIST_DIGEST" ]] \
+    || { echo "reliability digest mismatch: local $LOCAL_DIGEST vs 2-worker $DIST_DIGEST"; exit 1; }
+grep -q '"regions":\[{' <<< "$REL_LOCAL" \
+    || { echo "reliability report has an empty criticality ranking"; exit 1; }
+
 step "cargo test (debug, overflow-checks) — arms the numeric sanitizer and lock-order detector"
 RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline --workspace
 

@@ -6,8 +6,9 @@ use crate::wire::{CampaignSpec, ModelSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_faults::progress::{CancelToken, NullSink};
-use snn_faults::{ChunkCampaignError, FaultOutcome, FaultSimulator, FaultUniverse};
+use snn_faults::{CampaignError, ChunkCampaignError, FaultOutcome, FaultSimulator, FaultUniverse};
 use snn_model::{LifParams, Network, NetworkBuilder};
+use snn_reliability::ReliabilityEvaluator;
 use snn_tensor::Tensor;
 use std::io::BufReader;
 
@@ -54,6 +55,10 @@ pub struct PreparedCampaign {
     pub tests: Vec<Tensor>,
     /// Simulator configuration (threads already overridden, if asked).
     pub sim: snn_faults::FaultSimConfig,
+    /// Present for reliability campaigns: lease `fault_ids` are fault-map
+    /// configuration indices scored by this evaluator instead of
+    /// universe fault ids run through detection.
+    pub reliability: Option<ReliabilityEvaluator>,
 }
 
 impl PreparedCampaign {
@@ -76,14 +81,24 @@ impl PreparedCampaign {
                     .map_err(|e| format!("campaign {} stimulus {i}: {e}", spec.id))
             })
             .collect::<Result<Vec<_>, String>>()?;
-        if tests.is_empty() {
+        // Reliability campaigns generate their own evaluation inputs from
+        // the spec, so they legitimately carry no detection stimuli.
+        if tests.is_empty() && spec.reliability.is_none() {
             return Err(format!("campaign {} carries no test stimuli", spec.id));
         }
+        let reliability = spec
+            .reliability
+            .as_ref()
+            .map(|r| {
+                ReliabilityEvaluator::new(net.clone(), r.clone())
+                    .map_err(|e| format!("campaign {}: {e}", spec.id))
+            })
+            .transpose()?;
         let mut sim = spec.sim;
         if let Some(threads) = threads {
             sim.threads = threads;
         }
-        Ok(Self { id: spec.id, net, universe, tests, sim })
+        Ok(Self { id: spec.id, net, universe, tests, sim, reliability })
     }
 
     /// Simulates one chunk: the explicit `fault_ids` of a lease, in
@@ -99,6 +114,11 @@ impl PreparedCampaign {
         fault_ids: &[usize],
         cancel: &CancelToken,
     ) -> Result<Vec<FaultOutcome>, ChunkCampaignError> {
+        if let Some(eval) = &self.reliability {
+            return eval
+                .evaluate_chunk(fault_ids, self.sim.threads, cancel)
+                .map_err(|_| ChunkCampaignError::Campaign(CampaignError::Cancelled));
+        }
         let sim = FaultSimulator::new(&self.net, self.sim);
         sim.detect_chunk_with(&self.universe, fault_ids, &self.tests, &NullSink, cancel)
     }
@@ -125,6 +145,28 @@ mod tests {
             events: vec![String::from_utf8(events).unwrap()],
             sim: FaultSimConfig::default(),
             faults: 0,
+            reliability: None,
+        }
+    }
+
+    fn reliability_spec() -> CampaignSpec {
+        use snn_reliability::{
+            EvalSpec, FaultMapSpec, MitigationKind, ReliabilitySpec, WeightFaultModel,
+        };
+        let model = ModelSpec::Synthetic { inputs: 5, hidden: vec![8], outputs: 3, seed: 21 };
+        let net = build_model(&model).unwrap();
+        let rspec = ReliabilitySpec {
+            map: FaultMapSpec::uniform(&net, 0.02, 0.01, 6, 33, WeightFaultModel::StuckSat, None),
+            eval: EvalSpec { samples: 4, steps: 12, rate: 0.3, seed: 7 },
+            mitigation: MitigationKind::RangeRestriction,
+        };
+        CampaignSpec {
+            id: 2,
+            model,
+            events: Vec::new(),
+            sim: FaultSimConfig { threads: 1, ..FaultSimConfig::default() },
+            faults: rspec.map.configs,
+            reliability: Some(rspec),
         }
     }
 
@@ -153,6 +195,20 @@ mod tests {
         let ids: Vec<usize> = (3..9).collect();
         let chunk = prepared.run_chunk(&ids, &CancelToken::new()).unwrap();
         assert_eq!(chunk.as_slice(), &whole.per_fault[3..9]);
+    }
+
+    #[test]
+    fn reliability_campaign_runs_without_stimuli_and_chunks_exactly() {
+        let spec = reliability_spec();
+        let prepared = PreparedCampaign::new(&spec, Some(1)).unwrap();
+        let eval = prepared.reliability.as_ref().unwrap();
+        let all: Vec<usize> = (0..spec.faults).collect();
+        let whole = eval.evaluate_chunk(&all, 1, &CancelToken::new()).unwrap();
+        let mut stitched = Vec::new();
+        for ids in all.chunks(2) {
+            stitched.extend(prepared.run_chunk(ids, &CancelToken::new()).unwrap());
+        }
+        assert_eq!(stitched, whole, "leased chunks must merge bit-identically");
     }
 
     #[test]

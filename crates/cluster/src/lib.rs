@@ -8,10 +8,12 @@
 //! worker *processes* — potentially on other machines — without changing
 //! a single verdict bit:
 //!
-//! * [`wire`] — protocol v3: the newline-JSON messages workers and the
+//! * [`wire`] — protocol v4: the newline-JSON messages workers and the
 //!   coordinator exchange ([`wire::WorkerMsg`], [`wire::CoordMsg`]), the
-//!   self-contained [`wire::CampaignSpec`] payload, and the
-//!   [`wire::ClusterStatus`] snapshot served to CLI clients.
+//!   self-contained [`wire::CampaignSpec`] payload — detection stimuli
+//!   or, since v4, an optional reliability payload whose "fault ids" are
+//!   fault-map configuration indices — and the [`wire::ClusterStatus`]
+//!   snapshot served to CLI clients.
 //! * [`coordinator`] — the lease state machine. Chunks move
 //!   `Pending → Leased → Done`; a lease that misses its heartbeat
 //!   deadline returns the chunk to `Pending` under a bumped *epoch*, and

@@ -1,4 +1,4 @@
-//! Protocol v3: the coordinator/worker messages of distributed
+//! Protocol v4: the coordinator/worker messages of distributed
 //! campaigns, plus the newline-JSON line codec both the job server and
 //! the cluster share.
 //!
@@ -20,7 +20,11 @@ use std::io::{BufRead, Write};
 /// * `3` — cluster messages ([`WorkerMsg`]/[`CoordMsg`]) joined the
 ///   port, `Request::ClusterStatus` was added, and job results gained a
 ///   `verdict_digest`.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// * `4` — reliability campaigns: job specs/results and
+///   [`CampaignSpec`] gained optional `reliability` payloads, and
+///   persisted job records a `schema` version. All additions are
+///   `Option` fields, so v3 records and messages still decode.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 /// What network a campaign (or job) runs against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +68,13 @@ pub struct CampaignSpec {
     /// Total faults in the campaign's fault list (diagnostics only; the
     /// authoritative list is carried per-lease as explicit ids).
     pub faults: usize,
+    /// Reliability-campaign payload (protocol v4). When present the
+    /// campaign scores accuracy impact instead of detection: lease
+    /// `fault_ids` are fault-*configuration* indices re-sampled
+    /// worker-side from this spec, and `events` may be empty (the
+    /// evaluation set is procedural). `None` — the v3 wire shape — means
+    /// a plain detection campaign.
+    pub reliability: Option<snn_reliability::ReliabilitySpec>,
 }
 
 /// One granted lease: the chunk, its fencing epoch, and the explicit
@@ -342,11 +353,51 @@ mod tests {
             events: vec!["# snn-mtfc test: 2 ticks x 4 features, 1 chunks\n0 1\n".into()],
             sim: FaultSimConfig::default(),
             faults: 128,
+            reliability: None,
         }));
         round_trip(&CoordMsg::HeartbeatAck { live: false });
         round_trip(&CoordMsg::ResultAck { accepted: true });
         round_trip(&CoordMsg::Shutdown);
         round_trip(&CoordMsg::Error { message: "unknown campaign".into() });
+    }
+
+    #[test]
+    fn reliability_campaign_round_trips() {
+        use snn_reliability::{
+            EvalSpec, FaultMapSpec, MemoryRegion, MitigationKind, RegionSpec, ReliabilitySpec,
+            WeightFaultModel,
+        };
+        round_trip(&CampaignSpec {
+            id: 3,
+            model: ModelSpec::Synthetic { inputs: 4, hidden: vec![6], outputs: 2, seed: 1 },
+            events: Vec::new(),
+            sim: FaultSimConfig::default(),
+            faults: 16,
+            reliability: Some(ReliabilitySpec {
+                map: FaultMapSpec {
+                    regions: vec![RegionSpec {
+                        region: MemoryRegion::Weights { layer: 0, tensor: 0 },
+                        ber: 0.01,
+                    }],
+                    configs: 16,
+                    seed: 42,
+                    weight_model: WeightFaultModel::StuckSat,
+                    window: Some(snn_faults::TransientWindow::new(2, 9)),
+                },
+                eval: EvalSpec { samples: 8, steps: 20, rate: 0.3, seed: 7 },
+                mitigation: MitigationKind::RangeRestriction,
+            }),
+        });
+    }
+
+    /// A v3 campaign payload (no `reliability` field on the wire) still
+    /// decodes — the field is additive.
+    #[test]
+    fn v3_campaign_spec_still_decodes() {
+        let v3 = r#"{"id":2,"model":{"Synthetic":{"inputs":4,"hidden":[6],"outputs":2,"seed":1}},"events":["0 1\n"],"sim":{"threads":0,"prefix_cache":true,"early_exit":true,"activity_filter":true,"record_class_diffs":false},"faults":128}"#;
+        let spec: CampaignSpec = serde::json::from_str(v3).unwrap();
+        assert_eq!(spec.id, 2);
+        assert_eq!(spec.reliability, None);
     }
 
     #[test]

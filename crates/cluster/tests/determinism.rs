@@ -39,6 +39,7 @@ fn campaign_spec(
         events: vec![String::from_utf8(events).unwrap()],
         sim: FaultSimConfig { threads: 1, ..FaultSimConfig::default() },
         faults: 0,
+        reliability: None,
     }
 }
 

@@ -25,6 +25,7 @@ fn spec() -> CampaignSpec {
         events: vec!["# snn-mtfc test: 1 ticks x 3 features, 1 chunks\n0 0\n".into()],
         sim: FaultSimConfig::default(),
         faults: 0,
+        reliability: None,
     }
 }
 

@@ -124,6 +124,44 @@ pub fn classify(
     CriticalityReport { critical, elapsed: snn_obs::clock::monotonic().saturating_sub(start) }
 }
 
+/// Fraction of evaluation samples whose top-1 prediction a single fault
+/// flips — the *accuracy-delta criticality* shared by the detection path
+/// (critical/benign labelling above is `accuracy_delta > 0`) and
+/// snn-reliability's per-region criticality ranking.
+///
+/// `predictions[k]` is the fault-free top-1 of `samples[k]` (typically
+/// precomputed once per campaign). An empty evaluation set yields `0.0`,
+/// not NaN: with nothing to misclassify, a fault costs no accuracy.
+pub fn accuracy_delta(
+    net: &Network,
+    universe: &FaultUniverse,
+    fault: &Fault,
+    samples: &[Tensor],
+    predictions: &[usize],
+) -> f32 {
+    assert_eq!(samples.len(), predictions.len(), "one fault-free prediction per sample");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let injection = Injection::for_fault(net, universe, fault)
+        // snn-lint: allow(L-PANIC): faults come from the same universe that enumerated them, so they are well-formed
+        .expect("universe faults are well-formed");
+    let mut worker = net.clone();
+    let cfg = FaultSimConfig { threads: 1, ..FaultSimConfig::default() };
+    let mut flipped = 0usize;
+    for (sample, &pred) in samples.iter().zip(predictions.iter()) {
+        let baseline = net.forward(sample, RecordOptions::spikes_only());
+        let Some(output) = faulty_output(&mut worker, &baseline, sample, &injection, cfg) else {
+            continue; // identical output ⇒ same prediction
+        };
+        if predict_from_output(&output) != pred {
+            flipped += 1;
+        }
+    }
+    // snn-lint: allow(L-CAST): sample counts are far below f32's 2^24 exact-integer range
+    flipped as f32 / samples.len() as f32
+}
+
 /// Top-1 class from final-layer spike trains `[T × classes]`.
 fn predict_from_output(output: &Tensor) -> usize {
     let dims = output.shape().dims();
@@ -145,6 +183,7 @@ fn predict_from_output(output: &Tensor) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact accuracy deltas
 mod tests {
     use super::*;
     use crate::{FaultKind, FaultSite};
@@ -224,6 +263,60 @@ mod tests {
             CriticalityConfig { threads: 1, max_samples: None },
         );
         assert_eq!(capped.critical, single.critical);
+    }
+
+    #[test]
+    fn accuracy_delta_on_empty_set_is_zero_not_nan() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let net = NetworkBuilder::new(3, LifParams::default()).dense(2).build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let d = accuracy_delta(&net, &u, &u.faults()[0], &[], &[]);
+        assert_eq!(d, 0.0);
+        assert!(!d.is_nan());
+    }
+
+    #[test]
+    fn accuracy_delta_agrees_with_critical_labelling() {
+        // classify() says critical ⇔ accuracy_delta > 0 on the same set.
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(6).dense(3).build(&mut rng);
+        let u = FaultUniverse::standard(&net);
+        let data: Vec<_> =
+            (0..3).map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(15, 4), 0.5)).collect();
+        let predictions: Vec<usize> =
+            data.iter().map(|s| net.forward(s, RecordOptions::spikes_only()).predict()).collect();
+        let report = classify(&net, &u, u.faults(), &data, CriticalityConfig::default());
+        for (fault, &crit) in u.faults().iter().zip(report.critical.iter()) {
+            let delta = accuracy_delta(&net, &u, fault, &data, &predictions);
+            assert!((0.0..=1.0).contains(&delta));
+            assert_eq!(delta > 0.0, crit, "fault {}", fault.id);
+        }
+    }
+
+    #[test]
+    fn dead_winning_output_costs_full_accuracy_on_a_single_sample() {
+        let lif = LifParams { threshold: 0.5, leak: 1.0, refrac_steps: 0 };
+        let net = Network::new(
+            Shape::d1(1),
+            vec![Layer::Dense(DenseLayer::new(
+                snn_tensor::Tensor::from_vec(Shape::d2(2, 1), vec![0.3, 0.9]).unwrap(),
+                lif,
+            ))],
+        );
+        let u = FaultUniverse::standard(&net);
+        let data = vec![snn_tensor::Tensor::full(Shape::d2(10, 1), 1.0)];
+        let predictions = vec![net.forward(&data[0], RecordOptions::spikes_only()).predict()];
+        let fault = u
+            .faults()
+            .iter()
+            .find(|f| {
+                matches!(
+                    (f.site, f.kind),
+                    (FaultSite::Neuron { index: 1, .. }, FaultKind::NeuronDead)
+                )
+            })
+            .unwrap();
+        assert_eq!(accuracy_delta(&net, &u, fault, &data, &predictions), 1.0);
     }
 
     #[test]

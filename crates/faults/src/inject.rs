@@ -112,7 +112,11 @@ impl Injection {
 /// the weight is symmetric-quantized against `max_abs` (scale
 /// `max_abs/127`), one bit of the two's-complement word is flipped, and
 /// the result is dequantized.
-pub(crate) fn bit_flip_int8(weight: f32, max_abs: f32, bit: u8) -> f32 {
+///
+/// Public so fault-map-driven reliability campaigns (snn-reliability) can
+/// sample bit-flip weight corruptions with the exact arithmetic the
+/// detection path uses.
+pub fn bit_flip_int8(weight: f32, max_abs: f32, bit: u8) -> f32 {
     debug_assert!(bit < 8);
     if max_abs <= 0.0 {
         return weight;

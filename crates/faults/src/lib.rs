@@ -66,12 +66,14 @@ pub mod chunk;
 pub mod criticality;
 pub mod parallel;
 pub mod progress;
+pub mod transient;
 
 pub use chunk::{verdict_digest, verdict_digest_hex, ChunkCampaignError, ChunkRange, MergeError};
 pub use coverage::{escape_max_accuracy_drop, ClassCoverage, CoverageReport};
 pub use dictionary::{Diagnosis, FaultDictionary};
 pub use estimate::{estimate_coverage, CoverageEstimate};
-pub use inject::{Injection, InjectionError};
+pub use inject::{bit_flip_int8, Injection, InjectionError};
 pub use progress::{CancelToken, Cancelled, NullSink, Progress, ProgressSink};
 pub use sim::{CampaignError, CampaignOutcome, FaultOutcome, FaultSimConfig, FaultSimulator};
+pub use transient::{windowed_forward, TransientWindow};
 pub use universe::{Fault, FaultKind, FaultModelConfig, FaultSite, FaultUniverse};

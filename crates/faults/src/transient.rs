@@ -1,0 +1,332 @@
+//! Transient fault injection: faults active only inside a timestep window.
+//!
+//! Permanent faults (the paper's Section III model) corrupt the network
+//! for an entire forward pass. Soft errors in accelerator memories —
+//! the SoftSNN/ReSpawn reliability setting — are *transient*: a bit is
+//! wrong for some interval and then scrubbed or overwritten. This module
+//! models that as a half-open window `[start, end)` of global timesteps
+//! during which a set of weight patches and behavioural neuron faults is
+//! live, and simulates the pass in up to three segments (clean prefix,
+//! faulty window, clean suffix) over the resumable
+//! [`snn_model::LayerState`] path, so the stitched run is bit-identical
+//! to an unsegmented run of the same per-tick fault schedule.
+//!
+//! Semantics worth pinning down: membrane potentials and refractory
+//! counters carry *across* the window boundaries (a transient fault's
+//! damage persists in analog state after the fault clears), and forced
+//! dead/saturated neurons freeze their carried potential for the window's
+//! duration, exactly as the simulator's permanent forced branches do.
+
+use serde::{Deserialize, Serialize};
+use snn_model::{LayerState, Network, NeuronFaultMap, RecordOptions, Trace, WeightRef};
+use snn_tensor::{Shape, Tensor};
+
+/// Half-open window `[start, end)` of global timesteps during which a
+/// transient fault is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransientWindow {
+    /// First faulty timestep (inclusive).
+    pub start: usize,
+    /// First timestep after the fault clears (exclusive).
+    pub end: usize,
+}
+
+impl TransientWindow {
+    /// Creates the window `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The window intersected with a run of `steps` ticks.
+    pub fn clamped(&self, steps: usize) -> Self {
+        let start = self.start.min(steps);
+        Self { start, end: self.end.clamp(start, steps) }
+    }
+
+    /// `true` if the window covers no timestep.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// One time segment of a windowed run: its global tick range and whether
+/// the fault set is live during it.
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: usize,
+    end: usize,
+    faulty: bool,
+}
+
+/// Forward pass with a fault configuration active either permanently
+/// (`window == None`) or only inside `window`.
+///
+/// `patches` are weight overwrites and `neuron_faults` behavioural
+/// overrides, both applied together while the fault is live. The network
+/// is used as mutable scratch for weight patching and is restored to its
+/// original weights before returning.
+///
+/// # Panics
+///
+/// Panics if `input` is not rank-2 or a patch address is out of range.
+pub fn windowed_forward(
+    net: &mut Network,
+    input: &Tensor,
+    patches: &[(WeightRef, f32)],
+    neuron_faults: &NeuronFaultMap,
+    window: Option<TransientWindow>,
+    record: RecordOptions,
+) -> Trace {
+    let steps = input.shape().dim(0);
+    let window = window.map(|w| w.clamped(steps));
+    match window {
+        None => {
+            let saved = apply_patches(net, patches);
+            let trace = net.forward_faulty(input, record, neuron_faults);
+            restore_patches(net, &saved);
+            trace
+        }
+        Some(w) if w.is_empty() => net.forward(input, record),
+        Some(w) => {
+            let segments = [
+                Segment { start: 0, end: w.start, faulty: false },
+                Segment { start: w.start, end: w.end, faulty: true },
+                Segment { start: w.end, end: steps, faulty: false },
+            ];
+            run_segments(net, input, patches, neuron_faults, &segments, record)
+        }
+    }
+}
+
+fn run_segments(
+    net: &mut Network,
+    input: &Tensor,
+    patches: &[(WeightRef, f32)],
+    neuron_faults: &NeuronFaultMap,
+    segments: &[Segment],
+    record: RecordOptions,
+) -> Trace {
+    let dims = input.shape().dims();
+    assert_eq!(dims.len(), 2, "input must be [T × features]");
+    let (steps, features) = (dims[0], dims[1]);
+    let n_layers = net.layers().len();
+    let empty = NeuronFaultMap::new();
+
+    let mut states: Vec<LayerState> = vec![LayerState::default(); n_layers];
+    let mut outputs: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+    let mut potentials: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+    let mut gates: Vec<Vec<f32>> = vec![Vec::new(); n_layers];
+    let mut widths: Vec<usize> = vec![0; n_layers];
+
+    let in_data = input.as_slice();
+    for seg in segments.iter().filter(|s| s.end > s.start) {
+        let seg_len = seg.end - seg.start;
+        let seg_input = Tensor::from_vec(
+            Shape::d2(seg_len, features),
+            in_data[seg.start * features..seg.end * features].to_vec(),
+        )
+        // snn-lint: allow(L-PANIC): shape and data length agree by construction
+        .expect("segment rows match the declared shape");
+        let faults = if seg.faulty { neuron_faults } else { &empty };
+        let saved = if seg.faulty { apply_patches(net, patches) } else { Vec::new() };
+
+        let mut current = seg_input;
+        for (idx, state) in states.iter_mut().enumerate() {
+            let trace = net.forward_layer_segment(idx, &current, seg.start, record, faults, state);
+            widths[idx] = trace.output.shape().dim(1);
+            outputs[idx].extend_from_slice(trace.output.as_slice());
+            if let Some(p) = &trace.potential {
+                potentials[idx].extend_from_slice(p.as_slice());
+            }
+            if let Some(g) = &trace.gate {
+                gates[idx].extend_from_slice(g.as_slice());
+            }
+            current = trace.output;
+        }
+
+        if seg.faulty {
+            restore_patches(net, &saved);
+        }
+    }
+
+    let layers = (0..n_layers)
+        .map(|idx| {
+            let n = widths[idx];
+            let to_tensor = |data: &Vec<f32>| {
+                (!data.is_empty()).then(|| {
+                    Tensor::from_vec(Shape::d2(steps, n), data.clone())
+                        // snn-lint: allow(L-PANIC): segments partition the run, so rows sum to `steps`
+                        .expect("stitched rows cover the full run")
+                })
+            };
+            snn_model::LayerTrace {
+                // snn-lint: allow(L-PANIC): every layer emits output rows for every segment
+                output: to_tensor(&outputs[idx]).expect("layer output recorded"),
+                potential: to_tensor(&potentials[idx]),
+                gate: to_tensor(&gates[idx]),
+            }
+        })
+        .collect();
+    Trace { steps, layers }
+}
+
+/// Applies weight patches, returning the displaced values for restore.
+fn apply_patches(net: &mut Network, patches: &[(WeightRef, f32)]) -> Vec<(WeightRef, f32)> {
+    patches.iter().map(|&(at, v)| (at, net.set_weight(at, v))).collect()
+}
+
+/// Undoes [`apply_patches`] (iterated in reverse so overlapping patches
+/// restore the original value).
+fn restore_patches(net: &mut Network, saved: &[(WeightRef, f32)]) {
+    for &(at, old) in saved.iter().rev() {
+        net.set_weight(at, old);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact spike values
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snn_model::{LifParams, NetworkBuilder, NeuronBehaviorFault};
+
+    fn net_and_input(seed: u64) -> (Network, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new(4, LifParams::default()).dense(6).dense(3).build(&mut rng);
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(12, 4), 0.5);
+        (net, input)
+    }
+
+    #[test]
+    fn permanent_path_matches_forward_faulty() {
+        let (mut net, input) = net_and_input(0);
+        let faults = NeuronFaultMap::single(0, 2, NeuronBehaviorFault::Dead);
+        let expected = net.forward_faulty(&input, RecordOptions::spikes_only(), &faults);
+        let got =
+            windowed_forward(&mut net, &input, &[], &faults, None, RecordOptions::spikes_only());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn full_span_window_matches_permanent_fault() {
+        let (mut net, input) = net_and_input(1);
+        let steps = input.shape().dim(0);
+        let faults = NeuronFaultMap::single(1, 0, NeuronBehaviorFault::Saturated);
+        let permanent =
+            windowed_forward(&mut net, &input, &[], &faults, None, RecordOptions::spikes_only());
+        let windowed = windowed_forward(
+            &mut net,
+            &input,
+            &[],
+            &faults,
+            Some(TransientWindow::new(0, steps)),
+            RecordOptions::spikes_only(),
+        );
+        assert_eq!(windowed.output(), permanent.output());
+    }
+
+    #[test]
+    fn empty_window_matches_fault_free() {
+        let (mut net, input) = net_and_input(2);
+        let clean = net.forward(&input, RecordOptions::spikes_only());
+        let faults = NeuronFaultMap::single(0, 0, NeuronBehaviorFault::Saturated);
+        let got = windowed_forward(
+            &mut net,
+            &input,
+            &[],
+            &faults,
+            Some(TransientWindow::new(5, 5)),
+            RecordOptions::spikes_only(),
+        );
+        assert_eq!(got, clean);
+    }
+
+    #[test]
+    fn window_restricts_saturation_to_its_ticks() {
+        // Saturated output neuron with zero input: spikes exactly inside
+        // the window, nowhere else.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = NetworkBuilder::new(2, LifParams::default()).dense(2).build(&mut rng);
+        let input = Tensor::zeros(Shape::d2(10, 2));
+        let faults = NeuronFaultMap::single(0, 1, NeuronBehaviorFault::Saturated);
+        let trace = windowed_forward(
+            &mut net,
+            &input,
+            &[],
+            &faults,
+            Some(TransientWindow::new(3, 7)),
+            RecordOptions::spikes_only(),
+        );
+        let counts = trace.layers[0].spike_counts();
+        assert_eq!(counts, vec![0.0, 4.0]);
+        let out = trace.output().as_slice();
+        for t in 0..10 {
+            let expect = if (3..7).contains(&t) { 1.0 } else { 0.0 };
+            assert_eq!(out[t * 2 + 1], expect, "tick {t}");
+        }
+    }
+
+    #[test]
+    fn weights_are_restored_after_windowed_patching() {
+        let (mut net, input) = net_and_input(4);
+        let at = WeightRef { layer: 0, tensor: 0, offset: 3 };
+        let before = net.weight(at);
+        let _ = windowed_forward(
+            &mut net,
+            &input,
+            &[(at, 123.0)],
+            &NeuronFaultMap::new(),
+            Some(TransientWindow::new(2, 9)),
+            RecordOptions::spikes_only(),
+        );
+        assert_eq!(net.weight(at), before);
+        let _ = windowed_forward(
+            &mut net,
+            &input,
+            &[(at, 123.0)],
+            &NeuronFaultMap::new(),
+            None,
+            RecordOptions::spikes_only(),
+        );
+        assert_eq!(net.weight(at), before);
+    }
+
+    #[test]
+    fn out_of_range_window_is_fault_free() {
+        let (mut net, input) = net_and_input(5);
+        let clean = net.forward(&input, RecordOptions::spikes_only());
+        let faults = NeuronFaultMap::single(0, 0, NeuronBehaviorFault::Dead);
+        let got = windowed_forward(
+            &mut net,
+            &input,
+            &[],
+            &faults,
+            Some(TransientWindow::new(50, 80)),
+            RecordOptions::spikes_only(),
+        );
+        assert_eq!(got, clean);
+    }
+
+    #[test]
+    fn windowed_weight_patch_only_perturbs_window_ticks_upstream() {
+        // A weight patched inside [t0, t1) cannot change layer-0 drive
+        // outside the window; carried membrane state may differ after, so
+        // compare the prefix strictly.
+        let (mut net, input) = net_and_input(6);
+        let clean = net.forward(&input, RecordOptions::spikes_only());
+        let at = WeightRef { layer: 0, tensor: 0, offset: 0 };
+        let trace = windowed_forward(
+            &mut net,
+            &input,
+            &[(at, 5.0)],
+            &NeuronFaultMap::new(),
+            Some(TransientWindow::new(6, 9)),
+            RecordOptions::spikes_only(),
+        );
+        let n = clean.layers[0].output.shape().dim(1);
+        let clean_rows = &clean.layers[0].output.as_slice()[..6 * n];
+        let faulty_rows = &trace.layers[0].output.as_slice()[..6 * n];
+        assert_eq!(faulty_rows, clean_rows);
+    }
+}

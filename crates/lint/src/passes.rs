@@ -87,14 +87,14 @@ pub fn registry() -> Vec<Pass> {
         Pass {
             id: "L-NONDET",
             summary: "wall-clock or entropy source in the generator / fault-simulator",
-            scope: "crates/core, crates/faults, crates/obs",
+            scope: "crates/core, crates/faults, crates/obs, crates/reliability",
             applies: is_reproducible_crate,
             check: check_nondet,
         },
         Pass {
             id: "L-LOCK",
             summary: "service/cluster locks must be named and registered in LOCK_ORDER",
-            scope: "crates/service, crates/cluster",
+            scope: "crates/service, crates/cluster, crates/reliability",
             applies: is_lock_disciplined_crate,
             check: check_lock,
         },
@@ -133,15 +133,23 @@ fn is_reproducible_crate(path: &str) -> bool {
     // crates/obs is in scope so that the single sanctioned
     // `Instant::now()` in its clock module stays the only raw monotonic
     // read — every other crate goes through `snn_obs::clock`.
+    // crates/reliability is in scope because campaign scoring must be a
+    // pure function of the spec — any wall-clock or entropy read there
+    // would break digest equality across workers.
     path.starts_with("crates/core/src/")
         || path.starts_with("crates/faults/src/")
         || path.starts_with("crates/obs/src/")
+        || path.starts_with("crates/reliability/src/")
 }
 
 fn is_lock_disciplined_crate(path: &str) -> bool {
-    // Both crates share one process-wide lock-order registry (first
-    // registration wins), so both must name every lock from it.
-    path.starts_with("crates/service/src/") || path.starts_with("crates/cluster/src/")
+    // The crates share one process-wide lock-order registry (first
+    // registration wins), so each must name every lock from it.
+    // crates/reliability holds no locks today; keeping it in scope means
+    // any future lock there must be named and registered from day one.
+    path.starts_with("crates/service/src/")
+        || path.starts_with("crates/cluster/src/")
+        || path.starts_with("crates/reliability/src/")
 }
 
 // ---------------------------------------------------------------------------

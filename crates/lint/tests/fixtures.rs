@@ -89,6 +89,22 @@ fn unregistered_mutex_in_cluster_is_flagged() {
 }
 
 #[test]
+fn instant_now_in_reliability_is_flagged() {
+    // Reliability campaigns must be pure functions of the spec, so the
+    // crate sits in the L-NONDET reproducibility scope.
+    let src = "use std::time::Instant;\npub fn f() {\n    let _t = Instant::now();\n}\n";
+    assert_eq!(findings("crates/reliability/src/campaign.rs", src), vec![(3, "L-NONDET")]);
+}
+
+#[test]
+fn unregistered_mutex_in_reliability_is_flagged() {
+    // snn-reliability registers no locks today, so *any* mutex there is
+    // unregistered until it is named and added to LOCK_ORDER.
+    let src = "pub struct R {\n    m: parking_lot::Mutex<u32>,\n}\nimpl R {\n    pub fn new() -> Self {\n        Self { m: parking_lot::Mutex::new(0) }\n    }\n}\n";
+    assert_eq!(findings("crates/reliability/src/report.rs", src), vec![(6, "L-LOCK")]);
+}
+
+#[test]
 fn named_registered_mutex_in_cluster_is_clean() {
     let src = "pub struct C {\n    s: parking_lot::Mutex<u32>,\n}\nimpl C {\n    pub fn new() -> Self {\n        Self { s: parking_lot::Mutex::named(\"cluster.coordinator\", 0) }\n    }\n}\n";
     assert_eq!(findings("crates/cluster/src/coordinator.rs", src), vec![]);

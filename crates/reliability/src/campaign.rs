@@ -1,0 +1,418 @@
+//! The accuracy-impact campaign: evaluate every sampled fault
+//! configuration against a labelled evaluation set, as (baseline,
+//! faulty, mitigated) accuracy triples plus spike-activity deltas.
+//!
+//! ## Labelling
+//!
+//! The evaluation set is procedural (Bernoulli spike trains from the
+//! spec's seed) and *oracle-labelled*: each sample's label is the clean
+//! network's own top-1 prediction. Baseline accuracy is therefore 1.0 by
+//! construction, and "accuracy drop" measures exactly the behavioural
+//! divergence the fault causes — no training-set noise involved. This
+//! also makes mitigation soundness exact: a mitigation that is the
+//! identity on clean weights can never lower fault-free accuracy.
+//!
+//! ## Distribution
+//!
+//! Config outcomes are encoded as [`snn_faults::FaultOutcome`] values
+//! (`fault_id` = config index, `class_diff` = the accuracy triple), so
+//! the cluster's chunk planner, lease scheduler, merge and FNV-1a digest
+//! apply unchanged — a distributed reliability campaign merges
+//! bit-identically to a single-process run.
+
+use crate::fault_map::{sample_config, FaultMapSpec};
+use crate::mitigation::MitigationKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use snn_faults::progress::{CancelToken, Cancelled};
+use snn_faults::{parallel, windowed_forward, FaultOutcome};
+use snn_model::{Network, RecordOptions, Trace};
+use snn_tensor::{Shape, Tensor};
+
+/// Procedural evaluation-set specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalSpec {
+    /// Number of evaluation samples.
+    pub samples: usize,
+    /// Timesteps per sample.
+    pub steps: usize,
+    /// Input spike probability per (tick, feature).
+    pub rate: f32,
+    /// Seed of the evaluation-set stream (independent of the fault seed).
+    pub seed: u64,
+}
+
+impl Default for EvalSpec {
+    fn default() -> Self {
+        Self { samples: 16, steps: 20, rate: 0.3, seed: 7 }
+    }
+}
+
+/// A full reliability-campaign specification: the fault map, the
+/// evaluation set and the mitigation under test.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilitySpec {
+    /// Fault-map regions, rates, sample count, seed and window.
+    pub map: FaultMapSpec,
+    /// Evaluation-set shape.
+    pub eval: EvalSpec,
+    /// Mitigation strategy evaluated alongside the unmitigated run.
+    pub mitigation: MitigationKind,
+}
+
+impl ReliabilitySpec {
+    /// Checks the spec against a concrete network.
+    pub fn validate(&self, net: &Network) -> Result<(), String> {
+        self.map.validate(net)?;
+        if self.eval.samples == 0 {
+            return Err("evaluation set has zero samples".into());
+        }
+        if self.eval.steps == 0 {
+            return Err("evaluation samples have zero timesteps".into());
+        }
+        if !(0.0..=1.0).contains(&self.eval.rate) || self.eval.rate.is_nan() {
+            return Err(format!("input rate {} outside [0, 1]", self.eval.rate));
+        }
+        Ok(())
+    }
+}
+
+/// Accuracy triple and activity delta of one evaluated configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfigOutcome {
+    /// Configuration index within the spec's sample set.
+    pub config: usize,
+    /// Samples the clean network classifies per its own oracle labels —
+    /// always `samples` by construction; carried for report clarity.
+    pub baseline_correct: usize,
+    /// Samples still classified correctly under the unmitigated fault.
+    pub faulty_correct: usize,
+    /// Samples classified correctly under the mitigated fault.
+    pub mitigated_correct: usize,
+    /// Evaluation-set size.
+    pub samples: usize,
+    /// Summed L1 distance between faulty and baseline output spike
+    /// trains across the evaluation set.
+    pub spike_delta: f32,
+}
+
+impl ConfigOutcome {
+    /// Unmitigated accuracy drop in `[0, 1]` (0.0 on an empty set).
+    pub fn accuracy_drop(&self) -> f32 {
+        fraction(
+            self.baseline_correct - self.faulty_correct.min(self.baseline_correct),
+            self.samples,
+        )
+    }
+
+    /// Mitigated accuracy drop in `[0, 1]` (0.0 on an empty set).
+    pub fn mitigated_drop(&self) -> f32 {
+        fraction(
+            self.baseline_correct - self.mitigated_correct.min(self.baseline_correct),
+            self.samples,
+        )
+    }
+
+    /// Encodes the outcome as a detection-campaign [`FaultOutcome`] so
+    /// chunk planning, merging and the verdict digest apply unchanged:
+    /// `fault_id` carries the config index, `detected` flags any accuracy
+    /// loss, `distance` the spike delta, and `class_diff` the exact
+    /// `[baseline, faulty, mitigated, samples]` counts (exact in f32 —
+    /// evaluation sets are far below 2^24 samples).
+    pub fn encode(&self) -> FaultOutcome {
+        let counts = vec![
+            self.baseline_correct as f32,
+            self.faulty_correct as f32,
+            self.mitigated_correct as f32,
+            self.samples as f32,
+        ];
+        FaultOutcome {
+            fault_id: self.config,
+            detected: self.faulty_correct < self.baseline_correct,
+            distance: self.spike_delta,
+            class_diff: Some(counts),
+        }
+    }
+
+    /// Decodes an outcome produced by [`ConfigOutcome::encode`].
+    pub fn decode(outcome: &FaultOutcome) -> Result<Self, String> {
+        let counts = outcome
+            .class_diff
+            .as_ref()
+            .ok_or_else(|| format!("config {}: outcome carries no counts", outcome.fault_id))?;
+        if counts.len() != 4 {
+            return Err(format!(
+                "config {}: expected 4 encoded counts, found {}",
+                outcome.fault_id,
+                counts.len()
+            ));
+        }
+        Ok(Self {
+            config: outcome.fault_id,
+            baseline_correct: counts[0] as usize,
+            faulty_correct: counts[1] as usize,
+            mitigated_correct: counts[2] as usize,
+            samples: counts[3] as usize,
+            spike_delta: outcome.distance,
+        })
+    }
+}
+
+/// `num / den` guarding the empty denominator to 0.0, not NaN.
+pub(crate) fn fraction(num: usize, den: usize) -> f32 {
+    if den == 0 {
+        return 0.0;
+    }
+    (num as f32) / (den as f32)
+}
+
+/// Generates the deterministic evaluation inputs of `spec` for a network
+/// with `features` input features.
+pub fn eval_inputs(spec: &EvalSpec, features: usize) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.samples)
+        .map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(spec.steps, features), spec.rate))
+        .collect()
+}
+
+/// A prepared reliability campaign: the clean network, the evaluation
+/// inputs, and the oracle labels/baseline traces computed once.
+pub struct ReliabilityEvaluator {
+    net: Network,
+    spec: ReliabilitySpec,
+    inputs: Vec<Tensor>,
+    baselines: Vec<Trace>,
+    predictions: Vec<usize>,
+}
+
+impl ReliabilityEvaluator {
+    /// Prepares the campaign: validates the spec, generates the
+    /// evaluation set and runs the clean baseline over it.
+    pub fn new(net: Network, spec: ReliabilitySpec) -> Result<Self, String> {
+        spec.validate(&net)?;
+        let _span = snn_obs::span!("reliability.prepare");
+        let inputs = eval_inputs(&spec.eval, net.input_features());
+        let baselines: Vec<Trace> =
+            inputs.iter().map(|s| net.forward(s, RecordOptions::spikes_only())).collect();
+        let predictions: Vec<usize> = baselines.iter().map(Trace::predict).collect();
+        Ok(Self { net, spec, inputs, baselines, predictions })
+    }
+
+    /// The campaign spec.
+    pub fn spec(&self) -> &ReliabilitySpec {
+        &self.spec
+    }
+
+    /// The clean network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Total number of configurations the spec samples.
+    pub fn total_configs(&self) -> usize {
+        self.spec.map.configs
+    }
+
+    /// Evaluates one configuration on a scratch clone of the network.
+    ///
+    /// Single-threaded and sequential over samples, so the f32 spike
+    /// delta accumulates in a fixed order — the result is bit-identical
+    /// no matter which worker or chunk evaluates the config.
+    pub fn evaluate_config(&self, scratch: &mut Network, id: usize) -> ConfigOutcome {
+        let started = snn_obs::clock::monotonic();
+        let config = sample_config(&self.net, &self.spec.map, id);
+        let raw = config.realize(&self.net);
+        let mitigated = self.spec.mitigation.instance().patches(&self.net, &config);
+        let window = self.spec.map.window;
+
+        let samples = self.inputs.len();
+        let mut faulty_correct = 0usize;
+        let mut mitigated_correct = 0usize;
+        let mut spike_delta = 0.0f32;
+        for ((input, baseline), &label) in
+            self.inputs.iter().zip(self.baselines.iter()).zip(self.predictions.iter())
+        {
+            let faulty = windowed_forward(
+                scratch,
+                input,
+                &raw,
+                &config.neurons,
+                window,
+                RecordOptions::spikes_only(),
+            );
+            if faulty.predict() == label {
+                faulty_correct += 1;
+            }
+            spike_delta += baseline.output_distance(&faulty);
+            let shielded = windowed_forward(
+                scratch,
+                input,
+                &mitigated,
+                &config.neurons,
+                window,
+                RecordOptions::spikes_only(),
+            );
+            if shielded.predict() == label {
+                mitigated_correct += 1;
+            }
+        }
+
+        snn_obs::counter!(
+            "snn_reliability_configs_evaluated_total",
+            "Fault configurations evaluated across reliability campaigns."
+        )
+        .inc();
+        snn_obs::counter!(
+            "snn_reliability_samples_total",
+            "Evaluation samples simulated across reliability campaigns."
+        )
+        // Each sample runs faulty + mitigated.
+        .add((samples * 2) as u64);
+        snn_obs::histogram!(
+            "snn_reliability_config_seconds",
+            "Per-configuration evaluation time.",
+            snn_obs::metrics::FINE_DURATION_BUCKETS
+        )
+        .observe_duration(snn_obs::clock::monotonic().saturating_sub(started));
+
+        ConfigOutcome {
+            config: id,
+            baseline_correct: samples,
+            faulty_correct,
+            mitigated_correct,
+            samples,
+            spike_delta,
+        }
+    }
+
+    /// Evaluates the given configuration ids (a cluster chunk, or the
+    /// whole campaign), encoded as mergeable [`FaultOutcome`]s.
+    pub fn evaluate_chunk(
+        &self,
+        ids: &[usize],
+        threads: usize,
+        cancel: &CancelToken,
+    ) -> Result<Vec<FaultOutcome>, Cancelled> {
+        let mut span = snn_obs::span!("reliability.chunk");
+        span.attr("configs", ids.len().to_string());
+        parallel::try_map_indexed(
+            ids.len(),
+            threads,
+            cancel,
+            || self.net.clone(),
+            |scratch, i| self.evaluate_config(scratch, ids[i]).encode(),
+        )
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact encoded counts
+mod tests {
+    use super::*;
+    use crate::fault_map::WeightFaultModel;
+    use rand::rngs::StdRng;
+    use snn_model::{LifParams, NetworkBuilder};
+
+    fn test_net() -> Network {
+        let mut rng = StdRng::seed_from_u64(0);
+        NetworkBuilder::new(4, LifParams::default()).dense(8).dense(3).build(&mut rng)
+    }
+
+    fn test_spec(net: &Network, ber: f32) -> ReliabilitySpec {
+        ReliabilitySpec {
+            map: FaultMapSpec::uniform(net, ber, 0.0, 6, 42, WeightFaultModel::StuckSat, None),
+            eval: EvalSpec { samples: 4, steps: 12, rate: 0.4, seed: 9 },
+            mitigation: MitigationKind::RangeRestriction,
+        }
+    }
+
+    #[test]
+    fn outcome_round_trips_through_fault_outcome() {
+        let o = ConfigOutcome {
+            config: 5,
+            baseline_correct: 16,
+            faulty_correct: 11,
+            mitigated_correct: 14,
+            samples: 16,
+            spike_delta: 3.25,
+        };
+        let decoded = ConfigOutcome::decode(&o.encode()).unwrap();
+        assert_eq!(decoded, o);
+        assert!(o.encode().detected);
+        assert_eq!(o.accuracy_drop(), 5.0 / 16.0);
+        assert_eq!(o.mitigated_drop(), 2.0 / 16.0);
+    }
+
+    #[test]
+    fn decode_rejects_foreign_outcomes() {
+        let detection =
+            FaultOutcome { fault_id: 0, detected: true, distance: 1.0, class_diff: None };
+        assert!(ConfigOutcome::decode(&detection).is_err());
+        let short = FaultOutcome {
+            fault_id: 0,
+            detected: true,
+            distance: 1.0,
+            class_diff: Some(vec![1.0, 2.0]),
+        };
+        assert!(ConfigOutcome::decode(&short).is_err());
+    }
+
+    #[test]
+    fn zero_ber_campaign_costs_no_accuracy() {
+        let net = test_net();
+        let mut spec = test_spec(&net, 0.0);
+        // A region list with rate 0 everywhere: uniform() would omit the
+        // regions, so build one explicitly.
+        spec.map = FaultMapSpec {
+            regions: vec![crate::fault_map::RegionSpec {
+                region: crate::fault_map::MemoryRegion::Weights { layer: 0, tensor: 0 },
+                ber: 0.0,
+            }],
+            configs: 3,
+            seed: 1,
+            weight_model: WeightFaultModel::StuckSat,
+            window: None,
+        };
+        let eval = ReliabilityEvaluator::new(net.clone(), spec).unwrap();
+        let mut scratch = net;
+        for id in 0..3 {
+            let o = eval.evaluate_config(&mut scratch, id);
+            assert_eq!(o.faulty_correct, o.samples);
+            assert_eq!(o.mitigated_correct, o.samples);
+            assert_eq!(o.spike_delta, 0.0);
+        }
+    }
+
+    #[test]
+    fn chunked_evaluation_is_bit_identical_to_whole() {
+        let net = test_net();
+        let spec = test_spec(&net, 0.1);
+        let eval = ReliabilityEvaluator::new(net, spec).unwrap();
+        let all: Vec<usize> = (0..eval.total_configs()).collect();
+        let whole = eval.evaluate_chunk(&all, 1, &CancelToken::new()).unwrap();
+        let mut pieces = Vec::new();
+        for chunk in all.chunks(2) {
+            pieces.extend(eval.evaluate_chunk(chunk, 2, &CancelToken::new()).unwrap());
+        }
+        assert_eq!(
+            snn_faults::verdict_digest(&whole),
+            snn_faults::verdict_digest(&pieces),
+            "chunked evaluation must merge digest-identically"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_eval_sets() {
+        let net = test_net();
+        let mut spec = test_spec(&net, 0.1);
+        spec.eval.samples = 0;
+        assert!(spec.validate(&net).is_err());
+        let mut spec = test_spec(&net, 0.1);
+        spec.eval.steps = 0;
+        assert!(spec.validate(&net).is_err());
+        let mut spec = test_spec(&net, 0.1);
+        spec.eval.rate = 1.5;
+        assert!(spec.validate(&net).is_err());
+    }
+}

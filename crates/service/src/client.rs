@@ -163,7 +163,7 @@ impl Client {
     /// leaves the submission status unknown, and a blind resend could
     /// run the job twice.
     pub fn submit(&mut self, spec: JobSpec) -> Result<u64, String> {
-        match self.request(&Request::Submit(spec))? {
+        match self.request(&Request::Submit(Box::new(spec)))? {
             Response::Submitted { job } => Ok(job),
             other => Err(unexpected(&other)),
         }

@@ -44,6 +44,11 @@ pub struct JobSpec {
     pub evaluate_coverage: bool,
     /// Worker threads for the coverage campaign (0 = all cores).
     pub threads: usize,
+    /// Run a fault-map reliability campaign instead of test generation
+    /// (protocol v4). The generation fields above are ignored except
+    /// `model` and `threads`. `None` on records written by older
+    /// clients/servers.
+    pub reliability: Option<snn_reliability::ReliabilitySpec>,
 }
 
 impl JobSpec {
@@ -58,6 +63,7 @@ impl JobSpec {
             t_limit_secs: None,
             evaluate_coverage: false,
             threads: 0,
+            reliability: None,
         }
     }
 }
@@ -148,7 +154,21 @@ pub struct JobResult {
     /// on. `None` when no campaign ran or on records written by older
     /// servers.
     pub verdict_digest: Option<String>,
+    /// Reliability-campaign report (drop distributions, region
+    /// criticality ranking, mitigation recovery), when the job ran a
+    /// fault-map campaign. `None` for generation jobs and on records
+    /// written by older servers.
+    pub reliability: Option<snn_reliability::ReliabilityReport>,
 }
+
+/// Schema revision stamped into every [`JobRecord`] the server persists.
+///
+/// Matches [`PROTOCOL_VERSION`] since v4, when the field was introduced.
+/// Every schema change so far is an additive `Option` field, so records
+/// from any earlier schema (including v1–v3 records, which predate the
+/// field itself) still decode — `crate::store` proves it with pinned
+/// JSON fixtures.
+pub const JOB_SCHEMA_VERSION: u32 = 4;
 
 /// Everything the server knows about one job. Persisted as one JSON file
 /// under `<state-dir>/jobs/`, rewritten on every state change.
@@ -172,6 +192,10 @@ pub struct JobRecord {
     pub result: Option<JobResult>,
     /// Failure message, once `Failed` (or cancellation detail).
     pub error: Option<String>,
+    /// Persisted-record schema revision ([`JOB_SCHEMA_VERSION`] on
+    /// records this server writes). `None` on records persisted before
+    /// protocol v4 — absence itself identifies a pre-v4 record.
+    pub schema: Option<u32>,
 }
 
 /// A sequenced, timestamped notification streamed to watchers.
@@ -232,7 +256,7 @@ impl JobEventPayload {
 pub enum Request {
     /// Submit a job; answered with [`Response::Submitted`] or an error
     /// when the queue is full or the spec is invalid.
-    Submit(JobSpec),
+    Submit(Box<JobSpec>),
     /// Fetch a job's record.
     Status {
         /// Job id.
@@ -324,7 +348,7 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        round_trip(&Request::Submit(JobSpec::synthetic_repro(6, vec![12], 4, 7)));
+        round_trip(&Request::Submit(Box::new(JobSpec::synthetic_repro(6, vec![12], 4, 7))));
         round_trip(&Request::Status { job: 3 });
         round_trip(&Request::List);
         round_trip(&Request::Cancel { job: 9 });
@@ -347,6 +371,7 @@ mod tests {
                 t_limit_secs: None,
                 evaluate_coverage: true,
                 threads: 2,
+                reliability: None,
             },
             state: JobState::Done,
             submitted_at_ms: 1_700_000_000_000,
@@ -381,8 +406,10 @@ mod tests {
                     fault_sim_ms: 380,
                 }),
                 verdict_digest: Some("cbf29ce484222325".into()),
+                reliability: None,
             }),
             error: None,
+            schema: Some(JOB_SCHEMA_VERSION),
         };
         round_trip(&Response::Submitted { job: 1 });
         round_trip(&Response::Status(Box::new(record.clone())));
@@ -423,7 +450,32 @@ mod tests {
         assert!(r.analysis.is_none());
         assert!(r.timings.is_none());
         assert!(r.verdict_digest.is_none());
+        assert!(r.reliability.is_none());
         assert_eq!(r.chunks, 1);
+    }
+
+    #[test]
+    fn reliability_job_spec_round_trips() {
+        use snn_reliability::{
+            EvalSpec, FaultMapSpec, MemoryRegion, MitigationKind, RegionSpec, ReliabilitySpec,
+            WeightFaultModel,
+        };
+        let mut spec = JobSpec::synthetic_repro(4, vec![6], 2, 5);
+        spec.reliability = Some(ReliabilitySpec {
+            map: FaultMapSpec {
+                regions: vec![RegionSpec {
+                    region: MemoryRegion::Weights { layer: 0, tensor: 0 },
+                    ber: 0.01,
+                }],
+                configs: 8,
+                seed: 42,
+                weight_model: WeightFaultModel::BitFlip,
+                window: Some(snn_faults::TransientWindow::new(2, 9)),
+            },
+            eval: EvalSpec { samples: 8, steps: 16, rate: 0.3, seed: 7 },
+            mitigation: MitigationKind::FaultAwareMapping,
+        });
+        round_trip(&Request::Submit(Box::new(spec)));
     }
 
     #[test]

@@ -349,6 +349,17 @@ impl Server {
 /// Rejects obviously unusable specs before they enter the queue.
 fn validate_spec(spec: &JobSpec) -> Result<(), String> {
     preset_config(spec)?;
+    if let Some(r) = &spec.reliability {
+        // Model-dependent checks (region bounds etc.) run at execution
+        // time via `ReliabilitySpec::validate`; these shape checks don't
+        // need the network.
+        if r.map.configs == 0 {
+            return Err("reliability campaign needs at least one fault configuration".into());
+        }
+        if r.eval.samples == 0 || r.eval.steps == 0 {
+            return Err("reliability evaluation set needs samples and steps".into());
+        }
+    }
     match &spec.model {
         ModelSpec::Path(p) if p.is_empty() => Err("model path is empty".into()),
         ModelSpec::Synthetic { inputs, outputs, hidden, .. } => {
@@ -506,6 +517,12 @@ fn execute(
         Err(e) => return JobOutcome::Failed(e),
     };
 
+    // Reliability jobs replace the generate-then-cover pipeline entirely:
+    // the spec's fault map is scored for accuracy impact instead.
+    if let Some(rspec) = &spec.reliability {
+        return execute_reliability(inner, spec, rspec, &net, queue_wait_ms, sink, token);
+    }
+
     let started = Instant::now();
     // Static analysis first: dead neurons leave the generator's target
     // set, and the collapsed universe prunes the coverage campaign.
@@ -544,6 +561,7 @@ fn execute(
         analysis: Some(cached.analysis.summary.clone()),
         timings: Some(JobTimings { queue_wait_ms, analyze_ms, generation_ms, fault_sim_ms: 0 }),
         verdict_digest: None,
+        reliability: None,
     };
 
     if spec.evaluate_coverage && !test.chunks.is_empty() {
@@ -598,6 +616,88 @@ fn execute(
     JobOutcome::Done(Box::new(result))
 }
 
+/// The reliability-job body: score every fault-map configuration for
+/// accuracy impact — in-process, or sharded over the worker pool exactly
+/// like coverage campaigns (lease `fault_ids` are configuration indices;
+/// workers re-sample configurations from the spec, so the merged
+/// outcomes and digest are bit-identical to the local path).
+fn execute_reliability(
+    inner: &Arc<Inner>,
+    spec: &JobSpec,
+    rspec: &snn_reliability::ReliabilitySpec,
+    net: &Network,
+    queue_wait_ms: u64,
+    sink: &ServiceSink,
+    token: &CancelToken,
+) -> JobOutcome {
+    let cancelled_why = |inner: &Inner| {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            "cancelled by server shutdown".to_string()
+        } else {
+            "cancelled by request".to_string()
+        }
+    };
+
+    let started = Instant::now();
+    let sim_started = snn_obs::clock::monotonic();
+    let ids: Vec<usize> = (0..rspec.map.configs).collect();
+    let outcomes = if inner.expect_workers > 0 {
+        if let Err(e) =
+            inner.coordinator.wait_for_workers(inner.expect_workers, token, Duration::from_secs(60))
+        {
+            return cluster_outcome(inner, e);
+        }
+        let payload = CampaignSpec {
+            id: 0,
+            model: spec.model.clone(),
+            events: Vec::new(),
+            sim: FaultSimConfig { threads: spec.threads, ..FaultSimConfig::default() },
+            faults: rspec.map.configs,
+            reliability: Some(rspec.clone()),
+        };
+        match run_distributed(inner, payload, ids, sink, token) {
+            Ok(outcomes) => outcomes,
+            Err(outcome) => return outcome,
+        }
+    } else {
+        let evaluator = match snn_reliability::ReliabilityEvaluator::new(net.clone(), rspec.clone())
+        {
+            Ok(evaluator) => evaluator,
+            Err(e) => return JobOutcome::Failed(e),
+        };
+        match evaluator.evaluate_chunk(&ids, spec.threads, token) {
+            Ok(outcomes) => outcomes,
+            Err(_) => return JobOutcome::Cancelled(cancelled_why(inner)),
+        }
+    };
+
+    let report = match snn_reliability::ReliabilityReport::build(net, rspec, &outcomes) {
+        Ok(report) => report,
+        Err(e) => return JobOutcome::Failed(format!("reliability report: {e}")),
+    };
+    let impactful = outcomes.iter().filter(|o| o.detected).count();
+    let fault_sim_ms =
+        u64::try_from(snn_obs::clock::monotonic().saturating_sub(sim_started).as_millis())
+            .unwrap_or(u64::MAX);
+
+    JobOutcome::Done(Box::new(JobResult {
+        chunks: 0,
+        test_steps: rspec.eval.steps,
+        activated: 0,
+        total_neurons: 0,
+        activation_coverage: 0.0,
+        runtime_ms: started.elapsed().as_millis() as u64,
+        faults_total: Some(rspec.map.configs),
+        faults_detected: Some(impactful),
+        fault_coverage: None,
+        events_path: None,
+        analysis: None,
+        timings: Some(JobTimings { queue_wait_ms, analyze_ms: 0, generation_ms: 0, fault_sim_ms }),
+        verdict_digest: Some(report.digest.clone()),
+        reliability: Some(report),
+    }))
+}
+
 /// Maps a cluster failure to the job outcome it should produce.
 fn cluster_outcome(inner: &Inner, e: ClusterError) -> JobOutcome {
     match e {
@@ -646,6 +746,7 @@ fn distributed_coverage(
         events: vec![events],
         sim: sim_cfg,
         faults: 0,
+        reliability: None,
     };
 
     let collapsed = &cached.analysis.collapsed;
@@ -720,7 +821,7 @@ fn handle_connection(inner: Arc<Inner>, stream: TcpStream) -> io::Result<()> {
             Request::ClusterStatus => {
                 write_line(&mut writer, &Response::Cluster(inner.coordinator.status()))?
             }
-            Request::Submit(spec) => match inner.submit(spec) {
+            Request::Submit(spec) => match inner.submit(*spec) {
                 Ok(record) => write_line(&mut writer, &Response::Submitted { job: record.id })?,
                 Err(message) => write_line(&mut writer, &Response::Error { message })?,
             },

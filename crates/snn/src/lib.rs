@@ -72,4 +72,4 @@ pub use layer::{ConvLayer, DenseLayer, Layer, PoolLayer, RecurrentLayer};
 pub use network::{Network, WeightRef};
 pub use params::{LifParams, Surrogate};
 pub use quantize::{is_quantized, quantize_weights, QuantReport};
-pub use sim::{LayerTrace, RecordOptions, Trace};
+pub use sim::{LayerState, LayerTrace, LifState, RecordOptions, Trace};

@@ -125,6 +125,42 @@ impl Trace {
     }
 }
 
+/// Resumable per-neuron LIF integration state, carried across segmented
+/// simulation calls.
+///
+/// A transient-fault window splits one logical forward pass into time
+/// segments (fault-free prefix, faulty window, fault-free suffix); the
+/// membrane potentials, refractory counters and previous-tick spikes must
+/// survive the segment boundary for the stitched run to be bit-identical
+/// to an unsegmented one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifState {
+    /// Membrane potential carried across ticks, per neuron.
+    carried: Vec<f32>,
+    /// Remaining refractory ticks, per neuron.
+    refrac: Vec<u32>,
+    /// Own spikes emitted on the previous tick (recurrent feedback input).
+    prev_spikes: Vec<f32>,
+}
+
+impl LifState {
+    /// Resting state for a layer of `n` neurons (what an unsegmented run
+    /// starts from).
+    pub fn fresh(n: usize) -> Self {
+        Self { carried: vec![0.0; n], refrac: vec![0; n], prev_spikes: vec![0.0; n] }
+    }
+}
+
+/// Resumable simulation state of one network layer.
+///
+/// Spiking layers carry a [`LifState`]; stateless layers (pooling) carry
+/// nothing. A `Default` value means "not yet simulated" — the first
+/// segment lazily initialises the state to resting conditions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerState {
+    lif: Option<LifState>,
+}
+
 /// Per-neuron effective LIF constants after applying behavioural faults.
 struct EffectiveParams {
     threshold: Vec<f32>,
@@ -182,6 +218,7 @@ fn run_lif<F>(
     n: usize,
     params: EffectiveParams,
     record: RecordOptions,
+    state: &mut LifState,
     mut synaptic: F,
 ) -> LayerTrace
 where
@@ -191,14 +228,14 @@ where
     let mut potential = record.potentials.then(|| Tensor::zeros(Shape::d2(steps, n)));
     let mut gate = record.potentials.then(|| Tensor::zeros(Shape::d2(steps, n)));
 
-    let mut carried = vec![0.0f32; n]; // membrane carried across ticks
-    let mut refrac = vec![0u32; n];
+    let carried = &mut state.carried; // membrane carried across ticks
+    let refrac = &mut state.refrac;
+    let prev_spikes = &mut state.prev_spikes;
     let mut z = vec![0.0f32; n];
-    let mut prev_spikes = vec![0.0f32; n];
 
     for t in 0..steps {
         z.iter_mut().for_each(|v| *v = 0.0);
-        synaptic(t, &prev_spikes, &mut z);
+        synaptic(t, prev_spikes, &mut z);
         let out_row = {
             let data = output.as_mut_slice();
             &mut data[t * n..(t + 1) * n]
@@ -253,6 +290,24 @@ fn run_layer(
     record: RecordOptions,
     faults: Option<&HashMap<usize, NeuronBehaviorFault>>,
 ) -> LayerTrace {
+    run_layer_segment(layer, input, 0, record, faults, &mut LayerState::default())
+}
+
+/// Simulates one layer over a *segment* of a longer run.
+///
+/// `t_offset` is the global tick the segment starts at; `state` carries
+/// the membrane/refractory/feedback state across segment boundaries.
+/// Calling this once with `t_offset == 0` and a default `state` is
+/// exactly [`run_layer`]; calling it for consecutive segments with the
+/// same `state` reproduces the unsegmented run bit for bit.
+fn run_layer_segment(
+    layer: &Layer,
+    input: &Tensor,
+    t_offset: usize,
+    record: RecordOptions,
+    faults: Option<&HashMap<usize, NeuronBehaviorFault>>,
+    state: &mut LayerState,
+) -> LayerTrace {
     let dims = input.shape().dims();
     assert_eq!(dims.len(), 2, "layer input must be [T × features]");
     let (steps, in_features) = (dims[0], dims[1]);
@@ -268,14 +323,16 @@ fn run_layer(
     match layer {
         Layer::Dense(l) => {
             let params = EffectiveParams::new(n, &l.lif, faults);
-            run_lif(steps, n, params, record, |t, _prev, z| {
+            let lif = state.lif.get_or_insert_with(|| LifState::fresh(n));
+            run_lif(steps, n, params, record, lif, |t, _prev, z| {
                 ops::matvec(&l.weight, &in_data[t * in_features..(t + 1) * in_features], z);
             })
         }
         Layer::Conv(l) => {
             let params = EffectiveParams::new(n, &l.lif, faults);
             let (h, w) = l.in_hw;
-            run_lif(steps, n, params, record, |t, _prev, z| {
+            let lif = state.lif.get_or_insert_with(|| LifState::fresh(n));
+            run_lif(steps, n, params, record, lif, |t, _prev, z| {
                 ops::conv2d(
                     &l.spec,
                     &in_data[t * in_features..(t + 1) * in_features],
@@ -289,9 +346,13 @@ fn run_layer(
         Layer::Recurrent(l) => {
             let params = EffectiveParams::new(n, &l.lif, faults);
             let mut z_rec = vec![0.0f32; n];
-            run_lif(steps, n, params, record, move |t, prev, z| {
+            let lif = state.lif.get_or_insert_with(|| LifState::fresh(n));
+            run_lif(steps, n, params, record, lif, move |t, prev, z| {
                 ops::matvec(&l.w_in, &in_data[t * in_features..(t + 1) * in_features], z);
-                if t > 0 {
+                // Feedback applies from the second *global* tick on; at a
+                // segment boundary `prev` already holds the last tick of
+                // the previous segment.
+                if t_offset + t > 0 {
                     ops::matvec(&l.w_rec, prev, &mut z_rec);
                     for (zi, ri) in z.iter_mut().zip(z_rec.iter()) {
                         *zi += ri;
@@ -363,6 +424,40 @@ impl Network {
     ) -> LayerTrace {
         assert!(idx < self.layers.len(), "layer index {idx} out of range");
         run_layer(&self.layers[idx], input, record, faults.layer_faults(idx))
+    }
+
+    /// Simulates layer `idx` over a time *segment*, resuming from `state`.
+    ///
+    /// `input` holds the segment's rows (`[T_seg × features]`),
+    /// `t_offset` the global tick the segment starts at, and `state` the
+    /// layer's integration state from earlier segments (a default
+    /// [`LayerState`] means resting conditions). Running consecutive
+    /// segments with the same `state` is bit-identical to one
+    /// [`Network::forward_layer`] call over the concatenated input — the
+    /// primitive behind transient-fault injection windows, where the
+    /// fault set differs per segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or shapes mismatch.
+    pub fn forward_layer_segment(
+        &self,
+        idx: usize,
+        input: &Tensor,
+        t_offset: usize,
+        record: RecordOptions,
+        faults: &NeuronFaultMap,
+        state: &mut LayerState,
+    ) -> LayerTrace {
+        assert!(idx < self.layers.len(), "layer index {idx} out of range");
+        run_layer_segment(
+            &self.layers[idx],
+            input,
+            t_offset,
+            record,
+            faults.layer_faults(idx),
+            state,
+        )
     }
 
     /// Simulates layers `start..` using `stage_input` as the input sequence
@@ -576,6 +671,95 @@ mod tests {
         let trace = net.forward(&input, RecordOptions::spikes_only());
         // t=0 fires from input; t≥1 fires from recurrence.
         assert_eq!(trace.output().sum(), 5.0);
+    }
+
+    /// Splits `input` at `k` and simulates layer 0 in two segments with a
+    /// shared state, returning the concatenated output rows.
+    fn segmented_layer_output(net: &Network, input: &Tensor, k: usize) -> Vec<f32> {
+        let dims = input.shape().dims();
+        let (steps, f) = (dims[0], dims[1]);
+        let data = input.as_slice();
+        let head = Tensor::from_vec(Shape::d2(k, f), data[..k * f].to_vec()).unwrap();
+        let tail = Tensor::from_vec(Shape::d2(steps - k, f), data[k * f..].to_vec()).unwrap();
+        let mut state = LayerState::default();
+        let empty = NeuronFaultMap::new();
+        let a = net.forward_layer_segment(
+            0,
+            &head,
+            0,
+            RecordOptions::spikes_only(),
+            &empty,
+            &mut state,
+        );
+        let b = net.forward_layer_segment(
+            0,
+            &tail,
+            k,
+            RecordOptions::spikes_only(),
+            &empty,
+            &mut state,
+        );
+        let mut out = a.output.as_slice().to_vec();
+        out.extend_from_slice(b.output.as_slice());
+        out
+    }
+
+    #[test]
+    fn segmented_dense_matches_one_shot() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = NetworkBuilder::new(5, LifParams::default()).dense(7).build(&mut rng);
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(13, 5), 0.5);
+        let full =
+            net.forward_layer(0, &input, RecordOptions::spikes_only(), &NeuronFaultMap::new());
+        for k in [1, 4, 12] {
+            assert_eq!(segmented_layer_output(&net, &input, k), full.output.as_slice());
+        }
+    }
+
+    #[test]
+    fn segmented_conv_matches_one_shot() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = NetworkBuilder::new_spatial(1, 4, 4, LifParams::default())
+            .conv(2, 3, 1, 1)
+            .build(&mut rng);
+        let input = snn_tensor::init::bernoulli(&mut rng, Shape::d2(10, 16), 0.4);
+        let full =
+            net.forward_layer(0, &input, RecordOptions::spikes_only(), &NeuronFaultMap::new());
+        assert_eq!(segmented_layer_output(&net, &input, 5), full.output.as_slice());
+    }
+
+    #[test]
+    fn segmented_recurrent_matches_one_shot() {
+        // The single kick at t=0 only sustains if recurrent feedback is
+        // live across the segment boundary — this pins the t_offset logic.
+        let lif = LifParams { threshold: 1.0, leak: 1.0, refrac_steps: 0 };
+        let l = crate::RecurrentLayer::new(
+            Tensor::from_vec(Shape::d2(1, 1), vec![1.5]).unwrap(),
+            Tensor::from_vec(Shape::d2(1, 1), vec![1.5]).unwrap(),
+            lif,
+        );
+        let net = Network::new(Shape::d1(1), vec![Layer::Recurrent(l)]);
+        let mut input = Tensor::zeros(Shape::d2(6, 1));
+        input[[0, 0]] = 1.0;
+        let full =
+            net.forward_layer(0, &input, RecordOptions::spikes_only(), &NeuronFaultMap::new());
+        assert_eq!(full.output.sum(), 6.0);
+        for k in [1, 3, 5] {
+            assert_eq!(segmented_layer_output(&net, &input, k), full.output.as_slice());
+        }
+    }
+
+    #[test]
+    fn segmented_pool_matches_one_shot() {
+        let net = Network::new(Shape::d3(1, 2, 2), vec![Layer::Pool(PoolLayer::new(1, (2, 2), 2))]);
+        let input = Tensor::from_vec(
+            Shape::d2(4, 4),
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        let full =
+            net.forward_layer(0, &input, RecordOptions::spikes_only(), &NeuronFaultMap::new());
+        assert_eq!(segmented_layer_output(&net, &input, 2), full.output.as_slice());
     }
 
     #[test]

@@ -32,12 +32,18 @@
 //!   coordinator shards the fault universe into chunks farmed out to
 //!   `snn-mtfc worker` processes, with epoch-fenced exactly-once
 //!   accounting and results merged bit-identically to the single-process
-//!   path.
+//!   path,
+//! * [`reliability`] — fault-map-driven reliability campaigns: per-region
+//!   bit-error-rate fault maps sampled into deterministic fault
+//!   configurations, transient injection windows, accuracy-impact
+//!   scoring over an oracle-labelled evaluation set, and mitigation
+//!   evaluation (range restriction, fault-aware mapping) as
+//!   (baseline, faulty, mitigated) accuracy triples.
 //!
-//! A CLI (`snn-mtfc new/info/generate/verify` plus the service commands
-//! `serve/submit/status/watch/cancel` and the cluster commands
-//! `worker/cluster-status/cluster-bench`) drives the flow over model and
-//! event-list files; see the repository README.
+//! A CLI (`snn-mtfc new/info/generate/verify/reliability` plus the
+//! service commands `serve/submit/status/watch/cancel` and the cluster
+//! commands `worker/cluster-status/cluster-bench`) drives the flow over
+//! model and event-list files; see the repository README.
 //!
 //! # Quickstart
 //!
@@ -61,6 +67,7 @@ pub use snn_datasets as datasets;
 pub use snn_faults as faults;
 pub use snn_model as model;
 pub use snn_obs as obs;
+pub use snn_reliability as reliability;
 pub use snn_service as service;
 pub use snn_tensor as tensor;
 pub use snn_testgen as testgen;

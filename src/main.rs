@@ -8,6 +8,11 @@
 //! snn-mtfc verify   model.snn test.events [--trace-out trace.jsonl]
 //! snn-mtfc profile  trace.jsonl
 //!
+//! snn-mtfc reliability (--model model.snn | --synthetic IxH..xO) [--configs N]
+//!                   [--weight-ber F] [--neuron-ber F] [--fault-model stuck|bitflip]
+//!                   [--mitigation none|range|remap] [--window T0:T1] [--samples N]
+//!                   [--steps N] [--rate F] [--seed N] [--workers N] [--json]
+//!
 //! snn-mtfc serve    --state-dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
 //!                   [--metrics-dump metrics.prom] [--expect-workers N]
 //!                   [--chunk-size N] [--lease-ms MS]
@@ -55,6 +60,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
+        Some("reliability") => cmd_reliability(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("submit") => cmd_submit(&args[1..]),
         Some("status") => cmd_status(&args[1..]),
@@ -95,12 +101,17 @@ fn print_usage() {
          [--trace-out <trace.jsonl>]\n  \
          snn-mtfc verify   <model.snn> <test.events> [--trace-out <trace.jsonl>]\n  \
          snn-mtfc profile  <trace.jsonl>\n\n  \
+         snn-mtfc reliability (--model <model.snn> | --synthetic IxH..xO) [--configs N]\n                       \
+         [--weight-ber F] [--neuron-ber F] [--fault-model stuck|bitflip]\n                       \
+         [--mitigation none|range|remap] [--window T0:T1] [--samples N]\n                       \
+         [--steps N] [--rate F] [--seed N] [--workers N] [--json]\n\n  \
          snn-mtfc serve    --state-dir <dir> [--addr host:port] [--workers N] [--queue N]\n                    \
          [--metrics-dump <metrics.prom>] [--expect-workers N]\n                    \
          [--chunk-size N] [--lease-ms MS]\n  \
          snn-mtfc submit   (--model <model.snn> | --synthetic IxH..xO) [--preset fast|repro|paper]\n                    \
          [--seed N] [--max-iterations N] [--t-limit SECS] [--coverage]\n                    \
-         [--threads N] [--watch] [--addr host:port]\n  \
+         [--threads N] [--watch] [--addr host:port]\n                    \
+         [--reliability plus the reliability flags above]\n  \
          snn-mtfc status   [<job>] [--addr host:port]\n  \
          snn-mtfc watch    <job>   [--addr host:port] [--json]\n  \
          snn-mtfc metrics          [--addr host:port]\n  \
@@ -124,8 +135,15 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that take no value; anything else starting with `--` consumes the
 /// next argument.
-const BOOL_FLAGS: &[&str] =
-    &["--coverage", "--watch", "--help", "--self-check", "--timing-faults", "--json"];
+const BOOL_FLAGS: &[&str] = &[
+    "--coverage",
+    "--watch",
+    "--help",
+    "--self-check",
+    "--timing-faults",
+    "--json",
+    "--reliability",
+];
 
 fn positional(args: &[String], index: usize) -> Option<&str> {
     args.iter()
@@ -385,6 +403,18 @@ fn print_record(record: &JobRecord) {
         if let Some(path) = &result.events_path {
             line.push_str(&format!(", events at {path}"));
         }
+        if let Some(rel) = &result.reliability {
+            line.push_str(&format!(
+                ", reliability: baseline {:.3} → faulty {:.3} → mitigated {:.3} \
+                 ({}, {} config(s), digest {})",
+                rel.baseline_accuracy,
+                rel.faulty_accuracy,
+                rel.mitigated_accuracy,
+                rel.mitigation,
+                rel.configs,
+                rel.digest
+            ));
+        }
     } else if let Some(progress) = &record.progress {
         line.push_str(&format!(" — {}", progress_line(progress)));
     }
@@ -485,11 +515,66 @@ fn synthetic_model(dims: &str, seed: u64) -> Result<ModelSpec, String> {
     })
 }
 
+/// Resolves `--model`/`--synthetic` into a model spec.
+fn model_spec_of(args: &[String]) -> Result<ModelSpec, String> {
+    match (flag(args, "--model"), flag(args, "--synthetic")) {
+        (Some(path), None) => Ok(ModelSpec::Path(path.to_string())),
+        (None, Some(dims)) => synthetic_model(dims, seed_of(args)?),
+        _ => Err("exactly one of --model or --synthetic is required".into()),
+    }
+}
+
+/// Builds a reliability spec from the CLI flags against the resolved
+/// network (the uniform fault map needs its topology).
+fn reliability_spec_of(
+    args: &[String],
+    net: &Network,
+) -> Result<snn_mtfc::reliability::ReliabilitySpec, String> {
+    use snn_mtfc::reliability::{
+        EvalSpec, FaultMapSpec, MitigationKind, ReliabilitySpec, WeightFaultModel,
+    };
+    let weight_model = match flag(args, "--fault-model").unwrap_or("stuck") {
+        "stuck" => WeightFaultModel::StuckSat,
+        "bitflip" => WeightFaultModel::BitFlip,
+        other => return Err(format!("unknown --fault-model `{other}` (stuck|bitflip)")),
+    };
+    let window = match flag(args, "--window") {
+        None => None,
+        Some(text) => {
+            let (a, b) = text
+                .split_once(':')
+                .ok_or_else(|| format!("bad --window `{text}` (expected T0:T1)"))?;
+            let start = a.parse().map_err(|e| format!("bad --window start: {e}"))?;
+            let end = b.parse().map_err(|e| format!("bad --window end: {e}"))?;
+            Some(snn_mtfc::faults::TransientWindow::new(start, end))
+        }
+    };
+    let map = FaultMapSpec::uniform(
+        net,
+        num_flag(args, "--weight-ber")?.unwrap_or(0.002),
+        num_flag(args, "--neuron-ber")?.unwrap_or(0.0),
+        num_flag(args, "--configs")?.unwrap_or(32),
+        seed_of(args)?,
+        weight_model,
+        window,
+    );
+    let eval = EvalSpec {
+        samples: num_flag(args, "--samples")?.unwrap_or(16),
+        steps: num_flag(args, "--steps")?.unwrap_or(20),
+        rate: num_flag(args, "--rate")?.unwrap_or(0.3),
+        seed: num_flag(args, "--eval-seed")?.unwrap_or(7),
+    };
+    let mitigation = MitigationKind::parse(flag(args, "--mitigation").unwrap_or("none"))?;
+    Ok(ReliabilitySpec { map, eval, mitigation })
+}
+
 fn cmd_submit(args: &[String]) -> Result<(), String> {
-    let model = match (flag(args, "--model"), flag(args, "--synthetic")) {
-        (Some(path), None) => ModelSpec::Path(path.to_string()),
-        (None, Some(dims)) => synthetic_model(dims, seed_of(args)?)?,
-        _ => return Err("exactly one of --model or --synthetic is required".into()),
+    let model = model_spec_of(args)?;
+    let reliability = if args.iter().any(|a| a == "--reliability") {
+        let net = snn_mtfc::cluster::build_model(&model)?;
+        Some(reliability_spec_of(args, &net)?)
+    } else {
+        None
     };
     let spec = JobSpec {
         model,
@@ -499,6 +584,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         t_limit_secs: num_flag(args, "--t-limit")?,
         evaluate_coverage: args.iter().any(|a| a == "--coverage"),
         threads: num_flag(args, "--threads")?.unwrap_or(0),
+        reliability,
     };
     let mut client = connect(args)?;
     let job = client.submit(spec)?;
@@ -685,11 +771,17 @@ struct BenchRun {
     digest: String,
 }
 
-/// Runs one coverage job against a fresh in-process server with
-/// `workers` real TCP cluster workers and returns the measurement.
-fn bench_run(workers: usize, spec: &JobSpec, chunk_size: usize) -> Result<BenchRun, String> {
+/// Runs one job against a fresh in-process server with `workers` real
+/// TCP cluster workers and returns its terminal record. Errors unless
+/// the job ends `Done`.
+fn cluster_job_run(
+    workers: usize,
+    spec: &JobSpec,
+    chunk_size: usize,
+    tag: &str,
+) -> Result<JobRecord, String> {
     let state_dir =
-        std::env::temp_dir().join(format!("snn-cluster-bench-{}-{workers}", std::process::id()));
+        std::env::temp_dir().join(format!("snn-{tag}-{}-{workers}", std::process::id()));
     let _ = std::fs::remove_dir_all(&state_dir);
     let config = ServiceConfig {
         addr: "127.0.0.1:0".into(),
@@ -700,46 +792,36 @@ fn bench_run(workers: usize, spec: &JobSpec, chunk_size: usize) -> Result<BenchR
         chunk_size,
         lease_ms: 10_000,
     };
-    let server = Server::bind(config).map_err(|e| format!("cannot start bench server: {e}"))?;
+    let server = Server::bind(config).map_err(|e| format!("cannot start {tag} server: {e}"))?;
     let addr = server.local_addr();
     let server_thread = std::thread::spawn(move || server.run());
     let worker_threads: Vec<_> = (0..workers)
         .map(|i| {
+            let name = format!("{tag}-{i}");
             std::thread::spawn(move || {
                 snn_mtfc::cluster::run_worker(&snn_mtfc::cluster::WorkerConfig {
                     addr: addr.to_string(),
-                    name: format!("bench-{i}"),
+                    name,
                     threads: 1,
                 })
             })
         })
         .collect();
 
-    let outcome = (|| -> Result<BenchRun, String> {
+    let outcome = (|| -> Result<JobRecord, String> {
         let mut client =
-            Client::connect(addr).map_err(|e| format!("cannot connect to bench server: {e}"))?;
+            Client::connect(addr).map_err(|e| format!("cannot connect to {tag} server: {e}"))?;
         let job = client.submit(spec.clone())?;
         let record = client.watch(job, |_| {})?;
         client.shutdown()?;
         if record.state != snn_mtfc::service::JobState::Done {
             return Err(format!(
-                "bench job at {workers} worker(s) ended {} ({})",
+                "{tag} job at {workers} worker(s) ended {} ({})",
                 record.state,
-                record.error.unwrap_or_default()
+                record.error.clone().unwrap_or_default()
             ));
         }
-        let result = record.result.ok_or("bench job finished without a result")?;
-        let fault_sim_ms =
-            result.timings.as_ref().map(|t| t.fault_sim_ms).ok_or("bench job has no timings")?;
-        let faults_total = result.faults_total.ok_or("bench job has no fault count")?;
-        let digest = result.verdict_digest.ok_or("bench job has no verdict digest")?;
-        Ok(BenchRun {
-            workers,
-            fault_sim_ms,
-            faults_total,
-            faults_per_sec: faults_total as f64 / (fault_sim_ms.max(1) as f64 / 1000.0),
-            digest,
-        })
+        Ok(record)
     })();
 
     let _ = server_thread.join();
@@ -748,6 +830,101 @@ fn bench_run(workers: usize, spec: &JobSpec, chunk_size: usize) -> Result<BenchR
     }
     let _ = std::fs::remove_dir_all(&state_dir);
     outcome
+}
+
+/// Runs one coverage job against a fresh in-process server with
+/// `workers` real TCP cluster workers and returns the measurement.
+fn bench_run(workers: usize, spec: &JobSpec, chunk_size: usize) -> Result<BenchRun, String> {
+    let record = cluster_job_run(workers, spec, chunk_size, "cluster-bench")?;
+    let result = record.result.ok_or("bench job finished without a result")?;
+    let fault_sim_ms =
+        result.timings.as_ref().map(|t| t.fault_sim_ms).ok_or("bench job has no timings")?;
+    let faults_total = result.faults_total.ok_or("bench job has no fault count")?;
+    let digest = result.verdict_digest.ok_or("bench job has no verdict digest")?;
+    Ok(BenchRun {
+        workers,
+        fault_sim_ms,
+        faults_total,
+        faults_per_sec: faults_total as f64 / (fault_sim_ms.max(1) as f64 / 1000.0),
+        digest,
+    })
+}
+
+/// Runs a fault-map reliability campaign — in-process by default, or
+/// over an in-process cluster of `--workers N` real TCP workers (the
+/// digest is identical either way; CI gates on exactly that).
+fn cmd_reliability(args: &[String]) -> Result<(), String> {
+    use snn_mtfc::reliability::{ReliabilityEvaluator, ReliabilityReport};
+    let model = model_spec_of(args)?;
+    let net = snn_mtfc::cluster::build_model(&model)?;
+    let rspec = reliability_spec_of(args, &net)?;
+    let workers: usize = num_flag(args, "--workers")?.unwrap_or(0);
+
+    let report = if workers == 0 {
+        let evaluator = ReliabilityEvaluator::new(net.clone(), rspec.clone())?;
+        let ids: Vec<usize> = (0..rspec.map.configs).collect();
+        let threads = num_flag(args, "--threads")?.unwrap_or(0);
+        let cancel = snn_mtfc::faults::progress::CancelToken::new();
+        let outcomes = evaluator
+            .evaluate_chunk(&ids, threads, &cancel)
+            .map_err(|_| "campaign cancelled".to_string())?;
+        ReliabilityReport::build(&net, &rspec, &outcomes)?
+    } else {
+        let spec = JobSpec {
+            model,
+            preset: "repro".into(),
+            seed: seed_of(args)?,
+            max_iterations: None,
+            t_limit_secs: None,
+            evaluate_coverage: false,
+            threads: 1,
+            reliability: Some(rspec),
+        };
+        let chunk_size = num_flag(args, "--chunk-size")?.unwrap_or(4);
+        let record = cluster_job_run(workers, &spec, chunk_size, "reliability")?;
+        let result = record.result.ok_or("reliability job finished without a result")?;
+        result.reliability.ok_or("reliability job returned no report")?
+    };
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", serde::json::to_string(&report));
+    } else {
+        print_reliability_report(&report);
+    }
+    Ok(())
+}
+
+/// Renders a reliability report in the human format.
+fn print_reliability_report(report: &snn_mtfc::reliability::ReliabilityReport) {
+    println!(
+        "reliability: {} config(s) × {} sample(s), mitigation {}",
+        report.configs, report.samples, report.mitigation
+    );
+    println!(
+        "accuracy: baseline {:.3}, faulty {:.3}, mitigated {:.3} (recovered {:+.3})",
+        report.baseline_accuracy,
+        report.faulty_accuracy,
+        report.mitigated_accuracy,
+        report.recovered()
+    );
+    println!(
+        "drop: mean {:.3}, p95 {:.3}, worst {:.3}; mitigated: mean {:.3}, p95 {:.3}, worst {:.3}",
+        report.drop.mean,
+        report.drop.p95,
+        report.drop.worst,
+        report.mitigated_drop.mean,
+        report.mitigated_drop.p95,
+        report.mitigated_drop.worst
+    );
+    println!("mean output-spike delta: {:.3}", report.mean_spike_delta);
+    println!("regions (most critical first):");
+    for r in &report.regions {
+        println!(
+            "  {}: hit in {} config(s), mean drop {:.3}",
+            r.region, r.configs_hit, r.mean_drop
+        );
+    }
+    println!("digest: {}", report.digest);
 }
 
 /// Benchmarks one fixed coverage campaign at 0 (local), 1 and 2 cluster
@@ -764,6 +941,7 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
         t_limit_secs: None,
         evaluate_coverage: true,
         threads: 1,
+        reliability: None,
     };
     let chunk_size = num_flag(args, "--chunk-size")?.unwrap_or(128);
 

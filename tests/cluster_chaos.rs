@@ -30,6 +30,7 @@ fn coverage_spec() -> JobSpec {
         t_limit_secs: None,
         evaluate_coverage: true,
         threads: 1,
+        reliability: None,
     }
 }
 
