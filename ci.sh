@@ -25,6 +25,15 @@ fi
 step "snn-lint"
 cargo run -q -p snn-lint --offline
 
+step "snn-lint — v2 pass registry exposes the dataflow and wire passes"
+LINT_LIST="$(cargo run -q -p snn-lint --offline -- --list)"
+for pass in L-HELDLOCK L-LOCKGRAPH L-WIRE L-OBS; do
+    grep -q "^$pass" <<< "$LINT_LIST" || { echo "snn-lint --list missing pass $pass"; exit 1; }
+done
+
+step "snn-lint — committed wire-schema baseline reproduces byte-identically"
+cargo run -q -p snn-lint --offline -- --check-wire-baseline
+
 step "snn-analyze — collapse >=10% of the example networks' fault universes, self-checked"
 ANALYZE_TMP="$(mktemp -d)"
 trap 'rm -rf "$ANALYZE_TMP"' EXIT

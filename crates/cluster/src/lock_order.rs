@@ -16,11 +16,12 @@
 /// them:
 ///
 /// * `cluster.coordinator` ranks after every service lock because job
-///   workers call into the coordinator (submit, wait, status) while the
-///   service locks are already released — but the *progress* path may
-///   hold `service.sink.last_persist`/`service.store.jobs` en route, so
-///   the coordinator must be acquirable below them and never the other
-///   way around. The coordinator itself calls nothing while locked.
+///   workers call into the coordinator (submit, wait, status) from code
+///   that also takes service locks. Today every such call site releases
+///   its service guard first (`snn-lint`'s `L-LOCKGRAPH` pass proves the
+///   static acquisition graph has no service→cluster edge), but ranking
+///   the coordinator below keeps any future nesting one-directional. The
+///   coordinator itself calls nothing while locked.
 /// * `cluster.worker.session` is a leaf in the worker process: the
 ///   heartbeat thread and the lease loop exchange the current lease
 ///   through it and acquire nothing else while holding it. Worker

@@ -1,0 +1,1087 @@
+//! Workspace-level facts and the cross-file halves of the v2 passes.
+//!
+//! The per-file passes in [`crate::passes`] consume a [`Facts`] snapshot
+//! built once per lint run from every parsed file:
+//!
+//! - per-crate maps from receiver identifier to registered lock name
+//!   (`queue` → `service.queue`), sourced from `Mutex::named` sites;
+//! - the set of *transitively blocking* functions in the lock-disciplined
+//!   crates (a function is blocking when it performs a blocking primitive
+//!   or calls, by name, another namespace function that does);
+//! - the set of lock names each namespace function transitively acquires
+//!   (for lock-graph edges through calls).
+//!
+//! Name-based call resolution is deliberately conservative: method names
+//! that collide with common `std` collection/iterator methods
+//! ([`STD_METHOD_STOPLIST`]) are never resolved through the namespace, so
+//! `state.campaigns.get(..)` cannot alias `JobStore::get`. The cost is
+//! documented incompleteness (a blocking namespace fn named `get` would
+//! be missed), which is the right trade for a zero-false-positive gate.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use crate::diag::Diagnostic;
+use crate::parser::{Block, CallEvent, MetricKind, ParsedFile, Stmt, TypeKind};
+use crate::{cfg, dataflow};
+
+/// Crates whose locks and blocking behaviour are analysed.
+pub const LOCK_CRATES: &[&str] = &["service", "cluster", "reliability"];
+
+/// Blocking path calls: (`prefix`, `name`) as in `TcpStream::connect`.
+/// Filesystem writes are included deliberately: persisting a job record
+/// under a hot lock stalls every other thread on disk latency, which is
+/// exactly the class of bug L-HELDLOCK exists to catch.
+const BLOCKING_PATH: &[(&str, &str)] = &[
+    ("TcpStream", "connect"),
+    ("TcpStream", "connect_timeout"),
+    ("thread", "sleep"),
+    ("fs", "write"),
+    ("fs", "rename"),
+    ("fs", "read_to_string"),
+    ("fs", "create_dir_all"),
+    ("fs", "read_dir"),
+    ("fs", "remove_file"),
+    ("fs", "remove_dir_all"),
+    ("File", "create"),
+    ("File", "open"),
+];
+
+/// Blocking bare function calls (workspace wire helpers).
+const BLOCKING_BARE: &[&str] = &["write_line", "read_line", "read_raw_line"];
+
+/// Blocking method calls. `try_send` / `try_recv` are intentionally
+/// absent (non-blocking by contract); `join` blocks only in its
+/// zero-argument `JoinHandle` form (`PathBuf::join` takes an argument).
+const BLOCKING_METHOD: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "accept",
+    "write_all",
+    "flush",
+    "read_exact",
+    "read_to_string",
+    "read_until",
+    "read_line",
+    "send",
+    "connect",
+];
+
+/// Condvar methods: called with a guard by design, and `wait*` releases
+/// the mutex while parked — never a held-lock finding.
+const CONDVAR_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_while",
+    "wait_timeout",
+    "wait_timeout_while",
+    "notify_one",
+    "notify_all",
+];
+
+/// Method names never resolved through the namespace call graph because
+/// they collide with ubiquitous `std` methods (see module docs).
+const STD_METHOD_STOPLIST: &[&str] = &[
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "len",
+    "is_empty",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "values",
+    "values_mut",
+    "keys",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+    "clone",
+    "cloned",
+    "copied",
+    "collect",
+    "map",
+    "and_then",
+    "filter",
+    "next",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "retain",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "extend",
+    "drain",
+    "take",
+    "replace",
+    "swap",
+    "min",
+    "max",
+    "abs",
+    "to_string",
+    "to_owned",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "into",
+    "from",
+    "new",
+    "default",
+    "load",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "compare_exchange",
+    "push_str",
+    "starts_with",
+    "ends_with",
+    "split",
+    "trim",
+    "parse",
+    "ok",
+    "err",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "unwrap",
+    "expect",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "elapsed",
+    "as_secs_f64",
+    "saturating_sub",
+    "enumerate",
+    "zip",
+    "rev",
+    "any",
+    "all",
+    "find",
+    "position",
+    "count",
+    "sum",
+    "chain",
+];
+
+/// One parsed file handed to [`Facts::build`].
+pub struct FileInput<'a> {
+    /// Workspace-relative path.
+    pub path: &'a str,
+    /// Its parse.
+    pub parsed: &'a ParsedFile,
+}
+
+/// Workspace-level facts shared by every per-file pass.
+#[derive(Debug, Default)]
+pub struct Facts {
+    /// crate key (`service`) → receiver ident (`queue`) → lock name.
+    pub locks: HashMap<String, HashMap<String, String>>,
+    /// Namespace fn name → human reason why it (transitively) blocks.
+    pub blocking: HashMap<String, String>,
+    /// Namespace fn name → lock names it (transitively) acquires.
+    pub fn_acquires: HashMap<String, BTreeSet<String>>,
+    /// The service crate's `LOCK_ORDER` (rank = index).
+    pub lock_order: Vec<String>,
+}
+
+/// The crate key of a workspace path (`crates/service/src/…` → `service`).
+pub fn crate_key(path: &str) -> Option<&str> {
+    let rest = path.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+/// `true` when `path` belongs to a lock-disciplined crate.
+pub fn in_lock_crates(path: &str) -> bool {
+    crate_key(path).is_some_and(|k| LOCK_CRATES.contains(&k))
+}
+
+/// Collects every call event in a function body, in token order.
+pub fn all_calls(block: &Block, out: &mut Vec<CallEvent>) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let { calls, .. } | Stmt::Expr { calls, .. } | Stmt::Return { calls, .. } => {
+                out.extend(calls.iter().cloned());
+            }
+            Stmt::If { head, then_b, else_b, .. } => {
+                out.extend(head.iter().cloned());
+                all_calls(then_b, out);
+                if let Some(e) = else_b {
+                    all_calls(e, out);
+                }
+            }
+            Stmt::While { head, body, .. } | Stmt::For { head, body, .. } => {
+                out.extend(head.iter().cloned());
+                all_calls(body, out);
+            }
+            Stmt::Loop { body, .. } | Stmt::Sub { body, .. } => all_calls(body, out),
+            Stmt::Match { head, arms, .. } => {
+                out.extend(head.iter().cloned());
+                for arm in arms {
+                    all_calls(arm, out);
+                }
+            }
+        }
+    }
+}
+
+impl Facts {
+    /// Builds facts from every parsed workspace file.
+    pub fn build(files: &[FileInput<'_>], lock_order: Vec<String>) -> Facts {
+        let mut facts = Facts { lock_order, ..Facts::default() };
+
+        // Lock binding maps, per crate.
+        for f in files {
+            let Some(key) = crate_key(f.path) else { continue };
+            if !LOCK_CRATES.contains(&key) {
+                continue;
+            }
+            let map = facts.locks.entry(key.to_string()).or_default();
+            for b in &f.parsed.lock_bindings {
+                map.insert(b.ident.clone(), b.lock.clone());
+            }
+        }
+
+        // Per-function direct facts over the namespace crates.
+        let mut calls_of: HashMap<String, Vec<CallEvent>> = HashMap::new();
+        let mut fn_names: HashSet<String> = HashSet::new();
+        let mut crate_of_fn: HashMap<String, Vec<String>> = HashMap::new();
+        for f in files {
+            let Some(key) = crate_key(f.path) else { continue };
+            if !LOCK_CRATES.contains(&key) {
+                continue;
+            }
+            for fun in &f.parsed.fns {
+                let mut calls = Vec::new();
+                all_calls(&fun.body, &mut calls);
+                calls_of.entry(fun.name.clone()).or_default().extend(calls);
+                fn_names.insert(fun.name.clone());
+                crate_of_fn.entry(fun.name.clone()).or_default().push(key.to_string());
+            }
+        }
+
+        // Direct blocking + direct acquisitions.
+        for (name, calls) in &calls_of {
+            for c in calls {
+                if let Some(reason) = direct_blocking(c) {
+                    facts.blocking.entry(name.clone()).or_insert(reason);
+                }
+            }
+            let mut acquired = BTreeSet::new();
+            for key in crate_of_fn.get(name).into_iter().flatten() {
+                let Some(map) = facts.locks.get(key) else { continue };
+                for c in calls {
+                    if is_acquire(c) {
+                        if let Some(lock) = c.receiver.as_deref().and_then(|r| map.get(r)) {
+                            acquired.insert(lock.clone());
+                        }
+                    }
+                }
+            }
+            if !acquired.is_empty() {
+                facts.fn_acquires.insert(name.clone(), acquired);
+            }
+        }
+
+        // Fixpoint: propagate blocking and acquisitions through name-based
+        // calls (stoplisted names excluded).
+        loop {
+            let mut changed = false;
+            for (name, calls) in &calls_of {
+                for c in calls {
+                    let Some(callee) = resolvable_callee(c, &fn_names) else { continue };
+                    if callee == *name {
+                        continue;
+                    }
+                    if let Some(reason) = facts.blocking.get(&callee).cloned() {
+                        facts.blocking.entry(name.clone()).or_insert_with(|| {
+                            changed = true;
+                            format!("calls `{callee}` which {reason}")
+                        });
+                    }
+                    if let Some(acq) = facts.fn_acquires.get(&callee).cloned() {
+                        let own = facts.fn_acquires.entry(name.clone()).or_default();
+                        for lock in acq {
+                            changed |= own.insert(lock);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        facts
+    }
+
+    /// Receiver-ident → lock-name resolver for one file.
+    pub fn lock_of<'a>(&'a self, path: &str) -> impl Fn(&str) -> Option<String> + 'a {
+        let map = crate_key(path).and_then(|k| self.locks.get(k));
+        move |recv: &str| map.and_then(|m| m.get(recv).cloned())
+    }
+}
+
+/// `true` for a no-arg `.lock()` / `.read()` / `.write()` method call.
+fn is_acquire(c: &CallEvent) -> bool {
+    c.is_method && c.no_args && matches!(c.name.as_str(), "lock" | "read" | "write")
+}
+
+/// Direct blocking classification of one call (no namespace resolution).
+fn direct_blocking(c: &CallEvent) -> Option<String> {
+    if c.is_method && CONDVAR_METHODS.contains(&c.name.as_str()) {
+        return None;
+    }
+    if let Some(prefix) = &c.path_prefix {
+        if BLOCKING_PATH.iter().any(|(p, n)| p == prefix && *n == c.name) {
+            return Some(format!("performs `{prefix}::{}`", c.name));
+        }
+        return None;
+    }
+    if c.is_method {
+        if BLOCKING_METHOD.contains(&c.name.as_str()) {
+            return Some(format!("performs `.{}()`", c.name));
+        }
+        if c.name == "join" && c.no_args {
+            return Some("performs `.join()` on a thread handle".to_string());
+        }
+        return None;
+    }
+    if BLOCKING_BARE.contains(&c.name.as_str()) {
+        return Some(format!("performs `{}()`", c.name));
+    }
+    None
+}
+
+/// The namespace function a call may resolve to, if any (stoplist and
+/// primitive-shape aware).
+fn resolvable_callee(c: &CallEvent, fn_names: &HashSet<String>) -> Option<String> {
+    if c.path_prefix.is_some() {
+        return None; // path calls resolve only against primitives
+    }
+    if c.name == "drop" || STD_METHOD_STOPLIST.contains(&c.name.as_str()) {
+        return None;
+    }
+    if c.is_method && CONDVAR_METHODS.contains(&c.name.as_str()) {
+        return None;
+    }
+    fn_names.contains(&c.name).then(|| c.name.clone())
+}
+
+/// Why a call is considered blocking, for L-HELDLOCK messages. `None`
+/// when the call cannot block.
+pub fn blocking_reason(c: &CallEvent, facts: &Facts) -> Option<String> {
+    if let Some(reason) = direct_blocking(c) {
+        return Some(reason);
+    }
+    if c.path_prefix.is_some() || c.name == "drop" {
+        return None;
+    }
+    if STD_METHOD_STOPLIST.contains(&c.name.as_str())
+        || (c.is_method && CONDVAR_METHODS.contains(&c.name.as_str()))
+    {
+        return None;
+    }
+    facts.blocking.get(&c.name).map(|r| format!("calls `{}` which {r}", c.name))
+}
+
+// ---------------------------------------------------------------------------
+// Lock-graph extraction (L-LOCKGRAPH).
+// ---------------------------------------------------------------------------
+
+/// One lock-order edge observed at a source location: `held` was live
+/// when `acquired` was (transitively) taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    /// The lock already held.
+    pub held: String,
+    /// The lock being acquired.
+    pub acquired: String,
+    /// File of the acquisition site.
+    pub file: String,
+    /// Line of the acquisition site.
+    pub line: u32,
+}
+
+/// Extracts lock-graph edges from one file's functions (guard dataflow
+/// per function; call edges resolved through `fn_acquires`).
+pub fn lock_edges(path: &str, parsed: &ParsedFile, facts: &Facts) -> Vec<LockEdge> {
+    let mut edges = Vec::new();
+    if !in_lock_crates(path) {
+        return edges;
+    }
+    let lock_of = facts.lock_of(path);
+    for fun in &parsed.fns {
+        let g = cfg::build(fun, &lock_of);
+        let flow = dataflow::held_guards(&g);
+        for (i, node) in g.nodes.iter().enumerate() {
+            let Some(held) = flow[i].as_ref().filter(|h| !h.is_empty()) else { continue };
+            let held_locks: Vec<&str> = held
+                .iter()
+                .filter_map(|&gid| g.guards.get(gid))
+                .map(|gi| gi.lock.as_str())
+                .collect();
+            match node {
+                cfg::Node::Acquire { guard } => {
+                    if let Some(info) = g.guards.get(*guard) {
+                        for h in &held_locks {
+                            edges.push(LockEdge {
+                                held: (*h).to_string(),
+                                acquired: info.lock.clone(),
+                                file: path.to_string(),
+                                line: info.line,
+                            });
+                        }
+                    }
+                }
+                cfg::Node::Call(c) => {
+                    let Some(callee) = resolvable_callee_for_edges(c) else { continue };
+                    let Some(acq) = facts.fn_acquires.get(&callee) else { continue };
+                    for lock in acq {
+                        for h in &held_locks {
+                            edges.push(LockEdge {
+                                held: (*h).to_string(),
+                                acquired: lock.clone(),
+                                file: path.to_string(),
+                                line: c.line,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    edges
+}
+
+/// Stoplist-aware callee resolution for edge extraction (no fn-name set
+/// needed: `fn_acquires` lookup already restricts to namespace fns).
+fn resolvable_callee_for_edges(c: &CallEvent) -> Option<String> {
+    if c.path_prefix.is_some() || c.name == "drop" {
+        return None;
+    }
+    if STD_METHOD_STOPLIST.contains(&c.name.as_str())
+        || (c.is_method && CONDVAR_METHODS.contains(&c.name.as_str()))
+    {
+        return None;
+    }
+    Some(c.name.clone())
+}
+
+/// Checks the collected lock graph: rank consistency against LOCK_ORDER,
+/// re-entrancy, and acyclicity.
+pub fn check_lock_graph(edges: &[LockEdge], lock_order: &[String]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let rank = |name: &str| lock_order.iter().position(|o| o == name);
+    // Deduplicate edges, keeping the first site (deterministic: callers
+    // collect files in sorted order).
+    let mut seen: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    for e in edges {
+        seen.entry((e.held.clone(), e.acquired.clone()))
+            .or_insert_with(|| (e.file.clone(), e.line));
+    }
+    for ((held, acquired), (file, line)) in &seen {
+        if held == acquired {
+            out.push(Diagnostic {
+                file: file.clone(),
+                line: *line,
+                id: "L-LOCKGRAPH",
+                message: format!(
+                    "re-entrant acquisition: `{held}` is (transitively) taken while a guard \
+                     for it is already live — this deadlocks a non-reentrant mutex"
+                ),
+            });
+            continue;
+        }
+        if let (Some(rh), Some(ra)) = (rank(held), rank(acquired)) {
+            if rh >= ra {
+                out.push(Diagnostic {
+                    file: file.clone(),
+                    line: *line,
+                    id: "L-LOCKGRAPH",
+                    message: format!(
+                        "lock-order violation: `{acquired}` (rank {ra}) acquired while \
+                         holding `{held}` (rank {rh}) — LOCK_ORDER requires strictly \
+                         increasing ranks (crates/service/src/lock_order.rs)"
+                    ),
+                });
+            }
+        }
+    }
+    // Cycle detection over the deduplicated graph (covers locks that are
+    // not in LOCK_ORDER at all).
+    let nodes: BTreeSet<&String> = seen.keys().flat_map(|(a, b)| [a, b]).collect();
+    let mut succ: BTreeMap<&String, Vec<&String>> = BTreeMap::new();
+    for (a, b) in seen.keys() {
+        succ.entry(a).or_default().push(b);
+    }
+    let mut state: BTreeMap<&String, u8> = BTreeMap::new(); // 0 new, 1 open, 2 done
+    for start in &nodes {
+        if state.get(*start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // Iterative DFS with an explicit path for cycle reporting.
+        let mut stack: Vec<(&String, usize)> = vec![(*start, 0)];
+        state.insert(*start, 1);
+        let mut path: Vec<&String> = vec![*start];
+        while let Some((node, idx)) = stack.last_mut() {
+            let next = succ.get(*node).and_then(|s| s.get(*idx)).copied();
+            *idx += 1;
+            match next {
+                Some(n) => {
+                    let st = state.get(n).copied().unwrap_or(0);
+                    if st == 1 {
+                        // Found a cycle: report it once, anchored at the
+                        // first recorded edge site inside the cycle.
+                        let from = path.iter().position(|p| *p == n).unwrap_or(0);
+                        let mut cycle: Vec<String> =
+                            path[from..].iter().map(|s| (*s).clone()).collect();
+                        cycle.push(n.clone());
+                        let anchor = seen
+                            .get(&(cycle[0].clone(), cycle[1].clone()))
+                            .cloned()
+                            .unwrap_or_else(|| ("crates/service/src/lock_order.rs".into(), 1));
+                        out.push(Diagnostic {
+                            file: anchor.0,
+                            line: anchor.1,
+                            id: "L-LOCKGRAPH",
+                            message: format!(
+                                "lock-acquisition cycle: {} — no total order can schedule \
+                                 these guards; break the cycle by narrowing one guard scope",
+                                cycle.join(" -> ")
+                            ),
+                        });
+                        // Stop after the first cycle through this edge to
+                        // avoid duplicate reports of the same loop.
+                        state.insert(n, 2);
+                    } else if st == 0 {
+                        state.insert(n, 1);
+                        stack.push((n, 0));
+                        path.push(n);
+                    }
+                }
+                None => {
+                    state.insert(*node, 2);
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Compares the two committed `LOCK_ORDER` registries (service is the
+/// canonical copy; cluster must match byte for byte).
+pub fn check_lock_order_registries(
+    service: &[String],
+    cluster: Option<&[String]>,
+) -> Vec<Diagnostic> {
+    let Some(cluster) = cluster else { return Vec::new() };
+    if service == cluster {
+        return Vec::new();
+    }
+    vec![Diagnostic {
+        file: "crates/cluster/src/lock_order.rs".to_string(),
+        line: 1,
+        id: "L-LOCKGRAPH",
+        message: format!(
+            "LOCK_ORDER registries diverge: service has [{}], cluster has [{}] — the two \
+             crates share one process-wide order and the lists must be identical",
+            service.join(", "),
+            cluster.join(", ")
+        ),
+    }]
+}
+
+// ---------------------------------------------------------------------------
+// Wire-protocol schema (L-WIRE).
+// ---------------------------------------------------------------------------
+
+/// The serde-facing files captured in the committed baseline, in order.
+pub const WIRE_FILES: &[&str] = &["crates/cluster/src/wire.rs", "crates/service/src/protocol.rs"];
+
+/// Workspace-relative path of the committed baseline.
+pub const WIRE_BASELINE_PATH: &str = "crates/lint/wire_schema.txt";
+
+/// Renders the deterministic schema text for the wire files present in
+/// `files` (types with a `Serialize` or `Deserialize` derive, in source
+/// order).
+pub fn wire_schema_text(files: &[FileInput<'_>]) -> String {
+    let mut out = String::new();
+    out.push_str("# snn-lint wire-protocol schema baseline (pass L-WIRE).\n");
+    out.push_str("# Captures the serde-facing shape of the cluster and service protocols.\n");
+    out.push_str("# Regenerate after an intentional protocol change with:\n");
+    out.push_str("#   cargo run -p snn-lint -- --write-wire-baseline\n");
+    out.push_str("# See DESIGN.md section 15 for the compatibility workflow.\n");
+    for wf in WIRE_FILES {
+        let Some(input) = files.iter().find(|f| f.path == *wf) else { continue };
+        out.push('\n');
+        out.push_str("file ");
+        out.push_str(wf);
+        out.push('\n');
+        for ty in &input.parsed.types {
+            if !ty.derives.iter().any(|d| d == "Serialize" || d == "Deserialize") {
+                continue;
+            }
+            match ty.kind {
+                TypeKind::Struct => {
+                    out.push_str(&format!("struct {}\n", ty.name));
+                    for f in &ty.fields {
+                        out.push_str(&render_field(f, 1));
+                    }
+                }
+                TypeKind::Enum => {
+                    out.push_str(&format!("enum {}\n", ty.name));
+                    for v in &ty.variants {
+                        out.push_str(&format!("  variant {}\n", v.name));
+                        for f in &v.fields {
+                            out.push_str(&render_field(f, 2));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn render_field(f: &crate::parser::FieldDef, indent: usize) -> String {
+    format!(
+        "{}field {}: {} {}\n",
+        "  ".repeat(indent),
+        f.name,
+        f.ty,
+        if f.optional { "optional" } else { "required" }
+    )
+}
+
+/// A parsed schema: file → type name → record.
+type Schema = BTreeMap<String, BTreeMap<String, TypeRec>>;
+
+#[derive(Debug, Default, PartialEq)]
+struct TypeRec {
+    kind: String,
+    /// Struct fields: name → (type, optional).
+    fields: BTreeMap<String, (String, bool)>,
+    /// Field names in declaration order (for messages).
+    variants: BTreeMap<String, BTreeMap<String, (String, bool)>>,
+}
+
+/// Parses schema text (the committed baseline or a fresh rendering).
+fn parse_schema(text: &str) -> Schema {
+    let mut schema = Schema::new();
+    let mut file = String::new();
+    let mut ty = String::new();
+    let mut variant: Option<String> = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("file ") {
+            file = rest.trim().to_string();
+            schema.entry(file.clone()).or_default();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("struct ") {
+            ty = rest.trim().to_string();
+            variant = None;
+            schema
+                .entry(file.clone())
+                .or_default()
+                .insert(ty.clone(), TypeRec { kind: "struct".into(), ..TypeRec::default() });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("enum ") {
+            ty = rest.trim().to_string();
+            variant = None;
+            schema
+                .entry(file.clone())
+                .or_default()
+                .insert(ty.clone(), TypeRec { kind: "enum".into(), ..TypeRec::default() });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("variant ") {
+            let v = rest.trim().to_string();
+            if let Some(rec) = schema.get_mut(&file).and_then(|m| m.get_mut(&ty)) {
+                rec.variants.entry(v.clone()).or_default();
+            }
+            variant = Some(v);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("field ") {
+            let Some((name, tail)) = rest.split_once(':') else { continue };
+            let tail = tail.trim();
+            let (field_ty, optional) = match tail.strip_suffix(" optional") {
+                Some(t) => (t.trim().to_string(), true),
+                None => (tail.strip_suffix(" required").unwrap_or(tail).trim().to_string(), false),
+            };
+            if let Some(rec) = schema.get_mut(&file).and_then(|m| m.get_mut(&ty)) {
+                let target = match &variant {
+                    Some(v) => rec.variants.entry(v.clone()).or_default(),
+                    None => &mut rec.fields,
+                };
+                target.insert(name.trim().to_string(), (field_ty, optional));
+            }
+        }
+    }
+    schema
+}
+
+/// Structural baseline-vs-current diff: returns L-WIRE findings for every
+/// breaking change (removed/renamed types, variants or fields; changed
+/// field types; new required fields). Additive optional changes pass here
+/// (byte-identity of the committed baseline is gated separately).
+pub fn wire_breaking_changes(
+    baseline_text: &str,
+    current_text: &str,
+    type_lines: &HashMap<(String, String), u32>,
+) -> Vec<Diagnostic> {
+    let baseline = parse_schema(baseline_text);
+    let current = parse_schema(current_text);
+    let mut out = Vec::new();
+    let hint = "breaking protocol drift: if intentional, bump PROTOCOL_VERSION and regenerate \
+                the baseline (`cargo run -p snn-lint -- --write-wire-baseline`, DESIGN.md §15)";
+    let anchor = |file: &str, ty: &str| {
+        type_lines.get(&(file.to_string(), ty.to_string())).copied().unwrap_or(1)
+    };
+    let diag = |file: &str, line: u32, message: String| Diagnostic {
+        file: file.to_string(),
+        line,
+        id: "L-WIRE",
+        message,
+    };
+    for (file, base_types) in &baseline {
+        let empty = BTreeMap::new();
+        let cur_types = current.get(file).unwrap_or(&empty);
+        for (name, base) in base_types {
+            let Some(cur) = cur_types.get(name) else {
+                out.push(diag(
+                    file,
+                    1,
+                    format!(
+                        "wire type `{name}` was removed or renamed — v1–v4 peers still \
+                         send/expect it; {hint}"
+                    ),
+                ));
+                continue;
+            };
+            if cur.kind != base.kind {
+                out.push(diag(
+                    file,
+                    anchor(file, name),
+                    format!(
+                        "wire type `{name}` changed from {} to {} — {hint}",
+                        base.kind, cur.kind
+                    ),
+                ));
+                continue;
+            }
+            diff_fields(
+                &mut out,
+                file,
+                anchor(file, name),
+                name,
+                None,
+                &base.fields,
+                &cur.fields,
+                hint,
+            );
+            for (vname, vbase) in &base.variants {
+                let Some(vcur) = cur.variants.get(vname) else {
+                    out.push(diag(
+                        file,
+                        anchor(file, name),
+                        format!(
+                            "enum `{name}` lost variant `{vname}` — decoding v1–v4 \
+                             payloads carrying it will fail; {hint}"
+                        ),
+                    ));
+                    continue;
+                };
+                diff_fields(
+                    &mut out,
+                    file,
+                    anchor(file, name),
+                    name,
+                    Some(vname),
+                    vbase,
+                    vcur,
+                    hint,
+                );
+            }
+            // New required variant fields / struct fields in current.
+            check_new_required(
+                &mut out,
+                file,
+                anchor(file, name),
+                name,
+                None,
+                &base.fields,
+                &cur.fields,
+                hint,
+            );
+            for (vname, vcur) in &cur.variants {
+                let vbase = base.variants.get(vname).cloned().unwrap_or_default();
+                check_new_required(
+                    &mut out,
+                    file,
+                    anchor(file, name),
+                    name,
+                    Some(vname),
+                    &vbase,
+                    vcur,
+                    hint,
+                );
+            }
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn diff_fields(
+    out: &mut Vec<Diagnostic>,
+    file: &str,
+    line: u32,
+    ty: &str,
+    variant: Option<&str>,
+    base: &BTreeMap<String, (String, bool)>,
+    cur: &BTreeMap<String, (String, bool)>,
+    hint: &str,
+) {
+    let ctx = match variant {
+        Some(v) => format!("`{ty}::{v}`"),
+        None => format!("`{ty}`"),
+    };
+    for (fname, (fty, _)) in base {
+        match cur.get(fname) {
+            None => out.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                id: "L-WIRE",
+                message: format!(
+                    "{ctx} lost field `{fname}: {fty}` — old encodings carry it and new \
+                     encodings omit it; {hint}"
+                ),
+            }),
+            Some((cty, _)) if cty != fty => out.push(Diagnostic {
+                file: file.to_string(),
+                line,
+                id: "L-WIRE",
+                message: format!(
+                    "{ctx} field `{fname}` changed type from `{fty}` to `{cty}` — {hint}"
+                ),
+            }),
+            _ => {}
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_new_required(
+    out: &mut Vec<Diagnostic>,
+    file: &str,
+    line: u32,
+    ty: &str,
+    variant: Option<&str>,
+    base: &BTreeMap<String, (String, bool)>,
+    cur: &BTreeMap<String, (String, bool)>,
+    hint: &str,
+) {
+    let ctx = match variant {
+        Some(v) => format!("`{ty}::{v}`"),
+        None => format!("`{ty}`"),
+    };
+    for (fname, (fty, optional)) in cur {
+        if base.contains_key(fname) || *optional {
+            continue;
+        }
+        out.push(Diagnostic {
+            file: file.to_string(),
+            line,
+            id: "L-WIRE",
+            message: format!(
+                "{ctx} gained *required* field `{fname}: {fty}` — v1–v4 peers omit it and \
+                 their messages will no longer decode; make it `Option<…>` or {hint}"
+            ),
+        });
+    }
+}
+
+/// Map from (wire file, type name) to the type's current source line, for
+/// anchoring L-WIRE findings.
+pub fn wire_type_lines(files: &[FileInput<'_>]) -> HashMap<(String, String), u32> {
+    let mut map = HashMap::new();
+    for wf in WIRE_FILES {
+        let Some(input) = files.iter().find(|f| f.path == *wf) else { continue };
+        for ty in &input.parsed.types {
+            map.insert(((*wf).to_string(), ty.name.clone()), ty.line);
+        }
+    }
+    map
+}
+
+// ---------------------------------------------------------------------------
+// Observability consistency (L-OBS, cross-file half).
+// ---------------------------------------------------------------------------
+
+/// Cross-file metric and span checks: one registration site per metric
+/// name, consistent kind/help, and span names declared in the
+/// `SPAN_NAMES` registry and all registry entries used.
+pub fn check_obs_consistency(
+    files: &[FileInput<'_>],
+    span_registry: Option<&[(String, u32)]>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Metric sites by name, in deterministic file order.
+    let mut sites: BTreeMap<&str, Vec<(&str, &crate::parser::MetricSite)>> = BTreeMap::new();
+    for f in files {
+        for m in &f.parsed.metrics {
+            sites.entry(m.name.as_str()).or_default().push((f.path, m));
+        }
+    }
+    for (name, sites) in &sites {
+        if sites.len() > 1 {
+            let (first_file, first) = sites[0];
+            for (file, m) in &sites[1..] {
+                out.push(Diagnostic {
+                    file: (*file).to_string(),
+                    line: m.line,
+                    id: "L-OBS",
+                    message: format!(
+                        "metric `{name}` is registered at multiple sites (first: \
+                         {first_file}:{}) — route every update through one registration \
+                         site so kind/help can never diverge",
+                        first.line
+                    ),
+                });
+            }
+            let _ = first;
+        }
+    }
+    // Span usage vs the registry.
+    if let Some(registry) = span_registry {
+        let declared: HashSet<&str> = registry.iter().map(|(n, _)| n.as_str()).collect();
+        let mut used: HashSet<&str> = HashSet::new();
+        for f in files {
+            if f.path.starts_with("crates/obs/src/") {
+                continue; // the registry and the span! macro definition
+            }
+            for s in &f.parsed.spans {
+                used.insert(s.name.as_str());
+                if !declared.contains(s.name.as_str()) {
+                    out.push(Diagnostic {
+                        file: f.path.to_string(),
+                        line: s.line,
+                        id: "L-OBS",
+                        message: format!(
+                            "span name {:?} is not declared in SPAN_NAMES \
+                             (crates/obs/src/span_names.rs) — declare it there so span \
+                             names stay greppable and consistent",
+                            s.name
+                        ),
+                    });
+                }
+            }
+        }
+        for (name, line) in registry {
+            if !used.contains(name.as_str()) {
+                out.push(Diagnostic {
+                    file: "crates/obs/src/span_names.rs".to_string(),
+                    line: *line,
+                    id: "L-OBS",
+                    message: format!(
+                        "SPAN_NAMES entry {name:?} is never used by a span!/enter_with_parent \
+                         site — remove it or restore the instrumentation"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Per-file metric naming rules (Prometheus conventions); used by the
+/// registry pass in [`crate::passes`].
+pub fn metric_naming_findings(path: &str, parsed: &ParsedFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let diag = |line: u32, message: String| Diagnostic {
+        file: path.to_string(),
+        line,
+        id: "L-OBS",
+        message,
+    };
+    for m in &parsed.metrics {
+        let name = m.name.as_str();
+        let well_formed = name.starts_with("snn_")
+            && name.len() > 4
+            && name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !well_formed {
+            out.push(diag(
+                m.line,
+                format!(
+                    "metric name {name:?} must match `snn_[a-z0-9_]+` (workspace prefix, \
+                     lowercase snake_case)"
+                ),
+            ));
+            continue;
+        }
+        match m.kind {
+            MetricKind::Counter => {
+                if !name.ends_with("_total") {
+                    out.push(diag(
+                        m.line,
+                        format!(
+                            "counter `{name}` must end in `_total` (Prometheus counter \
+                             convention)"
+                        ),
+                    ));
+                }
+            }
+            MetricKind::Gauge | MetricKind::Histogram => {
+                if name.ends_with("_total") {
+                    out.push(diag(
+                        m.line,
+                        format!(
+                            "{} `{name}` must not end in `_total` — that suffix is \
+                             reserved for counters",
+                            m.kind.as_str()
+                        ),
+                    ));
+                }
+                if m.kind == MetricKind::Histogram
+                    && !(name.ends_with("_seconds")
+                        || name.ends_with("_bytes")
+                        || name.ends_with("_ratio"))
+                {
+                    out.push(diag(
+                        m.line,
+                        format!(
+                            "histogram `{name}` must carry a base-unit suffix \
+                             (`_seconds`, `_bytes` or `_ratio`)"
+                        ),
+                    ));
+                }
+            }
+        }
+        if m.help.as_deref().is_some_and(|h| h.is_empty()) {
+            out.push(diag(m.line, format!("metric `{name}` has an empty help string")));
+        }
+    }
+    out
+}

@@ -3,12 +3,16 @@
 //!
 //! ```text
 //! snn-lint [--root <dir>] [--format text|json|sarif] [--list]
+//!          [--changed-only] [--threads N]
+//!          [--write-wire-baseline | --check-wire-baseline]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -21,10 +25,22 @@ struct Args {
     root: Option<PathBuf>,
     format: Format,
     list: bool,
+    changed_only: bool,
+    threads: Option<usize>,
+    write_wire_baseline: bool,
+    check_wire_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: None, format: Format::Text, list: false };
+    let mut args = Args {
+        root: None,
+        format: Format::Text,
+        list: false,
+        changed_only: false,
+        threads: None,
+        write_wire_baseline: false,
+        check_wire_baseline: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,19 +59,41 @@ fn parse_args() -> Result<Args, String> {
                     ))
                 }
             },
+            "--threads" => {
+                let value = it.next().ok_or("--threads needs a count argument")?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| format!("--threads expects a number, got {value:?}"))?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                args.threads = Some(n);
+            }
             "--list" => args.list = true,
+            "--changed-only" => args.changed_only = true,
+            "--write-wire-baseline" => args.write_wire_baseline = true,
+            "--check-wire-baseline" => args.check_wire_baseline = true,
             "--help" | "-h" => {
                 println!(
                     "snn-lint: repo-native static analysis\n\n\
-                     USAGE: snn-lint [--root <dir>] [--format text|json|sarif] [--list]\n\n\
+                     USAGE: snn-lint [--root <dir>] [--format text|json|sarif] [--list]\n       \
+                     [--changed-only] [--threads N]\n       \
+                     [--write-wire-baseline | --check-wire-baseline]\n\n\
+                     --changed-only        report findings only for files changed vs git HEAD\n\
+                     --threads N           per-file analysis parallelism (default: cores, max 8)\n\
+                     --write-wire-baseline regenerate crates/lint/wire_schema.txt and exit\n\
+                     --check-wire-baseline verify the committed baseline is byte-identical\n\n\
                      Suppress a finding in-source with a justification:\n  \
                      // snn-lint: allow(<ID>): <why this is sound>\n\n\
-                     See DESIGN.md §9 for every lint id and its rationale."
+                     See DESIGN.md §9 and §15 for every lint id and its rationale."
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?} (try --help)")),
         }
+    }
+    if args.write_wire_baseline && args.check_wire_baseline {
+        return Err("--write-wire-baseline and --check-wire-baseline are mutually exclusive".into());
     }
     Ok(args)
 }
@@ -81,6 +119,63 @@ fn find_root() -> Result<PathBuf, String> {
     }
 }
 
+/// Workspace-relative `.rs` files changed vs `HEAD` (tracked diffs plus
+/// untracked files).
+fn changed_files(root: &Path) -> Result<BTreeSet<String>, String> {
+    let mut set = BTreeSet::new();
+    let lists: [&[&str]; 2] =
+        [&["diff", "--name-only", "HEAD"], &["ls-files", "--others", "--exclude-standard"]];
+    for git_args in lists {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(git_args)
+            .output()
+            .map_err(|e| format!("cannot run git for --changed-only: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                git_args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            let line = line.trim();
+            if line.ends_with(".rs") {
+                set.insert(line.to_string());
+            }
+        }
+    }
+    Ok(set)
+}
+
+fn wire_baseline_mode(root: &Path, write: bool) -> Result<(), String> {
+    let schema = snn_lint::extract_wire_schema(root)?;
+    let path = root.join(snn_lint::facts::WIRE_BASELINE_PATH);
+    if write {
+        std::fs::write(&path, &schema)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("wrote {} ({} bytes)", snn_lint::facts::WIRE_BASELINE_PATH, schema.len());
+        return Ok(());
+    }
+    let committed = std::fs::read_to_string(&path).map_err(|e| {
+        format!("cannot read {} (run --write-wire-baseline first): {e}", path.display())
+    })?;
+    if committed == schema {
+        println!(
+            "wire-schema baseline is byte-identical to a fresh extraction ({} bytes)",
+            schema.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "wire-schema baseline {} differs from a fresh extraction — protocol drift; \
+             review the diff, then regenerate with --write-wire-baseline",
+            snn_lint::facts::WIRE_BASELINE_PATH
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -91,14 +186,17 @@ fn main() -> ExitCode {
     };
     if args.list {
         for pass in snn_lint::passes::registry() {
-            println!("{:<10} {}  [scope: {}]", pass.id, pass.summary, pass.scope);
+            println!("{:<12} {}  [scope: {}]", pass.id, pass.summary, pass.scope);
+        }
+        for (id, summary, scope) in snn_lint::passes::workspace_checks() {
+            println!("{id:<12} {summary}  [scope: {scope}]");
         }
         println!(
-            "{:<10} unused/unjustified allow directives (driver-level)  [scope: all scanned files]",
+            "{:<12} unused/unjustified allow directives (driver-level)  [scope: all scanned files]",
             snn_lint::ALLOW_ID
         );
         println!(
-            "{:<10} vendored dependency drift vs vendor/README.md pins  [scope: vendor/, Cargo.toml]",
+            "{:<12} vendored dependency drift vs vendor/README.md pins  [scope: vendor/, Cargo.toml]",
             snn_lint::VENDOR_ID
         );
         return ExitCode::SUCCESS;
@@ -110,13 +208,37 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = match snn_lint::run(&root) {
+    if args.write_wire_baseline || args.check_wire_baseline {
+        return match wire_baseline_mode(&root, args.write_wire_baseline) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut opts = snn_lint::RunOptions::default();
+    if let Some(n) = args.threads {
+        opts.threads = n;
+    }
+    if args.changed_only {
+        match changed_files(&root) {
+            Ok(set) => opts.report_only = Some(set),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let started = Instant::now();
+    let report = match snn_lint::run_with_options(&root, &opts) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let wall = started.elapsed();
     match args.format {
         Format::Json => {
             println!("{}", snn_lint::diag::to_json(&report.diagnostics, report.checked_files));
@@ -128,6 +250,9 @@ fn main() -> ExitCode {
                     id: p.id,
                     short_description: p.summary.to_string(),
                 })
+                .chain(snn_lint::passes::workspace_checks().into_iter().map(|(id, summary, _)| {
+                    snn_lint::sarif::SarifRule { id, short_description: summary.to_string() }
+                }))
                 .chain([
                     snn_lint::sarif::SarifRule {
                         id: snn_lint::ALLOW_ID,
@@ -170,6 +295,12 @@ fn main() -> ExitCode {
             }
         }
     }
+    eprintln!(
+        "snn-lint: analysis wall time {:.1} ms ({} thread{})",
+        wall.as_secs_f64() * 1000.0,
+        opts.threads,
+        if opts.threads == 1 { "" } else { "s" }
+    );
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {

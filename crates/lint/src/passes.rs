@@ -5,8 +5,13 @@
 //! `#[test]` functions are masked out before any pass runs, because test
 //! code legitimately unwraps, compares floats exactly, and reads clocks.
 
+use std::collections::BTreeSet;
+
 use crate::diag::Diagnostic;
+use crate::facts::{self, Facts};
 use crate::lexer::{Token, TokenKind};
+use crate::parser::ParsedFile;
+use crate::{cfg, dataflow};
 
 /// Everything a pass can see about one file.
 pub struct FileContext<'a> {
@@ -19,6 +24,10 @@ pub struct FileContext<'a> {
     /// The registered service lock-order names (empty when the service
     /// crate or its lock-order list is absent).
     pub lock_order: &'a [String],
+    /// The file's parse (items, fn bodies, lock bindings, obs sites).
+    pub parsed: &'a ParsedFile,
+    /// Workspace-level facts (lock maps, blocking closure, LOCK_ORDER).
+    pub facts: &'a Facts,
 }
 
 impl FileContext<'_> {
@@ -98,12 +107,54 @@ pub fn registry() -> Vec<Pass> {
             applies: is_lock_disciplined_crate,
             check: check_lock,
         },
+        Pass {
+            id: "L-HELDLOCK",
+            summary: "no MutexGuard/RwLock guard live across a blocking operation",
+            scope: "crates/service, crates/cluster, crates/reliability",
+            applies: is_lock_disciplined_crate,
+            check: check_heldlock,
+        },
+        Pass {
+            id: "L-OBS",
+            summary: "snn_* metric naming conventions and one-registry span names",
+            scope: "crate libraries (same as L-PANIC); cross-file half runs \
+                    workspace-wide",
+            applies: is_library_code,
+            check: check_obs,
+        },
+    ]
+}
+
+/// Id of the workspace-level lock-graph check (not a per-file pass: it
+/// consumes guard dataflow from every lock-disciplined file at once).
+pub const LOCKGRAPH_ID: &str = "L-LOCKGRAPH";
+
+/// Id of the workspace-level wire-schema check (baseline drift and
+/// breaking protocol changes).
+pub const WIRE_ID: &str = "L-WIRE";
+
+/// Descriptors for the workspace-level checks, shown by `--list`
+/// alongside the per-file registry.
+pub fn workspace_checks() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        (
+            LOCKGRAPH_ID,
+            "static lock-acquisition graph: acyclic, LOCK_ORDER-consistent, no re-entry",
+            "crates/service, crates/cluster, crates/reliability (whole-workspace)",
+        ),
+        (
+            WIRE_ID,
+            "wire-protocol schema matches the committed baseline; no breaking drift",
+            "crates/service/src/protocol.rs, crates/cluster/src/wire.rs",
+        ),
     ]
 }
 
 /// Ids of every finding the tool can emit (passes plus driver-level ids).
 pub fn known_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = registry().iter().map(|p| p.id).collect();
+    ids.push(LOCKGRAPH_ID);
+    ids.push(WIRE_ID);
     ids.push(ALLOW_ID);
     ids.push(VENDOR_ID);
     ids
@@ -388,6 +439,55 @@ fn check_lock(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
 }
 
 // ---------------------------------------------------------------------------
+// L-HELDLOCK
+// ---------------------------------------------------------------------------
+
+/// Flags blocking calls reached while a named-lock guard may still be
+/// live, per function, via the guard dataflow of [`crate::dataflow`].
+fn check_heldlock(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    let lock_of = ctx.facts.lock_of(ctx.path);
+    // The parser records nested fns both standalone and inside their
+    // parent's body, so identical findings can surface twice: dedup.
+    let mut seen: BTreeSet<(u32, String)> = BTreeSet::new();
+    let mut out = Vec::new();
+    for fun in &ctx.parsed.fns {
+        let g = cfg::build(fun, &lock_of);
+        if g.guards.is_empty() {
+            continue;
+        }
+        let flow = dataflow::held_guards(&g);
+        for (i, node) in g.nodes.iter().enumerate() {
+            let cfg::Node::Call(c) = node else { continue };
+            let Some(held) = flow[i].as_ref().filter(|h| !h.is_empty()) else { continue };
+            let Some(reason) = facts::blocking_reason(c, ctx.facts) else { continue };
+            let held_desc: Vec<String> = held
+                .iter()
+                .filter_map(|&gid| g.guards.get(gid))
+                .map(|gi| format!("`{}` (acquired line {})", gi.lock, gi.line))
+                .collect();
+            let message = format!(
+                "blocking operation while holding {}: {reason} — narrow the guard scope \
+                 (drop or end the guard's block before blocking) so one stalled peer \
+                 cannot wedge every thread behind the lock",
+                held_desc.join(", ")
+            );
+            if seen.insert((c.line, message.clone())) {
+                out.push(ctx.diag(c.line, "L-HELDLOCK", message));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// L-OBS (per-file half; the cross-file half lives in crate::facts)
+// ---------------------------------------------------------------------------
+
+fn check_obs(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    facts::metric_naming_findings(ctx.path, ctx.parsed)
+}
+
+// ---------------------------------------------------------------------------
 // Test-code masking
 // ---------------------------------------------------------------------------
 
@@ -491,7 +591,17 @@ mod tests {
     ) -> Vec<Diagnostic> {
         let lexed = lex(src);
         let live = live_mask(&lexed.tokens);
-        let ctx = FileContext { path, tokens: &lexed.tokens, live: &live, lock_order };
+        let parsed = crate::parser::parse(&lexed.tokens, &live);
+        let inputs = [facts::FileInput { path, parsed: &parsed }];
+        let facts = Facts::build(&inputs, lock_order.to_vec());
+        let ctx = FileContext {
+            path,
+            tokens: &lexed.tokens,
+            live: &live,
+            lock_order,
+            parsed: &parsed,
+            facts: &facts,
+        };
         let passes = registry();
         let pass = passes.iter().find(|p| p.id == id).expect("pass exists");
         assert!(pass.applies(path), "scope must include {path}");
@@ -580,6 +690,36 @@ mod tests {
         assert!(is_library_code("src/lib.rs"));
         assert!(!is_kernel_crate("crates/datasets/src/gesture_like.rs"));
         assert!(is_kernel_crate("crates/faults/src/sim.rs"));
+    }
+
+    #[test]
+    fn heldlock_flags_blocking_call_under_guard() {
+        let order = vec!["service.queue".to_string()];
+        let src = "fn mk() { let queue = Mutex::named(\"service.queue\", Vec::new()); }\n\
+                   fn f(s: &S) {\n    let g = s.queue.lock();\n    s.stream.write_all(b\"x\");\n}\n";
+        let out = run_pass_with_locks("L-HELDLOCK", "crates/service/src/server.rs", src, &order);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 4);
+        assert!(out[0].message.contains("service.queue"));
+    }
+
+    #[test]
+    fn heldlock_accepts_narrowed_guard() {
+        let order = vec!["service.queue".to_string()];
+        let src = "fn mk() { let queue = Mutex::named(\"service.queue\", Vec::new()); }\n\
+                   fn f(s: &S) {\n    { let g = s.queue.lock(); g.push(1); }\n    \
+                   s.stream.write_all(b\"x\");\n}\n";
+        let out = run_pass_with_locks("L-HELDLOCK", "crates/service/src/server.rs", src, &order);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn obs_pass_checks_metric_naming() {
+        let src = "fn f() {\n    counter!(\"snn_jobs\", \"jobs\").inc();\n    \
+                   histogram!(\"snn_latency_seconds\", \"latency\").observe(0.1);\n}\n";
+        let out = run_pass("L-OBS", "crates/service/src/metrics.rs", src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("_total"));
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! Fixture tests for the v2 analysis passes: L-HELDLOCK (guard live
+//! across a blocking call), L-LOCKGRAPH (static acquisition graph),
+//! L-WIRE (schema baseline drift) and L-OBS (metric/span registries).
+//! Each pass gets a bad fixture that must fire on the expected line and
+//! a good twin — the same logic with the guard narrowed or the schema
+//! intact — that must stay silent.
+
+use snn_lint::{facts, lexer, lint_source, parser, passes};
+use std::path::Path;
+
+const LOCKS: &[&str] = &["service.queue", "service.store.jobs", "cluster.coordinator"];
+
+fn lock_order() -> Vec<String> {
+    LOCKS.iter().map(|s| s.to_string()).collect()
+}
+
+/// Findings as compact `(line, id)` pairs.
+fn findings(path: &str, source: &str) -> Vec<(u32, &'static str)> {
+    lint_source(path, source, &lock_order()).into_iter().map(|d| (d.line, d.id)).collect()
+}
+
+fn parse(source: &str) -> parser::ParsedFile {
+    let lexed = lexer::lex(source);
+    let live = passes::live_mask(&lexed.tokens);
+    parser::parse(&lexed.tokens, &live)
+}
+
+// ---------------------------------------------------------------- L-HELDLOCK
+
+/// A guard held across `TcpStream::write_all` — the socket peer controls
+/// how long the lock stays held.
+const HELDLOCK_BAD: &str = "\
+use std::io::Write;
+pub struct S { q: parking_lot::Mutex<Vec<u8>> }
+impl S {
+    pub fn new() -> Self { Self { q: parking_lot::Mutex::named(\"service.queue\", Vec::new()) } }
+    pub fn stream_out(&self, stream: &mut std::net::TcpStream) {
+        let buf = self.q.lock();
+        let _ = stream.write_all(&buf);
+    }
+}
+";
+
+/// The narrowed twin: clone under a scoped guard, write after release.
+const HELDLOCK_GOOD: &str = "\
+use std::io::Write;
+pub struct S { q: parking_lot::Mutex<Vec<u8>> }
+impl S {
+    pub fn new() -> Self { Self { q: parking_lot::Mutex::named(\"service.queue\", Vec::new()) } }
+    pub fn stream_out(&self, stream: &mut std::net::TcpStream) {
+        let buf = { let q = self.q.lock(); q.clone() };
+        let _ = stream.write_all(&buf);
+    }
+}
+";
+
+#[test]
+fn heldlock_fires_on_guard_across_tcp_write() {
+    let got = findings("crates/service/src/fixture.rs", HELDLOCK_BAD);
+    assert_eq!(got, vec![(7, "L-HELDLOCK")], "write_all under service.queue must fire: {got:?}");
+}
+
+#[test]
+fn heldlock_silent_when_guard_is_scoped_before_the_write() {
+    assert_eq!(findings("crates/service/src/fixture.rs", HELDLOCK_GOOD), vec![]);
+}
+
+#[test]
+fn heldlock_resolves_blocking_through_the_call_graph() {
+    // The blocking `fs::write` is one call away: `save` itself is fine,
+    // holding the guard across the *call to* `save` is not.
+    let src = "\
+pub struct S { q: parking_lot::Mutex<u32> }
+impl S {
+    pub fn new() -> Self { Self { q: parking_lot::Mutex::named(\"service.queue\", 0) } }
+    fn save(&self, v: u32) { let _ = std::fs::write(\"state\", v.to_string()); }
+    pub fn bump(&self) {
+        let mut g = self.q.lock();
+        *g += 1;
+        self.save(*g);
+    }
+}
+";
+    let got = findings("crates/service/src/fixture.rs", src);
+    assert_eq!(got, vec![(8, "L-HELDLOCK")], "transitive fs::write must fire: {got:?}");
+    let msg = &lint_source("crates/service/src/fixture.rs", src, &lock_order())[0].message;
+    assert!(
+        msg.contains("service.queue") && msg.contains("save"),
+        "message must name the held lock and the blocking path: {msg}"
+    );
+}
+
+#[test]
+fn heldlock_finding_is_suppressed_by_a_justified_allow() {
+    let src = HELDLOCK_BAD.replace(
+        "        let _ = stream.write_all(&buf);",
+        "        // snn-lint: allow(L-HELDLOCK): single-client debug endpoint, contention impossible\n        let _ = stream.write_all(&buf);",
+    );
+    assert_eq!(findings("crates/service/src/fixture.rs", &src), vec![]);
+}
+
+#[test]
+fn heldlock_ignores_condvar_waits() {
+    // `wait_for` releases the mutex while parked — the canonical pattern
+    // must stay silent.
+    let src = "\
+pub struct S { q: parking_lot::Mutex<u32>, cv: parking_lot::Condvar }
+impl S {
+    pub fn new() -> Self {
+        Self { q: parking_lot::Mutex::named(\"service.queue\", 0), cv: parking_lot::Condvar::new() }
+    }
+    pub fn wait_nonzero(&self) -> u32 {
+        let mut g = self.q.lock();
+        while *g == 0 {
+            self.cv.wait_for(&mut g, std::time::Duration::from_millis(100));
+        }
+        *g
+    }
+}
+";
+    assert_eq!(findings("crates/service/src/fixture.rs", src), vec![]);
+}
+
+// ---------------------------------------------------------------- L-LOCKGRAPH
+
+/// Two functions acquiring the same pair of registered locks in opposite
+/// orders: a textbook ABBA deadlock, visible statically as a cycle.
+const LOCKGRAPH_CYCLIC: &str = "\
+pub struct S { q: parking_lot::Mutex<u32>, j: parking_lot::Mutex<u32> }
+impl S {
+    pub fn new() -> Self {
+        Self {
+            q: parking_lot::Mutex::named(\"service.queue\", 0),
+            j: parking_lot::Mutex::named(\"service.store.jobs\", 0),
+        }
+    }
+    pub fn forward(&self) {
+        let _a = self.q.lock();
+        let _b = self.j.lock();
+    }
+    pub fn backward(&self) {
+        let _b = self.j.lock();
+        let _a = self.q.lock();
+    }
+}
+";
+
+fn lockgraph_findings(source: &str) -> Vec<snn_lint::Diagnostic> {
+    let parsed = parse(source);
+    let path = "crates/service/src/fixture.rs";
+    let inputs = [facts::FileInput { path, parsed: &parsed }];
+    let f = facts::Facts::build(&inputs, lock_order());
+    let edges = facts::lock_edges(path, &parsed, &f);
+    facts::check_lock_graph(&edges, &lock_order())
+}
+
+#[test]
+fn lockgraph_reports_the_abba_cycle_and_the_rank_violation() {
+    let got = lockgraph_findings(LOCKGRAPH_CYCLIC);
+    assert!(
+        got.iter().any(|d| d.message.contains("cycle")),
+        "opposite-order acquisitions must surface as a cycle: {got:?}"
+    );
+    assert!(
+        got.iter().any(|d| d.message.contains("LOCK_ORDER")
+            && d.message.contains("service.store.jobs")
+            && d.message.contains("service.queue")),
+        "the backward edge must also violate the registered rank order: {got:?}"
+    );
+}
+
+#[test]
+fn lockgraph_accepts_consistent_nesting() {
+    // Only the rank-respecting direction: one edge, no cycle, no finding.
+    let consistent = LOCKGRAPH_CYCLIC.replace(
+        "    pub fn backward(&self) {\n        let _b = self.j.lock();\n        let _a = self.q.lock();\n    }\n",
+        "",
+    );
+    assert_ne!(consistent, LOCKGRAPH_CYCLIC, "fixture edit must apply");
+    let got = lockgraph_findings(&consistent);
+    assert!(got.is_empty(), "rank-respecting nesting must be clean: {got:?}");
+}
+
+#[test]
+fn lockgraph_flags_reentrant_acquisition() {
+    let src = "\
+pub struct S { q: parking_lot::Mutex<u32> }
+impl S {
+    pub fn new() -> Self { Self { q: parking_lot::Mutex::named(\"service.queue\", 0) } }
+    pub fn twice(&self) {
+        let _a = self.q.lock();
+        let _b = self.q.lock();
+    }
+}
+";
+    let got = lockgraph_findings(src);
+    assert!(
+        got.iter().any(|d| d.message.contains("re-entrant") || d.message.contains("reentrant")),
+        "self-edge must be reported as re-entrant: {got:?}"
+    );
+}
+
+// ---------------------------------------------------------------- L-WIRE
+
+const WIRE_FIXTURE: &str = "\
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grant {
+    pub lease: u64,
+    pub epoch: u64,
+    pub note: Option<String>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+pub enum Msg {
+    Hello { name: String, protocol: u64 },
+    Bye,
+}
+";
+
+fn schema_of(source: &str) -> (String, std::collections::HashMap<(String, String), u32>) {
+    let parsed = parse(source);
+    let inputs = [facts::FileInput { path: "crates/cluster/src/wire.rs", parsed: &parsed }];
+    (facts::wire_schema_text(&inputs), facts::wire_type_lines(&inputs))
+}
+
+/// Diff a breaking edit of `WIRE_FIXTURE` against its own baseline.
+fn breaking(edit: impl Fn(&str) -> String) -> Vec<snn_lint::Diagnostic> {
+    let (baseline, _) = schema_of(WIRE_FIXTURE);
+    let edited = edit(WIRE_FIXTURE);
+    assert_ne!(edited, WIRE_FIXTURE, "fixture edit must apply");
+    let (current, lines) = schema_of(&edited);
+    facts::wire_breaking_changes(&baseline, &current, &lines)
+}
+
+#[test]
+fn wire_removed_field_is_a_pointed_breaking_change() {
+    let got = breaking(|s| s.replace("    pub epoch: u64,\n", ""));
+    assert_eq!(got.len(), 1, "exactly one finding: {got:?}");
+    let d = &got[0];
+    assert_eq!(d.id, "L-WIRE");
+    assert!(
+        d.message.contains("epoch") && d.message.contains("Grant"),
+        "must name the removed field and its type: {}",
+        d.message
+    );
+    assert!(
+        d.message.contains("PROTOCOL_VERSION"),
+        "must point at the version-bump workflow: {}",
+        d.message
+    );
+}
+
+#[test]
+fn wire_removed_variant_and_changed_type_are_breaking() {
+    let got = breaking(|s| s.replace("    Bye,\n", ""));
+    assert!(
+        got.iter().any(|d| d.message.contains("Bye")),
+        "removed variant must be named: {got:?}"
+    );
+    let got = breaking(|s| s.replace("pub lease: u64", "pub lease: u32"));
+    assert!(
+        got.iter().any(|d| d.message.contains("lease")
+            && d.message.contains("u64")
+            && d.message.contains("u32")),
+        "field type change must show both types: {got:?}"
+    );
+}
+
+#[test]
+fn wire_new_required_field_is_breaking_but_new_optional_is_not() {
+    let got = breaking(|s| {
+        s.replace("    pub lease: u64,\n", "    pub lease: u64,\n    pub shard: u32,\n")
+    });
+    assert!(
+        got.iter().any(|d| d.message.contains("shard")),
+        "new required field breaks old senders: {got:?}"
+    );
+    let (baseline, _) = schema_of(WIRE_FIXTURE);
+    let added = WIRE_FIXTURE
+        .replace("    pub lease: u64,\n", "    pub lease: u64,\n    pub shard: Option<u32>,\n");
+    let (current, lines) = schema_of(&added);
+    let got = facts::wire_breaking_changes(&baseline, &current, &lines);
+    assert!(got.is_empty(), "additive Option field is compatible: {got:?}");
+}
+
+#[test]
+fn committed_wire_baseline_reproduces_byte_identically() {
+    // The acceptance-gate half of L-WIRE: a fresh extraction from the
+    // real protocol files must equal the committed baseline exactly.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let fresh = snn_lint::extract_wire_schema(&root).expect("wire files must parse");
+    let committed = std::fs::read_to_string(root.join(facts::WIRE_BASELINE_PATH))
+        .expect("baseline must be committed (cargo run -p snn-lint -- --write-wire-baseline)");
+    assert_eq!(
+        committed, fresh,
+        "committed wire_schema.txt drifted — regenerate with --write-wire-baseline"
+    );
+}
+
+// ---------------------------------------------------------------- L-OBS
+
+#[test]
+fn obs_flags_metric_registered_in_two_files() {
+    let a = parse("pub fn f() { snn_obs::counter!(\"snn_x_total\", \"X.\").inc(); }\n");
+    let b = parse("pub fn g() { snn_obs::counter!(\"snn_x_total\", \"X again.\").inc(); }\n");
+    let inputs = [
+        facts::FileInput { path: "crates/core/src/a.rs", parsed: &a },
+        facts::FileInput { path: "crates/core/src/b.rs", parsed: &b },
+    ];
+    let got = facts::check_obs_consistency(&inputs, None);
+    assert_eq!(got.len(), 1, "second site flagged, first named: {got:?}");
+    assert!(
+        got[0].message.contains("snn_x_total") && got[0].message.contains("crates/core/src/a.rs")
+    );
+}
+
+#[test]
+fn obs_cross_checks_span_names_against_the_registry() {
+    let used = parse("pub fn f() { let _s = snn_obs::span!(\"rogue.span\"); }\n");
+    let inputs = [facts::FileInput { path: "crates/core/src/a.rs", parsed: &used }];
+    let registry = vec![("declared.but.unused".to_string(), 3u32)];
+    let got = facts::check_obs_consistency(&inputs, Some(&registry));
+    assert!(
+        got.iter().any(|d| d.message.contains("rogue.span") && d.message.contains("SPAN_NAMES")),
+        "undeclared span must fire: {got:?}"
+    );
+    assert!(
+        got.iter().any(|d| d.message.contains("declared.but.unused")
+            && d.file == "crates/obs/src/span_names.rs"),
+        "unused registry entry must fire at its declaration line: {got:?}"
+    );
+    // The good twin: usage and registry agree.
+    let registry = vec![("rogue.span".to_string(), 3u32)];
+    assert!(facts::check_obs_consistency(&inputs, Some(&registry)).is_empty());
+}
+
+#[test]
+fn obs_metric_naming_rules_fire_per_file() {
+    let src = "\
+pub fn f() {
+    snn_obs::counter!(\"snn_requests\", \"Requests.\").inc();
+    snn_obs::histogram!(\"snn_latency_total\", \"Latency.\", &[1.0]).observe(1.0);
+    snn_obs::gauge!(\"depth\", \"Depth.\").set(1.0);
+}
+";
+    let got = findings("crates/core/src/metrics_fixture.rs", src);
+    // Line 3 fires twice: `_total` on a non-counter AND a histogram
+    // without a unit suffix.
+    assert_eq!(
+        got,
+        vec![(2, "L-OBS"), (3, "L-OBS"), (3, "L-OBS"), (4, "L-OBS")],
+        "counter without _total, histogram with _total and no unit, missing snn_ prefix"
+    );
+}
+
+// ---------------------------------------------------------------- SARIF
+
+#[test]
+fn sarif_output_carries_the_v2_rule_ids() {
+    // The same rule chain the CLI builds: per-file registry plus the
+    // workspace-level checks.
+    let rules: Vec<snn_lint::sarif::SarifRule> = passes::registry()
+        .iter()
+        .map(|p| snn_lint::sarif::SarifRule { id: p.id, short_description: p.summary.to_string() })
+        .chain(passes::workspace_checks().into_iter().map(|(id, summary, _)| {
+            snn_lint::sarif::SarifRule { id, short_description: summary.to_string() }
+        }))
+        .collect();
+    let ds = vec![
+        snn_lint::Diagnostic {
+            file: "crates/service/src/server.rs".into(),
+            line: 7,
+            id: "L-HELDLOCK",
+            message: "guard across blocking call".into(),
+        },
+        snn_lint::Diagnostic {
+            file: "crates/lint/wire_schema.txt".into(),
+            line: 1,
+            id: "L-WIRE",
+            message: "baseline drift".into(),
+        },
+    ];
+    let out = snn_lint::sarif::render("snn-lint", "DESIGN.md", &rules, &ds, |_| {
+        snn_lint::sarif::Level::Warning
+    });
+    for id in ["L-HELDLOCK", "L-LOCKGRAPH", "L-WIRE", "L-OBS"] {
+        assert!(out.contains(&format!("\"id\":\"{id}\"")), "SARIF rules must include {id}");
+    }
+    assert!(out.contains("\"ruleId\":\"L-HELDLOCK\"") && out.contains("\"ruleId\":\"L-WIRE\""));
+}
+
+// ------------------------------------------------------- registries in sync
+
+#[test]
+fn lock_order_registries_must_match() {
+    let service = lock_order();
+    let drifted = vec!["service.queue".to_string()];
+    assert!(facts::check_lock_order_registries(&service, Some(&service)).is_empty());
+    let got = facts::check_lock_order_registries(&service, Some(&drifted));
+    assert!(
+        got.iter().any(|d| d.id == "L-LOCKGRAPH"),
+        "registry drift must be an L-LOCKGRAPH finding: {got:?}"
+    );
+}

@@ -29,6 +29,7 @@
 pub mod clock;
 pub mod metrics;
 pub mod profile;
+pub mod span_names;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, RealClock};

@@ -1,0 +1,72 @@
+//! The workspace span-name registry.
+//!
+//! Every `span!("…")` / [`crate::trace::enter_with_parent`] name used by
+//! production code is declared here, so span names stay greppable, stable
+//! across refactors, and consistent between the profile tree and any
+//! external trace consumer. `snn-lint`'s L-OBS pass cross-checks the two
+//! directions: a span name used in `crates/*/src` but missing here is a
+//! finding, and so is a registry entry no instrumentation site uses.
+//!
+//! Naming convention: `<subsystem>[.<operation>]`, lowercase, dot-separated
+//! (`generate.calibrate`, `cluster.chunk`). Nesting in the profile tree
+//! comes from guard scopes at runtime, not from the name, but the dotted
+//! prefix should still reflect the intended parent.
+
+/// Every production span name, grouped by subsystem, each group sorted.
+pub const SPAN_NAMES: &[&str] = &[
+    // snn-analyze: static pre-analysis of the network.
+    "analyze",
+    "analyze.collapse",
+    "analyze.intervals",
+    // snn-cluster + the service's worker-message handler.
+    "cluster.chunk",
+    "cluster.worker_msg",
+    // snn-faults: fault-simulation campaigns.
+    "faultsim.baseline",
+    "faultsim.campaign",
+    "faultsim.worker",
+    // snn-testgen: the two-stage test generator.
+    "generate",
+    "generate.calibrate",
+    "generate.iteration",
+    "stage1",
+    "stage1.backward",
+    "stage1.losses",
+    "stage2",
+    "stage2.backward",
+    // snn-reliability: reliability-impact campaigns.
+    "reliability.chunk",
+    "reliability.prepare",
+    // snn-model: forward/backward simulation kernels.
+    "snn.backward",
+    "snn.forward",
+];
+
+/// `true` when `name` is a declared span name.
+pub fn is_declared(name: &str) -> bool {
+    SPAN_NAMES.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_within_groups_and_duplicate_free() {
+        let mut seen = std::collections::BTreeSet::new();
+        for name in SPAN_NAMES {
+            assert!(seen.insert(*name), "duplicate span name {name:?}");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "span name {name:?} breaks the lowercase dotted convention"
+            );
+        }
+    }
+
+    #[test]
+    fn is_declared_matches_membership() {
+        assert!(is_declared("generate.calibrate"));
+        assert!(!is_declared("no.such.span"));
+    }
+}

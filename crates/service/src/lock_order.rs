@@ -11,15 +11,25 @@
 
 /// Lock names in their required acquisition order (earlier first).
 ///
-/// The order encodes the nestings the server actually performs:
+/// Since the guard narrowing driven by `snn-lint`'s `L-HELDLOCK` pass
+/// (DESIGN.md §15), no service lock nests inside another in practice —
+/// the static acquisition graph built by `L-LOCKGRAPH` has no edges
+/// among these locks. The ranks are kept anyway: they document the only
+/// nestings that would ever be legal, and the runtime detector still
+/// catches regressions reaching a lock through a path the static pass
+/// cannot see (trait objects, function pointers).
 ///
-/// * `service.queue` is held across `JobStore::submit`
-///   (`service.store.jobs`) so a submit is atomic with its enqueue.
-/// * `service.sink.last_persist` is held across the throttled
-///   `JobStore::update` (`service.store.jobs`) on the progress path.
-/// * `service.running` only nests inside nothing today, but sits between
-///   the queue and the store so a future "queue → running" handoff under
-///   both locks stays legal.
+/// * `service.queue` guards only the queue itself: the capacity check,
+///   the push and the pop each take it briefly. `JobStore::submit`
+///   persists to disk and therefore runs *between* two short queue
+///   critical sections, not under one.
+/// * `service.sink.last_persist` guards only the throttle decision on
+///   the progress path; the persisting `JobStore::update` runs after the
+///   guard is released.
+/// * `service.running` is held only to insert/remove/clone cancellation
+///   tokens — tokens are cloned out before `cancel()` is called. It sits
+///   between the queue and the store so a future "queue → running"
+///   handoff under both locks would stay legal.
 /// * `service.bus.subscribers` ranks second-to-last: event fan-out must
 ///   never acquire another service lock while delivering (the analysis
 ///   cache is never touched from the event path).

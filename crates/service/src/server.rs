@@ -127,11 +127,17 @@ impl Inner {
         Some(updated)
     }
 
+    /// The single registration site for the queue-depth gauge; every
+    /// depth publication funnels through here.
+    fn set_queue_depth(depth: usize) {
+        snn_obs::gauge!("snn_service_queue_depth", "Jobs queued but not yet running.")
+            .set(depth as f64);
+    }
+
     /// Publishes the queue depth and per-state job counts as gauges.
     fn refresh_gauges(&self) {
         let depth = self.queue.lock().len();
-        snn_obs::gauge!("snn_service_queue_depth", "Jobs queued but not yet running.")
-            .set(depth as f64);
+        Self::set_queue_depth(depth);
         let (mut queued, mut running, mut done, mut failed, mut cancelled) =
             (0u64, 0u64, 0u64, 0u64, 0u64);
         for record in self.store.list() {
@@ -158,14 +164,23 @@ impl Inner {
             return Err("server is shutting down".into());
         }
         validate_spec(&spec)?;
-        let mut queue = self.queue.lock();
-        if queue.len() >= self.queue_capacity {
-            return Err(format!("queue full ({} jobs waiting)", queue.len()));
+        // Capacity is checked under its own short guard: `store.submit`
+        // persists the record (a disk write) and must not run under
+        // `service.queue`. Concurrent submits racing past the check can
+        // overshoot `queue_capacity` by at most the number of racers —
+        // the bound is backpressure, not an invariant.
+        {
+            let queue = self.queue.lock();
+            if queue.len() >= self.queue_capacity {
+                return Err(format!("queue full ({} jobs waiting)", queue.len()));
+            }
         }
         let record = self.store.submit(spec);
-        queue.push_back(record.id);
-        self.queue_cv.notify_one();
-        drop(queue);
+        {
+            let mut queue = self.queue.lock();
+            queue.push_back(record.id);
+            self.queue_cv.notify_one();
+        }
         self.refresh_gauges();
         Ok(record)
     }
@@ -178,9 +193,7 @@ impl Inner {
                 return None;
             }
             if let Some(id) = queue.pop_front() {
-                let depth = queue.len();
-                snn_obs::gauge!("snn_service_queue_depth", "Jobs queued but not yet running.")
-                    .set(depth as f64);
+                Self::set_queue_depth(queue.len());
                 return Some(id);
             }
             self.queue_cv.wait_for(&mut queue, Duration::from_millis(100));
@@ -211,7 +224,10 @@ impl Inner {
             return Response::CancelRequested { job: id };
         }
         // Running: trip the token; the worker finishes the transition.
-        if let Some(token) = self.running.lock().get(&id) {
+        // The token is cloned out so `service.running` is not held while
+        // the cancellation (which may notify listeners) runs.
+        let token = self.running.lock().get(&id).cloned();
+        if let Some(token) = token {
             token.cancel();
         }
         Response::CancelRequested { job: id }
@@ -222,7 +238,10 @@ impl Inner {
     /// and the accept loop.
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        for token in self.running.lock().values() {
+        // Snapshot the tokens so `service.running` is released before any
+        // of them is tripped.
+        let tokens: Vec<CancelToken> = self.running.lock().values().cloned().collect();
+        for token in tokens {
             token.cancel();
         }
         self.coordinator.shutdown();
@@ -251,9 +270,19 @@ impl ProgressSink for ServiceSink {
         self.inner
             .bus
             .publish(JobEventPayload::Progress { job: self.job, progress: progress.clone() });
-        let mut last = self.last_persist.lock();
-        if last.elapsed() >= PROGRESS_PERSIST_EVERY {
-            *last = Instant::now();
+        // The throttle decision happens under `service.sink.last_persist`;
+        // the persisting `store.update` (a disk write) runs after the
+        // guard is released.
+        let should_persist = {
+            let mut last = self.last_persist.lock();
+            if last.elapsed() >= PROGRESS_PERSIST_EVERY {
+                *last = Instant::now();
+                true
+            } else {
+                false
+            }
+        };
+        if should_persist {
             self.inner.store.update(self.job, |r| r.progress = Some(progress));
         }
     }
