@@ -25,11 +25,25 @@ fi
 step "snn-lint"
 cargo run -q -p snn-lint --offline
 
-step "snn-lint — v2 pass registry exposes the dataflow and wire passes"
+step "snn-lint — pass registry exposes the dataflow, wire and determinism-taint passes"
 LINT_LIST="$(cargo run -q -p snn-lint --offline -- --list)"
-for pass in L-HELDLOCK L-LOCKGRAPH L-WIRE L-OBS; do
+for pass in L-HELDLOCK L-LOCKGRAPH L-WIRE L-OBS L-DET-FLOW L-DET-ITER L-DET-CLOCK; do
     grep -q "^$pass" <<< "$LINT_LIST" || { echo "snn-lint --list missing pass $pass"; exit 1; }
 done
+grep -q "^L-NONDET" <<< "$LINT_LIST" && { echo "retired pass L-NONDET still registered"; exit 1; }
+
+step "snn-lint — --explain documents every determinism pass"
+for pass in L-DET-FLOW L-DET-ITER L-DET-CLOCK; do
+    EXPLAIN_OUT="$(cargo run -q -p snn-lint --offline -- --explain "$pass")"
+    grep -q "^$pass:" <<< "$EXPLAIN_OUT" \
+        || { echo "snn-lint --explain $pass failed"; exit 1; }
+done
+
+step "snn-lint — whole-workspace analysis stays under 400 ms at --threads 1"
+LINT_MS="$(cargo run --release -q -p snn-lint --offline -- --threads 1 2>&1 >/dev/null \
+    | sed -n 's/.*analysis wall time \([0-9]*\)\(\.[0-9]*\)\? ms.*/\1/p')"
+[[ -n "$LINT_MS" ]] || { echo "could not parse snn-lint wall time"; exit 1; }
+(( LINT_MS < 400 )) || { echo "snn-lint took ${LINT_MS} ms at --threads 1 (budget 400 ms)"; exit 1; }
 
 step "snn-lint — committed wire-schema baseline reproduces byte-identically"
 cargo run -q -p snn-lint --offline -- --check-wire-baseline
@@ -80,6 +94,19 @@ DIST_DIGEST="$(digest_of "$REL_DIST")"
     || { echo "reliability digest mismatch: local $LOCAL_DIGEST vs 2-worker $DIST_DIGEST"; exit 1; }
 grep -q '"regions":\[{' <<< "$REL_LOCAL" \
     || { echo "reliability report has an empty criticality ranking"; exit 1; }
+
+step "determinism — double-run: fresh processes reproduce bytes exactly"
+# The property the L-DET passes guard, checked dynamically: two cold
+# processes over the same seeded spec must emit byte-identical artifacts.
+cargo run --release -q --offline -- generate "$ANALYZE_TMP/obs.snn" --preset fast \
+    --out "$ANALYZE_TMP/det1.events" > /dev/null
+cargo run --release -q --offline -- generate "$ANALYZE_TMP/obs.snn" --preset fast \
+    --out "$ANALYZE_TMP/det2.events" > /dev/null
+cmp -s "$ANALYZE_TMP/det1.events" "$ANALYZE_TMP/det2.events" \
+    || { echo "seeded generate differs between two fresh processes"; exit 1; }
+REL_RERUN="$(cargo run --release -q --offline -- reliability "${RELIABILITY_ARGS[@]}")"
+diff <(printf '%s' "$REL_LOCAL") <(printf '%s' "$REL_RERUN") > /dev/null \
+    || { echo "reliability JSON differs between two fresh processes"; exit 1; }
 
 step "cargo test (debug, overflow-checks) — arms the numeric sanitizer and lock-order detector"
 RUSTFLAGS="-C overflow-checks=on" cargo test -q --offline --workspace

@@ -21,7 +21,7 @@ use parking_lot::{Condvar, Mutex};
 use snn_faults::chunk::{merge_chunks, plan, MergeError};
 use snn_faults::progress::CancelToken;
 use snn_faults::{ChunkRange, FaultOutcome};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Coordinator tunables.
@@ -75,8 +75,12 @@ struct WorkerEntry {
 
 #[derive(Default)]
 struct State {
-    workers: HashMap<String, WorkerEntry>,
-    campaigns: HashMap<u64, CampaignState>,
+    // BTreeMap (not HashMap) so that every iteration — lease grants,
+    // gauge refreshes, status snapshots — walks workers and campaigns
+    // in a deterministic order (snn-lint L-DET-ITER is clean here by
+    // construction, no sorting at the use sites).
+    workers: BTreeMap<String, WorkerEntry>,
+    campaigns: BTreeMap<u64, CampaignState>,
     next_campaign: u64,
     next_lease: u64,
     shutdown: bool,
@@ -262,8 +266,8 @@ impl Coordinator {
         if let Some(entry) = state.workers.get_mut(worker) {
             entry.last_seen = now;
         }
-        let mut ids: Vec<u64> = state.campaigns.keys().copied().collect();
-        ids.sort_unstable();
+        // BTreeMap keys iterate in ascending campaign id already.
+        let ids: Vec<u64> = state.campaigns.keys().copied().collect();
         let mut granted = None;
         'outer: for id in ids {
             let lease = state.next_lease;
@@ -548,12 +552,10 @@ impl Coordinator {
         let now = Self::now();
         let mut state = self.state.lock();
         let expired = Self::sweep(&mut state, now);
-        let mut names: Vec<&String> = state.workers.keys().collect();
-        names.sort();
-        let workers = names
+        let workers = state
+            .workers
             .iter()
-            .map(|name| {
-                let entry = &state.workers[*name];
+            .map(|(name, entry)| {
                 let lease = entry.lease.and_then(|(lease, campaign, chunk, _)| {
                     let deadline =
                         state.campaigns.get(&campaign).and_then(|c| match c.states.get(chunk) {
@@ -571,7 +573,7 @@ impl Coordinator {
                     })
                 });
                 WorkerStatus {
-                    name: (*name).clone(),
+                    name: name.clone(),
                     last_seen_ms: u64::try_from(now.saturating_sub(entry.last_seen).as_millis())
                         .unwrap_or(u64::MAX),
                     chunks_completed: entry.chunks_completed,

@@ -46,6 +46,16 @@ pub enum Node {
     },
     /// Any other call event (blocking-op and call-graph analysis).
     Call(CallEvent),
+    /// Statement boundary. `name` is the `let` binding the statement's
+    /// value flows into (`None` for expression statements and construct
+    /// heads). The taint analysis commits expression taint to the binding
+    /// here and clears it otherwise; guard analyses ignore these nodes.
+    Bind {
+        /// The `let` binding name, when the statement is a simple let.
+        name: Option<String>,
+        /// Source line of the statement.
+        line: u32,
+    },
 }
 
 /// Static information about one acquisition site.
@@ -245,7 +255,7 @@ impl Builder<'_> {
 
     fn stmt(&mut self, stmt: &Stmt, tails: Vec<usize>) -> Vec<usize> {
         match stmt {
-            Stmt::Let { name, calls, .. } => {
+            Stmt::Let { name, calls, line } => {
                 let (mut tails, temps, bound) = self.calls(calls, tails, name.is_some());
                 self.handle_drop(calls, &mut tails);
                 // Statement temporaries die here; a let-bound guard joins
@@ -256,9 +266,9 @@ impl Builder<'_> {
                         frame.guards.push((name.clone(), g));
                     }
                 }
-                tails
+                vec![self.push(Node::Bind { name: name.clone(), line: *line }, tails)]
             }
-            Stmt::Expr { calls, .. } | Stmt::Return { calls, .. } => {
+            Stmt::Expr { calls, line } | Stmt::Return { calls, line } => {
                 let (mut tails, temps, _) = self.calls(calls, tails, false);
                 self.handle_drop(calls, &mut tails);
                 let tails = self.release(&temps, tails);
@@ -270,14 +280,18 @@ impl Builder<'_> {
                     }
                     return Vec::new();
                 }
-                tails
+                vec![self.push(Node::Bind { name: None, line: *line }, tails)]
             }
-            Stmt::If { head, is_let, then_b, else_b, .. } => {
+            Stmt::If { head, is_let, then_b, else_b, line } => {
                 let (head_tails, temps, _) = self.calls(head, tails, false);
                 // Plain-if condition temporaries die before branching; the
                 // 2021 if-let scrutinee lives across both branches.
                 let head_tails =
                     if *is_let { head_tails } else { self.release(&temps, head_tails) };
+                // Condition/scrutinee values are consumed here (pattern
+                // bindings are not tracked — documented under-approx).
+                let head_tails =
+                    vec![self.push(Node::Bind { name: None, line: *line }, head_tails)];
                 let then_tails = self.nested(then_b, head_tails.clone());
                 let else_tails = match else_b {
                     Some(e) => self.nested(e, head_tails.clone()),
@@ -290,11 +304,13 @@ impl Builder<'_> {
                     vec![join]
                 }
             }
-            Stmt::While { head, is_let, body, .. } => {
+            Stmt::While { head, is_let, body, line } => {
                 let head_entry = self.push(Node::Join, tails);
                 let (head_tails, temps, _) = self.calls(head, vec![head_entry], false);
                 let head_tails =
                     if *is_let { head_tails } else { self.release(&temps, head_tails) };
+                let head_tails =
+                    vec![self.push(Node::Bind { name: None, line: *line }, head_tails)];
                 let body_tails = self.nested(body, head_tails.clone());
                 for t in body_tails {
                     self.edge(t, head_entry);
@@ -306,11 +322,13 @@ impl Builder<'_> {
                     vec![after]
                 }
             }
-            Stmt::For { head, body, .. } => {
+            Stmt::For { head, body, line } => {
                 // The iterator expression is evaluated once; its
                 // temporaries (e.g. a guard in `for x in m.lock().iter()`)
                 // live for the whole loop.
                 let (head_tails, temps, _) = self.calls(head, tails, false);
+                let head_tails =
+                    vec![self.push(Node::Bind { name: None, line: *line }, head_tails)];
                 let head_entry = self.push(Node::Join, head_tails);
                 let body_tails = self.nested(body, vec![head_entry]);
                 for t in body_tails {
@@ -331,8 +349,10 @@ impl Builder<'_> {
                 preds.push(head_entry);
                 vec![self.push(Node::Join, preds)]
             }
-            Stmt::Match { head, arms, .. } => {
+            Stmt::Match { head, arms, line } => {
                 let (head_tails, temps, _) = self.calls(head, tails, false);
+                let head_tails =
+                    vec![self.push(Node::Bind { name: None, line: *line }, head_tails)];
                 let mut arm_tails = Vec::new();
                 for arm in arms {
                     arm_tails.extend(self.nested(arm, head_tails.clone()));

@@ -195,6 +195,12 @@ pub struct Facts {
     pub fn_acquires: HashMap<String, BTreeSet<String>>,
     /// The service crate's `LOCK_ORDER` (rank = index).
     pub lock_order: Vec<String>,
+    /// Fn name → description of the nondeterminism its return value may
+    /// carry (interprocedural taint summaries, see [`crate::taint`]).
+    pub fn_taint: BTreeMap<String, String>,
+    /// file path → idents bound to unordered collections (HashMap/HashSet
+    /// struct fields and let bindings).
+    pub unordered: HashMap<String, BTreeSet<String>>,
 }
 
 /// The crate key of a workspace path (`crates/service/src/…` → `service`).
@@ -255,8 +261,14 @@ impl Facts {
             }
         }
 
-        // Per-function direct facts over the namespace crates.
-        let mut calls_of: HashMap<String, Vec<CallEvent>> = HashMap::new();
+        // Determinism-taint facts (whole workspace, obs exempt).
+        facts.unordered = crate::taint::unordered_idents(files);
+        facts.fn_taint = crate::taint::summaries(files, &facts.unordered);
+
+        // Per-function direct facts over the namespace crates. BTreeMap:
+        // the fixpoint below locks in the first blocking reason it sees
+        // per function, so iteration order must be deterministic.
+        let mut calls_of: BTreeMap<String, Vec<CallEvent>> = BTreeMap::new();
         let mut fn_names: HashSet<String> = HashSet::new();
         let mut crate_of_fn: HashMap<String, Vec<String>> = HashMap::new();
         for f in files {
@@ -363,6 +375,12 @@ fn direct_blocking(c: &CallEvent) -> Option<String> {
         return Some(format!("performs `{}()`", c.name));
     }
     None
+}
+
+/// `true` when a method name collides with a ubiquitous `std` method and
+/// must never resolve through the namespace call graph.
+pub(crate) fn is_stoplisted(name: &str) -> bool {
+    STD_METHOD_STOPLIST.contains(&name)
 }
 
 /// The namespace function a call may resolve to, if any (stoplist and

@@ -37,6 +37,7 @@ pub mod lexer;
 pub mod parser;
 pub mod passes;
 pub mod sarif;
+pub mod taint;
 pub mod vendor;
 
 pub use diag::Diagnostic;
@@ -385,6 +386,29 @@ fn const_str_list(source: &str, name: &str) -> Vec<(String, u32)> {
     out
 }
 
+/// Parses `git diff --name-status -M` output into the set of changed
+/// `.rs` paths. Renames/copies (`R<score>`/`C<score>` lines carrying
+/// `old\tnew`) contribute their *new* path — a plain `--name-only` diff
+/// silently drops renamed files. Deletions are skipped (nothing to lint).
+pub fn parse_git_name_status(output: &str) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for line in output.lines() {
+        let mut fields = line.split('\t');
+        let Some(status) = fields.next().map(str::trim) else { continue };
+        let path = match status.chars().next() {
+            Some('D') | None => continue,
+            Some('R' | 'C') => fields.next_back(),
+            _ => fields.next(),
+        };
+        if let Some(path) = path.map(str::trim) {
+            if path.ends_with(".rs") {
+                set.insert(path.to_string());
+            }
+        }
+    }
+    set
+}
+
 /// Collects every workspace-relative source path to scan, sorted:
 /// `src/**/*.rs` and `crates/*/src/**/*.rs`. Vendored stand-ins, test
 /// trees, benches, examples and fixtures are excluded — the tool lints
@@ -476,6 +500,25 @@ mod tests {
         let order = load_lock_order(&dir);
         assert_eq!(order, vec!["service.queue".to_string(), "service.store.jobs".to_string()]);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_name_status_keeps_rename_targets() {
+        let out = parse_git_name_status(
+            "M\tcrates/lint/src/lib.rs\n\
+             A\tcrates/lint/src/taint.rs\n\
+             R087\tcrates/lint/src/old.rs\tcrates/lint/src/new.rs\n\
+             C100\tcrates/a/src/x.rs\tcrates/b/src/x.rs\n\
+             D\tcrates/lint/src/gone.rs\n\
+             M\tREADME.md\n",
+        );
+        let want: Vec<&str> = vec![
+            "crates/b/src/x.rs",
+            "crates/lint/src/lib.rs",
+            "crates/lint/src/new.rs",
+            "crates/lint/src/taint.rs",
+        ];
+        assert_eq!(out.iter().map(String::as_str).collect::<Vec<_>>(), want);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! snn-lint [--root <dir>] [--format text|json|sarif] [--list]
-//!          [--changed-only] [--threads N]
+//!          [--explain <ID>] [--changed-only] [--threads N]
 //!          [--write-wire-baseline | --check-wire-baseline]
 //! ```
 //!
@@ -25,6 +25,7 @@ struct Args {
     root: Option<PathBuf>,
     format: Format,
     list: bool,
+    explain: Option<String>,
     changed_only: bool,
     threads: Option<usize>,
     write_wire_baseline: bool,
@@ -36,6 +37,7 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         format: Format::Text,
         list: false,
+        explain: None,
         changed_only: false,
         threads: None,
         write_wire_baseline: false,
@@ -70,6 +72,10 @@ fn parse_args() -> Result<Args, String> {
                 args.threads = Some(n);
             }
             "--list" => args.list = true,
+            "--explain" => {
+                let id = it.next().ok_or("--explain needs a lint id argument (e.g. L-DET-FLOW)")?;
+                args.explain = Some(id);
+            }
             "--changed-only" => args.changed_only = true,
             "--write-wire-baseline" => args.write_wire_baseline = true,
             "--check-wire-baseline" => args.check_wire_baseline = true,
@@ -77,15 +83,16 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "snn-lint: repo-native static analysis\n\n\
                      USAGE: snn-lint [--root <dir>] [--format text|json|sarif] [--list]\n       \
-                     [--changed-only] [--threads N]\n       \
+                     [--explain <ID>] [--changed-only] [--threads N]\n       \
                      [--write-wire-baseline | --check-wire-baseline]\n\n\
+                     --explain <ID>        print one pass's rule, scope and rationale\n\
                      --changed-only        report findings only for files changed vs git HEAD\n\
                      --threads N           per-file analysis parallelism (default: cores, max 8)\n\
                      --write-wire-baseline regenerate crates/lint/wire_schema.txt and exit\n\
                      --check-wire-baseline verify the committed baseline is byte-identical\n\n\
                      Suppress a finding in-source with a justification:\n  \
                      // snn-lint: allow(<ID>): <why this is sound>\n\n\
-                     See DESIGN.md §9 and §15 for every lint id and its rationale."
+                     See DESIGN.md §9, §15 and §16 for every lint id and its rationale."
                 );
                 std::process::exit(0);
             }
@@ -119,13 +126,12 @@ fn find_root() -> Result<PathBuf, String> {
     }
 }
 
-/// Workspace-relative `.rs` files changed vs `HEAD` (tracked diffs plus
-/// untracked files).
+/// Workspace-relative `.rs` files changed vs `HEAD` (tracked diffs with
+/// rename detection, plus untracked files). `--name-status -M` keeps a
+/// renamed file's *new* path in scope — a plain `--name-only` diff lists
+/// the old path only, silently dropping the file from the lint.
 fn changed_files(root: &Path) -> Result<BTreeSet<String>, String> {
-    let mut set = BTreeSet::new();
-    let lists: [&[&str]; 2] =
-        [&["diff", "--name-only", "HEAD"], &["ls-files", "--others", "--exclude-standard"]];
-    for git_args in lists {
+    let run = |git_args: &[&str]| -> Result<String, String> {
         let out = std::process::Command::new("git")
             .arg("-C")
             .arg(root)
@@ -139,11 +145,13 @@ fn changed_files(root: &Path) -> Result<BTreeSet<String>, String> {
                 String::from_utf8_lossy(&out.stderr).trim()
             ));
         }
-        for line in String::from_utf8_lossy(&out.stdout).lines() {
-            let line = line.trim();
-            if line.ends_with(".rs") {
-                set.insert(line.to_string());
-            }
+        Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let mut set = snn_lint::parse_git_name_status(&run(&["diff", "--name-status", "-M", "HEAD"])?);
+    for line in run(&["ls-files", "--others", "--exclude-standard"])?.lines() {
+        let line = line.trim();
+        if line.ends_with(".rs") {
+            set.insert(line.to_string());
         }
     }
     Ok(set)
@@ -188,7 +196,7 @@ fn main() -> ExitCode {
         for pass in snn_lint::passes::registry() {
             println!("{:<12} {}  [scope: {}]", pass.id, pass.summary, pass.scope);
         }
-        for (id, summary, scope) in snn_lint::passes::workspace_checks() {
+        for (id, summary, scope, _) in snn_lint::passes::workspace_checks() {
             println!("{id:<12} {summary}  [scope: {scope}]");
         }
         println!(
@@ -199,6 +207,14 @@ fn main() -> ExitCode {
             "{:<12} vendored dependency drift vs vendor/README.md pins  [scope: vendor/, Cargo.toml]",
             snn_lint::VENDOR_ID
         );
+        return ExitCode::SUCCESS;
+    }
+    if let Some(id) = &args.explain {
+        let Some((summary, scope, explain)) = snn_lint::passes::explain(id) else {
+            eprintln!("error: unknown lint id {id:?} — run `snn-lint --list` for every known id");
+            return ExitCode::from(2);
+        };
+        println!("{id}: {summary}\n\nscope: {scope}\n\n{explain}");
         return ExitCode::SUCCESS;
     }
     let root = match args.root.map_or_else(find_root, Ok) {
@@ -250,9 +266,12 @@ fn main() -> ExitCode {
                     id: p.id,
                     short_description: p.summary.to_string(),
                 })
-                .chain(snn_lint::passes::workspace_checks().into_iter().map(|(id, summary, _)| {
-                    snn_lint::sarif::SarifRule { id, short_description: summary.to_string() }
-                }))
+                .chain(snn_lint::passes::workspace_checks().into_iter().map(
+                    |(id, summary, _, _)| snn_lint::sarif::SarifRule {
+                        id,
+                        short_description: summary.to_string(),
+                    },
+                ))
                 .chain([
                     snn_lint::sarif::SarifRule {
                         id: snn_lint::ALLOW_ID,

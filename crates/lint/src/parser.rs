@@ -97,6 +97,10 @@ pub struct CallEvent {
     pub no_args: bool,
     /// For bare `drop(ident)` calls: the single-identifier argument.
     pub arg_ident: Option<String>,
+    /// Every identifier appearing inside the call's argument list, in
+    /// token order (taint propagation: a tainted variable passed as any
+    /// argument taints the call's value — a may-over-approximation).
+    pub arg_idents: Vec<String>,
     /// Source line of the callee identifier.
     pub line: u32,
 }
@@ -703,6 +707,14 @@ fn extract_calls(toks: &[Token]) -> Vec<CallEvent> {
         } else {
             None
         };
+        // Every identifier inside the argument group (nested calls
+        // included — harmless for a may-analysis).
+        let arg_end = skip_group(toks, i + 1);
+        let arg_idents = toks[i + 2..arg_end.saturating_sub(1).max(i + 2)]
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && !is_keyword(&t.text))
+            .map(|t| t.text.clone())
+            .collect();
         out.push(CallEvent {
             name,
             receiver,
@@ -710,6 +722,7 @@ fn extract_calls(toks: &[Token]) -> Vec<CallEvent> {
             is_method,
             no_args,
             arg_ident,
+            arg_idents,
             line: toks[i].line,
         });
     }

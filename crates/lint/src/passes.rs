@@ -44,6 +44,9 @@ pub struct Pass {
     pub summary: &'static str,
     /// Human description of the files the pass runs on.
     pub scope: &'static str,
+    /// Rule and rationale paragraph (shown by `--explain <ID>`; the same
+    /// table DESIGN.md renders).
+    pub explain: &'static str,
     applies: fn(&str) -> bool,
     check: fn(&FileContext<'_>) -> Vec<Diagnostic>,
 }
@@ -76,6 +79,10 @@ pub fn registry() -> Vec<Pass> {
             summary: "no unwrap/expect/panic!/todo!/unimplemented! in library code",
             scope: "crate libraries (crates/*/src, src/lib.rs); binaries, benches and \
                     test code are exempt",
+            explain: "Library code must surface failures through each crate's typed error \
+                      so callers can recover; a panic in a worker thread silently kills a \
+                      campaign shard. Binaries and tests may panic (that is their error \
+                      channel).",
             applies: is_library_code,
             check: check_panic,
         },
@@ -83,6 +90,9 @@ pub fn registry() -> Vec<Pass> {
             id: "L-CAST",
             summary: "narrowing numeric `as` casts in kernel crates need a justification",
             scope: "crates/tensor, crates/core, crates/snn, crates/faults",
+            explain: "The seed's one real bug was a silent f64→f32 truncation in a numeric \
+                      kernel. Narrowing `as` casts there must be replaced with explicit \
+                      conversions or justified with an allow stating the value range.",
             applies: is_kernel_crate,
             check: check_cast,
         },
@@ -90,20 +100,57 @@ pub fn registry() -> Vec<Pass> {
             id: "L-FLOATEQ",
             summary: "float literal compared with == or !=",
             scope: "crate libraries (same as L-PANIC)",
+            explain: "Exact float comparison is almost always a rounding bug. The one \
+                      legitimate case — spike trains are exact 0.0/1.0 values — is stated \
+                      in an allow justification.",
             applies: is_library_code,
             check: check_floateq,
         },
         Pass {
-            id: "L-NONDET",
-            summary: "wall-clock or entropy source in the generator / fault-simulator",
+            id: "L-DET-CLOCK",
+            summary: "wall-clock, entropy, thread-id or env source in reproducible code",
             scope: "crates/core, crates/faults, crates/obs, crates/reliability",
+            explain: "Campaign outcomes must be bitwise-reproducible from the seed \
+                      (digest equality across workers). This token pass bans the raw \
+                      nondeterminism sources — Instant::now/SystemTime, thread_rng/\
+                      from_entropy/rand::random, ThreadId, env::var*, pointer-as-value \
+                      casts — outside the one sanctioned `snn_obs::clock` read. \
+                      Subsumes and retires the v1 L-NONDET pass.",
             applies: is_reproducible_crate,
-            check: check_nondet,
+            check: check_det_clock,
+        },
+        Pass {
+            id: "L-DET-FLOW",
+            summary: "taint flow from a nondeterminism source into a serialized result",
+            scope: "crates/faults, crates/cluster, crates/reliability, crates/analyze",
+            explain: "Interprocedural may-taint analysis: wall-clock/RNG/thread-id/env \
+                      reads and HashMap/HashSet iteration taint values, taint propagates \
+                      through assignments, call arguments and return-value summaries, and \
+                      must never reach verdict_digest/FNV inputs, wire writes \
+                      (`write_line`) or result files (`fs::write`). The finding prints the \
+                      full propagation chain. In-place `sort*` calls sanitize.",
+            applies: is_digest_crate,
+            check: check_det_flow,
+        },
+        Pass {
+            id: "L-DET-ITER",
+            summary: "HashMap/HashSet iteration in digest-equality code",
+            scope: "crates/faults, crates/cluster, crates/reliability, crates/analyze",
+            explain: "Iteration order over HashMap/HashSet differs per process, and \
+                      pattern bindings (`for (k, v) in …`) defeat flow tracking — so in \
+                      merge/report/serialization crates any unordered-collection \
+                      iteration is flagged even without proven sink reach. Fix by \
+                      switching to BTreeMap/BTreeSet or sorting before use.",
+            applies: is_digest_crate,
+            check: check_det_iter,
         },
         Pass {
             id: "L-LOCK",
             summary: "service/cluster locks must be named and registered in LOCK_ORDER",
             scope: "crates/service, crates/cluster, crates/reliability",
+            explain: "Every lock in the multi-threaded crates is constructed with \
+                      `Mutex::named(\"<name>\", …)` and the name registered in LOCK_ORDER \
+                      so the static lock graph (L-LOCKGRAPH) can rank it.",
             applies: is_lock_disciplined_crate,
             check: check_lock,
         },
@@ -111,6 +158,11 @@ pub fn registry() -> Vec<Pass> {
             id: "L-HELDLOCK",
             summary: "no MutexGuard/RwLock guard live across a blocking operation",
             scope: "crates/service, crates/cluster, crates/reliability",
+            explain: "Guard dataflow over each function's CFG: a blocking call (network, \
+                      disk, channel recv, thread join — including transitively through \
+                      the name-resolved call graph) while a named guard may be live \
+                      stalls every thread behind that lock. Fix by narrowing the guard \
+                      scope, not by allowing.",
             applies: is_lock_disciplined_crate,
             check: check_heldlock,
         },
@@ -119,6 +171,10 @@ pub fn registry() -> Vec<Pass> {
             summary: "snn_* metric naming conventions and one-registry span names",
             scope: "crate libraries (same as L-PANIC); cross-file half runs \
                     workspace-wide",
+            explain: "Metrics: `snn_` prefix, counters end `_total`, histograms carry a \
+                      base-unit suffix, one registration site per name. Spans: every \
+                      span!/enter_with_parent name must be declared in SPAN_NAMES and \
+                      every declared name used.",
             applies: is_library_code,
             check: check_obs,
         },
@@ -134,21 +190,42 @@ pub const LOCKGRAPH_ID: &str = "L-LOCKGRAPH";
 pub const WIRE_ID: &str = "L-WIRE";
 
 /// Descriptors for the workspace-level checks, shown by `--list`
-/// alongside the per-file registry.
-pub fn workspace_checks() -> Vec<(&'static str, &'static str, &'static str)> {
+/// alongside the per-file registry: (id, summary, scope, explain).
+pub fn workspace_checks() -> Vec<(&'static str, &'static str, &'static str, &'static str)> {
     vec![
         (
             LOCKGRAPH_ID,
             "static lock-acquisition graph: acyclic, LOCK_ORDER-consistent, no re-entry",
             "crates/service, crates/cluster, crates/reliability (whole-workspace)",
+            "Collects every (held, acquired) lock pair from the guard dataflow of all \
+             lock-disciplined files at once, then checks the graph is acyclic, free of \
+             re-entrant acquisition, and consistent with the LOCK_ORDER ranks. Cycle \
+             findings print the full lock path.",
         ),
         (
             WIRE_ID,
             "wire-protocol schema matches the committed baseline; no breaking drift",
             "crates/service/src/protocol.rs, crates/cluster/src/wire.rs",
+            "Extracts the serde-facing shape of the protocol types and compares it with \
+             the committed wire_schema.txt baseline: removed/renamed types or fields, \
+             changed field types and new required fields are breaking (v1–v4 peers must \
+             keep decoding). Intentional changes regenerate the baseline with \
+             --write-wire-baseline and, if breaking, bump PROTOCOL_VERSION.",
         ),
     ]
 }
+
+/// Rationale shown by `--explain L-ALLOW` (driver-level, not a pass).
+pub const ALLOW_EXPLAIN: &str =
+    "Findings are suppressed in-source with `// snn-lint: allow(<ID>): <why>`. A \
+     directive with no justification text, one naming an unknown lint id (e.g. a \
+     retired pass), or one that no longer suppresses anything is itself a finding, so \
+     the allow list can never silently rot.";
+
+/// Rationale shown by `--explain L-VENDOR` (driver-level, not a pass).
+pub const VENDOR_EXPLAIN: &str =
+    "Vendored dependencies are pinned in vendor/README.md; this check detects drift \
+     between the pins, the vendored sources and the workspace Cargo.toml patch table.";
 
 /// Ids of every finding the tool can emit (passes plus driver-level ids).
 pub fn known_ids() -> Vec<&'static str> {
@@ -158,6 +235,34 @@ pub fn known_ids() -> Vec<&'static str> {
     ids.push(ALLOW_ID);
     ids.push(VENDOR_ID);
     ids
+}
+
+/// The (summary, scope, rationale) triple behind `--explain <ID>`; `None`
+/// for unknown ids.
+pub fn explain(id: &str) -> Option<(&'static str, &'static str, &'static str)> {
+    for p in registry() {
+        if p.id == id {
+            return Some((p.summary, p.scope, p.explain));
+        }
+    }
+    for (wid, summary, scope, explain) in workspace_checks() {
+        if wid == id {
+            return Some((summary, scope, explain));
+        }
+    }
+    match id {
+        _ if id == ALLOW_ID => Some((
+            "unused or unjustified allow directives (driver-level)",
+            "all scanned files",
+            ALLOW_EXPLAIN,
+        )),
+        _ if id == VENDOR_ID => Some((
+            "vendored dependency drift vs vendor/README.md pins",
+            "vendor/, Cargo.toml",
+            VENDOR_EXPLAIN,
+        )),
+        _ => None,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +296,15 @@ fn is_reproducible_crate(path: &str) -> bool {
         || path.starts_with("crates/faults/src/")
         || path.starts_with("crates/obs/src/")
         || path.starts_with("crates/reliability/src/")
+}
+
+fn is_digest_crate(path: &str) -> bool {
+    // The crates whose outputs are gated on digest equality: fault
+    // verdicts (faults), sharded merge (cluster), campaign distribution
+    // (reliability) and collapse/expansion (analyze). crates/service is
+    // deliberately out: job metadata legitimately carries wall-clock
+    // timestamps and never feeds a verdict digest.
+    crate::taint::in_digest_crates(path)
 }
 
 fn is_lock_disciplined_crate(path: &str) -> bool {
@@ -328,42 +442,90 @@ fn check_floateq(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
 }
 
 // ---------------------------------------------------------------------------
-// L-NONDET
+// L-DET-CLOCK (token half of the determinism family; subsumes v1 L-NONDET)
 // ---------------------------------------------------------------------------
 
-fn check_nondet(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+fn check_det_clock(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for i in live_indices(ctx) {
-        let t = &ctx.tokens[i];
+    // Live tokens in order, for multi-token lookahead patterns.
+    let idx: Vec<usize> = live_indices(ctx).collect();
+    let tok = |p: usize| idx.get(p).map(|&i| &ctx.tokens[i]);
+    for (p, &ti) in idx.iter().enumerate() {
+        let t = &ctx.tokens[ti];
         if t.kind != TokenKind::Ident {
             continue;
         }
+        let prev = p.checked_sub(1).and_then(&tok);
+        let prev2 = p.checked_sub(2).and_then(&tok);
         let finding = match t.text.as_str() {
-            "Instant" => {
-                let path_now = next_live(ctx, i).is_some_and(|n| n.is_punct("::"));
-                if path_now {
-                    Some("`Instant::now()` in a reproducibility-critical path")
-                } else {
-                    None
-                }
+            "Instant" if tok(p + 1).is_some_and(|n| n.is_punct("::")) => {
+                Some("`Instant::now()` is a wall-clock read".to_string())
             }
-            "SystemTime" => Some("`SystemTime` in a reproducibility-critical path"),
-            "thread_rng" => Some("`thread_rng()` — use a seeded StdRng"),
-            "from_entropy" => Some("`from_entropy()` — use seed_from_u64"),
+            "SystemTime" => Some("`SystemTime` is a wall-clock read".to_string()),
+            "thread_rng" => Some("`thread_rng()` is unseeded — use a seeded StdRng".to_string()),
+            "from_entropy" => Some("`from_entropy()` is unseeded — use seed_from_u64".to_string()),
+            "random"
+                if prev.is_some_and(|x| x.is_punct("::"))
+                    && tok(p + 1).is_some_and(|n| n.is_punct("(")) =>
+            {
+                Some("`rand::random()` is unseeded — use a seeded StdRng".to_string())
+            }
+            "ThreadId" => Some("`ThreadId` values differ across runs".to_string()),
+            "current"
+                if prev.is_some_and(|x| x.is_punct("::"))
+                    && prev2.is_some_and(|x| x.is_ident("thread"))
+                    && tok(p + 1).is_some_and(|n| n.is_punct("(")) =>
+            {
+                Some("`thread::current()` exposes thread identity".to_string())
+            }
+            "var" | "vars" | "var_os"
+                if prev.is_some_and(|x| x.is_punct("::"))
+                    && prev2.is_some_and(|x| x.is_ident("env")) =>
+            {
+                Some(format!("`env::{}()` reads ambient process state", t.text))
+            }
+            "as_ptr" | "as_mut_ptr"
+                if tok(p + 1).is_some_and(|n| n.is_punct("("))
+                    && tok(p + 2).is_some_and(|n| n.is_punct(")"))
+                    && tok(p + 3).is_some_and(|n| n.is_ident("as"))
+                    && tok(p + 4).is_some_and(|n| {
+                        matches!(n.text.as_str(), "usize" | "u64" | "isize" | "i64")
+                    }) =>
+            {
+                Some(format!(
+                    "`{}() as {}` turns an allocation address into a value; addresses \
+                     differ per run (ASLR)",
+                    t.text,
+                    tok(p + 4).map_or("usize", |n| n.text.as_str())
+                ))
+            }
             _ => None,
         };
         if let Some(msg) = finding {
             out.push(ctx.diag(
                 t.line,
-                "L-NONDET",
+                "L-DET-CLOCK",
                 format!(
-                    "{msg}; generated test sets must be reproducible from the seed \
+                    "{msg}; results must be reproducible from the seed — route time \
+                     through `snn_obs::clock` and randomness through a seeded StdRng \
                      (wall-clock budgets are legitimate — justify them with an allow)"
                 ),
             ));
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// L-DET-FLOW / L-DET-ITER (dataflow half; see crate::taint)
+// ---------------------------------------------------------------------------
+
+fn check_det_flow(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    crate::taint::flow_findings(ctx.path, ctx.parsed, ctx.facts)
+}
+
+fn check_det_iter(ctx: &FileContext<'_>) -> Vec<Diagnostic> {
+    crate::taint::iter_findings(ctx.path, ctx.parsed, ctx.facts)
 }
 
 // ---------------------------------------------------------------------------
@@ -652,10 +814,30 @@ mod tests {
     }
 
     #[test]
-    fn nondet_flags_clocks_and_entropy() {
+    fn det_clock_flags_clocks_and_entropy() {
         let src = "fn f() { let t = Instant::now(); let r = StdRng::from_entropy(); }";
-        let out = run_pass("L-NONDET", "crates/core/src/generator.rs", src);
+        let out = run_pass("L-DET-CLOCK", "crates/core/src/generator.rs", src);
         assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|d| d.id == "L-DET-CLOCK"));
+    }
+
+    #[test]
+    fn det_clock_flags_new_source_classes() {
+        let src = "fn f(v: &[u8]) -> u64 {\n    let x: u64 = rand::random();\n    \
+                   let e = env::var(\"SNN_SEED\");\n    let t = thread::current();\n    \
+                   let p = v.as_ptr() as usize;\n    x\n}";
+        let out = run_pass("L-DET-CLOCK", "crates/core/src/generator.rs", src);
+        assert_eq!(out.len(), 4, "{out:?}");
+    }
+
+    #[test]
+    fn det_clock_ignores_benign_lookalikes() {
+        // `random` as a method (seeded rng.random()), `var` without the
+        // env:: path, as_ptr without an `as usize` cast.
+        let src = "fn f(rng: &mut StdRng, v: &[u8]) -> f32 {\n    let x: f32 = rng.random();\n    \
+                   let var = 1.0;\n    let p = v.as_ptr();\n    x + var\n}";
+        let out = run_pass("L-DET-CLOCK", "crates/core/src/generator.rs", src);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

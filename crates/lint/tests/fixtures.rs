@@ -65,7 +65,7 @@ fn float_equality_is_flagged_for_both_operators() {
 #[test]
 fn instant_now_in_generator_is_flagged() {
     let src = "use std::time::Instant;\npub fn f() {\n    let _t = Instant::now();\n}\n";
-    assert_eq!(findings("crates/core/src/generator.rs", src), vec![(3, "L-NONDET")]);
+    assert_eq!(findings("crates/core/src/generator.rs", src), vec![(3, "L-DET-CLOCK")]);
 }
 
 #[test]
@@ -91,9 +91,9 @@ fn unregistered_mutex_in_cluster_is_flagged() {
 #[test]
 fn instant_now_in_reliability_is_flagged() {
     // Reliability campaigns must be pure functions of the spec, so the
-    // crate sits in the L-NONDET reproducibility scope.
+    // crate sits in the L-DET-CLOCK reproducibility scope.
     let src = "use std::time::Instant;\npub fn f() {\n    let _t = Instant::now();\n}\n";
-    assert_eq!(findings("crates/reliability/src/campaign.rs", src), vec![(3, "L-NONDET")]);
+    assert_eq!(findings("crates/reliability/src/campaign.rs", src), vec![(3, "L-DET-CLOCK")]);
 }
 
 #[test]

@@ -364,7 +364,7 @@ fn sarif_output_carries_the_v2_rule_ids() {
     let rules: Vec<snn_lint::sarif::SarifRule> = passes::registry()
         .iter()
         .map(|p| snn_lint::sarif::SarifRule { id: p.id, short_description: p.summary.to_string() })
-        .chain(passes::workspace_checks().into_iter().map(|(id, summary, _)| {
+        .chain(passes::workspace_checks().into_iter().map(|(id, summary, _, _)| {
             snn_lint::sarif::SarifRule { id, short_description: summary.to_string() }
         }))
         .collect();

@@ -2,7 +2,7 @@
 //!
 //! Every time measurement in the workspace flows through the [`Clock`]
 //! trait so that (a) tests can substitute a [`ManualClock`] and stay
-//! deterministic, and (b) the snn-lint `L-NONDET` pass can require that
+//! deterministic, and (b) the snn-lint `L-DET-CLOCK` pass can require that
 //! the *only* raw `Instant::now()` call site in reproducibility-critical
 //! code is the single one in this module.
 
@@ -26,7 +26,7 @@ fn raw_instant() -> Instant {
     // All other crates measure time through the Clock trait, and the
     // values only ever feed wall-clock budgets and telemetry, never the
     // seeded generation math.
-    // snn-lint: allow(L-NONDET): the one sanctioned raw monotonic-clock read
+    // snn-lint: allow(L-DET-CLOCK): the one sanctioned raw monotonic-clock read
     Instant::now()
 }
 

@@ -120,6 +120,10 @@ impl ReliabilityReport {
                 mean_drop: sum / hits as f32,
             })
             .collect();
+        // Total order: mean drop descending, then region label ascending.
+        // The label tie-break matters — labels are unique per region, so
+        // equal drops (common with coarse samples) still rank identically
+        // on every worker, keeping the rendered report byte-stable.
         regions.sort_by(|a, b| {
             b.mean_drop
                 .partial_cmp(&a.mean_drop)
