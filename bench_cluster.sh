@@ -2,16 +2,38 @@
 # Distributed-campaign benchmark: runs one fixed coverage campaign at 0
 # (in-process), 1 and 2 cluster workers over real loopback TCP, gates
 # that all three verdict digests are bit-identical, and writes the
-# faults/sec and speedup measurements to BENCH_cluster.json.
+# faults/sec and speedup measurements to BENCH_cluster.json — stamped
+# with run metadata (git rev, UTC timestamp, preset, host core count)
+# and an appended perf-history record per invocation.
 #
 #   ./bench_cluster.sh [out.json]
 #
-# Runs offline; builds with the vendored dependencies.
+# When this machine's BENCH_cluster.json exists (gitignored local
+# state, refreshed by every passing run) it doubles as the
+# perf-regression baseline: the run fails if 2-worker throughput drops
+# more than BENCH_MAX_REGRESSION (default 0.15 = 15%) below it, and its
+# history is carried forward into the new file.
+#
+# Runs offline; builds with the vendored dependencies. Metadata is
+# gathered here in the shell and passed in as flags so the binary never
+# reads clocks or VCS state itself.
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 OUT="${1:-BENCH_cluster.json}"
 
+GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+TIMESTAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+HOST_CORES="$(nproc 2>/dev/null || echo 1)"
+
+BASELINE_ARGS=()
+if [[ -f BENCH_cluster.json ]]; then
+    BASELINE_ARGS=(--baseline BENCH_cluster.json
+                   --max-regression "${BENCH_MAX_REGRESSION:-0.15}")
+fi
+
 cargo build --release --offline --quiet
-./target/release/snn-mtfc cluster-bench --out "$OUT"
+./target/release/snn-mtfc cluster-bench --out "$OUT" \
+    --git-rev "$GIT_REV" --timestamp "$TIMESTAMP" --host-cores "$HOST_CORES" \
+    "${BASELINE_ARGS[@]}"

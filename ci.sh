@@ -76,10 +76,52 @@ cargo run --release -q --offline -- verify "$ANALYZE_TMP/obs.snn" "$ANALYZE_TMP/
 cargo run --release -q --offline -- profile "$ANALYZE_TMP/verify.trace.jsonl" \
     | grep -q "faultsim.campaign" || { echo "verify profile missing span 'faultsim.campaign'"; exit 1; }
 
-step "cluster bench — distributed campaign at 0/1/2 workers, bit-identical verdicts gated"
+step "cluster bench — 0/1/2 workers, bit-identical verdicts + perf-regression gated"
+# bench_cluster.sh reads this machine's BENCH_cluster.json (gitignored
+# local state) as the perf-regression baseline (fails on >15% faults/sec
+# regression against the slowest recorded run) and carries its history
+# forward, so the gate runs before the cp refreshes the file.
 ./bench_cluster.sh "$ANALYZE_TMP/BENCH_cluster.json"
 cp "$ANALYZE_TMP/BENCH_cluster.json" BENCH_cluster.json
 grep -q '"speedup_2_over_1"' BENCH_cluster.json || { echo "bench output missing speedup"; exit 1; }
+grep -q '"meta"' BENCH_cluster.json || { echo "bench output missing run metadata"; exit 1; }
+grep -q '"phase_breakdown"' BENCH_cluster.json \
+    || { echo "bench history missing phase breakdown"; exit 1; }
+
+step "distributed tracing — 2-worker traced campaign merges into one coherent tree"
+SERVE_LOG="$ANALYZE_TMP/serve.log"
+./target/release/snn-mtfc serve --state-dir "$ANALYZE_TMP/trace-state" --addr 127.0.0.1:0 \
+    --expect-workers 2 --chunk-size 64 \
+    --trace-out "$ANALYZE_TMP/cluster.trace.jsonl" > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 100); do
+    SERVE_ADDR="$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")"
+    [[ -n "$SERVE_ADDR" ]] && break
+    sleep 0.1
+done
+[[ -n "$SERVE_ADDR" ]] || { echo "traced serve did not come up"; cat "$SERVE_LOG"; exit 1; }
+./target/release/snn-mtfc worker --addr "$SERVE_ADDR" --name trace-w1 --threads 1 --trace \
+    > /dev/null 2>&1 &
+W1_PID=$!
+./target/release/snn-mtfc worker --addr "$SERVE_ADDR" --name trace-w2 --threads 1 --trace \
+    > /dev/null 2>&1 &
+W2_PID=$!
+./target/release/snn-mtfc submit --synthetic 16x64x10 --preset fast --coverage --watch \
+    --addr "$SERVE_ADDR" > /dev/null
+./target/release/snn-mtfc shutdown --addr "$SERVE_ADDR" > /dev/null
+wait "$SERVE_PID" "$W1_PID" "$W2_PID" 2>/dev/null || true
+TRACED_PROFILE="$(./target/release/snn-mtfc profile "$ANALYZE_TMP/cluster.trace.jsonl" --phases)"
+for node in cluster.campaign worker:trace-w1 worker:trace-w2 cluster.chunk; do
+    grep -qF "$node" <<< "$TRACED_PROFILE" \
+        || { echo "traced-campaign profile missing '$node'"; exit 1; }
+done
+grep -q "KERNEL PHASES" <<< "$TRACED_PROFILE" && grep -q "phase.forward" <<< "$TRACED_PROFILE" \
+    || { echo "traced-campaign profile has no kernel-phase table"; exit 1; }
+ATTRIBUTED="$(sed -n 's/^attributed: \([0-9]*\)\..*/\1/p' <<< "$TRACED_PROFILE")"
+[[ -n "$ATTRIBUTED" ]] || { echo "phase table missing attribution line"; exit 1; }
+(( ATTRIBUTED >= 95 )) \
+    || { echo "kernel phases attribute only ${ATTRIBUTED}% of fault-sim time (need >=95%)"; exit 1; }
 
 step "reliability — seeded fault-map campaign, single-process vs 2-worker digests gated"
 RELIABILITY_ARGS=(--synthetic 6x12x4 --configs 8 --weight-ber 0.05 --mitigation range

@@ -364,6 +364,35 @@ impl CollapsedUniverse {
         rep_outcomes: &[FaultOutcome],
         test_steps: usize,
     ) -> Result<Vec<FaultOutcome>, ExpandError> {
+        // Expansion is the post-loop kernel phase of a collapsed
+        // campaign: account it alongside inject/forward/compare and
+        // publish it as a synthetic `phase.expand` span when tracing.
+        let expand_started = snn_obs::clock::monotonic();
+        let result = self.expand_inner(rep_outcomes, test_steps);
+        let elapsed = snn_obs::clock::monotonic().saturating_sub(expand_started);
+        snn_obs::phase::faultsim().add(snn_obs::phase::Phase::Expand, elapsed);
+        snn_obs::histogram!(
+            "snn_analyze_expand_seconds",
+            "Time expanding representative verdicts onto the full universe.",
+            snn_obs::metrics::FINE_DURATION_BUCKETS
+        )
+        .observe_duration(elapsed);
+        if let Some(collector) = snn_obs::trace::installed() {
+            collector.push_synthetic(
+                "phase.expand",
+                snn_obs::trace::current_id(),
+                elapsed,
+                vec![("count".to_string(), "1".to_string())],
+            );
+        }
+        result
+    }
+
+    fn expand_inner(
+        &self,
+        rep_outcomes: &[FaultOutcome],
+        test_steps: usize,
+    ) -> Result<Vec<FaultOutcome>, ExpandError> {
         let by_id: HashMap<usize, &FaultOutcome> =
             rep_outcomes.iter().map(|o| (o.fault_id, o)).collect();
         let reasons: HashMap<usize, &CollapseReason> =

@@ -15,13 +15,15 @@
 //! released.
 
 use crate::wire::{
-    CampaignSpec, ClusterStatus, HeldLease, LeaseGrant, WorkerStatus, PROTOCOL_VERSION,
+    CampaignSpec, ClusterStatus, HeldLease, LeaseGrant, TraceContext, WorkerStatus,
+    PROTOCOL_VERSION,
 };
 use parking_lot::{Condvar, Mutex};
 use snn_faults::chunk::{merge_chunks, plan, MergeError};
 use snn_faults::progress::CancelToken;
 use snn_faults::{ChunkRange, FaultOutcome};
-use std::collections::BTreeMap;
+use snn_obs::SpanRecord;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// Coordinator tunables.
@@ -62,6 +64,20 @@ struct CampaignState {
     chunks: Vec<ChunkRange>,
     states: Vec<ChunkState>,
     done: usize,
+    /// Trace context stamped into every lease grant of this campaign.
+    trace: Option<TraceContext>,
+    /// Per-worker trace bookkeeping for a traced campaign, keyed by
+    /// worker name so the merged tree is deterministic.
+    worker_spans: BTreeMap<String, WorkerTrace>,
+}
+
+/// One worker's subtree in a traced campaign: the pre-allocated id of
+/// its synthetic `worker:<name>` wrapper span, plus the chunk spans
+/// accumulated under it.
+struct WorkerTrace {
+    wrapper: u64,
+    busy: Duration,
+    chunks: u64,
 }
 
 #[derive(Default)]
@@ -166,6 +182,10 @@ impl Coordinator {
     /// Creates a coordinator and registers the workspace lock order.
     pub fn new(cfg: CoordinatorConfig) -> Self {
         crate::lock_order::register();
+        // Touch the gauge and histogram sites once so a metrics dump
+        // lists them (at zero) before the first lease or heartbeat.
+        Self::refresh_gauges(&State::default());
+        Self::observe_heartbeat_gap(None);
         Self {
             cfg,
             state: Mutex::named("cluster.coordinator", State::default()),
@@ -232,10 +252,38 @@ impl Coordinator {
                 }
             }
         }
+        let in_flight = state.workers.values().filter(|w| w.lease.is_some()).count();
         snn_obs::gauge!("snn_cluster_chunks_pending", "Chunks waiting for a lease.")
             .set(pending as f64);
         snn_obs::gauge!("snn_cluster_chunks_leased", "Chunks under a live lease.")
             .set(leased as f64);
+        snn_obs::gauge!("snn_cluster_leases_in_flight", "Leases currently held by workers.")
+            .set(in_flight as f64);
+    }
+
+    /// The single registration site for the heartbeat-latency histogram;
+    /// `None` registers without observing.
+    fn observe_heartbeat_gap(gap: Option<Duration>) {
+        let hist = snn_obs::histogram!(
+            "snn_cluster_heartbeat_gap_seconds",
+            "Gap between consecutive sightings (heartbeat or result) of a worker.",
+            snn_obs::metrics::DURATION_BUCKETS
+        );
+        if let Some(gap) = gap {
+            hist.observe_duration(gap);
+        }
+    }
+
+    /// Total duration of a span batch's roots — spans whose parent is
+    /// absent or outside the batch — i.e. the worker-side wall clock the
+    /// batch accounts for.
+    fn root_total(batch: &[SpanRecord]) -> Duration {
+        let ids: BTreeSet<u64> = batch.iter().map(|s| s.id).collect();
+        batch
+            .iter()
+            .filter(|s| s.parent.is_none_or(|p| !ids.contains(&p)))
+            .map(|s| Duration::from_micros(s.end_us.saturating_sub(s.start_us)))
+            .sum()
     }
 
     /// Registers a worker (idempotent) and returns the timing contract
@@ -286,6 +334,7 @@ impl Coordinator {
                         epoch,
                         fault_ids,
                         deadline_in_ms: self.cfg.lease_ms,
+                        trace: campaign.trace,
                     });
                     break 'outer;
                 }
@@ -321,8 +370,10 @@ impl Coordinator {
         let now = Self::now();
         let mut state = self.state.lock();
         let expired = Self::sweep(&mut state, now);
+        let mut gap = None;
         let held = match state.workers.get_mut(worker) {
             Some(entry) => {
+                gap = Some(now.saturating_sub(entry.last_seen));
                 entry.last_seen = now;
                 entry.lease
             }
@@ -345,6 +396,9 @@ impl Coordinator {
         }
         drop(state);
         Self::record_expiries(expired);
+        if let Some(gap) = gap {
+            Self::observe_heartbeat_gap(Some(gap));
+        }
         live
     }
 
@@ -352,6 +406,13 @@ impl Coordinator {
     /// live lease — the exactly-once accounting gate. Stale results
     /// (expired lease, bumped epoch, already-done chunk, or a malformed
     /// outcome count) are discarded and reported with `false`.
+    ///
+    /// For a traced campaign, `spans` (the worker's drained collector)
+    /// are adopted into the coordinator's collector under the worker's
+    /// synthetic wrapper span; stale results' spans are discarded with
+    /// the outcomes so a re-issued chunk never appears twice in the
+    /// merged tree.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     pub fn result(
         &self,
         worker: &str,
@@ -360,8 +421,16 @@ impl Coordinator {
         chunk: usize,
         epoch: u64,
         outcomes: Vec<FaultOutcome>,
+        spans: Option<Vec<SpanRecord>>,
     ) -> bool {
         let now = Self::now();
+        // Grab the collector handle and size up the batch before taking
+        // the coordinator lock; under the lock only atomic id allocation
+        // and bookkeeping happen, adoption itself runs after release.
+        let collector = snn_obs::trace::installed();
+        let batch = spans.filter(|b| !b.is_empty());
+        let batch_busy = batch.as_deref().map(Self::root_total).unwrap_or_default();
+        let mut adopt_under = None;
         let mut state = self.state.lock();
         let expired = Self::sweep(&mut state, now);
         if let Some(entry) = state.workers.get_mut(worker) {
@@ -394,9 +463,30 @@ impl Coordinator {
                     }
                 }
             }
+            if let (Some(collector), Some(_)) = (&collector, &batch) {
+                if let Some(campaign_state) = state.campaigns.get_mut(&campaign) {
+                    if campaign_state.trace.is_some() {
+                        let entry = campaign_state
+                            .worker_spans
+                            .entry(worker.to_string())
+                            .or_insert_with(|| WorkerTrace {
+                                wrapper: collector.allocate_id(),
+                                busy: Duration::ZERO,
+                                chunks: 0,
+                            });
+                        entry.busy += batch_busy;
+                        entry.chunks += 1;
+                        adopt_under = Some(entry.wrapper);
+                    }
+                }
+            }
             Self::refresh_gauges(&state);
             drop(state);
             self.cv.notify_all();
+            if let (Some(collector), Some(wrapper), Some(batch)) = (&collector, adopt_under, &batch)
+            {
+                collector.adopt(batch, Some(wrapper));
+            }
             snn_obs::counter!("snn_cluster_chunks_completed_total", "Chunk results accepted.")
                 .inc();
             snn_obs::counter!(
@@ -419,8 +509,15 @@ impl Coordinator {
 
     /// Registers a campaign over `fault_ids` (sharded per the configured
     /// chunk size) and returns its id. `spec.id` and `spec.faults` are
-    /// overwritten with the assigned id and the fault count.
-    pub fn submit(&self, mut spec: CampaignSpec, fault_ids: Vec<usize>) -> u64 {
+    /// overwritten with the assigned id and the fault count. A `trace`
+    /// context is stamped into every lease grant of the campaign and
+    /// turns on worker-span collection for it.
+    pub fn submit(
+        &self,
+        mut spec: CampaignSpec,
+        fault_ids: Vec<usize>,
+        trace: Option<TraceContext>,
+    ) -> u64 {
         let chunks = plan(fault_ids.len(), self.cfg.chunk_size);
         let states = chunks.iter().map(|_| ChunkState::Pending { epoch: 0 }).collect();
         let mut state = self.state.lock();
@@ -429,7 +526,18 @@ impl Coordinator {
         spec.id = id;
         spec.faults = fault_ids.len();
         let done = chunks.is_empty();
-        state.campaigns.insert(id, CampaignState { spec, fault_ids, chunks, states, done: 0 });
+        state.campaigns.insert(
+            id,
+            CampaignState {
+                spec,
+                fault_ids,
+                chunks,
+                states,
+                done: 0,
+                trace,
+                worker_spans: BTreeMap::new(),
+            },
+        );
         Self::refresh_gauges(&state);
         drop(state);
         if done {
@@ -473,6 +581,23 @@ impl Coordinator {
                 Self::refresh_gauges(&state);
                 drop(state);
                 Self::record_expiries(expired);
+                // Emit the synthetic `worker:<name>` wrapper spans the
+                // adopted chunk spans were parented under; the ids were
+                // pre-allocated at adoption time, so the tree closes up
+                // regardless of record order.
+                if let (Some(trace), Some(collector)) =
+                    (campaign_state.trace, snn_obs::trace::installed())
+                {
+                    for (name, wt) in &campaign_state.worker_spans {
+                        collector.push_synthetic_with_id(
+                            wt.wrapper,
+                            &format!("worker:{name}"),
+                            Some(trace.parent_span_id),
+                            wt.busy,
+                            vec![("chunks".to_string(), wt.chunks.to_string())],
+                        );
+                    }
+                }
                 let parts: Vec<Vec<FaultOutcome>> = campaign_state
                     .states
                     .into_iter()

@@ -1,4 +1,4 @@
-//! Protocol v4: the coordinator/worker messages of distributed
+//! Protocol v5: the coordinator/worker messages of distributed
 //! campaigns, plus the newline-JSON line codec both the job server and
 //! the cluster share.
 //!
@@ -24,7 +24,26 @@ use std::io::{BufRead, Write};
 ///   [`CampaignSpec`] gained optional `reliability` payloads, and
 ///   persisted job records a `schema` version. All additions are
 ///   `Option` fields, so v3 records and messages still decode.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// * `5` — distributed tracing: [`LeaseGrant`] gained an optional
+///   [`TraceContext`] stamped by the coordinator, and
+///   [`WorkerMsg::Result`] an optional `spans` batch of the worker's
+///   finished trace spans. Both additions are `Option` fields, so v4
+///   messages still decode (an untraced campaign is simply `None`).
+pub const PROTOCOL_VERSION: u64 = 5;
+
+/// The trace context a coordinator stamps into every [`LeaseGrant`] of a
+/// traced campaign. Workers root their chunk spans at this context and
+/// ship them back on [`WorkerMsg::Result`]; the coordinator re-parents
+/// the batch under `parent_span_id`, merging all workers into one tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Trace identifier, unique per coordinator process (the campaign
+    /// span's id doubles as the trace id).
+    pub trace_id: u64,
+    /// Id of the coordinator-side span (`cluster.campaign`) that worker
+    /// subtrees are merged under.
+    pub parent_span_id: u64,
+}
 
 /// What network a campaign (or job) runs against.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -96,6 +115,10 @@ pub struct LeaseGrant {
     pub fault_ids: Vec<usize>,
     /// Milliseconds until the lease expires unless heartbeats extend it.
     pub deadline_in_ms: u64,
+    /// Trace context of a traced campaign (protocol v5). `None` — the
+    /// v4 wire shape — means tracing is off and the worker ships no
+    /// spans back.
+    pub trace: Option<TraceContext>,
 }
 
 /// Worker → coordinator messages.
@@ -149,6 +172,11 @@ pub enum WorkerMsg {
         epoch: u64,
         /// Per-fault outcomes, in lease `fault_ids` order.
         outcomes: Vec<FaultOutcome>,
+        /// Finished trace spans of this chunk (protocol v5), present only
+        /// when the lease carried a [`TraceContext`]. Span ids are local
+        /// to the worker's collector; the coordinator remaps them on
+        /// adoption.
+        spans: Option<Vec<snn_obs::SpanRecord>>,
     },
     /// Polite disconnect. Answered with [`CoordMsg::Shutdown`].
     Bye {
@@ -313,6 +341,7 @@ mod tests {
             epoch: 3,
             fault_ids: vec![64, 65, 66],
             deadline_in_ms: 5000,
+            trace: Some(TraceContext { trace_id: 11, parent_span_id: 11 }),
         }
     }
 
@@ -334,6 +363,14 @@ mod tests {
                 distance: 2.5,
                 class_diff: None,
             }],
+            spans: Some(vec![snn_obs::SpanRecord {
+                id: 4,
+                parent: None,
+                name: "cluster.chunk".into(),
+                start_us: 10,
+                end_us: 250,
+                attrs: vec![("lease".into(), "7".into())],
+            }]),
         });
         round_trip(&WorkerMsg::Bye { worker: "w1".into() });
     }
@@ -388,6 +425,22 @@ mod tests {
                 mitigation: MitigationKind::RangeRestriction,
             }),
         });
+    }
+
+    /// A v4 lease grant (no `trace` field on the wire) and a v4 result
+    /// (no `spans` field) still decode — both additions are `Option`s.
+    #[test]
+    fn v4_messages_still_decode() {
+        let v4_grant = r#"{"Granted":{"lease":7,"campaign":2,"chunk":{"index":1,"start":64,"len":64},"epoch":3,"fault_ids":[64],"deadline_in_ms":5000}}"#;
+        let msg: CoordMsg = serde::json::from_str(v4_grant).unwrap();
+        let CoordMsg::Granted(g) = msg else { panic!("not a grant") };
+        assert_eq!(g.lease, 7);
+        assert_eq!(g.trace, None);
+
+        let v4_result = r#"{"Result":{"worker":"w1","lease":7,"campaign":2,"chunk":1,"epoch":3,"outcomes":[]}}"#;
+        let msg: WorkerMsg = serde::json::from_str(v4_result).unwrap();
+        let WorkerMsg::Result { spans, .. } = msg else { panic!("not a result") };
+        assert_eq!(spans, None);
     }
 
     /// A v3 campaign payload (no `reliability` field on the wire) still

@@ -32,6 +32,14 @@ pub struct WorkerConfig {
     pub name: String,
     /// Simulation threads per chunk (0 = one per core).
     pub threads: usize,
+    /// Capture this worker's spans and ship them back with each chunk
+    /// result of a traced campaign (`snn-mtfc worker --trace`).
+    ///
+    /// Installs a process-global trace collector for the duration of
+    /// [`run_worker`], so it is meant for dedicated worker *processes* —
+    /// enabling it on an in-process worker thread would hijack the host
+    /// process's collector.
+    pub trace: bool,
 }
 
 /// What a worker did before disconnecting, for CLI display.
@@ -144,15 +152,30 @@ pub fn run_worker(cfg: &WorkerConfig) -> Result<WorkerReport, WorkerError> {
     };
     let _ = lease_ms;
 
+    // A traced worker collects its own spans and ships them back with
+    // each chunk result; the previous global collector (if any) is
+    // restored on exit.
+    let collector = cfg.trace.then(|| {
+        let collector = Arc::new(snn_obs::Collector::new());
+        let prev = snn_obs::trace::install(Arc::clone(&collector));
+        (collector, prev)
+    });
+
     let session = Arc::new(Mutex::named("cluster.worker.session", Session::default()));
     let heartbeat = spawn_heartbeat(&cfg.addr, cfg.name.clone(), heartbeat_ms, &session);
 
-    let result = lease_loop(cfg, &mut link, &session);
+    let result = lease_loop(cfg, &mut link, &session, collector.as_ref().map(|(c, _)| c));
 
     session.lock().stop = true;
     let _ = link.send(&WorkerMsg::Bye { worker: cfg.name.clone() });
     if let Some(handle) = heartbeat {
         let _ = handle.join();
+    }
+    if let Some((_, prev)) = collector {
+        match prev {
+            Some(prev) => drop(snn_obs::trace::install(prev)),
+            None => drop(snn_obs::trace::uninstall()),
+        }
     }
     result
 }
@@ -198,6 +221,7 @@ fn lease_loop(
     cfg: &WorkerConfig,
     link: &mut Link,
     session: &Arc<Mutex<Session>>,
+    collector: Option<&Arc<snn_obs::Collector>>,
 ) -> Result<WorkerReport, WorkerError> {
     let mut report = WorkerReport::default();
     let mut campaigns: HashMap<u64, PreparedCampaign> = HashMap::new();
@@ -217,10 +241,16 @@ fn lease_loop(
 
                 let cancel = CancelToken::new();
                 session.lock().current = Some((grant.lease, cancel.clone()));
-                let span = snn_obs::span!("cluster.chunk");
+                let mut span = snn_obs::span!("cluster.chunk");
+                span.attr("lease", grant.lease);
+                span.attr("chunk", grant.chunk.index);
                 let outcome = prepared.run_chunk(&grant.fault_ids, &cancel);
                 drop(span);
                 session.lock().current = None;
+                // Drain even when the grant is untraced or the chunk was
+                // abandoned: the collector must not grow without bound.
+                let drained = collector.map(|c| c.drain());
+                let spans = if grant.trace.is_some() { drained } else { None };
 
                 match outcome {
                     Ok(outcomes) => {
@@ -233,6 +263,7 @@ fn lease_loop(
                             chunk: grant.chunk.index,
                             epoch: grant.epoch,
                             outcomes,
+                            spans,
                         })?;
                         match link.recv()? {
                             Some(CoordMsg::ResultAck { .. }) => {}

@@ -69,7 +69,7 @@ fn distributed_campaign(
         heartbeat_ms: 1000,
         idle_retry_ms: 1,
     }));
-    let campaign = coord.submit(spec.clone(), fault_ids);
+    let campaign = coord.submit(spec.clone(), fault_ids, None);
 
     let handles: Vec<_> = (0..workers)
         .map(|w| {
@@ -99,7 +99,8 @@ fn distributed_campaign(
                                 grant.campaign,
                                 grant.chunk.index,
                                 grant.epoch,
-                                outcomes
+                                outcomes,
+                                None
                             ));
                         }
                         // No pending chunks left; any still-leased ones

@@ -50,7 +50,7 @@ fn idle_until_a_campaign_arrives() {
     let coord = coordinator(4, 5000);
     coord.hello("w1");
     assert!(matches!(coord.grant("w1"), Grant::Idle { .. }));
-    coord.submit(spec(), (0..3).collect());
+    coord.submit(spec(), (0..3).collect(), None);
     assert!(matches!(coord.grant("w1"), Grant::Lease(_)));
 }
 
@@ -59,7 +59,7 @@ fn expired_lease_is_reissued_under_a_bumped_epoch_and_stale_results_bounce() {
     let coord = coordinator(4, 80);
     coord.hello("w1");
     coord.hello("w2");
-    let campaign = coord.submit(spec(), (0..10).collect());
+    let campaign = coord.submit(spec(), (0..10).collect(), None);
 
     let Grant::Lease(first) = coord.grant("w1") else { panic!("expected a lease") };
     assert_eq!(first.epoch, 0);
@@ -81,6 +81,7 @@ fn expired_lease_is_reissued_under_a_bumped_epoch_and_stale_results_bounce() {
         first.chunk.index,
         first.epoch,
         fake_outcomes(&first.fault_ids),
+        None,
     );
     assert!(!stale, "stale (lease, epoch) results are rejected");
 
@@ -92,6 +93,7 @@ fn expired_lease_is_reissued_under_a_bumped_epoch_and_stale_results_bounce() {
         second.chunk.index,
         second.epoch,
         fake_outcomes(&second.fault_ids),
+        None,
     );
     assert!(fresh, "live results are accepted");
 
@@ -105,7 +107,7 @@ fn expired_lease_is_reissued_under_a_bumped_epoch_and_stale_results_bounce() {
 fn heartbeats_keep_a_slow_lease_alive() {
     let coord = coordinator(8, 150);
     coord.hello("w1");
-    let campaign = coord.submit(spec(), (0..8).collect());
+    let campaign = coord.submit(spec(), (0..8).collect(), None);
     let Grant::Lease(grant) = coord.grant("w1") else { panic!("expected a lease") };
 
     // Simulate a slow chunk: 6 × 60 ms ≫ the 150 ms lease, kept alive by
@@ -121,6 +123,7 @@ fn heartbeats_keep_a_slow_lease_alive() {
         grant.chunk.index,
         grant.epoch,
         fake_outcomes(&grant.fault_ids),
+        None,
     ));
     assert!(!coord.heartbeat("w1", grant.lease), "a completed lease no longer beats");
     assert_eq!(coord.status().chunks_reissued, 0, "no expiry happened");
@@ -130,10 +133,18 @@ fn heartbeats_keep_a_slow_lease_alive() {
 fn wrong_length_results_are_rejected() {
     let coord = coordinator(4, 5000);
     coord.hello("w1");
-    let campaign = coord.submit(spec(), (0..4).collect());
+    let campaign = coord.submit(spec(), (0..4).collect(), None);
     let Grant::Lease(grant) = coord.grant("w1") else { panic!("expected a lease") };
     let short = fake_outcomes(&grant.fault_ids[..2]);
-    assert!(!coord.result("w1", grant.lease, campaign, grant.chunk.index, grant.epoch, short));
+    assert!(!coord.result(
+        "w1",
+        grant.lease,
+        campaign,
+        grant.chunk.index,
+        grant.epoch,
+        short,
+        None
+    ));
     assert_eq!(coord.status().results_stale, 1);
 }
 
@@ -144,7 +155,7 @@ fn completed_campaign_merges_in_fault_list_order() {
     // Deliberately scrambled fault ids: merge order is fault-list order,
     // not id order.
     let fault_ids: Vec<usize> = vec![9, 2, 7, 0, 5, 1, 8, 3, 6, 4];
-    let campaign = coord.submit(spec(), fault_ids.clone());
+    let campaign = coord.submit(spec(), fault_ids.clone(), None);
 
     // Play a single worker draining the queue out of chunk order is not
     // possible through grant() (it hands chunks in order), but results
@@ -161,7 +172,8 @@ fn completed_campaign_merges_in_fault_list_order() {
             campaign,
             g.chunk.index,
             g.epoch,
-            fake_outcomes(&g.fault_ids)
+            fake_outcomes(&g.fault_ids),
+            None
         ));
     }
 
@@ -181,7 +193,7 @@ fn completed_campaign_merges_in_fault_list_order() {
 #[test]
 fn empty_campaign_completes_immediately() {
     let coord = coordinator(4, 5000);
-    let campaign = coord.submit(spec(), Vec::new());
+    let campaign = coord.submit(spec(), Vec::new(), None);
     let merged = coord.wait(campaign, &CancelToken::new(), |_| {}).unwrap();
     assert!(merged.is_empty());
 }
@@ -196,7 +208,7 @@ fn waiting_on_an_unknown_campaign_is_a_typed_error() {
 #[test]
 fn cancellation_aborts_a_wait() {
     let coord = coordinator(4, 5000);
-    let campaign = coord.submit(spec(), (0..4).collect());
+    let campaign = coord.submit(spec(), (0..4).collect(), None);
     let cancel = CancelToken::new();
     cancel.cancel();
     let err = coord.wait(campaign, &cancel, |_| {}).unwrap_err();
@@ -206,7 +218,7 @@ fn cancellation_aborts_a_wait() {
 #[test]
 fn shutdown_reaches_waiters_and_workers() {
     let coord = std::sync::Arc::new(coordinator(4, 5000));
-    let campaign = coord.submit(spec(), (0..4).collect());
+    let campaign = coord.submit(spec(), (0..4).collect(), None);
     let waiter = {
         let coord = std::sync::Arc::clone(&coord);
         std::thread::spawn(move || coord.wait(campaign, &CancelToken::new(), |_| {}))
@@ -235,7 +247,7 @@ fn progress_reports_are_monotonic_while_chunks_land() {
     let coord = std::sync::Arc::new(coordinator(2, 5000));
     coord.hello("w1");
     let fault_ids: Vec<usize> = (0..6).collect();
-    let campaign = coord.submit(spec(), fault_ids.clone());
+    let campaign = coord.submit(spec(), fault_ids.clone(), None);
     let worker = {
         let coord = std::sync::Arc::clone(&coord);
         std::thread::spawn(move || {
@@ -247,7 +259,8 @@ fn progress_reports_are_monotonic_while_chunks_land() {
                     campaign,
                     g.chunk.index,
                     g.epoch,
-                    fake_outcomes(&g.fault_ids)
+                    fake_outcomes(&g.fault_ids),
+                    None
                 ));
             }
         })

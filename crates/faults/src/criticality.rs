@@ -103,13 +103,17 @@ pub fn classify(
             let injection = Injection::for_fault(net, universe, &faults[i])
                 // snn-lint: allow(L-PANIC): faults come from the same universe that enumerated them, so they are well-formed
                 .expect("universe faults are well-formed");
+            // Criticality labelling is outside the detection campaign's
+            // phase accounting; the scratch recorder is discarded.
+            let mut scratch = snn_obs::phase::LocalPhases::new();
             for (k, ((sample, baseline), &pred)) in
                 samples.iter().zip(baselines.iter()).zip(predictions.iter()).enumerate()
             {
                 if crate::sim::provably_undetectable(net, &activity[k], &faults[i]) {
                     continue; // no activity change ⇒ same prediction
                 }
-                let Some(output) = faulty_output(worker, baseline, sample, &injection, sim_cfg)
+                let Some(output) =
+                    faulty_output(worker, baseline, sample, &injection, sim_cfg, &mut scratch)
                 else {
                     continue; // identical output ⇒ same prediction
                 };
@@ -148,10 +152,13 @@ pub fn accuracy_delta(
         .expect("universe faults are well-formed");
     let mut worker = net.clone();
     let cfg = FaultSimConfig { threads: 1, ..FaultSimConfig::default() };
+    let mut scratch = snn_obs::phase::LocalPhases::new();
     let mut flipped = 0usize;
     for (sample, &pred) in samples.iter().zip(predictions.iter()) {
         let baseline = net.forward(sample, RecordOptions::spikes_only());
-        let Some(output) = faulty_output(&mut worker, &baseline, sample, &injection, cfg) else {
+        let Some(output) =
+            faulty_output(&mut worker, &baseline, sample, &injection, cfg, &mut scratch)
+        else {
             continue; // identical output ⇒ same prediction
         };
         if predict_from_output(&output) != pred {

@@ -186,6 +186,15 @@ impl<'a> FaultSimulator<'a> {
         let mut campaign_span = snn_obs::span!("faultsim.campaign");
         campaign_span.attr("faults", faults.len());
         let start = snn_obs::clock::monotonic();
+        // Kernel-phase accounting: the per-fault loop records into the
+        // process-wide accumulator; the campaign publishes its delta as
+        // synthetic `phase.*` spans when tracing is on. (The accumulator
+        // is shared, so campaigns running concurrently in one process
+        // blend into each other's delta — dedicated worker processes and
+        // single-campaign CLI runs, the cases that ship traces, run one
+        // campaign at a time.)
+        let phases = snn_obs::phase::faultsim();
+        let phases_before = phases.snapshot();
         let baseline_span = snn_obs::span!("faultsim.baseline");
         let baselines: Vec<Trace> =
             tests.iter().map(|t| self.net.forward(t, RecordOptions::spikes_only())).collect();
@@ -218,6 +227,7 @@ impl<'a> FaultSimulator<'a> {
             || net.clone(),
             |worker, i| {
                 let fault_started = snn_obs::clock::monotonic();
+                let mut local = snn_obs::phase::LocalPhases::new();
                 let fault = &faults[i];
                 let injection = &injections[i];
                 let mut detected = false;
@@ -227,8 +237,9 @@ impl<'a> FaultSimulator<'a> {
                     if cfg.activity_filter && provably_undetectable(net, &activity[k], fault) {
                         continue;
                     }
-                    let out = faulty_output(worker, baseline, input, injection, cfg);
+                    let out = faulty_output(worker, baseline, input, injection, cfg, &mut local);
                     let Some(output) = out else { continue };
+                    let compare_started = snn_obs::clock::monotonic();
                     let distance = (&output - baseline.output()).l1_norm();
                     if distance > 0.0 {
                         detected = true;
@@ -254,6 +265,10 @@ impl<'a> FaultSimulator<'a> {
                             }
                         }
                     }
+                    local.add(
+                        snn_obs::phase::Phase::Compare,
+                        snn_obs::clock::monotonic().saturating_sub(compare_started),
+                    );
                 }
                 if detected {
                     detected_total.fetch_add(1, Ordering::Relaxed);
@@ -268,12 +283,33 @@ impl<'a> FaultSimulator<'a> {
                     "Faults simulated across campaigns."
                 )
                 .inc();
+                let fault_elapsed = snn_obs::clock::monotonic().saturating_sub(fault_started);
+                local.add(snn_obs::phase::Phase::Fault, fault_elapsed);
                 snn_obs::histogram!(
                     "snn_faultsim_fault_seconds",
                     "Per-fault simulation time.",
                     snn_obs::metrics::FINE_DURATION_BUCKETS
                 )
-                .observe_duration(snn_obs::clock::monotonic().saturating_sub(fault_started));
+                .observe_duration(fault_elapsed);
+                snn_obs::histogram!(
+                    "snn_faultsim_phase_inject_seconds",
+                    "Per-fault time applying and restoring the fault patch.",
+                    snn_obs::metrics::FINE_DURATION_BUCKETS
+                )
+                .observe_duration(local.total(snn_obs::phase::Phase::Inject));
+                snn_obs::histogram!(
+                    "snn_faultsim_phase_forward_seconds",
+                    "Per-fault forward-simulation time summed over layers.",
+                    snn_obs::metrics::FINE_DURATION_BUCKETS
+                )
+                .observe_duration(local.forward_total());
+                snn_obs::histogram!(
+                    "snn_faultsim_phase_compare_seconds",
+                    "Per-fault baseline-comparison and verdict time.",
+                    snn_obs::metrics::FINE_DURATION_BUCKETS
+                )
+                .observe_duration(local.total(snn_obs::phase::Phase::Compare));
+                phases.merge(&local);
                 sink.emit(Progress::FaultsSimulated {
                     done: done.fetch_add(1, Ordering::Relaxed) + 1,
                     total: faults.len(),
@@ -289,6 +325,10 @@ impl<'a> FaultSimulator<'a> {
         )?;
 
         let elapsed = snn_obs::clock::monotonic().saturating_sub(start);
+        if let Some(parent) = campaign_span.id() {
+            let delta = phases.snapshot().delta_since(&phases_before);
+            snn_obs::phase::emit_spans(&delta, Some(parent));
+        }
         campaign_span.attr("detected", detected_total.load(Ordering::Relaxed));
         Ok(CampaignOutcome { per_fault, elapsed })
     }
@@ -381,18 +421,26 @@ pub(crate) fn provably_undetectable(net: &Network, acts: &ActivitySummary, fault
 /// identical to the baseline.
 ///
 /// `worker` is a scratch clone of the fault-free network that weight
-/// injections may patch (always restored before returning).
+/// injections may patch (always restored before returning). `local`
+/// accrues the kernel-phase time of this simulation: patch apply/restore
+/// under `inject`, each `forward_layer` under its layer's `forward`
+/// slot, early-exit baseline checks under `compare`.
 pub(crate) fn faulty_output(
     worker: &mut Network,
     baseline: &Trace,
     input: &Tensor,
     injection: &Injection,
     cfg: FaultSimConfig,
+    local: &mut snn_obs::phase::LocalPhases,
 ) -> Option<Tensor> {
+    use snn_obs::clock::monotonic;
+    use snn_obs::phase::Phase;
+
     let num_layers = worker.layers().len();
     let start = if cfg.prefix_cache { injection.start_layer() } else { 0 };
 
     // Apply the weight patch (neuron faults ride on the override map).
+    let inject_started = monotonic();
     let (fault_map, restore) = match injection {
         Injection::Weight { at, value } => {
             let old = worker.set_weight(*at, *value);
@@ -400,6 +448,7 @@ pub(crate) fn faulty_output(
         }
         Injection::Neuron(map) => (map.clone(), None),
     };
+    local.add(Phase::Inject, monotonic().saturating_sub(inject_started));
 
     let mut current: Option<Tensor> = None;
     let mut identical = false;
@@ -414,8 +463,13 @@ pub(crate) fn faulty_output(
                 }
             }
         };
+        let forward_started = monotonic();
         let lt = worker.forward_layer(idx, stage_input, RecordOptions::spikes_only(), &fault_map);
-        if cfg.early_exit && lt.output == baseline.layers[idx].output {
+        let compare_started = monotonic();
+        local.add_forward(idx, compare_started.saturating_sub(forward_started));
+        let exit = cfg.early_exit && lt.output == baseline.layers[idx].output;
+        local.add(Phase::Compare, monotonic().saturating_sub(compare_started));
+        if exit {
             identical = true;
             break;
         }
@@ -423,7 +477,9 @@ pub(crate) fn faulty_output(
     }
 
     if let Some((at, old)) = restore {
+        let restore_started = monotonic();
         worker.set_weight(at, old);
+        local.add(Phase::Inject, monotonic().saturating_sub(restore_started));
     }
 
     if identical {

@@ -19,6 +19,10 @@
 //!   and Prometheus text-format 0.0.4 rendering.
 //! * [`profile`] — folds a trace into an aggregated span tree with
 //!   total/self time per node (the `snn profile` subcommand).
+//! * [`phase`] — atomics-only kernel-phase accumulator splitting
+//!   per-fault time into inject / forward-per-layer / compare / expand,
+//!   published as synthetic `phase.*` spans and the
+//!   `snn profile --phases` table.
 //!
 //! Metric names follow `snn_<subsystem>_<name>_<unit>`; span names are
 //! lower-case dotted paths (`generate`, `stage1.backward`,
@@ -28,10 +32,12 @@
 
 pub mod clock;
 pub mod metrics;
+pub mod phase;
 pub mod profile;
 pub mod span_names;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, RealClock};
 pub use metrics::{MetricsSnapshot, Registry};
+pub use phase::{LocalPhases, Phase, PhaseAccumulator, PhaseSnapshot};
 pub use trace::{Collector, SpanGuard, SpanRecord};

@@ -117,6 +117,90 @@ fn render_node(out: &mut String, node: &ProfileNode, depth: usize) {
     }
 }
 
+/// One aggregated row of the kernel-phase table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Phase span name (`phase.inject`, `phase.forward.l0`, …).
+    pub name: String,
+    /// Summed sample count across the trace's `phase.*` spans (each
+    /// synthetic span carries its sample count in a `count` attribute;
+    /// spans without one count as a single sample).
+    pub count: u64,
+    /// Summed wall time of the phase.
+    pub total: Duration,
+}
+
+/// Aggregates every synthetic `phase.*` span in a trace — wherever it
+/// sits in the tree — into one row per phase name, sorted by fixed slot
+/// order: the order [`PhaseSnapshot::entries`](crate::phase::PhaseSnapshot::entries)
+/// emits, which `phase.*` names sort to lexicographically.
+pub fn phase_rows(records: &[SpanRecord]) -> Vec<PhaseRow> {
+    let mut rows: BTreeMap<&str, (u64, Duration)> = BTreeMap::new();
+    for record in records {
+        if !record.name.starts_with("phase.") {
+            continue;
+        }
+        let count = record
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "count")
+            .and_then(|(_, v)| v.parse::<u64>().ok())
+            .unwrap_or(1);
+        let row = rows.entry(record.name.as_str()).or_insert((0, Duration::ZERO));
+        row.0 += count;
+        row.1 += record.duration();
+    }
+    rows.into_iter()
+        .map(|(name, (count, total))| PhaseRow { name: name.to_string(), count, total })
+        .collect()
+}
+
+/// Renders the kernel-phase table plus an attribution line:
+///
+/// ```text
+/// KERNEL PHASES
+///      TOTAL   COUNT  PHASE
+///     1.204s    5140  phase.forward.l0
+///     …
+/// attributed: 98.2% of 2.510s fault-simulation time
+/// ```
+///
+/// The denominator is the per-fault envelope (`phase.fault`) plus the
+/// post-loop expansion (`phase.expand`); the numerator is every other
+/// phase plus `phase.expand`. With no phase samples in the trace the
+/// table says so instead.
+pub fn render_phases(records: &[SpanRecord]) -> String {
+    let rows = phase_rows(records);
+    if rows.is_empty() {
+        return String::from("KERNEL PHASES\n(no phase.* samples in this trace)\n");
+    }
+    let mut out = String::from("KERNEL PHASES\n     TOTAL   COUNT  PHASE\n");
+    let mut fault = Duration::ZERO;
+    let mut expand = Duration::ZERO;
+    let mut attributed = Duration::ZERO;
+    for row in &rows {
+        let _ = writeln!(out, "{:>10} {:>7}  {}", fmt_duration(row.total), row.count, row.name);
+        match row.name.as_str() {
+            "phase.fault" => fault += row.total,
+            "phase.expand" => {
+                expand += row.total;
+                attributed += row.total;
+            }
+            _ => attributed += row.total,
+        }
+    }
+    let denominator = fault + expand;
+    if denominator > Duration::ZERO {
+        let pct = 100.0 * attributed.as_secs_f64() / denominator.as_secs_f64();
+        let _ = writeln!(
+            out,
+            "attributed: {pct:.1}% of {} fault-simulation time",
+            fmt_duration(denominator)
+        );
+    }
+    out
+}
+
 /// Fixed-precision human duration: seconds above 1 s, milliseconds above
 /// 1 ms, microseconds below.
 fn fmt_duration(d: Duration) -> String {
@@ -205,6 +289,43 @@ mod tests {
         let roots = build(&records);
         assert!(roots[0].find("leaf").is_some());
         assert!(roots[0].find("missing").is_none());
+    }
+
+    #[test]
+    fn phase_rows_aggregate_by_name_with_count_attrs() {
+        let mut a = span(1, Some(9), "phase.inject", 0, 2_000);
+        a.attrs.push(("count".to_string(), "100".to_string()));
+        let mut b = span(2, Some(10), "phase.inject", 0, 3_000);
+        b.attrs.push(("count".to_string(), "50".to_string()));
+        let c = span(3, Some(9), "phase.fault", 0, 10_000); // no count attr → 1
+        let rows = phase_rows(&[a, b, c, span(4, None, "generate", 0, 99)]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "phase.fault");
+        assert_eq!(rows[0].count, 1);
+        assert_eq!(rows[1].name, "phase.inject");
+        assert_eq!(rows[1].count, 150);
+        assert_eq!(rows[1].total, Duration::from_micros(5_000));
+    }
+
+    #[test]
+    fn render_phases_reports_attribution_against_fault_plus_expand() {
+        let records = vec![
+            span(1, None, "phase.inject", 0, 2_000),
+            span(2, None, "phase.forward.l0", 0, 5_000),
+            span(3, None, "phase.compare", 0, 1_000),
+            span(4, None, "phase.fault", 0, 8_000),
+            span(5, None, "phase.expand", 0, 2_000),
+        ];
+        let text = render_phases(&records);
+        assert!(text.contains("phase.forward.l0"), "{text}");
+        // numerator 2+5+1+2 = 10 ms, denominator 8+2 = 10 ms → 100%
+        assert!(text.contains("attributed: 100.0%"), "{text}");
+    }
+
+    #[test]
+    fn render_phases_without_samples_says_so() {
+        let text = render_phases(&[span(1, None, "generate", 0, 100)]);
+        assert!(text.contains("no phase.* samples"), "{text}");
     }
 
     #[test]

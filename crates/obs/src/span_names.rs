@@ -11,6 +11,14 @@
 //! (`generate.calibrate`, `cluster.chunk`). Nesting in the profile tree
 //! comes from guard scopes at runtime, not from the name, but the dotted
 //! prefix should still reflect the intended parent.
+//!
+//! *Synthetic* spans — records pushed wholesale via
+//! [`Collector::push_synthetic`](crate::trace::Collector::push_synthetic)
+//! rather than opened by a guard at an instrumentation site — are outside
+//! this registry: their names are dynamic (`phase.inject`,
+//! `phase.forward.l3`, `worker:<name>`), so there is no literal site for
+//! L-OBS to cross-check. The stable prefixes are `phase.` for
+//! kernel-phase totals and `worker:` for per-worker trace subtrees.
 
 /// Every production span name, grouped by subsystem, each group sorted.
 pub const SPAN_NAMES: &[&str] = &[
@@ -19,6 +27,7 @@ pub const SPAN_NAMES: &[&str] = &[
     "analyze.collapse",
     "analyze.intervals",
     // snn-cluster + the service's worker-message handler.
+    "cluster.campaign",
     "cluster.chunk",
     "cluster.worker_msg",
     // snn-faults: fault-simulation campaigns.

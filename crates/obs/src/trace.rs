@@ -25,6 +25,7 @@ use crate::clock::{Clock, RealClock};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write as _;
 use std::path::Path;
@@ -108,6 +109,93 @@ impl Collector {
         file.write_all(self.to_jsonl().as_bytes())
     }
 
+    /// Takes every span finished so far out of the collector, leaving it
+    /// empty. Ids keep incrementing across drains, so spans recorded
+    /// afterwards never collide with already-drained ones.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.finished.lock())
+    }
+
+    /// Reserves a fresh span id without recording anything — for
+    /// pre-allocating a parent id that later records (emitted out of
+    /// order, e.g. a per-worker wrapper span) will attach to.
+    pub fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Records an already-closed synthetic span of the given `duration`
+    /// ending now on this collector's clock, and returns its id. This is
+    /// how aggregate data that was never a live [`SpanGuard`] — kernel
+    /// phase totals, per-worker wrappers — enters the trace.
+    pub fn push_synthetic(
+        &self,
+        name: &str,
+        parent: Option<u64>,
+        duration: Duration,
+        attrs: Vec<(String, String)>,
+    ) -> u64 {
+        let id = self.allocate_id();
+        self.push_synthetic_with_id(id, name, parent, duration, attrs);
+        id
+    }
+
+    /// [`Collector::push_synthetic`] with a caller-reserved id from
+    /// [`Collector::allocate_id`].
+    pub fn push_synthetic_with_id(
+        &self,
+        id: u64,
+        name: &str,
+        parent: Option<u64>,
+        duration: Duration,
+        attrs: Vec<(String, String)>,
+    ) {
+        // Anchor the start and derive the end, so the duration survives
+        // even when the clock is still near its origin.
+        let duration_us = u64::try_from(duration.as_micros()).unwrap_or(u64::MAX);
+        let start_us = self.now_us().saturating_sub(duration_us);
+        let end_us = start_us.saturating_add(duration_us);
+        self.record(SpanRecord { id, parent, name: name.to_string(), start_us, end_us, attrs });
+    }
+
+    /// Adopts a batch of spans recorded by a *different* collector (e.g.
+    /// shipped back from a worker process) into this one.
+    ///
+    /// Every span receives a fresh id from this collector and intra-batch
+    /// parent links are remapped accordingly; batch roots — and orphans
+    /// whose parent is not part of the batch (a worker died mid-chunk) —
+    /// are re-parented onto `parent`, stitching the foreign subtree into
+    /// this trace. Start/end timestamps are kept verbatim: they are on
+    /// the foreign clock's origin, and the profile tree only consumes
+    /// durations.
+    pub fn adopt(&self, records: &[SpanRecord], parent: Option<u64>) -> AdoptStats {
+        let remap: BTreeMap<u64, u64> =
+            records.iter().map(|r| (r.id, self.allocate_id())).collect();
+        let mut stats = AdoptStats::default();
+        let mut batch = Vec::with_capacity(records.len());
+        for record in records {
+            let Some(&id) = remap.get(&record.id) else { continue };
+            let new_parent = match record.parent.and_then(|p| remap.get(&p)) {
+                Some(&p) => Some(p),
+                None => {
+                    stats.roots += 1;
+                    stats.root_total += record.duration();
+                    parent
+                }
+            };
+            batch.push(SpanRecord {
+                id,
+                parent: new_parent,
+                name: record.name.clone(),
+                start_us: record.start_us,
+                end_us: record.end_us,
+                attrs: record.attrs.clone(),
+            });
+        }
+        stats.adopted = batch.len();
+        self.finished.lock().extend(batch);
+        stats
+    }
+
     fn record(&self, record: SpanRecord) {
         self.finished.lock().push(record);
     }
@@ -115,6 +203,18 @@ impl Collector {
     fn now_us(&self) -> u64 {
         u64::try_from(self.clock.now().as_micros()).unwrap_or(u64::MAX)
     }
+}
+
+/// What [`Collector::adopt`] did with a foreign span batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdoptStats {
+    /// Number of spans copied into the collector.
+    pub adopted: usize,
+    /// Number of spans re-parented onto the supplied parent: roots of
+    /// the foreign batch plus orphans whose parent was absent from it.
+    pub roots: usize,
+    /// Summed duration of those re-parented spans.
+    pub root_total: Duration,
 }
 
 /// Parses JSONL trace text back into span records (empty lines skipped).
@@ -165,6 +265,24 @@ pub fn uninstall() -> Option<Arc<Collector>> {
 /// to skip computing expensive attribute values.
 pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// The installed collector, if any (a cheap `Arc` clone) — for code that
+/// needs more than span guards, e.g. adopting foreign spans or pushing
+/// synthetic records.
+pub fn installed() -> Option<Arc<Collector>> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    GLOBAL.read().clone()
+}
+
+/// Serializes tests — across modules and crates — that install the
+/// process-global collector.
+#[doc(hidden)]
+pub fn global_test_lock() -> parking_lot::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
 }
 
 /// Id of the span currently open on this thread (to pass across a thread
@@ -273,12 +391,13 @@ mod tests {
     use super::*;
     use crate::clock::ManualClock;
 
-    /// Serializes tests that install the process-global collector.
-    static GLOBAL_TEST: Mutex<()> = Mutex::new(());
+    fn record(id: u64, parent: Option<u64>, name: &str, start_us: u64, end_us: u64) -> SpanRecord {
+        SpanRecord { id, parent, name: name.to_string(), start_us, end_us, attrs: Vec::new() }
+    }
 
     #[test]
     fn disabled_spans_are_inert() {
-        let _serial = GLOBAL_TEST.lock();
+        let _serial = global_test_lock();
         assert!(!enabled());
         let mut g = span!("noop");
         g.attr("k", 1);
@@ -288,7 +407,7 @@ mod tests {
 
     #[test]
     fn spans_nest_and_record_parents() {
-        let _serial = GLOBAL_TEST.lock();
+        let _serial = global_test_lock();
         let clock = Arc::new(ManualClock::new());
         install(Arc::new(Collector::with_clock(clock.clone())));
         {
@@ -317,7 +436,7 @@ mod tests {
 
     #[test]
     fn explicit_parent_crosses_threads() {
-        let _serial = GLOBAL_TEST.lock();
+        let _serial = global_test_lock();
         install(Arc::new(Collector::with_clock(Arc::new(ManualClock::new()))));
         let root = span!("root");
         let root_id = root.id();
@@ -340,7 +459,7 @@ mod tests {
 
     #[test]
     fn jsonl_round_trips_including_attrs() {
-        let _serial = GLOBAL_TEST.lock();
+        let _serial = global_test_lock();
         let collector = Arc::new(Collector::with_clock(Arc::new(ManualClock::new())));
         install(collector.clone());
         {
@@ -359,5 +478,86 @@ mod tests {
     fn parse_rejects_garbage_with_line_number() {
         let err = parse_jsonl("not json\n").unwrap_err();
         assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn drain_takes_spans_and_ids_keep_incrementing() {
+        let collector = Collector::with_clock(Arc::new(ManualClock::new()));
+        collector.push_synthetic("a", None, Duration::from_millis(1), Vec::new());
+        let first = collector.drain();
+        assert_eq!(first.len(), 1);
+        assert!(collector.finished().is_empty());
+        let second_id = collector.push_synthetic("b", None, Duration::from_millis(1), Vec::new());
+        assert!(second_id > first[0].id, "ids must not collide across drains");
+    }
+
+    #[test]
+    fn synthetic_records_carry_duration_and_attrs() {
+        let clock = Arc::new(ManualClock::new());
+        clock.advance(Duration::from_secs(10));
+        let collector = Collector::with_clock(clock);
+        let id = collector.push_synthetic(
+            "phase.inject",
+            Some(7),
+            Duration::from_millis(250),
+            vec![("count".to_string(), "42".to_string())],
+        );
+        let spans = collector.finished();
+        assert_eq!(spans[0].id, id);
+        assert_eq!(spans[0].parent, Some(7));
+        assert_eq!(spans[0].duration(), Duration::from_millis(250));
+        assert_eq!(spans[0].attrs[0].1, "42");
+    }
+
+    #[test]
+    fn adopt_remaps_ids_and_stitches_parents() {
+        // A foreign batch using ids 1..=3 — guaranteed to collide with
+        // ids the local collector has already handed out.
+        let foreign = vec![
+            record(1, None, "cluster.chunk", 0, 5_000),
+            record(2, Some(1), "faultsim.campaign", 0, 4_000),
+            record(3, Some(2), "faultsim.worker", 0, 3_000),
+        ];
+        let local = Collector::with_clock(Arc::new(ManualClock::new()));
+        let local_root = local.push_synthetic("worker:w0", None, Duration::ZERO, Vec::new());
+        let stats = local.adopt(&foreign, Some(local_root));
+        assert_eq!(stats.adopted, 3);
+        assert_eq!(stats.roots, 1);
+        assert_eq!(stats.root_total, Duration::from_micros(5_000));
+        let spans = local.finished();
+        let chunk = spans.iter().find(|s| s.name == "cluster.chunk").unwrap();
+        let campaign = spans.iter().find(|s| s.name == "faultsim.campaign").unwrap();
+        let worker = spans.iter().find(|s| s.name == "faultsim.worker").unwrap();
+        // Fresh ids, intra-batch links preserved, root stitched under the
+        // local wrapper.
+        assert_ne!(chunk.id, 1);
+        assert_eq!(chunk.parent, Some(local_root));
+        assert_eq!(campaign.parent, Some(chunk.id));
+        assert_eq!(worker.parent, Some(campaign.id));
+    }
+
+    #[test]
+    fn adopt_reparents_orphans_onto_the_supplied_parent() {
+        // Parent id 99 is not part of the batch (truncated worker trace).
+        let foreign = vec![record(5, Some(99), "cluster.chunk", 0, 1_000)];
+        let local = Collector::with_clock(Arc::new(ManualClock::new()));
+        let stats = local.adopt(&foreign, Some(123));
+        assert_eq!(stats.roots, 1);
+        assert_eq!(local.finished()[0].parent, Some(123));
+        // And with no parent supplied, orphans become roots.
+        let stats = local.adopt(&foreign, None);
+        assert_eq!(stats.adopted, 1);
+        assert_eq!(local.finished()[1].parent, None);
+    }
+
+    #[test]
+    fn installed_returns_the_global_collector() {
+        let _serial = global_test_lock();
+        assert!(installed().is_none());
+        let collector = Arc::new(Collector::with_clock(Arc::new(ManualClock::new())));
+        install(collector.clone());
+        assert!(Arc::ptr_eq(&installed().unwrap(), &collector));
+        uninstall();
+        assert!(installed().is_none());
     }
 }

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use snn_cluster::build_model;
 use snn_cluster::coordinator::{ClusterError, Coordinator, CoordinatorConfig, Grant};
-use snn_cluster::wire::{CampaignSpec, CoordMsg, WorkerMsg};
+use snn_cluster::wire::{CampaignSpec, CoordMsg, TraceContext, WorkerMsg};
 use snn_faults::progress::{CancelToken, Progress, ProgressSink};
 use snn_faults::{verdict_digest_hex, FaultOutcome, FaultSimConfig, FaultSimulator, FaultUniverse};
 use snn_model::Network;
@@ -800,17 +800,20 @@ fn run_distributed(
     sink: &ServiceSink,
     token: &CancelToken,
 ) -> Result<Vec<FaultOutcome>, JobOutcome> {
-    let campaign = inner.coordinator.submit(payload, fault_ids);
-    inner
-        .coordinator
-        .wait(campaign, token, |p| {
-            sink.emit(Progress::FaultsSimulated {
-                done: p.done,
-                total: p.total,
-                detected: p.detected,
-            });
-        })
-        .map_err(|e| cluster_outcome(inner, e))
+    // The campaign span roots the merged trace: its id travels to the
+    // workers inside every lease grant, and their shipped chunk spans
+    // come back parented (via per-worker wrappers) under it.
+    let mut span = snn_obs::span!("cluster.campaign");
+    span.attr("faults", fault_ids.len());
+    // The trace has no identity separate from its root span, so the
+    // campaign span's id doubles as the trace id.
+    let trace = span.id().map(|id| TraceContext { trace_id: id, parent_span_id: id });
+    let campaign = inner.coordinator.submit(payload, fault_ids, trace);
+    let merged = inner.coordinator.wait(campaign, token, |p| {
+        sink.emit(Progress::FaultsSimulated { done: p.done, total: p.total, detected: p.detected });
+    });
+    drop(span);
+    merged.map_err(|e| cluster_outcome(inner, e))
 }
 
 /// Serves one connection — client or cluster worker. Each line is
@@ -903,11 +906,11 @@ fn worker_reply(inner: &Inner, msg: WorkerMsg) -> Option<CoordMsg> {
         WorkerMsg::Heartbeat { worker, lease } => {
             CoordMsg::HeartbeatAck { live: inner.coordinator.heartbeat(&worker, lease) }
         }
-        WorkerMsg::Result { worker, lease, campaign, chunk, epoch, outcomes } => {
+        WorkerMsg::Result { worker, lease, campaign, chunk, epoch, outcomes, spans } => {
             CoordMsg::ResultAck {
                 accepted: inner
                     .coordinator
-                    .result(&worker, lease, campaign, chunk, epoch, outcomes),
+                    .result(&worker, lease, campaign, chunk, epoch, outcomes, spans),
             }
         }
         WorkerMsg::Bye { .. } => return None,

@@ -6,7 +6,7 @@
 //! snn-mtfc generate model.snn --out test.events [--preset fast|repro|paper] [--seed N]
 //!                   [--trace-out trace.jsonl]
 //! snn-mtfc verify   model.snn test.events [--trace-out trace.jsonl]
-//! snn-mtfc profile  trace.jsonl
+//! snn-mtfc profile  trace.jsonl [--phases]
 //!
 //! snn-mtfc reliability (--model model.snn | --synthetic IxH..xO) [--configs N]
 //!                   [--weight-ber F] [--neuron-ber F] [--fault-model stuck|bitflip]
@@ -15,7 +15,7 @@
 //!
 //! snn-mtfc serve    --state-dir DIR [--addr HOST:PORT] [--workers N] [--queue N]
 //!                   [--metrics-dump metrics.prom] [--expect-workers N]
-//!                   [--chunk-size N] [--lease-ms MS]
+//!                   [--chunk-size N] [--lease-ms MS] [--trace-out trace.jsonl]
 //! snn-mtfc submit   (--model model.snn | --synthetic IxH..xO) [--preset P] [--coverage] [--watch]
 //! snn-mtfc status   [<job>] [--addr HOST:PORT]
 //! snn-mtfc watch    <job>   [--addr HOST:PORT] [--json]
@@ -23,10 +23,12 @@
 //! snn-mtfc cancel   <job>   [--addr HOST:PORT]
 //! snn-mtfc shutdown         [--addr HOST:PORT]
 //!
-//! snn-mtfc worker         [--addr HOST:PORT] [--name NAME] [--threads N]
+//! snn-mtfc worker         [--addr HOST:PORT] [--name NAME] [--threads N] [--trace]
 //! snn-mtfc cluster-status [--addr HOST:PORT] [--json]
 //! snn-mtfc cluster-bench  [--out BENCH_cluster.json] [--synthetic IxH..xO]
 //!                         [--preset P] [--seed N] [--chunk-size N]
+//!                         [--git-rev REV] [--timestamp TS] [--host-cores N]
+//!                         [--baseline FILE] [--max-regression FRAC]
 //! ```
 //!
 //! `new` creates a (randomly initialized) model file so the rest of the
@@ -100,14 +102,14 @@ fn print_usage() {
          snn-mtfc generate <model.snn> [--out <test.events>] [--preset fast|repro|paper] [--seed N]\n                    \
          [--trace-out <trace.jsonl>]\n  \
          snn-mtfc verify   <model.snn> <test.events> [--trace-out <trace.jsonl>]\n  \
-         snn-mtfc profile  <trace.jsonl>\n\n  \
+         snn-mtfc profile  <trace.jsonl> [--phases]\n\n  \
          snn-mtfc reliability (--model <model.snn> | --synthetic IxH..xO) [--configs N]\n                       \
          [--weight-ber F] [--neuron-ber F] [--fault-model stuck|bitflip]\n                       \
          [--mitigation none|range|remap] [--window T0:T1] [--samples N]\n                       \
          [--steps N] [--rate F] [--seed N] [--workers N] [--json]\n\n  \
          snn-mtfc serve    --state-dir <dir> [--addr host:port] [--workers N] [--queue N]\n                    \
          [--metrics-dump <metrics.prom>] [--expect-workers N]\n                    \
-         [--chunk-size N] [--lease-ms MS]\n  \
+         [--chunk-size N] [--lease-ms MS] [--trace-out <trace.jsonl>]\n  \
          snn-mtfc submit   (--model <model.snn> | --synthetic IxH..xO) [--preset fast|repro|paper]\n                    \
          [--seed N] [--max-iterations N] [--t-limit SECS] [--coverage]\n                    \
          [--threads N] [--watch] [--addr host:port]\n                    \
@@ -117,10 +119,12 @@ fn print_usage() {
          snn-mtfc metrics          [--addr host:port]\n  \
          snn-mtfc cancel   <job>   [--addr host:port]\n  \
          snn-mtfc shutdown         [--addr host:port]\n\n  \
-         snn-mtfc worker         [--addr host:port] [--name NAME] [--threads N]\n  \
+         snn-mtfc worker         [--addr host:port] [--name NAME] [--threads N] [--trace]\n  \
          snn-mtfc cluster-status [--addr host:port] [--json]\n  \
          snn-mtfc cluster-bench  [--out <BENCH_cluster.json>] [--synthetic IxH..xO]\n                          \
-         [--preset fast|repro|paper] [--seed N] [--chunk-size N]\n\n\
+         [--preset fast|repro|paper] [--seed N] [--chunk-size N]\n                          \
+         [--git-rev REV] [--timestamp TS] [--host-cores N]\n                          \
+         [--baseline FILE] [--max-regression FRAC]\n\n\
          ARCH SPEC (comma-separated stages):\n  \
          dense:<n> | conv:<out_c>:<k>:<stride>:<pad> | pool:<k> | recurrent:<n>\n  \
          e.g. --input 2x16x16 --arch pool:2,dense:48,dense:10\n\n\
@@ -143,6 +147,8 @@ const BOOL_FLAGS: &[&str] = &[
     "--timing-faults",
     "--json",
     "--reliability",
+    "--phases",
+    "--trace",
 ];
 
 fn positional(args: &[String], index: usize) -> Option<&str> {
@@ -484,6 +490,15 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         lease_ms: num_flag(args, "--lease-ms")?.unwrap_or(5000),
     };
     let metrics_dump = flag(args, "--metrics-dump").map(str::to_string);
+    let trace_out = flag(args, "--trace-out").map(str::to_string);
+    // With --trace-out the server collects its own spans plus the ones
+    // workers ship back with traced campaigns, and writes the merged
+    // tree on shutdown.
+    let collector = trace_out.as_ref().map(|_| {
+        let collector = Arc::new(obs::Collector::new());
+        obs::trace::install(Arc::clone(&collector));
+        collector
+    });
     let server = Server::bind(config).map_err(|e| format!("cannot start server: {e}"))?;
     println!("listening on {} (state in {state_dir})", server.local_addr());
     if expect_workers > 0 {
@@ -494,6 +509,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         let rendered = obs::metrics::render_prometheus(&obs::metrics::global().snapshot());
         std::fs::write(&path, rendered).map_err(|e| format!("cannot write metrics {path}: {e}"))?;
         println!("wrote metrics {path}");
+    }
+    if let (Some(path), Some(collector)) = (trace_out, collector) {
+        obs::trace::uninstall();
+        collector
+            .write_jsonl(std::path::Path::new(&path))
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+        println!("wrote trace {path}");
     }
     Ok(())
 }
@@ -691,6 +713,10 @@ fn cmd_profile(args: &[String]) -> Result<(), String> {
         return Err(format!("{path} contains no spans"));
     }
     print!("{}", obs::profile::render(&obs::profile::build(&records)));
+    if args.iter().any(|a| a == "--phases") {
+        println!();
+        print!("{}", obs::profile::render_phases(&records));
+    }
     Ok(())
 }
 
@@ -710,11 +736,13 @@ fn cmd_worker(args: &[String]) -> Result<(), String> {
         .map(str::to_string)
         .unwrap_or_else(|| format!("worker-{}", std::process::id()));
     let threads = num_flag(args, "--threads")?.unwrap_or(0);
+    let trace = args.iter().any(|a| a == "--trace");
     println!("worker {name} connecting to {addr}");
     let report = snn_mtfc::cluster::run_worker(&snn_mtfc::cluster::WorkerConfig {
         addr: addr.clone(),
         name: name.clone(),
         threads,
+        trace,
     })
     .map_err(|e| format!("worker failed: {e}"))?;
     println!(
@@ -799,10 +827,13 @@ fn cluster_job_run(
         .map(|i| {
             let name = format!("{tag}-{i}");
             std::thread::spawn(move || {
+                // In-process worker threads share the bench process; a
+                // traced worker would hijack its global collector.
                 snn_mtfc::cluster::run_worker(&snn_mtfc::cluster::WorkerConfig {
                     addr: addr.to_string(),
                     name,
                     threads: 1,
+                    trace: false,
                 })
             })
         })
@@ -927,14 +958,55 @@ fn print_reliability_report(report: &snn_mtfc::reliability::ReliabilityReport) {
     println!("digest: {}", report.digest);
 }
 
+/// One kernel phase's share of the benchmarked campaigns, for the
+/// perf-history records.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchPhase {
+    name: String,
+    seconds: f64,
+    count: u64,
+}
+
+/// One appended perf-history record: the headline throughput of the
+/// 2-worker run plus the kernel-phase breakdown, stamped with metadata
+/// the harness passes in (the binary itself never reads clocks or VCS
+/// state, keeping the determinism lints clean).
+#[derive(serde::Serialize, serde::Deserialize)]
+struct BenchHistoryRecord {
+    git_rev: String,
+    timestamp: String,
+    faults_per_sec: f64,
+    phase_breakdown: Vec<BenchPhase>,
+}
+
+/// The slice of a previous `BENCH_cluster.json` the regression gate and
+/// history carry-forward need; unknown keys are ignored by the decoder.
+#[derive(serde::Deserialize)]
+struct BenchBaseline {
+    runs: Vec<BenchBaselineRun>,
+    history: Option<Vec<BenchHistoryRecord>>,
+}
+
+#[derive(serde::Deserialize)]
+struct BenchBaselineRun {
+    workers: usize,
+    faults_per_sec: f64,
+}
+
+/// History records kept in the bench file; older ones age out.
+const BENCH_HISTORY_CAP: usize = 20;
+
 /// Benchmarks one fixed coverage campaign at 0 (local), 1 and 2 cluster
-/// workers, gates that all three verdict digests are identical, and
-/// writes the measurements as JSON.
+/// workers, gates that all three verdict digests are identical, gates
+/// 2-worker throughput against `--baseline` (if given), and writes the
+/// measurements — with run metadata and an appended perf-history
+/// record — as JSON.
 fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
     let out = flag(args, "--out").unwrap_or("BENCH_cluster.json");
     let seed = seed_of(args)?;
+    let synthetic = flag(args, "--synthetic").unwrap_or("16x64x10");
     let spec = JobSpec {
-        model: synthetic_model(flag(args, "--synthetic").unwrap_or("16x64x10"), seed)?,
+        model: synthetic_model(synthetic, seed)?,
         preset: flag(args, "--preset").unwrap_or("fast").to_string(),
         seed,
         max_iterations: None,
@@ -944,7 +1016,16 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
         reliability: None,
     };
     let chunk_size = num_flag(args, "--chunk-size")?.unwrap_or(128);
+    let git_rev = flag(args, "--git-rev").unwrap_or("unknown").to_string();
+    let timestamp = flag(args, "--timestamp").unwrap_or("unknown").to_string();
+    let host_cores = num_flag::<usize>(args, "--host-cores")?;
+    let baseline = flag(args, "--baseline").map(load_bench_baseline).transpose()?;
+    let max_regression: f64 = num_flag(args, "--max-regression")?.unwrap_or(0.15);
 
+    // The phase accumulator is process-global and both the local run and
+    // the in-process bench workers feed it; the delta across all three
+    // runs is this benchmark's kernel-phase breakdown.
+    let phases_before = obs::phase::faultsim().snapshot();
     let mut runs = Vec::new();
     for workers in [0usize, 1, 2] {
         let run = bench_run(workers, &spec, chunk_size)?;
@@ -954,6 +1035,14 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
         );
         runs.push(run);
     }
+    let phase_breakdown: Vec<BenchPhase> = obs::phase::faultsim()
+        .snapshot()
+        .delta_since(&phases_before)
+        .entries()
+        .into_iter()
+        .map(|e| BenchPhase { name: e.name, seconds: e.total.as_secs_f64(), count: e.count })
+        .collect();
+
     // The exactness gate: every path — in-process, 1 worker, 2 workers —
     // must produce bit-identical verdicts.
     for run in &runs[1..] {
@@ -967,6 +1056,49 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
     let speedup = runs[1].fault_sim_ms.max(1) as f64 / runs[2].fault_sim_ms.max(1) as f64;
     println!("digests identical across all paths; 2-worker speedup over 1: {speedup:.2}x");
 
+    // The regression gate: 2-worker throughput must stay within
+    // `--max-regression` of the slowest recorded run — the baseline's
+    // 2-worker measurement and every history record. Gating on the
+    // minimum (not the latest) keeps one fast outlier from setting an
+    // unattainable bar on noisy shared hosts.
+    let mut history = Vec::new();
+    if let Some(baseline) = baseline {
+        history = baseline.history.unwrap_or_default();
+        let recorded = baseline
+            .runs
+            .iter()
+            .filter(|r| r.workers == 2)
+            .map(|r| r.faults_per_sec)
+            .chain(history.iter().map(|h| h.faults_per_sec))
+            .fold(f64::INFINITY, f64::min);
+        if recorded.is_finite() {
+            let floor = recorded * (1.0 - max_regression);
+            let measured = runs[2].faults_per_sec;
+            if measured < floor {
+                return Err(format!(
+                    "perf regression: 2-worker throughput {measured:.0} faults/sec is below \
+                     {floor:.0} (slowest recorded {recorded:.0}, {:.0}% tolerance)",
+                    max_regression * 100.0
+                ));
+            }
+            println!(
+                "regression gate ok: {measured:.0} faults/sec vs slowest recorded {recorded:.0} \
+                 ({:.0}% tolerance)",
+                max_regression * 100.0
+            );
+        }
+    }
+    history.push(BenchHistoryRecord {
+        git_rev: git_rev.clone(),
+        timestamp: timestamp.clone(),
+        faults_per_sec: runs[2].faults_per_sec,
+        phase_breakdown,
+    });
+    if history.len() > BENCH_HISTORY_CAP {
+        let drop = history.len() - BENCH_HISTORY_CAP;
+        history.drain(..drop);
+    }
+
     let entries: Vec<String> = runs
         .iter()
         .map(|r| {
@@ -977,19 +1109,32 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
             )
         })
         .collect();
+    let history_entries: Vec<String> =
+        history.iter().map(|h| format!("    {}", serde::json::to_string(h))).collect();
+    let host_cores_json = host_cores.map_or_else(|| "null".to_string(), |n| n.to_string());
     let json = format!(
-        "{{\n  \"campaign\": {{\"synthetic\": \"{}\", \"preset\": \"{}\", \"seed\": {}, \
-         \"chunk_size\": {}, \"faults_total\": {}}},\n  \"runs\": [\n{}\n  ],\n  \
-         \"speedup_2_over_1\": {:.4}\n}}\n",
-        flag(args, "--synthetic").unwrap_or("16x64x10"),
+        "{{\n  \"meta\": {{\"git_rev\": \"{git_rev}\", \"timestamp\": \"{timestamp}\", \
+         \"preset\": \"{}\", \"synthetic\": \"{synthetic}\", \"seed\": {seed}, \
+         \"chunk_size\": {chunk_size}, \"host_cores\": {host_cores_json}}},\n  \
+         \"campaign\": {{\"synthetic\": \"{synthetic}\", \"preset\": \"{}\", \"seed\": {seed}, \
+         \"chunk_size\": {chunk_size}, \"faults_total\": {}}},\n  \"runs\": [\n{}\n  ],\n  \
+         \"speedup_2_over_1\": {:.4},\n  \"history\": [\n{}\n  ]\n}}\n",
         spec.preset,
-        seed,
-        chunk_size,
+        spec.preset,
         runs[0].faults_total,
         entries.join(",\n"),
-        speedup
+        speedup,
+        history_entries.join(",\n")
     );
     std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
+}
+
+/// Reads and decodes a previous bench file for the regression gate and
+/// history carry-forward.
+fn load_bench_baseline(path: &str) -> Result<BenchBaseline, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+    serde::json::from_str(&text).map_err(|e| format!("cannot decode baseline {path}: {e}"))
 }

@@ -295,6 +295,16 @@ fn serve_watch_json_and_metrics_roundtrip() {
             .unwrap_or_else(|| panic!("missing {counter}: {metrics}"));
         assert_ne!(value.trim(), "0", "{counter} must be non-zero after a coverage job");
     }
+    // The cluster health series are pre-registered by the coordinator so
+    // the dump exposes them even before any worker connects.
+    assert!(
+        metrics.contains("# TYPE snn_cluster_leases_in_flight gauge"),
+        "missing in-flight lease gauge: {metrics}"
+    );
+    assert!(
+        metrics.contains("# TYPE snn_cluster_heartbeat_gap_seconds histogram"),
+        "missing heartbeat-gap histogram: {metrics}"
+    );
 
     assert!(run(&["shutdown", "--addr", &addr]).status.success());
     child.wait().expect("server exits");

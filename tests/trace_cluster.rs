@@ -1,0 +1,148 @@
+//! End-to-end distributed tracing: a coverage campaign over two real
+//! worker processes must merge into one coherent span tree in the
+//! coordinator's collector — every worker chunk span nested under its
+//! synthetic `worker:<name>` wrapper, every wrapper nested under the
+//! coordinator's `cluster.campaign` span, and no orphan records.
+
+use snn_mtfc::obs;
+use snn_mtfc::service::{Client, JobSpec, JobState, ModelSpec, Server, ServiceConfig};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+
+const WORKER_NAMES: [&str; 2] = ["trace-a", "trace-b"];
+
+fn temp_state_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snn-trace-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn coverage_spec() -> JobSpec {
+    JobSpec {
+        model: ModelSpec::Synthetic { inputs: 16, hidden: vec![64], outputs: 10, seed: 5 },
+        preset: "fast".into(),
+        seed: 5,
+        max_iterations: None,
+        t_limit_secs: None,
+        evaluate_coverage: true,
+        threads: 1,
+        reliability: None,
+    }
+}
+
+fn spawn_worker(addr: std::net::SocketAddr, name: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_snn-mtfc"))
+        .args(["worker", "--addr", &addr.to_string(), "--name", name, "--threads", "1", "--trace"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn worker process")
+}
+
+#[test]
+fn two_worker_campaign_merges_into_one_coherent_tree() {
+    // The coordinator runs in this process, so the merged trace lands in
+    // a collector installed here.
+    let collector = Arc::new(obs::Collector::new());
+    obs::trace::install(Arc::clone(&collector));
+
+    let state_dir = temp_state_dir();
+    let server = Server::bind(ServiceConfig {
+        workers: 1,
+        expect_workers: 2,
+        chunk_size: 64,
+        ..ServiceConfig::loopback(&state_dir)
+    })
+    .expect("bind server");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut workers: Vec<Child> =
+        WORKER_NAMES.iter().map(|name| spawn_worker(addr, name)).collect();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let job = client.submit(coverage_spec()).expect("submit");
+    let record = client.watch(job, |_| {}).expect("watch");
+    assert_eq!(record.state, JobState::Done, "job error: {:?}", record.error);
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server thread").expect("server run");
+    for child in &mut workers {
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    obs::trace::uninstall();
+    let records = collector.finished();
+    let by_id: BTreeMap<u64, &obs::SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+
+    // No orphans anywhere in the merged trace: every parent id resolves.
+    assert_eq!(by_id.len(), records.len(), "span ids are unique after adoption");
+    for r in &records {
+        if let Some(parent) = r.parent {
+            assert!(by_id.contains_key(&parent), "orphan span {:?} (parent {parent})", r.name);
+        }
+    }
+
+    let campaigns: Vec<_> = records.iter().filter(|r| r.name == "cluster.campaign").collect();
+    assert_eq!(campaigns.len(), 1, "exactly one campaign root");
+    let campaign = campaigns[0];
+
+    // Both workers contributed a wrapper span, parented under the
+    // campaign root and carrying its chunk tally as an attribute.
+    let wrappers: Vec<_> = records.iter().filter(|r| r.name.starts_with("worker:")).collect();
+    let wrapper_names: BTreeSet<&str> = wrappers.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(
+        wrapper_names,
+        BTreeSet::from(["worker:trace-a", "worker:trace-b"]),
+        "both workers appear in the merged trace"
+    );
+    let wrapper_ids: BTreeSet<u64> = wrappers.iter().map(|r| r.id).collect();
+    for w in &wrappers {
+        assert_eq!(w.parent, Some(campaign.id), "{} nests under the campaign span", w.name);
+    }
+
+    // Every shipped chunk span sits under a wrapper, and each wrapper's
+    // `chunks` attribute matches the chunk spans adopted beneath it —
+    // the deterministic tree shape the coordinator promises.
+    let chunks: Vec<_> = records.iter().filter(|r| r.name == "cluster.chunk").collect();
+    assert!(!chunks.is_empty(), "worker chunk spans were shipped back");
+    for c in &chunks {
+        let parent = c.parent.expect("chunk spans are parented");
+        assert!(wrapper_ids.contains(&parent), "cluster.chunk nests under a worker wrapper");
+    }
+    for w in &wrappers {
+        let nested = chunks.iter().filter(|c| c.parent == Some(w.id)).count();
+        let tally: usize = w
+            .attrs
+            .iter()
+            .find(|(k, _)| k == "chunks")
+            .and_then(|(_, v)| v.parse().ok())
+            .expect("wrapper carries a chunks attribute");
+        assert_eq!(nested, tally, "{} chunk tally matches its subtree", w.name);
+    }
+
+    // Kernel-phase spans from the workers arrive nested inside their
+    // chunk's faultsim.campaign span.
+    let chunk_ids: BTreeSet<u64> = chunks.iter().map(|r| r.id).collect();
+    let sims: Vec<_> = records
+        .iter()
+        .filter(|r| {
+            r.name == "faultsim.campaign" && r.parent.is_some_and(|p| chunk_ids.contains(&p))
+        })
+        .collect();
+    assert!(!sims.is_empty(), "each chunk ran a fault-sim campaign");
+    let sim_ids: BTreeSet<u64> = sims.iter().map(|r| r.id).collect();
+    let phases: Vec<_> = records
+        .iter()
+        .filter(|r| r.name.starts_with("phase.") && r.parent.is_some_and(|p| sim_ids.contains(&p)))
+        .collect();
+    assert!(
+        phases.iter().any(|r| r.name == "phase.fault"),
+        "worker chunks report per-fault phase spans"
+    );
+    assert!(
+        phases.iter().any(|r| r.name.starts_with("phase.forward.")),
+        "worker chunks report per-layer forward phases"
+    );
+}
