@@ -33,7 +33,15 @@ if [[ -f BENCH_cluster.json ]]; then
                    --max-regression "${BENCH_MAX_REGRESSION:-0.15}")
 fi
 
+# BENCH_ENGINE=packed|scalar|auto selects the execution engine (default
+# auto); the resolved engine is stamped into the meta block and every
+# history record.
+ENGINE_ARGS=()
+if [[ -n "${BENCH_ENGINE:-}" ]]; then
+    ENGINE_ARGS=(--engine "$BENCH_ENGINE")
+fi
+
 cargo build --release --offline --quiet
 ./target/release/snn-mtfc cluster-bench --out "$OUT" \
     --git-rev "$GIT_REV" --timestamp "$TIMESTAMP" --host-cores "$HOST_CORES" \
-    "${BASELINE_ARGS[@]}"
+    "${BASELINE_ARGS[@]}" "${ENGINE_ARGS[@]}"

@@ -76,6 +76,28 @@ cargo run --release -q --offline -- verify "$ANALYZE_TMP/obs.snn" "$ANALYZE_TMP/
 cargo run --release -q --offline -- profile "$ANALYZE_TMP/verify.trace.jsonl" \
     | grep -q "faultsim.campaign" || { echo "verify profile missing span 'faultsim.campaign'"; exit 1; }
 
+step "packed engine — digest equality with the scalar engine on the example nets"
+# Same seeded campaign under both engines: the packed path promises
+# bit-identical verdicts (DESIGN.md §18.3), so the digests must match
+# on all three example nets — nmnist (pool prefix), ibm (conv prefix,
+# exercising the scalar fallback), shd (recurrent prefix).
+verdict_of() { sed -n 's/^verdict digest: \([0-9a-f]*\)$/\1/p' <<< "$1"; }
+for m in nmnist ibm shd; do
+    cargo run --release -q --offline -- generate "$ANALYZE_TMP/$m.snn" --preset fast --seed 5 \
+        --out "$ANALYZE_TMP/$m.events" > /dev/null
+    SCALAR_OUT="$(cargo run --release -q --offline -- verify "$ANALYZE_TMP/$m.snn" \
+        "$ANALYZE_TMP/$m.events" --engine scalar)"
+    PACKED_OUT="$(cargo run --release -q --offline -- verify "$ANALYZE_TMP/$m.snn" \
+        "$ANALYZE_TMP/$m.events" --engine packed)"
+    grep -q '^engine: scalar$' <<< "$SCALAR_OUT" || { echo "$m: verify ignored --engine scalar"; exit 1; }
+    grep -q '^engine: packed$' <<< "$PACKED_OUT" || { echo "$m: verify ignored --engine packed"; exit 1; }
+    SCALAR_DIGEST="$(verdict_of "$SCALAR_OUT")"
+    PACKED_DIGEST="$(verdict_of "$PACKED_OUT")"
+    [[ -n "$SCALAR_DIGEST" ]] || { echo "$m: verify printed no verdict digest"; exit 1; }
+    [[ "$SCALAR_DIGEST" == "$PACKED_DIGEST" ]] \
+        || { echo "$m: engine digest mismatch: scalar $SCALAR_DIGEST vs packed $PACKED_DIGEST"; exit 1; }
+done
+
 step "cluster bench — 0/1/2 workers, bit-identical verdicts + perf-regression gated"
 # bench_cluster.sh reads this machine's BENCH_cluster.json (gitignored
 # local state) as the perf-regression baseline (fails on >15% faults/sec
@@ -136,6 +158,16 @@ DIST_DIGEST="$(digest_of "$REL_DIST")"
     || { echo "reliability digest mismatch: local $LOCAL_DIGEST vs 2-worker $DIST_DIGEST"; exit 1; }
 grep -q '"regions":\[{' <<< "$REL_LOCAL" \
     || { echo "reliability report has an empty criticality ranking"; exit 1; }
+# Engine-selection invariance: reliability campaigns score accuracy
+# impact, not detection, so forcing either engine on the distributed
+# path must reproduce the same digest bit for bit.
+for eng in packed scalar; do
+    REL_ENG="$(cargo run --release -q --offline -- reliability "${RELIABILITY_ARGS[@]}" \
+        --workers 2 --engine "$eng")"
+    ENG_DIGEST="$(digest_of "$REL_ENG")"
+    [[ "$ENG_DIGEST" == "$LOCAL_DIGEST" ]] \
+        || { echo "reliability digest drifted under --engine $eng: $ENG_DIGEST vs $LOCAL_DIGEST"; exit 1; }
+done
 
 step "determinism — double-run: fresh processes reproduce bytes exactly"
 # The property the L-DET passes guard, checked dynamically: two cold

@@ -1,0 +1,228 @@
+//! Satellite property: the packed engine is bit-identical to the scalar
+//! engine — per-fault detection flags, distances, class diffs and the
+//! FNV-1a [`verdict_digest`] match across fault kinds (weight / neuron /
+//! timing / bit-range), pack sizes {1, 7, 64}, remainder packs (universe
+//! size not a multiple of 64), and collapsed universes; plus a dedicated
+//! lane-divergence test where exactly one lane's membrane crosses
+//! threshold.
+
+#![allow(clippy::unwrap_used)] // test-only shorthand
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snn_batch::{engine_detect, plan};
+use snn_faults::{
+    verdict_digest, CampaignOutcome, CancelToken, Engine, Fault, FaultKind, FaultModelConfig,
+    FaultSimConfig, FaultSite, FaultUniverse, NullSink,
+};
+use snn_model::{LifParams, Network, NetworkBuilder, WeightRef};
+use snn_obs::phase::LocalPhases;
+use snn_tensor::{Shape, Tensor};
+
+fn dense_net(seed: u64, inputs: usize, hidden: usize, outputs: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new(inputs, LifParams { refrac_steps: 1, ..LifParams::default() })
+        .dense(hidden)
+        .dense(outputs)
+        .build(&mut rng)
+}
+
+fn tests_for(net: &Network, seed: u64, count: usize) -> Vec<Tensor> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| snn_tensor::init::bernoulli(&mut rng, Shape::d2(16, net.input_features()), 0.4))
+        .collect()
+}
+
+fn cfg_for(engine: Engine) -> FaultSimConfig {
+    FaultSimConfig {
+        threads: 1,
+        engine: Some(engine),
+        record_class_diffs: true,
+        ..FaultSimConfig::default()
+    }
+}
+
+fn run(
+    net: &Network,
+    engine: Engine,
+    u: &FaultUniverse,
+    faults: &[Fault],
+    tests: &[Tensor],
+) -> CampaignOutcome {
+    engine_detect(net, cfg_for(engine), u, faults, tests, &NullSink, &CancelToken::new()).unwrap()
+}
+
+/// The bitwise contract: same fault ids, same detection flags, same
+/// `f32` distances *to the bit*, same class diffs, same digest.
+fn assert_bit_identical(scalar: &CampaignOutcome, packed: &CampaignOutcome) {
+    assert_eq!(scalar.per_fault.len(), packed.per_fault.len());
+    for (s, p) in scalar.per_fault.iter().zip(packed.per_fault.iter()) {
+        assert_eq!(s.fault_id, p.fault_id);
+        assert_eq!(s.detected, p.detected, "fault {}", s.fault_id);
+        assert_eq!(s.distance.to_bits(), p.distance.to_bits(), "fault {}", s.fault_id);
+        assert_eq!(s.class_diff, p.class_diff, "fault {}", s.fault_id);
+    }
+    assert_eq!(verdict_digest(&scalar.per_fault), verdict_digest(&packed.per_fault));
+}
+
+fn assert_engines_agree_on(net: &Network, u: &FaultUniverse, faults: &[Fault], tests: &[Tensor]) {
+    let scalar = run(net, Engine::Scalar, u, faults, tests);
+    let packed = run(net, Engine::Packed, u, faults, tests);
+    assert_bit_identical(&scalar, &packed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random dense nets, full extended universes (timing + bit-range
+    /// faults alongside the standard weight/neuron kinds): identical
+    /// verdicts bit-for-bit under both engines.
+    #[test]
+    fn packed_matches_scalar_over_random_extended_universes(
+        seed in 0u64..1000,
+        hidden in 6usize..12,
+        timing in proptest::bool::ANY,
+    ) {
+        let net = dense_net(seed, 5, hidden, 4);
+        let u = FaultUniverse::with_config(
+            &net,
+            FaultModelConfig::default(),
+            timing,
+            &[0, 3, 7],
+        );
+        let tests = tests_for(&net, seed ^ 0xbeef, 2);
+        assert_engines_agree_on(&net, &u, u.faults(), &tests);
+    }
+}
+
+/// Pack sizes 1, 7 and 64 plus a 65-fault remainder slice (one full
+/// pack + a 1-member remainder pack) — all sliced from a single layer so
+/// the plan produces exactly the intended pack shapes.
+#[test]
+fn pack_sizes_and_remainder_packs_are_bit_identical() {
+    let net = dense_net(21, 6, 10, 4);
+    let u = FaultUniverse::standard(&net);
+    let last = net.layers().len() - 1;
+    let last_layer: Vec<Fault> =
+        u.faults().iter().filter(|f| f.site.layer() == last).copied().collect();
+    assert!(last_layer.len() >= 65, "need ≥65 last-layer faults, got {}", last_layer.len());
+    let tests = tests_for(&net, 22, 2);
+    for k in [1usize, 7, 64, 65] {
+        let subset = &last_layer[..k];
+        // The plan must shape as intended: ≤64-member packs, remainder
+        // split off, golden lane reserved exactly when a pack is partial.
+        let p = plan::plan(&net, subset, &mut LocalPhases::new());
+        assert!(p.fallback.is_empty(), "k={k}");
+        let sizes: Vec<usize> = p.packs.iter().map(|pk| pk.members.len()).collect();
+        match k {
+            65 => assert_eq!(sizes, vec![64, 1], "k={k}"),
+            _ => assert_eq!(sizes, vec![k], "k={k}"),
+        }
+        for pk in &p.packs {
+            assert_eq!(pk.golden_lane, pk.members.len() < 64, "k={k}");
+        }
+        assert_engines_agree_on(&net, &u, subset, &tests);
+    }
+}
+
+/// Collapsed universes: representative campaigns run under each engine,
+/// expanded back over the full universe — expansion of bit-identical
+/// inputs is bit-identical output.
+#[test]
+fn collapsed_universe_expansion_is_engine_invariant() {
+    // Prune to make collapsing yield classes (identical-weight /
+    // silent-source rules need sparsity).
+    let mut net = dense_net(31, 6, 12, 4);
+    snn_analyze::magnitude_prune(&mut net, 0.5);
+    let u = FaultUniverse::standard(&net);
+    let analysis = snn_analyze::analyze(&net, &u);
+    assert!(
+        !analysis.collapsed.collapses().is_empty(),
+        "test needs a universe that actually collapses"
+    );
+    let tests = tests_for(&net, 32, 2);
+    let via = |engine: Engine| {
+        analysis
+            .collapsed
+            .detect_collapsed_via(&tests, |reps| {
+                engine_detect(
+                    &net,
+                    cfg_for(engine),
+                    &u,
+                    reps,
+                    &tests,
+                    &NullSink,
+                    &CancelToken::new(),
+                )
+            })
+            .unwrap()
+    };
+    let scalar = via(Engine::Scalar);
+    let packed = via(Engine::Packed);
+    assert_eq!(scalar.per_fault.len(), u.len());
+    assert_bit_identical(&scalar, &packed);
+}
+
+/// Hand-crafted two-lane pack where exactly one lane's membrane crosses
+/// threshold: a saturated synapse on a driven input diverges (and the
+/// divergence propagates to the output), while the same fault kind on a
+/// never-spiking input carries no traffic and stays on the golden
+/// trajectory.
+#[test]
+fn exactly_one_lane_diverges() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut net = NetworkBuilder::new(2, LifParams { refrac_steps: 1, ..LifParams::default() })
+        .dense(2)
+        .dense(2)
+        .build(&mut rng);
+    // Layer 0 (weights [out × in], offset = out·2 + in): each hidden
+    // neuron listens to one input with a sub-threshold weight — the
+    // geometric sum 0.05 / (1 − leak 0.9) = 0.5 stays below θ = 1.0, so
+    // the golden run never fires.
+    net.set_weight(WeightRef { layer: 0, tensor: 0, offset: 0 }, 0.05); // h0 ← in0 (driven)
+    net.set_weight(WeightRef { layer: 0, tensor: 0, offset: 1 }, 0.0);
+    net.set_weight(WeightRef { layer: 0, tensor: 0, offset: 2 }, 0.0);
+    net.set_weight(WeightRef { layer: 0, tensor: 0, offset: 3 }, 0.05); // h1 ← in1 (silent)
+                                                                        // Layer 1: identity wiring at exactly threshold weight, so any
+                                                                        // hidden spike propagates to the matching output.
+    net.set_weight(WeightRef { layer: 1, tensor: 0, offset: 0 }, 1.0);
+    net.set_weight(WeightRef { layer: 1, tensor: 0, offset: 1 }, 0.0);
+    net.set_weight(WeightRef { layer: 1, tensor: 0, offset: 2 }, 0.0);
+    net.set_weight(WeightRef { layer: 1, tensor: 0, offset: 3 }, 1.0);
+
+    // max|w| = 1.0 ⇒ SynapseSatPos sticks the weight at sat_factor × 1.0
+    // = 2.0 ≥ θ, firing the faulty neuron on every driven tick.
+    let u = FaultUniverse::standard(&net);
+    let pick = |offset: usize| {
+        u.faults()
+            .iter()
+            .find(|f| {
+                f.kind == FaultKind::SynapseSatPos
+                    && f.site == FaultSite::Synapse(WeightRef { layer: 0, tensor: 0, offset })
+            })
+            .copied()
+            .unwrap()
+    };
+    let diverging = pick(0); // h0 ← in0: driven every tick
+    let quiet = pick(3); // h1 ← in1: never sees a spike
+
+    // Input 0 spikes every tick; input 1 never does.
+    let mut stim = vec![0.0f32; 16 * 2];
+    for t in 0..16 {
+        stim[t * 2] = 1.0;
+    }
+    let tests = vec![Tensor::from_vec(Shape::d2(16, 2), stim).unwrap()];
+
+    let faults = [diverging, quiet];
+    let p = plan::plan(&net, &faults, &mut LocalPhases::new());
+    assert_eq!(p.packs.len(), 1, "both faults must share one pack");
+    assert!(p.packs[0].golden_lane);
+
+    let scalar = run(&net, Engine::Scalar, &u, &faults, &tests);
+    let packed = run(&net, Engine::Packed, &u, &faults, &tests);
+    assert_bit_identical(&scalar, &packed);
+    assert!(packed.per_fault[0].detected, "saturated driven synapse must diverge");
+    assert!(!packed.per_fault[1].detected, "saturated silent synapse must stay golden");
+}

@@ -43,6 +43,7 @@ fn bench_faultsim(c: &mut Criterion) {
                 early_exit: early,
                 activity_filter: filter,
                 record_class_diffs: false,
+                engine: None,
             },
         );
         group.bench_function(format!("400_faults/{name}"), |b| {

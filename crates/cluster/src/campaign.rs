@@ -5,8 +5,9 @@
 use crate::wire::{CampaignSpec, ModelSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use snn_faults::chunk::select_faults;
 use snn_faults::progress::{CancelToken, NullSink};
-use snn_faults::{CampaignError, ChunkCampaignError, FaultOutcome, FaultSimulator, FaultUniverse};
+use snn_faults::{CampaignError, ChunkCampaignError, FaultOutcome, FaultUniverse};
 use snn_model::{LifParams, Network, NetworkBuilder};
 use snn_reliability::ReliabilityEvaluator;
 use snn_tensor::Tensor;
@@ -103,7 +104,9 @@ impl PreparedCampaign {
 
     /// Simulates one chunk: the explicit `fault_ids` of a lease, in
     /// order. Outcomes are bit-identical to the same ids inside a
-    /// single-process whole-campaign run.
+    /// single-process whole-campaign run, whichever execution engine the
+    /// spec's `sim.engine` selects — chunk verdicts are engine-invariant
+    /// by the packed engine's bit-exactness contract.
     ///
     /// # Errors
     ///
@@ -119,8 +122,24 @@ impl PreparedCampaign {
                 .evaluate_chunk(fault_ids, self.sim.threads, cancel)
                 .map_err(|_| ChunkCampaignError::Campaign(CampaignError::Cancelled));
         }
-        let sim = FaultSimulator::new(&self.net, self.sim);
-        sim.detect_chunk_with(&self.universe, fault_ids, &self.tests, &NullSink, cancel)
+        let faults = select_faults(&self.universe, fault_ids)?;
+        let outcome = snn_batch::engine_detect(
+            &self.net,
+            self.sim,
+            &self.universe,
+            &faults,
+            &self.tests,
+            &NullSink,
+            cancel,
+        )?;
+        Ok(outcome.per_fault)
+    }
+
+    /// The engine chunks of this campaign actually execute under, after
+    /// [`Engine::Auto`](snn_faults::Engine::Auto) resolution against the
+    /// rebuilt network.
+    pub fn resolved_engine(&self) -> snn_faults::Engine {
+        snn_batch::resolve_engine(&self.net, self.sim.engine)
     }
 }
 
@@ -128,7 +147,7 @@ impl PreparedCampaign {
 #[allow(clippy::unwrap_used)] // test-only shorthand
 mod tests {
     use super::*;
-    use snn_faults::FaultSimConfig;
+    use snn_faults::{FaultSimConfig, FaultSimulator};
 
     fn spec() -> CampaignSpec {
         let model = ModelSpec::Synthetic { inputs: 5, hidden: vec![8], outputs: 3, seed: 21 };

@@ -29,7 +29,13 @@ use std::io::{BufRead, Write};
 ///   [`WorkerMsg::Result`] an optional `spans` batch of the worker's
 ///   finished trace spans. Both additions are `Option` fields, so v4
 ///   messages still decode (an untraced campaign is simply `None`).
-pub const PROTOCOL_VERSION: u64 = 5;
+/// * `6` — execution engines: `FaultSimConfig` (carried inside
+///   [`CampaignSpec`] and job specs) gained an optional `engine`
+///   selector, and job specs/results transport it end to end. All
+///   additions are `Option` fields, so v5 messages still decode
+///   (`None` means [`Engine::Auto`](snn_faults::Engine::Auto)); the
+///   selector never changes verdicts, only execution strategy.
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// The trace context a coordinator stamps into every [`LeaseGrant`] of a
 /// traced campaign. Workers root their chunk spans at this context and

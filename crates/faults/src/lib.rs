@@ -57,6 +57,7 @@
 
 mod coverage;
 mod dictionary;
+mod engine;
 mod estimate;
 mod inject;
 mod sim;
@@ -71,9 +72,13 @@ pub mod transient;
 pub use chunk::{verdict_digest, verdict_digest_hex, ChunkCampaignError, ChunkRange, MergeError};
 pub use coverage::{escape_max_accuracy_drop, ClassCoverage, CoverageReport};
 pub use dictionary::{Diagnosis, FaultDictionary};
+pub use engine::{Engine, ParseEngineError};
 pub use estimate::{estimate_coverage, CoverageEstimate};
 pub use inject::{bit_flip_int8, Injection, InjectionError};
 pub use progress::{CancelToken, Cancelled, NullSink, Progress, ProgressSink};
-pub use sim::{CampaignError, CampaignOutcome, FaultOutcome, FaultSimConfig, FaultSimulator};
+pub use sim::{
+    provably_undetectable, record_faults_detected, record_faults_simulated, ActivitySummary,
+    CampaignError, CampaignOutcome, FaultOutcome, FaultSimConfig, FaultSimulator,
+};
 pub use transient::{windowed_forward, TransientWindow};
 pub use universe::{Fault, FaultKind, FaultModelConfig, FaultSite, FaultUniverse};

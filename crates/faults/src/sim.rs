@@ -29,6 +29,11 @@ pub struct FaultSimConfig {
     /// Record the per-class output spike-count difference of each detected
     /// fault (needed to regenerate the paper's Fig. 9; costs memory).
     pub record_class_diffs: bool,
+    /// Requested execution engine (`None` = [`Engine::Auto`]). Carried in
+    /// the config so job and campaign wire types transport it unchanged;
+    /// [`FaultSimulator`] itself is always the scalar engine — dispatch to
+    /// the packed engine happens in `snn-batch`, which reads this field.
+    pub engine: Option<crate::Engine>,
 }
 
 impl Default for FaultSimConfig {
@@ -39,6 +44,7 @@ impl Default for FaultSimConfig {
             early_exit: true,
             activity_filter: true,
             record_class_diffs: false,
+            engine: None,
         }
     }
 }
@@ -118,6 +124,22 @@ impl std::error::Error for CampaignError {
             Self::Cancelled => None,
         }
     }
+}
+
+/// Bumps the campaign-wide simulated-faults counter. The one registration
+/// site for this metric: the scalar loop and the packed engine
+/// (`snn-batch`) both route through here so the kind/help text can never
+/// diverge between engines.
+pub fn record_faults_simulated(n: u64) {
+    snn_obs::counter!("snn_faultsim_faults_simulated_total", "Faults simulated across campaigns.")
+        .add(n);
+}
+
+/// Bumps the campaign-wide detected-faults counter (single registration
+/// site, shared by both engines — see [`record_faults_simulated`]).
+pub fn record_faults_detected(n: u64) {
+    snn_obs::counter!("snn_faultsim_faults_detected_total", "Faults detected across campaigns.")
+        .add(n);
 }
 
 /// Parallel, prefix-cached fault simulator over a fixed fault-free network.
@@ -272,17 +294,9 @@ impl<'a> FaultSimulator<'a> {
                 }
                 if detected {
                     detected_total.fetch_add(1, Ordering::Relaxed);
-                    snn_obs::counter!(
-                        "snn_faultsim_faults_detected_total",
-                        "Faults detected across campaigns."
-                    )
-                    .inc();
+                    record_faults_detected(1);
                 }
-                snn_obs::counter!(
-                    "snn_faultsim_faults_simulated_total",
-                    "Faults simulated across campaigns."
-                )
-                .inc();
+                record_faults_simulated(1);
                 let fault_elapsed = snn_obs::clock::monotonic().saturating_sub(fault_started);
                 local.add(snn_obs::phase::Phase::Fault, fault_elapsed);
                 snn_obs::histogram!(
@@ -337,13 +351,17 @@ impl<'a> FaultSimulator<'a> {
 /// Per-test-input activity summary backing the activity filter: spike
 /// totals of every layer's input features and of every layer's own
 /// output neurons under the fault-free baseline.
-pub(crate) struct ActivitySummary {
+///
+/// Public so alternative execution engines (`snn-batch`) can apply the
+/// exact same filter the scalar path uses.
+pub struct ActivitySummary {
     input_counts: Vec<Vec<f32>>,
     output_counts: Vec<Vec<f32>>,
 }
 
 impl ActivitySummary {
-    pub(crate) fn new(net: &Network, input: &Tensor, baseline: &Trace) -> Self {
+    /// Summarizes `input` and its fault-free `baseline` trace on `net`.
+    pub fn new(net: &Network, input: &Tensor, baseline: &Trace) -> Self {
         let mut input_counts = Vec::with_capacity(net.layers().len());
         let mut output_counts = Vec::with_capacity(net.layers().len());
         for (idx, _) in net.layers().iter().enumerate() {
@@ -373,7 +391,11 @@ impl ActivitySummary {
 ///
 /// Saturated and timing neuron faults are never filtered (they can create
 /// activity out of silence).
-pub(crate) fn provably_undetectable(net: &Network, acts: &ActivitySummary, fault: &Fault) -> bool {
+///
+/// Public so alternative execution engines (`snn-batch`) share the exact
+/// filter decision — the filter is part of the verdict-equivalence
+/// contract, not an engine detail.
+pub fn provably_undetectable(net: &Network, acts: &ActivitySummary, fault: &Fault) -> bool {
     match (fault.site, fault.kind) {
         (FaultSite::Neuron { layer, index }, FaultKind::NeuronDead) => {
             // snn-lint: allow(L-FLOATEQ): spike counts sum exact 0.0/1.0 values, so zero activity is exact
@@ -543,6 +565,7 @@ mod tests {
                 early_exit: false,
                 activity_filter: false,
                 record_class_diffs: false,
+                engine: None,
             },
         )
         .detect(&u, faults, std::slice::from_ref(&test));

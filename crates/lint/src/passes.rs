@@ -89,7 +89,7 @@ pub fn registry() -> Vec<Pass> {
         Pass {
             id: "L-CAST",
             summary: "narrowing numeric `as` casts in kernel crates need a justification",
-            scope: "crates/tensor, crates/core, crates/snn, crates/faults",
+            scope: "crates/tensor, crates/core, crates/snn, crates/faults, crates/batch",
             explain: "The seed's one real bug was a silent f64→f32 truncation in a numeric \
                       kernel. Narrowing `as` casts there must be replaced with explicit \
                       conversions or justified with an allow stating the value range.",
@@ -109,7 +109,7 @@ pub fn registry() -> Vec<Pass> {
         Pass {
             id: "L-DET-CLOCK",
             summary: "wall-clock, entropy, thread-id or env source in reproducible code",
-            scope: "crates/core, crates/faults, crates/obs, crates/reliability",
+            scope: "crates/core, crates/faults, crates/batch, crates/obs, crates/reliability",
             explain: "Campaign outcomes must be bitwise-reproducible from the seed \
                       (digest equality across workers). This token pass bans the raw \
                       nondeterminism sources — Instant::now/SystemTime, thread_rng/\
@@ -122,7 +122,8 @@ pub fn registry() -> Vec<Pass> {
         Pass {
             id: "L-DET-FLOW",
             summary: "taint flow from a nondeterminism source into a serialized result",
-            scope: "crates/faults, crates/cluster, crates/reliability, crates/analyze",
+            scope: "crates/faults, crates/batch, crates/cluster, crates/reliability, \
+                    crates/analyze",
             explain: "Interprocedural may-taint analysis: wall-clock/RNG/thread-id/env \
                       reads and HashMap/HashSet iteration taint values, taint propagates \
                       through assignments, call arguments and return-value summaries, and \
@@ -135,7 +136,8 @@ pub fn registry() -> Vec<Pass> {
         Pass {
             id: "L-DET-ITER",
             summary: "HashMap/HashSet iteration in digest-equality code",
-            scope: "crates/faults, crates/cluster, crates/reliability, crates/analyze",
+            scope: "crates/faults, crates/batch, crates/cluster, crates/reliability, \
+                    crates/analyze",
             explain: "Iteration order over HashMap/HashSet differs per process, and \
                       pattern bindings (`for (k, v) in …`) defeat flow tracking — so in \
                       merge/report/serialization crates any unordered-collection \
@@ -280,9 +282,18 @@ fn is_library_code(path: &str) -> bool {
 }
 
 fn is_kernel_crate(path: &str) -> bool {
-    ["crates/tensor/src/", "crates/core/src/", "crates/snn/src/", "crates/faults/src/"]
-        .iter()
-        .any(|p| path.starts_with(p))
+    // crates/batch is a numeric kernel too: its packed LIF sweep promises
+    // bitwise equality with the scalar path, so a silent narrowing cast
+    // there is exactly the bug class this pass exists for.
+    [
+        "crates/tensor/src/",
+        "crates/core/src/",
+        "crates/snn/src/",
+        "crates/faults/src/",
+        "crates/batch/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
 }
 
 fn is_reproducible_crate(path: &str) -> bool {
@@ -292,8 +303,11 @@ fn is_reproducible_crate(path: &str) -> bool {
     // crates/reliability is in scope because campaign scoring must be a
     // pure function of the spec — any wall-clock or entropy read there
     // would break digest equality across workers.
+    // crates/batch is in scope because packed verdicts feed the same
+    // digest-equality gate as the scalar engine's.
     path.starts_with("crates/core/src/")
         || path.starts_with("crates/faults/src/")
+        || path.starts_with("crates/batch/src/")
         || path.starts_with("crates/obs/src/")
         || path.starts_with("crates/reliability/src/")
 }

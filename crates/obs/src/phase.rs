@@ -13,7 +13,12 @@
 //!
 //! The hot loop records into a plain-integer [`LocalPhases`] scratch and
 //! folds it into the shared accumulator once per fault
-//! ([`PhaseAccumulator::merge`]). Campaign-level code snapshots the
+//! ([`PhaseAccumulator::merge`]). The packed engine (`snn-batch`)
+//! simulates up to 64 fault variants per pass and records each phase
+//! once per *pack*; it flushes through
+//! [`PhaseAccumulator::merge_pack`], which attributes the wall time once
+//! but weights sample counts by lane occupancy, keeping per-fault counts
+//! comparable across engines. Campaign-level code snapshots the
 //! accumulator before and after a run ([`PhaseAccumulator::snapshot`],
 //! [`PhaseSnapshot::delta_since`]) and publishes the delta as synthetic
 //! `phase.*` spans ([`emit_spans`]) that `snn profile --phases`
@@ -36,7 +41,10 @@ const SLOT_INJECT: usize = 0;
 const SLOT_COMPARE: usize = 1;
 const SLOT_EXPAND: usize = 2;
 const SLOT_FAULT: usize = 3;
-const SLOT_FORWARD: usize = 4;
+const SLOT_PACK_PLAN: usize = 4;
+const SLOT_PACK_ASSIGN: usize = 5;
+const SLOT_PACK_RUN: usize = 6;
+const SLOT_FORWARD: usize = 7;
 const SLOTS: usize = SLOT_FORWARD + MAX_FORWARD_LAYERS;
 
 /// A fixed, non-layer kernel phase of the fault-simulation pipeline.
@@ -52,8 +60,18 @@ pub enum Phase {
     /// Expanding representative verdicts onto a collapsed fault universe.
     Expand,
     /// One whole per-fault simulation — the attribution denominator for
-    /// the in-loop phases.
+    /// the in-loop phases. Under the packed engine, one whole per-pack
+    /// run flushed with [`PhaseAccumulator::merge_pack`].
     Fault,
+    /// Grouping a fault list into ≤64-lane packs (packed engine,
+    /// campaign-level like [`Phase::Expand`]).
+    PackPlan,
+    /// Assigning bit lanes to the variants of each pack (packed engine,
+    /// campaign-level like [`Phase::Expand`]).
+    PackAssign,
+    /// Per-pack word construction and lane bookkeeping that is neither
+    /// forward simulation nor verdict comparison.
+    PackRun,
 }
 
 impl Phase {
@@ -63,6 +81,9 @@ impl Phase {
             Phase::Compare => SLOT_COMPARE,
             Phase::Expand => SLOT_EXPAND,
             Phase::Fault => SLOT_FAULT,
+            Phase::PackPlan => SLOT_PACK_PLAN,
+            Phase::PackAssign => SLOT_PACK_ASSIGN,
+            Phase::PackRun => SLOT_PACK_RUN,
         }
     }
 }
@@ -77,6 +98,9 @@ fn slot_name(slot: usize) -> String {
         SLOT_COMPARE => "phase.compare".to_string(),
         SLOT_EXPAND => "phase.expand".to_string(),
         SLOT_FAULT => "phase.fault".to_string(),
+        SLOT_PACK_PLAN => "phase.pack.plan".to_string(),
+        SLOT_PACK_ASSIGN => "phase.pack.assign".to_string(),
+        SLOT_PACK_RUN => "phase.pack.run".to_string(),
         _ => format!("phase.forward.l{}", slot - SLOT_FORWARD),
     }
 }
@@ -117,6 +141,20 @@ impl PhaseAccumulator {
         for slot in 0..SLOTS {
             if local.counts[slot] > 0 {
                 self.add_slot(slot, local.nanos[slot], local.counts[slot]);
+            }
+        }
+    }
+
+    /// Pack-aware variant of [`merge`](Self::merge) for the batched
+    /// engine, which simulates `lanes` fault variants in one pass and
+    /// records each phase **once** per pack: wall time is folded in
+    /// unscaled (the seconds really elapsed once), while sample counts
+    /// are weighted by lane occupancy so per-fault counts stay
+    /// comparable with the scalar engine's one-merge-per-fault flushes.
+    pub fn merge_pack(&self, local: &LocalPhases, lanes: u64) {
+        for slot in 0..SLOTS {
+            if local.counts[slot] > 0 {
+                self.add_slot(slot, local.nanos[slot], local.counts[slot].saturating_mul(lanes));
             }
         }
     }
@@ -223,7 +261,8 @@ impl PhaseSnapshot {
     }
 
     /// Named rows for every slot with at least one sample, in fixed slot
-    /// order (inject, compare, expand, fault, forward.l0…).
+    /// order (inject, compare, expand, fault, pack.plan, pack.assign,
+    /// pack.run, forward.l0…).
     pub fn entries(&self) -> Vec<PhaseEntry> {
         (0..SLOTS)
             .filter(|&slot| self.counts[slot] > 0)
@@ -325,6 +364,41 @@ mod tests {
         assert_eq!(snap.total(Phase::Inject), Duration::from_millis(1));
         assert_eq!(snap.count(Phase::Fault), 1);
         assert_eq!(snap.entries().len(), 4);
+    }
+
+    #[test]
+    fn pack_merge_attributes_seconds_once_but_counts_per_lane() {
+        let clock = ManualClock::new();
+        let acc = PhaseAccumulator::new();
+        let mut local = LocalPhases::new();
+        // One 17-lane pack: the forward kernel and verdict comparison run
+        // once over packed words, the whole pack sits in one Fault
+        // envelope, and word construction shows up as PackRun.
+        local.add_forward(0, tick(&clock, 6));
+        local.add(Phase::Compare, tick(&clock, 2));
+        local.add(Phase::PackRun, tick(&clock, 1));
+        local.add(Phase::Fault, tick(&clock, 9));
+        acc.merge_pack(&local, 17);
+        let snap = acc.snapshot();
+        // Seconds attributed once: wall time is what actually elapsed.
+        assert_eq!(snap.total(Phase::Fault), Duration::from_millis(9));
+        assert_eq!(snap.total(Phase::Compare), Duration::from_millis(2));
+        // Counts weighted by lane occupancy: 17 faults' worth of samples.
+        assert_eq!(snap.count(Phase::Fault), 17);
+        assert_eq!(snap.count(Phase::Compare), 17);
+        let entries = snap.entries();
+        let forward = entries.iter().find(|e| e.name == "phase.forward.l0").unwrap();
+        assert_eq!(forward.total, Duration::from_millis(6));
+        assert_eq!(forward.count, 17);
+        let pack_run = entries.iter().find(|e| e.name == "phase.pack.run").unwrap();
+        assert_eq!(pack_run.count, 17);
+        // A scalar merge on top composes: one more fault's worth.
+        let mut single = LocalPhases::new();
+        single.add(Phase::Fault, tick(&clock, 3));
+        acc.merge(&single);
+        let snap = acc.snapshot();
+        assert_eq!(snap.total(Phase::Fault), Duration::from_millis(12));
+        assert_eq!(snap.count(Phase::Fault), 18);
     }
 
     #[test]

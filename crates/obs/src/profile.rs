@@ -166,9 +166,11 @@ pub fn phase_rows(records: &[SpanRecord]) -> Vec<PhaseRow> {
 /// ```
 ///
 /// The denominator is the per-fault envelope (`phase.fault`) plus the
-/// post-loop expansion (`phase.expand`); the numerator is every other
-/// phase plus `phase.expand`. With no phase samples in the trace the
-/// table says so instead.
+/// campaign-level phases that run outside it — the post-loop expansion
+/// (`phase.expand`) and the packed engine's plan/assign stages
+/// (`phase.pack.plan`, `phase.pack.assign`); the numerator is every
+/// other phase plus those campaign-level phases. With no phase samples
+/// in the trace the table says so instead.
 pub fn render_phases(records: &[SpanRecord]) -> String {
     let rows = phase_rows(records);
     if rows.is_empty() {
@@ -182,7 +184,7 @@ pub fn render_phases(records: &[SpanRecord]) -> String {
         let _ = writeln!(out, "{:>10} {:>7}  {}", fmt_duration(row.total), row.count, row.name);
         match row.name.as_str() {
             "phase.fault" => fault += row.total,
-            "phase.expand" => {
+            "phase.expand" | "phase.pack.plan" | "phase.pack.assign" => {
                 expand += row.total;
                 attributed += row.total;
             }

@@ -18,7 +18,9 @@
 //! this registry: their names are dynamic (`phase.inject`,
 //! `phase.forward.l3`, `worker:<name>`), so there is no literal site for
 //! L-OBS to cross-check. The stable prefixes are `phase.` for
-//! kernel-phase totals and `worker:` for per-worker trace subtrees.
+//! kernel-phase totals — including the packed engine's `phase.pack.plan`
+//! / `phase.pack.assign` / `phase.pack.run` rows — and `worker:` for
+//! per-worker trace subtrees.
 
 /// Every production span name, grouped by subsystem, each group sorted.
 pub const SPAN_NAMES: &[&str] = &[
@@ -26,6 +28,9 @@ pub const SPAN_NAMES: &[&str] = &[
     "analyze",
     "analyze.collapse",
     "analyze.intervals",
+    // snn-batch: the bit-packed fault-parallel engine.
+    "batch.pack",
+    "batch.plan",
     // snn-cluster + the service's worker-message handler.
     "cluster.campaign",
     "cluster.chunk",

@@ -49,6 +49,11 @@ pub struct JobSpec {
     /// `model` and `threads`. `None` on records written by older
     /// clients/servers.
     pub reliability: Option<snn_reliability::ReliabilitySpec>,
+    /// Execution engine of the coverage campaign (protocol v6): the
+    /// bit-packed fault-parallel engine, the scalar engine, or `Auto`.
+    /// `None` — the shape older clients send — means `Auto`. Engine
+    /// choice never changes verdicts, only execution strategy.
+    pub engine: Option<snn_faults::Engine>,
 }
 
 impl JobSpec {
@@ -64,6 +69,7 @@ impl JobSpec {
             evaluate_coverage: false,
             threads: 0,
             reliability: None,
+            engine: None,
         }
     }
 }
@@ -159,16 +165,22 @@ pub struct JobResult {
     /// fault-map campaign. `None` for generation jobs and on records
     /// written by older servers.
     pub reliability: Option<snn_reliability::ReliabilityReport>,
+    /// Execution engine the coverage campaign actually ran under
+    /// (`"packed"` or `"scalar"`, after `Auto` resolution; protocol v6).
+    /// `None` when no campaign ran or on records written by older
+    /// servers.
+    pub engine: Option<String>,
 }
 
 /// Schema revision stamped into every [`JobRecord`] the server persists.
 ///
 /// Matches [`PROTOCOL_VERSION`] since v4, when the field was introduced.
-/// Every schema change so far is an additive `Option` field, so records
-/// from any earlier schema (including v1–v3 records, which predate the
-/// field itself) still decode — `crate::store` proves it with pinned
-/// JSON fixtures.
-pub const JOB_SCHEMA_VERSION: u32 = 4;
+/// Every schema change so far is an additive `Option` field (v6 added
+/// the spec's requested `engine` and the result's resolved `engine`),
+/// so records from any earlier schema (including v1–v3 records, which
+/// predate the field itself) still decode — `crate::store` proves it
+/// with pinned JSON fixtures.
+pub const JOB_SCHEMA_VERSION: u32 = 6;
 
 /// Everything the server knows about one job. Persisted as one JSON file
 /// under `<state-dir>/jobs/`, rewritten on every state change.
@@ -372,6 +384,7 @@ mod tests {
                 evaluate_coverage: true,
                 threads: 2,
                 reliability: None,
+                engine: Some(snn_faults::Engine::Packed),
             },
             state: JobState::Done,
             submitted_at_ms: 1_700_000_000_000,
@@ -407,6 +420,7 @@ mod tests {
                 }),
                 verdict_digest: Some("cbf29ce484222325".into()),
                 reliability: None,
+                engine: Some("packed".into()),
             }),
             error: None,
             schema: Some(JOB_SCHEMA_VERSION),

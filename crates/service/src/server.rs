@@ -23,7 +23,7 @@ use snn_cluster::build_model;
 use snn_cluster::coordinator::{ClusterError, Coordinator, CoordinatorConfig, Grant};
 use snn_cluster::wire::{CampaignSpec, CoordMsg, TraceContext, WorkerMsg};
 use snn_faults::progress::{CancelToken, Progress, ProgressSink};
-use snn_faults::{verdict_digest_hex, FaultOutcome, FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_faults::{verdict_digest_hex, FaultOutcome, FaultSimConfig, FaultUniverse};
 use snn_model::Network;
 use snn_testgen::{TestGenConfig, TestGenerator};
 use std::collections::{HashMap, VecDeque};
@@ -591,11 +591,16 @@ fn execute(
         timings: Some(JobTimings { queue_wait_ms, analyze_ms, generation_ms, fault_sim_ms: 0 }),
         verdict_digest: None,
         reliability: None,
+        engine: None,
     };
 
     if spec.evaluate_coverage && !test.chunks.is_empty() {
         let fault_sim_started = snn_obs::clock::monotonic();
-        let sim_cfg = FaultSimConfig { threads: spec.threads, ..FaultSimConfig::default() };
+        let sim_cfg = FaultSimConfig {
+            threads: spec.threads,
+            engine: spec.engine,
+            ..FaultSimConfig::default()
+        };
         let universe = &cached.universe;
         let per_fault = if inner.expect_workers > 0 {
             match distributed_coverage(inner, spec, &cached, &test, sim_cfg, sink, token) {
@@ -607,20 +612,29 @@ fn execute(
             let tests = std::slice::from_ref(&assembled);
             // Simulate only the representatives and expand to
             // full-universe outcomes; coverage accounting is still over
-            // every fault.
+            // every fault. The campaign runs under the engine the spec
+            // selected (packed/scalar/auto) — verdicts are
+            // engine-invariant, so the expansion is too.
             let campaign = cached
                 .analysis
                 .collapsed
-                .detect_collapsed(&net, universe, tests, sim_cfg, sink, token)
+                .detect_collapsed_via(tests, |reps| {
+                    snn_batch::engine_detect(&net, sim_cfg, universe, reps, tests, sink, token)
+                })
                 .or_else(|e| match e {
                     snn_analyze::CollapsedCampaignError::Campaign(e) => Err(e),
                     // Expansion refused (e.g. the test is too short for a
                     // provably-detected claim): fall back to the full
                     // campaign.
-                    snn_analyze::CollapsedCampaignError::Expand(_) => {
-                        let sim = FaultSimulator::new(&net, sim_cfg);
-                        sim.detect_with(universe, universe.faults(), tests, sink, token)
-                    }
+                    snn_analyze::CollapsedCampaignError::Expand(_) => snn_batch::engine_detect(
+                        &net,
+                        sim_cfg,
+                        universe,
+                        universe.faults(),
+                        tests,
+                        sink,
+                        token,
+                    ),
                 });
             match campaign {
                 Ok(outcome) => outcome.per_fault,
@@ -630,6 +644,10 @@ fn execute(
                 Err(e) => return JobOutcome::Failed(e.to_string()),
             }
         };
+        // Workers resolve `Auto` against a bit-identical rebuild of the
+        // model, so the local resolution also names the distributed
+        // engine.
+        result.engine = Some(snn_batch::resolve_engine(&net, spec.engine).name().to_string());
         let total = universe.len();
         let detected = per_fault.iter().filter(|o| o.detected).count();
         result.faults_total = Some(total);
@@ -724,6 +742,7 @@ fn execute_reliability(
         timings: Some(JobTimings { queue_wait_ms, analyze_ms: 0, generation_ms: 0, fault_sim_ms }),
         verdict_digest: Some(report.digest.clone()),
         reliability: Some(report),
+        engine: None,
     }))
 }
 

@@ -231,6 +231,7 @@ mod tests {
                     timings: None,
                     verdict_digest: None,
                     reliability: None,
+                    engine: None,
                 });
             });
         }

@@ -34,6 +34,7 @@ mod tensor;
 
 pub mod init;
 pub mod ops;
+pub mod packed;
 pub mod sanitize;
 
 pub use error::ShapeError;

@@ -1,0 +1,234 @@
+//! Bit-packed SWAR primitives for lane-parallel spike processing.
+//!
+//! The batched fault-simulation engine (`snn-batch`) evaluates up to 64
+//! fault variants per pass by assigning each variant a bit *lane* inside
+//! a `u64` word: word `w[j]` holds, at bit `l`, lane `l`'s binary spike
+//! of feature `j` at one tick. This module provides the word-level
+//! kernels that engine builds on:
+//!
+//! * [`lane_row_dot`] — one dense weight row dotted against one lane's
+//!   spike bits, **bit-identical** to the corresponding
+//!   [`ops::matvec`](crate::ops::matvec) row over the same spikes;
+//! * [`row_dot`] — the plain `f32` row product, literally `matvec`
+//!   restricted to a single output row (for golden inputs that may be
+//!   fractional, e.g. downstream of an average-pooling layer);
+//! * [`broadcast_row`] / [`set_lane_bit`] — word construction from a
+//!   golden binary row plus per-lane overrides;
+//! * [`row_diff_mask`] — which lanes' spike rows differ from the golden
+//!   row, the divergence test behind lazy per-lane materialization.
+//!
+//! # Why `lane_row_dot` is exact
+//!
+//! `ops::matvec` accumulates `acc += w[j] * x[j]` in ascending `j` with
+//! `acc` starting at `+0.0` and no FMA. With binary spikes
+//! (`x[j] ∈ {0.0, 1.0}`), the term is either `w[j]` exactly or `±0.0`
+//! (the sign of `w[j]`). Under round-to-nearest-even, `acc` can never
+//! become `-0.0`: it starts at `+0.0`, `+0.0 + (±0.0) = +0.0`, and any
+//! exactly-cancelling sum `x + (-x)` rounds to `+0.0`. Adding any zero
+//! to a value that is not `-0.0` leaves its bits unchanged, so skipping
+//! zero-spike terms is bitwise identical to adding them — which is what
+//! [`lane_row_dot`] does.
+
+use crate::sanitize::debug_assert_finite;
+
+/// Number of bit lanes in one packed word.
+pub const LANES: usize = 64;
+
+/// A lane mask with the low `n` lanes set.
+///
+/// # Panics
+///
+/// Panics in debug builds if `n > 64`.
+#[inline]
+pub fn low_lanes(n: usize) -> u64 {
+    debug_assert!(n <= LANES, "at most {LANES} lanes per pack");
+    if n >= LANES {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Dot product of one dense weight row with one lane's spike bits:
+/// `Σ_j row[j]` over the set bits `j` of `lane` in `words`, accumulated
+/// in ascending `j` — bit-identical to the `matvec` row over the same
+/// spikes (see the module docs for the `±0.0` argument).
+///
+/// # Panics
+///
+/// Panics in debug builds on length mismatch, a non-finite weight, or
+/// `lane >= 64`.
+#[inline]
+pub fn lane_row_dot(row: &[f32], words: &[u64], lane: u32) -> f32 {
+    debug_assert_eq!(row.len(), words.len(), "lane_row_dot operand length mismatch");
+    debug_assert!((lane as usize) < LANES, "lane out of range");
+    debug_assert_finite("lane_row_dot", "row", row);
+    let mut acc = 0.0f32;
+    for (wv, word) in row.iter().zip(words.iter()) {
+        if (word >> lane) & 1 == 1 {
+            acc += wv;
+        }
+    }
+    acc
+}
+
+/// Dot product of one dense weight row with an `f32` input row — exactly
+/// the computation [`ops::matvec`](crate::ops::matvec) performs for a
+/// single output row, for callers that only need that row.
+///
+/// # Panics
+///
+/// Panics in debug builds on length mismatch or non-finite operands.
+#[inline]
+pub fn row_dot(row: &[f32], x: &[f32]) -> f32 {
+    debug_assert_eq!(row.len(), x.len(), "row_dot operand length mismatch");
+    debug_assert_finite("row_dot", "row", row);
+    debug_assert_finite("row_dot", "x", x);
+    let mut acc = 0.0f32;
+    for (wv, xv) in row.iter().zip(x.iter()) {
+        acc += wv * xv;
+    }
+    acc
+}
+
+/// Fills `words` from a golden binary row: `words[j]` is all-ones when
+/// `golden[j]` spikes and all-zeroes otherwise (every lane carries the
+/// golden bit).
+///
+/// # Panics
+///
+/// Panics in debug builds on length mismatch or a non-binary golden
+/// value (packed lanes hold spikes, not rates).
+#[inline]
+pub fn broadcast_row(golden: &[f32], words: &mut [u64]) {
+    debug_assert_eq!(golden.len(), words.len(), "broadcast_row length mismatch");
+    crate::sanitize::debug_assert_binary("broadcast_row", "golden", golden);
+    for (word, g) in words.iter_mut().zip(golden.iter()) {
+        // snn-lint: allow(L-FLOATEQ): spikes are exact 0.0/1.0 values
+        *word = if *g != 0.0 { u64::MAX } else { 0 };
+    }
+}
+
+/// Sets or clears bit `lane` of `word`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `lane >= 64`.
+#[inline]
+pub fn set_lane_bit(word: &mut u64, lane: u32, on: bool) {
+    debug_assert!((lane as usize) < LANES, "lane out of range");
+    if on {
+        *word |= 1u64 << lane;
+    } else {
+        *word &= !(1u64 << lane);
+    }
+}
+
+/// Which of the `active` lanes differ from the golden binary row
+/// anywhere in this feature row: bit `l` of the result is set iff lane
+/// `l`'s spikes in `words` are not feature-for-feature equal to
+/// `golden`.
+///
+/// # Panics
+///
+/// Panics in debug builds on length mismatch or a non-binary golden
+/// value.
+#[inline]
+pub fn row_diff_mask(words: &[u64], golden: &[f32], active: u64) -> u64 {
+    debug_assert_eq!(golden.len(), words.len(), "row_diff_mask length mismatch");
+    crate::sanitize::debug_assert_binary("row_diff_mask", "golden", golden);
+    let mut diff = 0u64;
+    for (word, g) in words.iter().zip(golden.iter()) {
+        // snn-lint: allow(L-FLOATEQ): spikes are exact 0.0/1.0 values
+        let bcast = if *g != 0.0 { u64::MAX } else { 0 };
+        diff |= word ^ bcast;
+    }
+    diff & active
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // tests assert exact bitwise equality by design
+mod tests {
+    use super::*;
+    use crate::{ops, Shape, Tensor};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Packs per-lane binary spike rows (lane-major) into words.
+    fn pack(rows: &[Vec<f32>]) -> Vec<u64> {
+        let n = rows[0].len();
+        let mut words = vec![0u64; n];
+        for (l, row) in rows.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                set_lane_bit(&mut words[j], u32::try_from(l).unwrap(), *v != 0.0);
+            }
+        }
+        words
+    }
+
+    #[test]
+    fn lane_row_dot_is_bitwise_identical_to_matvec() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let cols = rng.gen_range(1..40);
+            let w = crate::init::uniform(&mut rng, Shape::d2(3, cols), -1.0, 1.0);
+            let lanes: Vec<Vec<f32>> = (0..5)
+                .map(|_| (0..cols).map(|_| f32::from(u8::from(rng.gen_bool(0.5)))).collect())
+                .collect();
+            let words = pack(&lanes);
+            for (l, x) in lanes.iter().enumerate() {
+                let mut y = vec![0.0f32; 3];
+                ops::matvec(&w, x, &mut y);
+                for (r, yr) in y.iter().enumerate() {
+                    let row = &w.as_slice()[r * cols..(r + 1) * cols];
+                    let got = lane_row_dot(row, &words, u32::try_from(l).unwrap());
+                    assert_eq!(got.to_bits(), yr.to_bits(), "row {r} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_dot_matches_matvec_on_fractional_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = crate::init::uniform(&mut rng, Shape::d2(4, 9), -1.0, 1.0);
+        let x: Vec<f32> = (0..9).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mut y = vec![0.0f32; 4];
+        ops::matvec(&w, &x, &mut y);
+        for (r, yr) in y.iter().enumerate() {
+            let row = &w.as_slice()[r * 9..(r + 1) * 9];
+            assert_eq!(row_dot(row, &x).to_bits(), yr.to_bits());
+        }
+    }
+
+    #[test]
+    fn broadcast_and_diff_mask_round_trip() {
+        let golden = vec![1.0, 0.0, 0.0, 1.0, 1.0];
+        let mut words = vec![0u64; 5];
+        broadcast_row(&golden, &mut words);
+        assert_eq!(row_diff_mask(&words, &golden, u64::MAX), 0);
+        // Perturb lane 3 at feature 1 and lane 7 at feature 4.
+        set_lane_bit(&mut words[1], 3, true);
+        set_lane_bit(&mut words[4], 7, false);
+        let diff = row_diff_mask(&words, &golden, u64::MAX);
+        assert_eq!(diff, (1 << 3) | (1 << 7));
+        // An inactive lane's divergence is masked out.
+        assert_eq!(row_diff_mask(&words, &golden, 1 << 3), 1 << 3);
+    }
+
+    #[test]
+    fn low_lanes_masks() {
+        assert_eq!(low_lanes(0), 0);
+        assert_eq!(low_lanes(1), 1);
+        assert_eq!(low_lanes(7), 0x7f);
+        assert_eq!(low_lanes(64), u64::MAX);
+    }
+
+    #[test]
+    fn zero_tensor_stays_out_of_every_lane() {
+        let z = Tensor::zeros(Shape::d2(1, 6));
+        let mut words = vec![u64::MAX; 6];
+        broadcast_row(z.as_slice(), &mut words);
+        assert!(words.iter().all(|&w| w == 0));
+    }
+}

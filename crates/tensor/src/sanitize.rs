@@ -29,6 +29,31 @@ pub fn debug_assert_finite(op: &str, operand: &str, values: &[f32]) {
     }
 }
 
+/// Panics in debug builds when any element of `values` is not exactly
+/// `0.0` or `1.0`.
+///
+/// The bit-packed lane kernels in [`crate::packed`] represent spikes as
+/// single bits, which is only sound when the `f32` source really is
+/// binary; a fractional value (e.g. an average-pooling output packed by
+/// mistake) would silently change simulation results. No-op in release
+/// builds.
+#[inline]
+#[track_caller]
+#[allow(clippy::float_cmp)] // binary spikes are exact 0.0/1.0 values, not tolerances
+pub fn debug_assert_binary(op: &str, operand: &str, values: &[f32]) {
+    if cfg!(debug_assertions) {
+        // snn-lint: allow(L-FLOATEQ): binary spikes are exact 0.0/1.0 values, not tolerances
+        if let Some(idx) = values.iter().position(|&v| v != 0.0 && v != 1.0) {
+            // snn-lint: allow(L-PANIC): the sanitizer's report IS a deliberate debug-build panic
+            panic!(
+                "{op}: non-binary value {} at {operand}[{idx}] — bit-packed lanes require \
+                 exact 0.0/1.0 spikes; a fractional activation reached a packed kernel",
+                values[idx]
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,6 +73,23 @@ mod tests {
         .expect_err("NaN must panic in debug builds");
         let msg = err.downcast_ref::<String>().expect("panic payload is the report");
         assert!(msg.contains("matvec") && msg.contains("x[1]"), "{msg}");
+    }
+
+    #[test]
+    fn binary_slices_pass() {
+        debug_assert_binary("test", "spikes", &[0.0, 1.0, 1.0, 0.0]);
+        debug_assert_binary("test", "empty", &[]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn fractional_value_is_caught_with_location() {
+        let err = std::panic::catch_unwind(|| {
+            debug_assert_binary("broadcast_row", "golden", &[1.0, 0.5, 0.0]);
+        })
+        .expect_err("fractional spike must panic in debug builds");
+        let msg = err.downcast_ref::<String>().expect("panic payload is the report");
+        assert!(msg.contains("broadcast_row") && msg.contains("golden[1]"), "{msg}");
     }
 
     #[cfg(debug_assertions)]

@@ -13,6 +13,10 @@
 //! * [`faults`] — behavioural fault models, the parallel prefix-cached
 //!   fault simulator, criticality labelling, statistical coverage
 //!   estimation and fault dictionaries for diagnosis,
+//! * [`batch`] — the bit-packed fault-parallel execution engine: fault
+//!   plan → lane assignment → packed LIF run over `u64` spike words,
+//!   bit-identical to the scalar path and selected per campaign via
+//!   `--engine packed|scalar|auto`,
 //! * [`datasets`] — synthetic NMNIST / DVS-gesture / SHD-like event
 //!   datasets and rate/TTFS encoders,
 //! * [`testgen`] — the paper's contribution: the two-stage loss-driven
@@ -62,6 +66,7 @@
 
 pub use snn_analyze as analyze;
 pub use snn_baselines as baselines;
+pub use snn_batch as batch;
 pub use snn_cluster as cluster;
 pub use snn_datasets as datasets;
 pub use snn_faults as faults;

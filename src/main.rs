@@ -5,7 +5,8 @@
 //! snn-mtfc info     model.snn
 //! snn-mtfc generate model.snn --out test.events [--preset fast|repro|paper] [--seed N]
 //!                   [--trace-out trace.jsonl]
-//! snn-mtfc verify   model.snn test.events [--trace-out trace.jsonl]
+//! snn-mtfc verify   model.snn test.events [--engine packed|scalar|auto]
+//!                   [--trace-out trace.jsonl]
 //! snn-mtfc profile  trace.jsonl [--phases]
 //!
 //! snn-mtfc reliability (--model model.snn | --synthetic IxH..xO) [--configs N]
@@ -17,6 +18,7 @@
 //!                   [--metrics-dump metrics.prom] [--expect-workers N]
 //!                   [--chunk-size N] [--lease-ms MS] [--trace-out trace.jsonl]
 //! snn-mtfc submit   (--model model.snn | --synthetic IxH..xO) [--preset P] [--coverage] [--watch]
+//!                   [--engine packed|scalar|auto]
 //! snn-mtfc status   [<job>] [--addr HOST:PORT]
 //! snn-mtfc watch    <job>   [--addr HOST:PORT] [--json]
 //! snn-mtfc metrics          [--addr HOST:PORT]
@@ -29,6 +31,7 @@
 //!                         [--preset P] [--seed N] [--chunk-size N]
 //!                         [--git-rev REV] [--timestamp TS] [--host-cores N]
 //!                         [--baseline FILE] [--max-regression FRAC]
+//!                         [--engine packed|scalar|auto]
 //! ```
 //!
 //! `new` creates a (randomly initialized) model file so the rest of the
@@ -39,7 +42,7 @@
 
 use rand::SeedableRng;
 use snn_mtfc::faults::progress::Progress;
-use snn_mtfc::faults::{FaultSimConfig, FaultSimulator, FaultUniverse};
+use snn_mtfc::faults::{Engine, FaultSimConfig, FaultUniverse};
 use snn_mtfc::model::{LifParams, Network, NetworkBuilder};
 use snn_mtfc::obs;
 use snn_mtfc::service::{
@@ -101,7 +104,8 @@ fn print_usage() {
          [--trace-out <trace.jsonl>]\n  \
          snn-mtfc generate <model.snn> [--out <test.events>] [--preset fast|repro|paper] [--seed N]\n                    \
          [--trace-out <trace.jsonl>]\n  \
-         snn-mtfc verify   <model.snn> <test.events> [--trace-out <trace.jsonl>]\n  \
+         snn-mtfc verify   <model.snn> <test.events> [--engine packed|scalar|auto]\n                    \
+         [--trace-out <trace.jsonl>]\n  \
          snn-mtfc profile  <trace.jsonl> [--phases]\n\n  \
          snn-mtfc reliability (--model <model.snn> | --synthetic IxH..xO) [--configs N]\n                       \
          [--weight-ber F] [--neuron-ber F] [--fault-model stuck|bitflip]\n                       \
@@ -112,7 +116,7 @@ fn print_usage() {
          [--chunk-size N] [--lease-ms MS] [--trace-out <trace.jsonl>]\n  \
          snn-mtfc submit   (--model <model.snn> | --synthetic IxH..xO) [--preset fast|repro|paper]\n                    \
          [--seed N] [--max-iterations N] [--t-limit SECS] [--coverage]\n                    \
-         [--threads N] [--watch] [--addr host:port]\n                    \
+         [--threads N] [--engine packed|scalar|auto] [--watch] [--addr host:port]\n                    \
          [--reliability plus the reliability flags above]\n  \
          snn-mtfc status   [<job>] [--addr host:port]\n  \
          snn-mtfc watch    <job>   [--addr host:port] [--json]\n  \
@@ -124,7 +128,8 @@ fn print_usage() {
          snn-mtfc cluster-bench  [--out <BENCH_cluster.json>] [--synthetic IxH..xO]\n                          \
          [--preset fast|repro|paper] [--seed N] [--chunk-size N]\n                          \
          [--git-rev REV] [--timestamp TS] [--host-cores N]\n                          \
-         [--baseline FILE] [--max-regression FRAC]\n\n\
+         [--baseline FILE] [--max-regression FRAC]\n                          \
+         [--engine packed|scalar|auto]\n\n\
          ARCH SPEC (comma-separated stages):\n  \
          dense:<n> | conv:<out_c>:<k>:<stride>:<pad> | pool:<k> | recurrent:<n>\n  \
          e.g. --input 2x16x16 --arch pool:2,dense:48,dense:10\n\n\
@@ -189,6 +194,12 @@ fn write_trace_out(args: &[String], collector: &obs::Collector) -> Result<(), St
         .map_err(|e| format!("cannot write trace {out}: {e}"))?;
     println!("wrote trace {out}");
     Ok(())
+}
+
+/// Parses `--engine scalar|packed|auto` into an execution-engine request;
+/// absent means `Auto` everywhere downstream (the wire default).
+fn engine_flag(args: &[String]) -> Result<Option<Engine>, String> {
+    flag(args, "--engine").map(|s| s.parse().map_err(|e| format!("bad --engine: {e}"))).transpose()
 }
 
 fn seed_of(args: &[String]) -> Result<u64, String> {
@@ -607,6 +618,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         evaluate_coverage: args.iter().any(|a| a == "--coverage"),
         threads: num_flag(args, "--threads")?.unwrap_or(0),
         reliability,
+        engine: engine_flag(args)?,
     };
     let mut client = connect(args)?;
     let job = client.submit(spec)?;
@@ -681,11 +693,23 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         ));
     }
     let universe = FaultUniverse::standard(&net);
-    let sim = FaultSimulator::new(&net, FaultSimConfig::default());
+    let cfg = FaultSimConfig { engine: engine_flag(args)?, ..FaultSimConfig::default() };
+    let resolved = snn_mtfc::batch::resolve_engine(&net, cfg.engine);
+    let cancel = snn_mtfc::faults::CancelToken::new();
     let (outcome, collector) = with_trace(|| {
-        Ok(sim.detect(&universe, universe.faults(), std::slice::from_ref(&stimulus)))
+        snn_mtfc::batch::engine_detect(
+            &net,
+            cfg,
+            &universe,
+            universe.faults(),
+            std::slice::from_ref(&stimulus),
+            &snn_mtfc::faults::NullSink,
+            &cancel,
+        )
+        .map_err(|e| format!("campaign failed: {e}"))
     });
     let outcome = outcome?;
+    println!("engine: {resolved}");
     println!(
         "fault coverage: {:.2}% ({}/{} detected) in {:?}",
         outcome.fault_coverage() * 100.0,
@@ -693,6 +717,9 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         universe.len(),
         outcome.elapsed
     );
+    // The engine-equality CI gate greps this line: packed and scalar
+    // runs of the same campaign must print the same digest.
+    println!("verdict digest: {}", snn_mtfc::faults::verdict_digest_hex(&outcome.per_fault));
     let (generation, fault_sim, total) = runtimes_from_spans(&collector.finished());
     println!("runtimes: generation {generation:.2?}, fault-sim {fault_sim:.2?}, total {total:.2?}");
     write_trace_out(args, &collector)?;
@@ -797,6 +824,7 @@ struct BenchRun {
     faults_total: usize,
     faults_per_sec: f64,
     digest: String,
+    engine: Option<String>,
 }
 
 /// Runs one job against a fresh in-process server with `workers` real
@@ -878,6 +906,7 @@ fn bench_run(workers: usize, spec: &JobSpec, chunk_size: usize) -> Result<BenchR
         faults_total,
         faults_per_sec: faults_total as f64 / (fault_sim_ms.max(1) as f64 / 1000.0),
         digest,
+        engine: result.engine,
     })
 }
 
@@ -910,6 +939,7 @@ fn cmd_reliability(args: &[String]) -> Result<(), String> {
             evaluate_coverage: false,
             threads: 1,
             reliability: Some(rspec),
+            engine: engine_flag(args)?,
         };
         let chunk_size = num_flag(args, "--chunk-size")?.unwrap_or(4);
         let record = cluster_job_run(workers, &spec, chunk_size, "reliability")?;
@@ -970,13 +1000,19 @@ struct BenchPhase {
 /// One appended perf-history record: the headline throughput of the
 /// 2-worker run plus the kernel-phase breakdown, stamped with metadata
 /// the harness passes in (the binary itself never reads clocks or VCS
-/// state, keeping the determinism lints clean).
+/// state, keeping the determinism lints clean). `host_cores` and
+/// `engine` are additive `Option`s so records written by older binaries
+/// keep decoding; `host_cores` lets the regression gate discard
+/// measurements taken on hosts too small to run the benched worker
+/// count without oversubscription.
 #[derive(serde::Serialize, serde::Deserialize)]
 struct BenchHistoryRecord {
     git_rev: String,
     timestamp: String,
     faults_per_sec: f64,
     phase_breakdown: Vec<BenchPhase>,
+    host_cores: Option<usize>,
+    engine: Option<String>,
 }
 
 /// The slice of a previous `BENCH_cluster.json` the regression gate and
@@ -1014,6 +1050,7 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
         evaluate_coverage: true,
         threads: 1,
         reliability: None,
+        engine: engine_flag(args)?,
     };
     let chunk_size = num_flag(args, "--chunk-size")?.unwrap_or(128);
     let git_rev = flag(args, "--git-rev").unwrap_or("unknown").to_string();
@@ -1060,32 +1097,49 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
     // `--max-regression` of the slowest recorded run — the baseline's
     // 2-worker measurement and every history record. Gating on the
     // minimum (not the latest) keeps one fast outlier from setting an
-    // unattainable bar on noisy shared hosts.
+    // unattainable bar on noisy shared hosts. On hosts with fewer cores
+    // than the gated worker count the 2-worker run measures
+    // oversubscription, not the engine, so the gate is skipped (and
+    // history records stamped by such hosts are excluded from the bar).
+    let gated_workers = 2usize;
     let mut history = Vec::new();
     if let Some(baseline) = baseline {
         history = baseline.history.unwrap_or_default();
-        let recorded = baseline
-            .runs
-            .iter()
-            .filter(|r| r.workers == 2)
-            .map(|r| r.faults_per_sec)
-            .chain(history.iter().map(|h| h.faults_per_sec))
-            .fold(f64::INFINITY, f64::min);
-        if recorded.is_finite() {
-            let floor = recorded * (1.0 - max_regression);
-            let measured = runs[2].faults_per_sec;
-            if measured < floor {
-                return Err(format!(
-                    "perf regression: 2-worker throughput {measured:.0} faults/sec is below \
-                     {floor:.0} (slowest recorded {recorded:.0}, {:.0}% tolerance)",
-                    max_regression * 100.0
-                ));
-            }
+        if host_cores.is_some_and(|cores| cores < gated_workers) {
             println!(
-                "regression gate ok: {measured:.0} faults/sec vs slowest recorded {recorded:.0} \
-                 ({:.0}% tolerance)",
-                max_regression * 100.0
+                "regression gate skipped: host has {} core(s) < {gated_workers} bench worker(s) \
+                 (multi-worker throughput on an oversubscribed host is noise)",
+                host_cores.unwrap_or(0)
             );
+        } else {
+            let recorded = baseline
+                .runs
+                .iter()
+                .filter(|r| r.workers == gated_workers)
+                .map(|r| r.faults_per_sec)
+                .chain(
+                    history
+                        .iter()
+                        .filter(|h| h.host_cores.is_none_or(|cores| cores >= gated_workers))
+                        .map(|h| h.faults_per_sec),
+                )
+                .fold(f64::INFINITY, f64::min);
+            if recorded.is_finite() {
+                let floor = recorded * (1.0 - max_regression);
+                let measured = runs[2].faults_per_sec;
+                if measured < floor {
+                    return Err(format!(
+                        "perf regression: 2-worker throughput {measured:.0} faults/sec is below \
+                         {floor:.0} (slowest recorded {recorded:.0}, {:.0}% tolerance)",
+                        max_regression * 100.0
+                    ));
+                }
+                println!(
+                    "regression gate ok: {measured:.0} faults/sec vs slowest recorded \
+                     {recorded:.0} ({:.0}% tolerance)",
+                    max_regression * 100.0
+                );
+            }
         }
     }
     history.push(BenchHistoryRecord {
@@ -1093,6 +1147,8 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
         timestamp: timestamp.clone(),
         faults_per_sec: runs[2].faults_per_sec,
         phase_breakdown,
+        host_cores,
+        engine: runs[2].engine.clone(),
     });
     if history.len() > BENCH_HISTORY_CAP {
         let drop = history.len() - BENCH_HISTORY_CAP;
@@ -1104,18 +1160,24 @@ fn cmd_cluster_bench(args: &[String]) -> Result<(), String> {
         .map(|r| {
             format!(
                 "    {{\"workers\": {}, \"fault_sim_ms\": {}, \"faults_per_sec\": {:.2}, \
-                 \"digest\": \"{}\"}}",
-                r.workers, r.fault_sim_ms, r.faults_per_sec, r.digest
+                 \"digest\": \"{}\", \"engine\": \"{}\"}}",
+                r.workers,
+                r.fault_sim_ms,
+                r.faults_per_sec,
+                r.digest,
+                r.engine.as_deref().unwrap_or("unknown")
             )
         })
         .collect();
     let history_entries: Vec<String> =
         history.iter().map(|h| format!("    {}", serde::json::to_string(h))).collect();
     let host_cores_json = host_cores.map_or_else(|| "null".to_string(), |n| n.to_string());
+    let engine_name = runs[0].engine.as_deref().unwrap_or("unknown");
     let json = format!(
         "{{\n  \"meta\": {{\"git_rev\": \"{git_rev}\", \"timestamp\": \"{timestamp}\", \
          \"preset\": \"{}\", \"synthetic\": \"{synthetic}\", \"seed\": {seed}, \
-         \"chunk_size\": {chunk_size}, \"host_cores\": {host_cores_json}}},\n  \
+         \"chunk_size\": {chunk_size}, \"host_cores\": {host_cores_json}, \
+         \"engine\": \"{engine_name}\"}},\n  \
          \"campaign\": {{\"synthetic\": \"{synthetic}\", \"preset\": \"{}\", \"seed\": {seed}, \
          \"chunk_size\": {chunk_size}, \"faults_total\": {}}},\n  \"runs\": [\n{}\n  ],\n  \
          \"speedup_2_over_1\": {:.4},\n  \"history\": [\n{}\n  ]\n}}\n",

@@ -31,6 +31,7 @@ fn coverage_spec() -> JobSpec {
         evaluate_coverage: true,
         threads: 1,
         reliability: None,
+        engine: None,
     }
 }
 

@@ -29,6 +29,7 @@ fn coverage_spec() -> JobSpec {
         evaluate_coverage: true,
         threads: 1,
         reliability: None,
+        engine: None,
     }
 }
 
